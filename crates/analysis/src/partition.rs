@@ -1,0 +1,341 @@
+//! Partitioned task assignment for P-RMWP (paper §IV-B).
+//!
+//! P-RMWP assigns every task's mandatory thread to one hardware thread
+//! *offline*; mandatory and wind-up parts never migrate (§II-A, §IV-B).
+//! This module provides the classic bin-packing heuristics with the RMWP
+//! response-time admission test from [`crate::rmwp`]: a task fits on a
+//! hardware thread iff the tasks already there plus the candidate are RMWP-
+//! schedulable together.
+
+use core::fmt;
+
+use rtseed_model::{HwThreadId, Span, TaskId, TaskSet, Topology};
+use serde::{Deserialize, Serialize};
+
+use crate::rmwp::RmwpAnalysis;
+
+/// Bin-packing heuristic for partitioned assignment. All heuristics
+/// consider tasks in decreasing-utilization order (the "-decreasing"
+/// variants known to dominate their plain counterparts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionHeuristic {
+    /// First hardware thread that admits the task.
+    FirstFitDecreasing,
+    /// Admitting hardware thread with the least remaining utilization.
+    BestFitDecreasing,
+    /// Admitting hardware thread with the most remaining utilization
+    /// (spreads load; leaves room for optional parts on SMT siblings).
+    WorstFitDecreasing,
+}
+
+impl fmt::Display for PartitionHeuristic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartitionHeuristic::FirstFitDecreasing => "first-fit-decreasing",
+            PartitionHeuristic::BestFitDecreasing => "best-fit-decreasing",
+            PartitionHeuristic::WorstFitDecreasing => "worst-fit-decreasing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A valid partitioned assignment of tasks to hardware threads together
+/// with the per-thread RMWP analyses (and hence every optional deadline).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    assignment: Vec<HwThreadId>,
+    optional_deadline: Vec<Span>,
+    per_thread: Vec<Vec<TaskId>>,
+}
+
+impl Partition {
+    /// Partitions `set` onto the hardware threads of `topology` using
+    /// `heuristic`, admitting each task with the exact RMWP test under
+    /// Rate Monotonic priorities.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::TaskDoesNotFit`] if some task cannot be placed on
+    /// any hardware thread.
+    pub fn compute(
+        set: &TaskSet,
+        topology: &Topology,
+        heuristic: PartitionHeuristic,
+    ) -> Result<Partition, PartitionError> {
+        Self::compute_with_order(set, topology, heuristic, set.rm_order())
+    }
+
+    /// Like [`Partition::compute`] but with an explicit global priority
+    /// order (highest first) — required whenever the deployed priorities
+    /// differ from plain RM (e.g. RM-US HPQ tasks at SCHED_FIFO level 99),
+    /// so that admission and execution agree.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::TaskDoesNotFit`] as for [`Partition::compute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of the set's task ids.
+    pub fn compute_with_order(
+        set: &TaskSet,
+        topology: &Topology,
+        heuristic: PartitionHeuristic,
+        order: Vec<TaskId>,
+    ) -> Result<Partition, PartitionError> {
+        assert_eq!(order.len(), set.len(), "order must cover every task");
+        let mut rank = vec![usize::MAX; set.len()];
+        for (r, id) in order.iter().enumerate() {
+            rank[id.index()] = r;
+        }
+        assert!(
+            rank.iter().all(|&r| r != usize::MAX),
+            "order must be a permutation of the task ids"
+        );
+        let m = topology.hw_threads() as usize;
+        let mut bins: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+        let mut bin_util = vec![0.0f64; m];
+        let mut assignment = vec![HwThreadId(0); set.len()];
+
+        // Placement considers tasks in decreasing utilization (ties by id
+        // for determinism) — independent of the priority order above.
+        let mut fit_order: Vec<TaskId> = set.ids().collect();
+        fit_order.sort_by(|a, b| {
+            let ua = set.task(*a).utilization();
+            let ub = set.task(*b).utilization();
+            ub.partial_cmp(&ua)
+                .expect("utilizations are finite")
+                .then(a.0.cmp(&b.0))
+        });
+
+        for &id in &fit_order {
+            let u = set.task(id).utilization();
+            let mut candidates: Vec<usize> = (0..m).collect();
+            match heuristic {
+                PartitionHeuristic::FirstFitDecreasing => {}
+                PartitionHeuristic::BestFitDecreasing => {
+                    candidates.sort_by(|&a, &b| {
+                        bin_util[b]
+                            .partial_cmp(&bin_util[a])
+                            .expect("finite utilization")
+                            .then(a.cmp(&b))
+                    });
+                }
+                PartitionHeuristic::WorstFitDecreasing => {
+                    candidates.sort_by(|&a, &b| {
+                        bin_util[a]
+                            .partial_cmp(&bin_util[b])
+                            .expect("finite utilization")
+                            .then(a.cmp(&b))
+                    });
+                }
+            }
+
+            let mut placed = false;
+            for &bin in &candidates {
+                if admits(set, &bins[bin], id, &rank) {
+                    bins[bin].push(id);
+                    bin_util[bin] += u;
+                    assignment[id.index()] = HwThreadId(bin as u32);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(PartitionError::TaskDoesNotFit { task: id });
+            }
+        }
+
+        // Compute final per-thread analyses to extract optional deadlines.
+        let mut optional_deadline = vec![Span::ZERO; set.len()];
+        for tasks in bins.iter().filter(|b| !b.is_empty()) {
+            let mut members = tasks.clone();
+            members.sort_by_key(|t| rank[t.index()]);
+            let specs = members.iter().map(|&t| set.task(t).clone()).collect();
+            let sub = TaskSet::new(specs).expect("non-empty bin");
+            let induced: Vec<TaskId> = (0..members.len() as u32).map(TaskId).collect();
+            let analysis = RmwpAnalysis::analyze_with_order(&sub, induced)
+                .expect("bin admitted incrementally");
+            for (local, &global) in members.iter().enumerate() {
+                optional_deadline[global.index()] =
+                    analysis.optional_deadline(TaskId(local as u32));
+            }
+        }
+
+        Ok(Partition {
+            assignment,
+            optional_deadline,
+            per_thread: bins,
+        })
+    }
+
+    /// The hardware thread the mandatory thread of `task` is pinned to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn hw_thread_of(&self, task: TaskId) -> HwThreadId {
+        self.assignment[task.index()]
+    }
+
+    /// The relative optional deadline of `task` within its partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range.
+    #[inline]
+    pub fn optional_deadline(&self, task: TaskId) -> Span {
+        self.optional_deadline[task.index()]
+    }
+
+    /// Tasks assigned to `thread`, in placement order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    #[inline]
+    pub fn tasks_on(&self, thread: HwThreadId) -> &[TaskId] {
+        &self.per_thread[thread.index()]
+    }
+
+    /// Number of hardware threads that received at least one task.
+    pub fn used_threads(&self) -> usize {
+        self.per_thread.iter().filter(|b| !b.is_empty()).count()
+    }
+}
+
+fn admits(set: &TaskSet, existing: &[TaskId], candidate: TaskId, rank: &[usize]) -> bool {
+    let mut members: Vec<TaskId> = existing.to_vec();
+    members.push(candidate);
+    members.sort_by_key(|t| rank[t.index()]);
+    let specs: Vec<_> = members.iter().map(|&t| set.task(t).clone()).collect();
+    let sub = TaskSet::new(specs).expect("at least the candidate");
+    let induced: Vec<TaskId> = (0..members.len() as u32).map(TaskId).collect();
+    RmwpAnalysis::analyze_with_order(&sub, induced).is_ok()
+}
+
+/// Error from [`Partition::compute`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// A task could not be admitted on any hardware thread.
+    TaskDoesNotFit {
+        /// The offending task.
+        task: TaskId,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::TaskDoesNotFit { task } => {
+                write!(f, "task {task} does not fit on any hardware thread")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::TaskSpec;
+
+    fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64) -> TaskSpec {
+        let mut b = TaskSpec::builder(name);
+        b.period(Span::from_millis(period_ms))
+            .mandatory(Span::from_millis(m_ms))
+            .windup(Span::from_millis(w_ms));
+        b.build().unwrap()
+    }
+
+    fn heavy(n: usize) -> TaskSet {
+        // n tasks of utilization 0.6 — at most one per thread.
+        TaskSet::new((0..n).map(|i| task(&format!("t{i}"), 100, 30, 30)).collect()).unwrap()
+    }
+
+    #[test]
+    fn single_task_on_uniprocessor() {
+        let set = TaskSet::new(vec![task("τ1", 1000, 250, 250)]).unwrap();
+        let p = Partition::compute(
+            &set,
+            &Topology::uniprocessor(),
+            PartitionHeuristic::FirstFitDecreasing,
+        )
+        .unwrap();
+        assert_eq!(p.hw_thread_of(TaskId(0)), HwThreadId(0));
+        assert_eq!(p.optional_deadline(TaskId(0)), Span::from_millis(750));
+        assert_eq!(p.used_threads(), 1);
+        assert_eq!(p.tasks_on(HwThreadId(0)), &[TaskId(0)]);
+    }
+
+    #[test]
+    fn heavy_tasks_spread_one_per_thread() {
+        let set = heavy(4);
+        for h in [
+            PartitionHeuristic::FirstFitDecreasing,
+            PartitionHeuristic::BestFitDecreasing,
+            PartitionHeuristic::WorstFitDecreasing,
+        ] {
+            let p = Partition::compute(&set, &Topology::quad_core_smt2(), h).unwrap();
+            assert_eq!(p.used_threads(), 4, "{h}");
+        }
+    }
+
+    #[test]
+    fn overload_reported() {
+        // Five 0.6-utilization tasks on 4 hardware threads (uniprocessor
+        // topology ×4? use 2 cores ×2 smt = 4 threads).
+        let set = heavy(5);
+        let topo = Topology::new(2, 2).unwrap();
+        let err =
+            Partition::compute(&set, &topo, PartitionHeuristic::FirstFitDecreasing).unwrap_err();
+        assert!(matches!(err, PartitionError::TaskDoesNotFit { .. }));
+        assert!(err.to_string().contains("does not fit"));
+    }
+
+    #[test]
+    fn ffd_packs_bestfit_spreads() {
+        // Two light tasks (U = 0.2 each): FFD packs them on thread 0,
+        // WFD spreads them across threads.
+        let set = TaskSet::new(vec![task("a", 100, 10, 10), task("b", 100, 10, 10)]).unwrap();
+        let topo = Topology::quad_core_smt2();
+        let ffd =
+            Partition::compute(&set, &topo, PartitionHeuristic::FirstFitDecreasing).unwrap();
+        assert_eq!(ffd.used_threads(), 1);
+        let wfd =
+            Partition::compute(&set, &topo, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        assert_eq!(wfd.used_threads(), 2);
+    }
+
+    #[test]
+    fn optional_deadlines_reflect_partition_interference() {
+        // Two tasks co-located on a uniprocessor: the lower-priority task's
+        // OD shrinks relative to running alone.
+        let set = TaskSet::new(vec![task("hi", 100, 10, 10), task("lo", 1000, 100, 100)]).unwrap();
+        let p = Partition::compute(
+            &set,
+            &Topology::uniprocessor(),
+            PartitionHeuristic::FirstFitDecreasing,
+        )
+        .unwrap();
+        // From the rmwp tests: OD(lo) = 860 with interference; alone it
+        // would be 900.
+        assert_eq!(p.optional_deadline(TaskId(1)), Span::from_millis(860));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let set = heavy(4);
+        let topo = Topology::quad_core_smt2();
+        let p1 =
+            Partition::compute(&set, &topo, PartitionHeuristic::BestFitDecreasing).unwrap();
+        let p2 =
+            Partition::compute(&set, &topo, PartitionHeuristic::BestFitDecreasing).unwrap();
+        for id in set.ids() {
+            assert_eq!(p1.hw_thread_of(id), p2.hw_thread_of(id));
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Synthetic task-set generation for experiments and property tests.
+//!
+//! Implements the standard **UUniFast** algorithm (Bini & Buttazzo) for
+//! unbiased utilization vectors, log-uniform period sampling, and the
+//! mandatory/wind-up split plus parallel-optional-part attachment needed by
+//! the parallel-extended imprecise computation model.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rtseed_model::{Span, TaskSet, TaskSpec};
+
+/// Configuration for random task-set generation.
+#[derive(Debug, Clone)]
+pub struct TaskGenConfig {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Target total real-time utilization `Σ Uᵢ` (may exceed 1 for
+    /// multiprocessor sets).
+    pub total_utilization: f64,
+    /// Minimum period (inclusive).
+    pub period_min: Span,
+    /// Maximum period (inclusive).
+    pub period_max: Span,
+    /// Fraction of each task's WCET allocated to the mandatory part (the
+    /// rest is wind-up); sampled uniformly from this inclusive range.
+    pub mandatory_fraction: (f64, f64),
+    /// Number of parallel optional parts per task, sampled uniformly from
+    /// this inclusive range.
+    pub optional_parts: (usize, usize),
+    /// Optional-part execution time as a multiple of the task period,
+    /// sampled uniformly from this inclusive range (values ≥ 1 make parts
+    /// always overrun, like the paper's §V-A workload).
+    pub optional_scale: (f64, f64),
+}
+
+impl Default for TaskGenConfig {
+    fn default() -> Self {
+        TaskGenConfig {
+            tasks: 4,
+            total_utilization: 0.5,
+            period_min: Span::from_millis(10),
+            period_max: Span::from_secs(1),
+            mandatory_fraction: (0.3, 0.7),
+            optional_parts: (1, 8),
+            optional_scale: (0.1, 1.0),
+        }
+    }
+}
+
+/// Generates an unbiased utilization vector summing to `total` using
+/// UUniFast.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `total` is not a positive finite number.
+pub fn uunifast(rng: &mut impl RngExt, n: usize, total: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one task");
+    assert!(
+        total.is_finite() && total > 0.0,
+        "total utilization must be positive"
+    );
+    let mut utils = Vec::with_capacity(n);
+    let mut sum = total;
+    for i in 1..n {
+        let next = sum * rng.random::<f64>().powf(1.0 / (n - i) as f64);
+        utils.push(sum - next);
+        sum = next;
+    }
+    utils.push(sum);
+    utils
+}
+
+/// Samples a period log-uniformly in `[min, max]`.
+///
+/// # Panics
+///
+/// Panics if `min` is zero or `min > max`.
+pub fn log_uniform_period(rng: &mut impl RngExt, min: Span, max: Span) -> Span {
+    assert!(!min.is_zero(), "minimum period must be positive");
+    assert!(min <= max, "period range is inverted");
+    if min == max {
+        return min;
+    }
+    let (lo, hi) = (min.as_nanos() as f64, max.as_nanos() as f64);
+    let x = rng.random_range(lo.ln()..=hi.ln()).exp();
+    Span::from_nanos((x as u64).clamp(min.as_nanos(), max.as_nanos()))
+}
+
+/// Generates a random task set from `config`, deterministic in `seed`.
+///
+/// Each task's real-time WCET is `Uᵢ · Tᵢ` split between mandatory and
+/// wind-up parts by a sampled fraction; optional parts are attached per the
+/// configured ranges. Tasks whose sampled WCET would round to zero get a
+/// 1 µs mandatory floor.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (zero tasks, non-positive
+/// utilization, inverted ranges).
+pub fn generate(config: &TaskGenConfig, seed: u64) -> TaskSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let utils = uunifast(&mut rng, config.tasks, config.total_utilization);
+    let (f_lo, f_hi) = config.mandatory_fraction;
+    assert!(
+        (0.0..=1.0).contains(&f_lo) && f_lo <= f_hi && f_hi <= 1.0,
+        "mandatory fraction range must be within [0, 1]"
+    );
+    let (np_lo, np_hi) = config.optional_parts;
+    assert!(np_lo <= np_hi, "optional-part range is inverted");
+    let (os_lo, os_hi) = config.optional_scale;
+    assert!(os_lo <= os_hi && os_lo >= 0.0, "optional-scale range invalid");
+
+    let mut tasks = Vec::with_capacity(config.tasks);
+    for (i, &u) in utils.iter().enumerate() {
+        let period = log_uniform_period(&mut rng, config.period_min, config.period_max);
+        // Cap utilization at 1 per task; UUniFast can exceed it when the
+        // requested total is large relative to n.
+        let u = u.min(1.0);
+        let wcet = period.mul_f64(u).max(Span::from_micros(1));
+        let frac = rng.random_range(f_lo..=f_hi);
+        let mut mandatory = wcet.mul_f64(frac);
+        if mandatory.is_zero() {
+            mandatory = Span::from_micros(1).min(wcet);
+        }
+        let windup = wcet.saturating_sub(mandatory);
+        let np = rng.random_range(np_lo..=np_hi);
+        let mut b = TaskSpec::builder(format!("gen{i}"));
+        b.period(period).mandatory(mandatory);
+        // The builder requires a wind-up part whenever optional parts
+        // exist; give parts only to tasks that got a non-zero wind-up.
+        if !windup.is_zero() {
+            b.windup(windup);
+            for _ in 0..np {
+                let scale = rng.random_range(os_lo..=os_hi);
+                b.optional_part(period.mul_f64(scale).max(Span::from_micros(1)));
+            }
+        }
+        tasks.push(b.build().expect("generated task is valid"));
+    }
+    TaskSet::new(tasks).expect("non-empty generated set")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uunifast_sums_to_total() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 5, 20] {
+            for total in [0.1, 0.5, 1.0, 4.0] {
+                let u = uunifast(&mut rng, n, total);
+                assert_eq!(u.len(), n);
+                let sum: f64 = u.iter().sum();
+                assert!((sum - total).abs() < 1e-9, "n={n} total={total} sum={sum}");
+                assert!(u.iter().all(|&x| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn uunifast_rejects_zero_tasks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = uunifast(&mut rng, 0, 0.5);
+    }
+
+    #[test]
+    fn log_uniform_period_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (min, max) = (Span::from_millis(10), Span::from_secs(1));
+        for _ in 0..1000 {
+            let p = log_uniform_period(&mut rng, min, max);
+            assert!(p >= min && p <= max);
+        }
+        assert_eq!(log_uniform_period(&mut rng, min, min), min);
+    }
+
+    #[test]
+    fn generate_is_deterministic_in_seed() {
+        let cfg = TaskGenConfig::default();
+        let a = generate(&cfg, 42);
+        let b = generate(&cfg, 42);
+        assert_eq!(a, b);
+        let c = generate(&cfg, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generate_respects_utilization_roughly() {
+        let cfg = TaskGenConfig {
+            tasks: 8,
+            total_utilization: 0.8,
+            ..TaskGenConfig::default()
+        };
+        let set = generate(&cfg, 1);
+        assert_eq!(set.len(), 8);
+        // Rounding to the 1 µs floor can distort tiny tasks, but the sum
+        // should be close.
+        assert!((set.total_utilization() - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn generate_honours_part_ranges() {
+        let cfg = TaskGenConfig {
+            tasks: 10,
+            optional_parts: (3, 3),
+            mandatory_fraction: (0.5, 0.5),
+            ..TaskGenConfig::default()
+        };
+        let set = generate(&cfg, 5);
+        for (_, t) in set.iter() {
+            // Every generated task with a wind-up part gets exactly 3 parts.
+            if !t.windup().is_zero() {
+                assert_eq!(t.optional_count(), 3);
+            }
+            assert!(t.wcet() <= t.period());
+        }
+    }
+
+    #[test]
+    fn generated_sets_feed_the_analysis() {
+        // Low utilization per task: every singleton must be schedulable.
+        let cfg = TaskGenConfig {
+            tasks: 6,
+            total_utilization: 0.6,
+            ..TaskGenConfig::default()
+        };
+        let set = generate(&cfg, 9);
+        for (_, t) in set.iter() {
+            let single = TaskSet::new(vec![t.clone()]).unwrap();
+            assert!(crate::rmwp::RmwpAnalysis::analyze(&single).is_ok());
+        }
+    }
+}

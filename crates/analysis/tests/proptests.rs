@@ -1,0 +1,147 @@
+//! Property-based tests for the analysis substrate.
+
+use proptest::prelude::*;
+use rtseed_analysis::bounds::{hyperbolic_schedulable, liu_layland_schedulable};
+use rtseed_analysis::rmwp::RmwpAnalysis;
+use rtseed_analysis::rta::{all_schedulable, response_time, response_time_at, Interferer};
+use rtseed_analysis::taskgen::{generate, log_uniform_period, uunifast, TaskGenConfig};
+use rtseed_model::{Span, TaskSet};
+
+proptest! {
+    #[test]
+    fn uunifast_always_sums(n in 1usize..30, total in 0.01f64..8.0, seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let utils = uunifast(&mut rng, n, total);
+        prop_assert_eq!(utils.len(), n);
+        let sum: f64 = utils.iter().sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+        prop_assert!(utils.iter().all(|&u| u >= -1e-12));
+    }
+
+    #[test]
+    fn log_uniform_stays_in_range(seed in 0u64..1000, lo in 1u64..1_000_000, width in 0u64..1_000_000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let min = Span::from_nanos(lo);
+        let max = Span::from_nanos(lo + width);
+        let p = log_uniform_period(&mut rng, min, max);
+        prop_assert!(p >= min && p <= max);
+    }
+
+    /// RTA is monotone in cost: more execution never shrinks the response.
+    #[test]
+    fn rta_monotone_in_cost(c1 in 1u64..1000, extra in 0u64..1000) {
+        let hp = [Interferer {
+            period: Span::from_micros(50),
+            demand: Span::from_micros(10),
+        }];
+        let bound = Span::from_millis(100);
+        let r1 = response_time(Span::from_micros(c1), &hp, bound);
+        let r2 = response_time(Span::from_micros(c1 + extra), &hp, bound);
+        if let (Ok(r1), Ok(r2)) = (r1, r2) {
+            prop_assert!(r2 >= r1);
+        }
+    }
+
+    /// Response time is at least the cost plus one job of every interferer.
+    #[test]
+    fn rta_lower_bound(cost in 1u64..10_000) {
+        let hp = [
+            Interferer { period: Span::from_micros(100), demand: Span::from_micros(7) },
+            Interferer { period: Span::from_micros(300), demand: Span::from_micros(11) },
+        ];
+        if let Ok(r) = response_time(Span::from_nanos(cost), &hp, Span::from_secs(1)) {
+            prop_assert!(r >= Span::from_nanos(cost) + Span::from_micros(18));
+        }
+    }
+
+    /// Utilization-bound tests are *sufficient*: whenever they accept, the
+    /// exact RTA accepts too.
+    #[test]
+    fn bounds_imply_rta(seed in 0u64..300, n in 1usize..8) {
+        let set = generate(&TaskGenConfig {
+            tasks: n,
+            total_utilization: 0.9,
+            optional_parts: (0, 0),
+            ..TaskGenConfig::default()
+        }, seed);
+        let order = set.rm_order();
+        let pairs: Vec<(Span, Span)> = order
+            .iter()
+            .map(|&id| {
+                let t = set.task(id);
+                (t.wcet(), t.period())
+            })
+            .collect();
+        if liu_layland_schedulable(&set) || hyperbolic_schedulable(&set) {
+            prop_assert!(all_schedulable(&pairs), "sufficient bound accepted an RTA-rejected set");
+        }
+    }
+
+    /// RMWP schedulable ⇒ plain RM (on C = m + w) schedulable: RMWP's test
+    /// is strictly more conservative.
+    #[test]
+    fn rmwp_implies_rm(seed in 0u64..300, n in 1usize..6) {
+        let set = generate(&TaskGenConfig {
+            tasks: n,
+            total_utilization: 0.7,
+            ..TaskGenConfig::default()
+        }, seed);
+        if RmwpAnalysis::analyze(&set).is_ok() {
+            let order = set.rm_order();
+            let pairs: Vec<(Span, Span)> = order
+                .iter()
+                .map(|&id| (set.task(id).wcet(), set.task(id).period()))
+                .collect();
+            prop_assert!(all_schedulable(&pairs));
+        }
+    }
+
+    /// The analysis is deterministic and order-independent in ids.
+    #[test]
+    fn analysis_deterministic(seed in 0u64..300) {
+        let set = generate(&TaskGenConfig {
+            tasks: 4,
+            total_utilization: 0.5,
+            ..TaskGenConfig::default()
+        }, seed);
+        let a = RmwpAnalysis::analyze(&set);
+        let b = RmwpAnalysis::analyze(&set);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                for id in set.ids() {
+                    prop_assert_eq!(a.optional_deadline(id), b.optional_deadline(id));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "non-deterministic schedulability"),
+        }
+    }
+
+    /// Higher-priority demand can only shrink a lower-priority OD.
+    #[test]
+    fn od_antimonotone_in_interference(extra_ms in 1u64..40) {
+        let mk = |hp_cost: u64| {
+            let hi = rtseed_model::TaskSpec::builder("hi")
+                .period(Span::from_millis(100))
+                .mandatory(Span::from_millis(hp_cost))
+                .windup(Span::from_millis(5))
+                .build()
+                .unwrap();
+            let lo = rtseed_model::TaskSpec::builder("lo")
+                .period(Span::from_millis(1000))
+                .mandatory(Span::from_millis(50))
+                .windup(Span::from_millis(50))
+                .build()
+                .unwrap();
+            TaskSet::new(vec![hi, lo]).unwrap()
+        };
+        let light = RmwpAnalysis::analyze(&mk(1));
+        let heavy = RmwpAnalysis::analyze(&mk(1 + extra_ms));
+        if let (Ok(light), Ok(heavy)) = (light, heavy) {
+            let id = rtseed_model::TaskId(1);
+            prop_assert!(heavy.optional_deadline(id) <= light.optional_deadline(id));
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Criterion benches for the streaming technical-analysis indicators: each
+//! optional part's per-tick work must be cheap relative to its window.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtseed_trading::indicators::{Atr, BollingerBands, Ema, Macd, Rsi, Sma, Stochastic};
+use rtseed_trading::market::{collect_ticks, SyntheticFeed, Tick};
+
+fn prices() -> Vec<f64> {
+    collect_ticks(&mut SyntheticFeed::eur_usd(42), 10_000)
+        .iter()
+        .map(Tick::mid)
+        .collect()
+}
+
+fn bench_indicators(c: &mut Criterion) {
+    let prices = prices();
+    let mut group = c.benchmark_group("indicators_10k_ticks");
+    group.bench_function("sma20", |b| {
+        b.iter(|| {
+            let mut ind = Sma::new(20);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("ema20", |b| {
+        b.iter(|| {
+            let mut ind = Ema::new(20);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("bollinger20x2", |b| {
+        b.iter(|| {
+            let mut ind = BollingerBands::new(20, 2.0);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("rsi14", |b| {
+        b.iter(|| {
+            let mut ind = Rsi::new(14);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("macd_standard", |b| {
+        b.iter(|| {
+            let mut ind = Macd::standard();
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("stochastic14_3", |b| {
+        b.iter(|| {
+            let mut ind = Stochastic::new(14, 3);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.bench_function("atr14", |b| {
+        b.iter(|| {
+            let mut ind = Atr::new(14);
+            for &p in &prices {
+                ind.push(p);
+            }
+            ind.value()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indicators);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion benches over the figure-generating simulation runs: one bench
+//! per overhead figure at representative np points, so regressions in the
+//! simulator or scheduler state machine are caught as timing changes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtseed::policy::AssignmentPolicy;
+use rtseed_bench::run_paper_workload;
+use rtseed_sim::BackgroundLoad;
+
+fn bench_paper_workload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_workload_sim");
+    group.sample_size(10);
+    for np in [4usize, 57, 228] {
+        group.bench_with_input(BenchmarkId::new("one_by_one_noload", np), &np, |b, &np| {
+            b.iter(|| {
+                run_paper_workload(
+                    np,
+                    AssignmentPolicy::OneByOne,
+                    BackgroundLoad::NoLoad,
+                    10,
+                    0,
+                )
+            })
+        });
+    }
+    for policy in AssignmentPolicy::PAPER_POLICIES {
+        group.bench_with_input(
+            BenchmarkId::new("np228_cpumem", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    run_paper_workload(228, policy, BackgroundLoad::CpuMemoryLoad, 10, 0)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paper_workload);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion benches for the scheduling substrate: the 99-level SCHED_FIFO
+//! ready queue and the deterministic event queue.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtseed_model::{Priority, Time};
+use rtseed_sim::{EventQueue, FifoReadyQueue};
+
+fn bench_ready_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_ready_queue");
+    for n in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("enqueue_dequeue", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let mut q = FifoReadyQueue::new();
+                    for i in 0..n {
+                        let prio = Priority::new((i % 99 + 1) as u8).unwrap();
+                        q.enqueue(prio, i);
+                    }
+                    while q.dequeue_highest().is_some() {}
+                    q
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_queue");
+    for n in [64usize, 4096] {
+        group.bench_with_input(BenchmarkId::new("push_pop", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut q = EventQueue::new();
+                for i in 0..n {
+                    q.push(Time::from_nanos(((n - i) * 7) as u64), i);
+                }
+                while q.pop().is_some() {}
+                q
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ready_queue, bench_event_queue);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Ablation (beyond the paper): partitioned-assignment heuristics under
+//! increasing utilization on random task sets — success rate and hardware
+//! threads used, with the exact RMWP admission test.
+
+use rtseed_analysis::partition::{Partition, PartitionHeuristic};
+use rtseed_analysis::taskgen::{generate, TaskGenConfig};
+use rtseed_model::{Span, Topology};
+
+fn main() {
+    let topo = Topology::quad_core_smt2(); // 8 hardware threads
+    let heuristics = [
+        PartitionHeuristic::FirstFitDecreasing,
+        PartitionHeuristic::BestFitDecreasing,
+        PartitionHeuristic::WorstFitDecreasing,
+    ];
+    println!("Partition ablation — 8 hw threads, 16 tasks, 50 seeds per point\n");
+    println!(
+        "{:>6} {:>22} {:>22} {:>22}",
+        "U", "first-fit-decr", "best-fit-decr", "worst-fit-decr"
+    );
+    println!(
+        "{:>6} {:>11}{:>11} {:>11}{:>11} {:>11}{:>11}",
+        "", "ok-rate", "threads", "ok-rate", "threads", "ok-rate", "threads"
+    );
+    for u10 in [20u32, 30, 40, 50, 60, 70] {
+        let total_u = u10 as f64 / 10.0;
+        print!("{total_u:>6.1}");
+        for h in heuristics {
+            let mut ok = 0usize;
+            let mut threads = 0usize;
+            let seeds = 50u64;
+            for seed in 0..seeds {
+                let cfg = TaskGenConfig {
+                    tasks: 16,
+                    total_utilization: total_u,
+                    period_min: Span::from_millis(10),
+                    period_max: Span::from_millis(1000),
+                    ..TaskGenConfig::default()
+                };
+                let set = generate(&cfg, seed);
+                if let Ok(p) = Partition::compute(&set, &topo, h) {
+                    ok += 1;
+                    threads += p.used_threads();
+                }
+            }
+            let rate = ok as f64 / seeds as f64;
+            let avg_threads = if ok > 0 {
+                threads as f64 / ok as f64
+            } else {
+                f64::NAN
+            };
+            print!(" {rate:>11.2}{avg_threads:>11.2}");
+        }
+        println!();
+    }
+}

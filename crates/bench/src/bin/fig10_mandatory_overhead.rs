@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 10: overhead of beginning the mandatory part
+//! (Δm) vs the number of parallel optional parts, under the three
+//! background loads and three assignment policies.
+
+use rtseed_bench::{jobs_from_env, overhead_sweep, render_csv, render_figure, FigureUnit};
+use rtseed_sim::OverheadKind;
+
+fn main() {
+    let jobs = jobs_from_env();
+    let points = overhead_sweep(OverheadKind::BeginMandatory, jobs, 0);
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 10 — Overhead of beginning the mandatory part (Δm)",
+            &points,
+            FigureUnit::Micros,
+        )
+    );
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", render_csv("fig10", &points));
+    }
+}

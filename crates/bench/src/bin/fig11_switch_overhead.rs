@@ -1,0 +1,21 @@
+//! Regenerates paper Fig. 11: overhead of switching the mandatory thread
+//! to the optional thread (Δs) vs the number of parallel optional parts.
+
+use rtseed_bench::{jobs_from_env, overhead_sweep, render_csv, render_figure, FigureUnit};
+use rtseed_sim::OverheadKind;
+
+fn main() {
+    let jobs = jobs_from_env();
+    let points = overhead_sweep(OverheadKind::SwitchToOptional, jobs, 0);
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 11 — Overhead of switching from mandatory thread to optional thread (Δs)",
+            &points,
+            FigureUnit::Micros,
+        )
+    );
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", render_csv("fig11", &points));
+    }
+}

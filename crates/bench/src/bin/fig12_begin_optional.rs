@@ -1,0 +1,21 @@
+//! Regenerates paper Fig. 12: overhead of beginning the parallel optional
+//! parts (Δb, the pthread_cond_signal loop) vs np.
+
+use rtseed_bench::{jobs_from_env, overhead_sweep, render_csv, render_figure, FigureUnit};
+use rtseed_sim::OverheadKind;
+
+fn main() {
+    let jobs = jobs_from_env();
+    let points = overhead_sweep(OverheadKind::BeginOptional, jobs, 0);
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 12 — Overhead of the beginning of the parallel optional parts (Δb)",
+            &points,
+            FigureUnit::Millis,
+        )
+    );
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", render_csv("fig12", &points));
+    }
+}

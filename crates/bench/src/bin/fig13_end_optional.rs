@@ -1,0 +1,35 @@
+//! Regenerates paper Fig. 13: overhead of ending the parallel optional
+//! parts (Δe: timer interrupt + stack restore + wake-up signal) vs np.
+//!
+//! Pass `--show-placement` to also print the Fig. 8 placement maps for
+//! 171 parts.
+
+use rtseed::policy::AssignmentPolicy;
+use rtseed_bench::{jobs_from_env, overhead_sweep, render_csv, render_figure, FigureUnit};
+use rtseed_model::Topology;
+use rtseed_sim::OverheadKind;
+
+fn main() {
+    if std::env::args().any(|a| a == "--show-placement") {
+        let phi = Topology::xeon_phi_3120a();
+        println!("Fig. 8 — per-core part counts for 171 parallel optional parts:");
+        for policy in AssignmentPolicy::PAPER_POLICIES {
+            let counts = policy.per_core_counts(&phi, 171);
+            println!("  {policy}: {counts:?}");
+        }
+        println!();
+    }
+    let jobs = jobs_from_env();
+    let points = overhead_sweep(OverheadKind::EndOptional, jobs, 0);
+    println!(
+        "{}",
+        render_figure(
+            "Fig. 13 — Overhead of ending the parallel optional parts (Δe)",
+            &points,
+            FigureUnit::Millis,
+        )
+    );
+    if std::env::args().any(|a| a == "--csv") {
+        print!("{}", render_csv("fig13", &points));
+    }
+}

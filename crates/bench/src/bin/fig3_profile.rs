@@ -1,0 +1,38 @@
+//! Renders paper Fig. 3: remaining-execution-time profiles of general
+//! scheduling vs semi-fixed-priority scheduling for the evaluation task
+//! (no higher-priority interference).
+
+use rtseed::profile::{RemainingProfile, SchedulingMode};
+use rtseed_model::{Span, TaskSpec};
+
+fn main() {
+    let task = TaskSpec::builder("τi")
+        .period(Span::from_secs(1))
+        .mandatory(Span::from_millis(250))
+        .windup(Span::from_millis(250))
+        .optional_parts(4, Span::from_secs(1))
+        .build()
+        .expect("valid task");
+    let od = Span::from_millis(750);
+
+    println!("Fig. 3 — remaining execution time R_i(t), T = D = 1 s, m = w = 250 ms, OD = 750 ms\n");
+    for (label, mode) in [
+        ("general scheduling (C = m + w contiguous)", SchedulingMode::General),
+        ("semi-fixed-priority (m, sleep, w at OD)", SchedulingMode::SemiFixed),
+    ] {
+        let p = RemainingProfile::compute(&task, od, mode);
+        println!("{label}:");
+        print!("{}", p.ascii_plot(64));
+        println!(
+            "breakpoints: {:?}",
+            p.points()
+                .iter()
+                .map(|(t, r)| format!("({t}, {r})"))
+                .collect::<Vec<_>>()
+        );
+        println!(
+            "pre-decision optional window: {}\n",
+            p.optional_window()
+        );
+    }
+}

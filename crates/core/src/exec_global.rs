@@ -1,0 +1,788 @@
+//! Global semi-fixed-priority executor (**G-RMWP**) on the simulation
+//! substrate — the road the paper deliberately does *not* take (§IV-B):
+//!
+//! > "(i) global scheduling, such as in G-RMWP, allows tasks to migrate
+//! > among processors, resulting in high overheads, and (ii)
+//! > middleware-level global scheduling is unsuitable …"
+//!
+//! This executor exists to *quantify* claim (i): mandatory and wind-up
+//! parts are dispatched from one global ready queue onto any hardware
+//! thread (highest priorities run, lowest running part is preempted), and
+//! every time a part resumes on a different hardware thread than the one
+//! it last used, a **migration penalty** (cold L1/L2 refill) is added to
+//! its remaining execution and counted. The `ablation_grmwp` harness
+//! compares migrations, added overhead and QoS against P-RMWP on the same
+//! workload.
+//!
+//! Parallel optional parts keep their policy placement and never migrate,
+//! exactly as in the parallel-extended model (§II-A) — only the real-time
+//! parts are scheduled globally.
+
+use rtseed_model::{
+    JobId, OptionalOutcome, Priority, QosRecord, QosSummary, Span, TaskId, Time,
+    Topology,
+};
+use rtseed_sim::{EventQueue, FifoReadyQueue};
+
+use crate::config::SystemConfig;
+use crate::policy::AssignmentPolicy;
+use crate::priority::PriorityMap;
+
+/// Run parameters for the global executor.
+#[derive(Debug, Clone)]
+pub struct GlobalRunConfig {
+    /// Number of jobs each task executes.
+    pub jobs: u64,
+    /// Cost added to a real-time part's remaining execution each time it
+    /// resumes on a different hardware thread (cache refill). The paper's
+    /// "high overheads" of global scheduling live here.
+    pub migration_cost: Span,
+    /// Fraction of declared WCET the actual computation consumes (see
+    /// [`crate::exec_sim::SimRunConfig::rt_exec_fraction`]).
+    pub rt_exec_fraction: f64,
+}
+
+impl Default for GlobalRunConfig {
+    fn default() -> Self {
+        GlobalRunConfig {
+            jobs: 10,
+            migration_cost: Span::from_micros(100),
+            rt_exec_fraction: 0.75,
+        }
+    }
+}
+
+/// Results of a global (G-RMWP) run.
+#[derive(Debug, Clone)]
+pub struct GlobalOutcome {
+    /// QoS summary across all jobs.
+    pub qos: QosSummary,
+    /// Number of real-time part migrations (resumed on a different
+    /// hardware thread).
+    pub migrations: u64,
+    /// Total execution time added by migrations.
+    pub migration_overhead: Span,
+    /// Number of real-time dispatches (for migrations-per-dispatch rates).
+    pub dispatches: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cursor {
+    Mandatory,
+    Optional(u32),
+    Windup,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Work {
+    task: usize,
+    cursor: Cursor,
+}
+
+#[derive(Debug)]
+enum Event {
+    Release { task: usize },
+    OdExpire { task: usize, seq: u64 },
+    Complete { cpu: usize, gen: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    work: Work,
+    prio: Priority,
+    since: Time,
+    gen: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PartState {
+    executed: Span,
+    running_since: Option<Time>,
+    outcome: Option<OptionalOutcome>,
+}
+
+#[derive(Debug)]
+struct TaskRun {
+    period: Span,
+    deadline: Span,
+    mandatory: Span,
+    windup: Span,
+    optional: Vec<Span>,
+    od: Span,
+    placements: Vec<usize>,
+    mand_prio: Priority,
+    opt_prio: Priority,
+    // Per job.
+    seq: u64,
+    release: Time,
+    rt_remaining: Span,
+    parts: Vec<PartState>,
+    done: bool,
+    windup_issued: bool,
+    last_cpu: Option<usize>,
+    jobs_done: u64,
+}
+
+/// The global (G-RMWP) executor. Unlike [`crate::exec_sim::SimExecutor`],
+/// real-time parts are **not** pinned: they run wherever a processor is
+/// free (or preemptible), paying [`GlobalRunConfig::migration_cost`] when
+/// they move.
+#[derive(Debug)]
+pub struct GlobalExecutor {
+    topology: Topology,
+    policy: AssignmentPolicy,
+    run: GlobalRunConfig,
+    priorities: PriorityMap,
+    set: rtseed_model::TaskSet,
+    od: Vec<Span>,
+}
+
+impl GlobalExecutor {
+    /// Creates a global executor from a [`SystemConfig`] (the partition
+    /// placement is ignored — that is the point — but its per-task
+    /// optional deadlines and priorities are reused so both executors run
+    /// the identical offline configuration).
+    pub fn from_config(config: &SystemConfig, run: GlobalRunConfig) -> GlobalExecutor {
+        let od = config
+            .set()
+            .ids()
+            .map(|id| config.optional_deadline(id))
+            .collect();
+        GlobalExecutor {
+            topology: *config.topology(),
+            policy: config.policy(),
+            run,
+            priorities: config.priorities().clone(),
+            set: config.set().clone(),
+            od,
+        }
+    }
+
+    /// Runs the global simulation to completion.
+    pub fn run(&self) -> GlobalOutcome {
+        assert!(
+            self.run.rt_exec_fraction > 0.0 && self.run.rt_exec_fraction <= 1.0,
+            "rt_exec_fraction must be within (0, 1]"
+        );
+        let mut state = GlobalState::new(self);
+        state.run(self.run.jobs);
+        GlobalOutcome {
+            qos: state.qos,
+            migrations: state.migrations,
+            migration_overhead: state.migration_overhead,
+            dispatches: state.dispatches,
+        }
+    }
+}
+
+struct GlobalState<'a> {
+    exec: &'a GlobalExecutor,
+    now: Time,
+    events: EventQueue<Event>,
+    // One global queue for RT parts; per-cpu queues for optional parts
+    // (they are pinned by the assignment policy).
+    rt_queue: FifoReadyQueue<Work>,
+    opt_queues: Vec<FifoReadyQueue<Work>>,
+    cpus: Vec<Option<Running>>,
+    tasks: Vec<TaskRun>,
+    gen: u64,
+    qos: QosSummary,
+    migrations: u64,
+    migration_overhead: Span,
+    dispatches: u64,
+    live: usize,
+}
+
+impl<'a> GlobalState<'a> {
+    fn new(exec: &'a GlobalExecutor) -> GlobalState<'a> {
+        let m = exec.topology.hw_threads() as usize;
+        let tasks: Vec<TaskRun> = exec
+            .set
+            .iter()
+            .map(|(id, spec)| TaskRun {
+                period: spec.period(),
+                deadline: spec.deadline(),
+                mandatory: spec.mandatory().mul_f64(exec.run.rt_exec_fraction),
+                windup: spec.windup().mul_f64(exec.run.rt_exec_fraction),
+                optional: spec.optional_parts().to_vec(),
+                od: exec.od[id.index()],
+                placements: exec
+                    .policy
+                    .placements(&exec.topology, spec.optional_count())
+                    .iter()
+                    .map(|h| h.index())
+                    .collect(),
+                mand_prio: exec.priorities.mandatory(id),
+                opt_prio: exec.priorities.optional(id),
+                seq: 0,
+                release: Time::ZERO,
+                rt_remaining: Span::ZERO,
+                parts: Vec::new(),
+                done: true,
+                windup_issued: false,
+                last_cpu: None,
+                jobs_done: 0,
+            })
+            .collect();
+        let live = tasks.len();
+        GlobalState {
+            exec,
+            now: Time::ZERO,
+            events: EventQueue::new(),
+            rt_queue: FifoReadyQueue::new(),
+            opt_queues: (0..m).map(|_| FifoReadyQueue::new()).collect(),
+            cpus: vec![None; m],
+            tasks,
+            gen: 0,
+            qos: QosSummary::new(),
+            migrations: 0,
+            migration_overhead: Span::ZERO,
+            dispatches: 0,
+            live,
+        }
+    }
+
+    fn run(&mut self, jobs: u64) {
+        if jobs == 0 {
+            return;
+        }
+        for t in 0..self.tasks.len() {
+            self.events.push(Time::ZERO, Event::Release { task: t });
+        }
+        while self.live > 0 {
+            let Some((at, ev)) = self.events.pop() else {
+                break;
+            };
+            self.now = at;
+            match ev {
+                Event::Release { task } => self.on_release(task, jobs),
+                Event::OdExpire { task, seq } => self.on_od(task, seq),
+                Event::Complete { cpu, gen } => self.on_complete(cpu, gen),
+            }
+        }
+    }
+
+    fn on_release(&mut self, task: usize, jobs: u64) {
+        if !self.tasks[task].done {
+            self.abort_job(task);
+        }
+        if self.tasks[task].jobs_done >= jobs {
+            return;
+        }
+        let t = &mut self.tasks[task];
+        t.seq = t.jobs_done;
+        t.release = self.now;
+        t.done = false;
+        t.windup_issued = false;
+        t.rt_remaining = t.mandatory;
+        t.parts = t
+            .optional
+            .iter()
+            .map(|_| PartState {
+                executed: Span::ZERO,
+                running_since: None,
+                outcome: None,
+            })
+            .collect();
+        let seq = t.seq;
+        let period = t.period;
+        let od_at = t.release + t.od;
+        let has_parts = !t.optional.is_empty();
+        let prio = t.mand_prio;
+        let jobs_done = t.jobs_done;
+
+        self.rt_queue.enqueue(
+            prio,
+            Work {
+                task,
+                cursor: Cursor::Mandatory,
+            },
+        );
+        if has_parts {
+            self.events.push(od_at, Event::OdExpire { task, seq });
+        }
+        if jobs_done + 1 < jobs {
+            self.events.push(self.now + period, Event::Release { task });
+        }
+        self.dispatch_all();
+    }
+
+    /// Global dispatch: while the RT queue's best beats some processor's
+    /// current work (or an idle processor exists), place it there. Then
+    /// fill remaining idle processors with their pinned optional parts.
+    fn dispatch_all(&mut self) {
+        // Real-time parts go anywhere (preferring the task's last cpu when
+        // idle, else any idle cpu, else the weakest-running cpu).
+        while let Some(best) = self.rt_queue.peek_highest_priority() {
+            let candidate = self.pick_cpu(best);
+            let Some(cpu) = candidate else {
+                break;
+            };
+            let (prio, work) = self.rt_queue.dequeue_highest().expect("peeked");
+            self.preempt(cpu);
+            self.start(cpu, work, prio);
+        }
+        // Optional parts only ever run on their own (pinned) processor.
+        for cpu in 0..self.cpus.len() {
+            if self.cpus[cpu].is_none() {
+                if let Some((prio, work)) = self.opt_queues[cpu].dequeue_highest() {
+                    self.start(cpu, work, prio);
+                }
+            }
+        }
+    }
+
+    /// The processor the best RT work should take: last-used if idle, any
+    /// idle, else the lowest-priority running processor if it is strictly
+    /// weaker. `None` if nothing beats it.
+    fn pick_cpu(&self, best: Priority) -> Option<usize> {
+        let (_, work) = {
+            // Peek the head work of the best level to honour affinity.
+            let mut probe = None;
+            for level in (best.level()..=best.level()).rev() {
+                let p = Priority::new(level).expect("valid");
+                if let Some(w) = self.rt_queue.iter_at(p).next() {
+                    probe = Some((p, *w));
+                    break;
+                }
+            }
+            probe?
+        };
+        let last = self.tasks[work.task].last_cpu;
+        if let Some(cpu) = last {
+            if self.cpus[cpu].is_none() {
+                return Some(cpu);
+            }
+        }
+        if let Some(idle) = (0..self.cpus.len()).find(|&c| self.cpus[c].is_none()) {
+            return Some(idle);
+        }
+        let weakest = (0..self.cpus.len())
+            .min_by_key(|&c| self.cpus[c].map(|r| r.prio).expect("all busy"))?;
+        let weakest_prio = self.cpus[weakest].map(|r| r.prio).expect("busy");
+        (best > weakest_prio).then_some(weakest)
+    }
+
+    fn preempt(&mut self, cpu: usize) {
+        let Some(run) = self.cpus[cpu].take() else {
+            return;
+        };
+        let ran = self.now.saturating_elapsed_since(run.since);
+        self.bank(run.work, ran);
+        match run.work.cursor {
+            Cursor::Mandatory | Cursor::Windup => {
+                self.rt_queue.enqueue_front(run.prio, run.work);
+            }
+            Cursor::Optional(_) => {
+                self.opt_queues[cpu].enqueue_front(run.prio, run.work);
+            }
+        }
+    }
+
+    fn bank(&mut self, work: Work, ran: Span) {
+        let t = &mut self.tasks[work.task];
+        match work.cursor {
+            Cursor::Mandatory | Cursor::Windup => {
+                t.rt_remaining = t.rt_remaining.saturating_sub(ran);
+            }
+            Cursor::Optional(k) => {
+                let p = &mut t.parts[k as usize];
+                p.executed += ran;
+                p.running_since = None;
+            }
+        }
+    }
+
+    fn start(&mut self, cpu: usize, work: Work, prio: Priority) {
+        let remaining = match work.cursor {
+            Cursor::Mandatory | Cursor::Windup => {
+                self.dispatches += 1;
+                let t = &mut self.tasks[work.task];
+                let mut rem = t.rt_remaining;
+                if t.last_cpu.is_some_and(|c| c != cpu) {
+                    // Migration: cold caches on the new processor.
+                    rem += self.exec.run.migration_cost;
+                    t.rt_remaining = rem;
+                    self.migrations += 1;
+                    self.migration_overhead += self.exec.run.migration_cost;
+                }
+                t.last_cpu = Some(cpu);
+                rem
+            }
+            Cursor::Optional(k) => {
+                let t = &mut self.tasks[work.task];
+                let p = &mut t.parts[k as usize];
+                p.running_since = Some(self.now);
+                t.optional[k as usize].saturating_sub(p.executed)
+            }
+        };
+        self.gen += 1;
+        let gen = self.gen;
+        self.cpus[cpu] = Some(Running {
+            work,
+            prio,
+            since: self.now,
+            gen,
+        });
+        self.events
+            .push(self.now + remaining, Event::Complete { cpu, gen });
+    }
+
+    fn on_complete(&mut self, cpu: usize, gen: u64) {
+        let Some(run) = self.cpus[cpu] else { return };
+        if run.gen != gen {
+            return;
+        }
+        self.cpus[cpu] = None;
+        let work = run.work;
+        match work.cursor {
+            Cursor::Mandatory => self.mandatory_done(work.task),
+            Cursor::Windup => self.windup_done(work.task),
+            Cursor::Optional(k) => self.optional_done(work.task, k),
+        }
+        self.dispatch_all();
+    }
+
+    fn mandatory_done(&mut self, task: usize) {
+        let od_at = self.tasks[task].release + self.tasks[task].od;
+        let np = self.tasks[task].optional.len();
+        if np == 0 || self.now >= od_at {
+            for k in 0..np {
+                self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
+            }
+            self.issue_windup(task);
+            return;
+        }
+        // Signal all optional parts (costless here: this executor isolates
+        // the migration effect; the overhead model lives in exec_sim).
+        for k in 0..np {
+            let hw = self.tasks[task].placements[k];
+            let prio = self.tasks[task].opt_prio;
+            self.opt_queues[hw].enqueue(
+                prio,
+                Work {
+                    task,
+                    cursor: Cursor::Optional(k as u32),
+                },
+            );
+        }
+    }
+
+    fn optional_done(&mut self, task: usize, k: u32) {
+        let o_k = self.tasks[task].optional[k as usize];
+        let p = &mut self.tasks[task].parts[k as usize];
+        p.executed = o_k;
+        p.running_since = None;
+        p.outcome = Some(OptionalOutcome::Completed);
+        // Wind-up waits for the optional deadline even when parts finish
+        // early; the OdExpire event handles issuing it.
+        if self.tasks[task].parts.iter().all(|p| p.outcome.is_some()) {
+            let od_at = self.tasks[task].release + self.tasks[task].od;
+            if self.now >= od_at {
+                self.issue_windup(task);
+            }
+        }
+    }
+
+    fn on_od(&mut self, task: usize, seq: u64) {
+        if self.tasks[task].done || self.tasks[task].seq != seq {
+            return;
+        }
+        if self.tasks[task].rt_remaining > Span::ZERO && !self.tasks[task].windup_issued {
+            // Mandatory still running past OD? Then discard handling occurs
+            // at mandatory completion; nothing to do now.
+            let mandatory_running = self.tasks[task]
+                .parts
+                .iter()
+                .all(|p| p.outcome.is_none() && p.running_since.is_none() && p.executed.is_zero())
+                && self.cpu_of_rt(task).is_some_and(|(_, c)| {
+                    matches!(c, Cursor::Mandatory)
+                });
+            if mandatory_running {
+                return;
+            }
+        }
+        // Terminate all unfinished parts.
+        let np = self.tasks[task].optional.len();
+        for k in 0..np {
+            if self.tasks[task].parts[k].outcome.is_some() {
+                continue;
+            }
+            let hw = self.tasks[task].placements[k];
+            let work = Work {
+                task,
+                cursor: Cursor::Optional(k as u32),
+            };
+            // Stop if running.
+            if let Some(r) = self.cpus[hw] {
+                if r.work == work {
+                    self.cpus[hw] = None;
+                    let ran = self.now.saturating_elapsed_since(r.since);
+                    self.bank(work, ran);
+                }
+            }
+            let prio = self.tasks[task].opt_prio;
+            self.opt_queues[hw].remove(prio, &work);
+            let o_k = self.tasks[task].optional[k];
+            let p = &mut self.tasks[task].parts[k];
+            p.running_since = None;
+            p.outcome = Some(if p.executed >= o_k {
+                OptionalOutcome::Completed
+            } else {
+                OptionalOutcome::Terminated
+            });
+        }
+        self.issue_windup(task);
+        self.dispatch_all();
+    }
+
+    fn cpu_of_rt(&self, task: usize) -> Option<(usize, Cursor)> {
+        self.cpus.iter().enumerate().find_map(|(c, r)| {
+            r.and_then(|r| {
+                (r.work.task == task
+                    && matches!(r.work.cursor, Cursor::Mandatory | Cursor::Windup))
+                .then_some((c, r.work.cursor))
+            })
+        })
+    }
+
+    fn issue_windup(&mut self, task: usize) {
+        if self.tasks[task].windup_issued {
+            return;
+        }
+        self.tasks[task].windup_issued = true;
+        if self.tasks[task].windup.is_zero() {
+            self.finish(task, true);
+            return;
+        }
+        self.tasks[task].rt_remaining = self.tasks[task].windup;
+        let prio = self.tasks[task].mand_prio;
+        self.rt_queue.enqueue(
+            prio,
+            Work {
+                task,
+                cursor: Cursor::Windup,
+            },
+        );
+        self.dispatch_all();
+    }
+
+    fn windup_done(&mut self, task: usize) {
+        let deadline = self.tasks[task].release + self.tasks[task].deadline;
+        let met = self.now <= deadline;
+        self.finish(task, met);
+    }
+
+    fn finish(&mut self, task: usize, met: bool) {
+        let rec = {
+            let t = &mut self.tasks[task];
+            t.done = true;
+            QosRecord {
+                job: JobId {
+                    task: TaskId(task as u32),
+                    seq: t.seq,
+                },
+                parts: t
+                    .parts
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.executed,
+                            p.outcome.unwrap_or(OptionalOutcome::Discarded),
+                        )
+                    })
+                    .collect(),
+                deadline_met: met,
+            }
+        };
+        let requested: Span = self.tasks[task].optional.iter().copied().sum();
+        self.qos.record(&rec, requested);
+        let t = &mut self.tasks[task];
+        t.jobs_done += 1;
+        if t.jobs_done >= self.exec.run.jobs {
+            self.live -= 1;
+        }
+    }
+
+    fn abort_job(&mut self, task: usize) {
+        // Scrub any queued or running work of this task.
+        let np = self.tasks[task].optional.len();
+        let mand_prio = self.tasks[task].mand_prio;
+        for cursor in [Cursor::Mandatory, Cursor::Windup] {
+            let work = Work { task, cursor };
+            self.rt_queue.remove(mand_prio, &work);
+            for c in 0..self.cpus.len() {
+                if self.cpus[c].is_some_and(|r| r.work == work) {
+                    self.cpus[c] = None;
+                }
+            }
+        }
+        for k in 0..np {
+            let work = Work {
+                task,
+                cursor: Cursor::Optional(k as u32),
+            };
+            let hw = self.tasks[task].placements[k];
+            let prio = self.tasks[task].opt_prio;
+            self.opt_queues[hw].remove(prio, &work);
+            if self.cpus[hw].is_some_and(|r| r.work == work) {
+                self.cpus[hw] = None;
+            }
+            let p = &mut self.tasks[task].parts[k];
+            if p.outcome.is_none() {
+                p.outcome = Some(if p.running_since.is_some() || !p.executed.is_zero() {
+                    OptionalOutcome::Terminated
+                } else {
+                    OptionalOutcome::Discarded
+                });
+            }
+        }
+        self.finish(task, false);
+        self.dispatch_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::{TaskSet, TaskSpec};
+
+    fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64, np: usize) -> TaskSpec {
+        let mut b = TaskSpec::builder(name);
+        b.period(Span::from_millis(period_ms))
+            .mandatory(Span::from_millis(m_ms))
+            .windup(Span::from_millis(w_ms));
+        if np > 0 {
+            b.optional_parts(np, Span::from_millis(period_ms));
+        }
+        b.build().unwrap()
+    }
+
+    fn config(tasks: Vec<TaskSpec>, topo: Topology) -> SystemConfig {
+        SystemConfig::build(
+            TaskSet::new(tasks).unwrap(),
+            topo,
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_task_never_migrates() {
+        let cfg = config(vec![task("t", 100, 10, 10, 2)], Topology::quad_core_smt2());
+        let out = GlobalExecutor::from_config(&cfg, GlobalRunConfig::default()).run();
+        assert_eq!(out.qos.jobs(), 10);
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert_eq!(out.migrations, 0, "one task sticks to its last cpu");
+        assert_eq!(out.migration_overhead, Span::ZERO);
+    }
+
+    #[test]
+    fn more_tasks_than_cpus_migrate_under_global() {
+        // Four RT-heavy tasks on 2 cpus with staggered periods: global
+        // dispatch moves wind-up parts across processors.
+        let cfg = config(
+            vec![
+                task("a", 40, 8, 8, 0),
+                task("b", 50, 8, 8, 0),
+                task("c", 60, 8, 8, 0),
+                task("d", 70, 8, 8, 0),
+            ],
+            Topology::new(2, 1).unwrap(),
+        );
+        let out = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 20,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.jobs(), 80);
+        assert!(out.migrations > 0, "expected migrations under global dispatch");
+        assert_eq!(
+            out.migration_overhead,
+            Span::from_micros(100) * out.migrations
+        );
+        assert!(out.dispatches >= out.migrations);
+    }
+
+    #[test]
+    fn qos_accounting_matches_part_counts() {
+        let cfg = config(vec![task("t", 100, 20, 20, 3)], Topology::quad_core_smt2());
+        let out = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 5,
+                ..Default::default()
+            },
+        )
+        .run();
+        let (c, t, d) = out.qos.outcome_totals();
+        assert_eq!(c + t + d, 15);
+        // o = period always overruns: everything is terminated.
+        assert_eq!(t, 15);
+    }
+
+    #[test]
+    fn zero_migration_cost_is_free() {
+        let cfg = config(
+            vec![task("a", 40, 8, 8, 0), task("b", 50, 8, 8, 0), task("c", 60, 8, 8, 0)],
+            Topology::new(2, 1).unwrap(),
+        );
+        let out = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 10,
+                migration_cost: Span::ZERO,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.migration_overhead, Span::ZERO);
+        assert_eq!(out.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn short_optional_parts_complete_globally() {
+        let mut b = TaskSpec::builder("t");
+        b.period(Span::from_millis(100))
+            .mandatory(Span::from_millis(10))
+            .windup(Span::from_millis(10))
+            .optional_parts(2, Span::from_millis(5));
+        let cfg = config(vec![b.build().unwrap()], Topology::quad_core_smt2());
+        let out = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 4,
+                ..Default::default()
+            },
+        )
+        .run();
+        let (c, t, d) = out.qos.outcome_totals();
+        assert_eq!(c, 8, "t/d = {t}/{d}");
+        assert_eq!(out.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = config(
+            vec![task("a", 40, 8, 8, 2), task("b", 50, 8, 8, 2)],
+            Topology::new(2, 1).unwrap(),
+        );
+        let run = || {
+            GlobalExecutor::from_config(
+                &cfg,
+                GlobalRunConfig {
+                    jobs: 10,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let x = run();
+        let y = run();
+        assert_eq!(x.qos, y.qos);
+        assert_eq!(x.migrations, y.migrations);
+    }
+}

@@ -1,0 +1,1261 @@
+//! Simulation executor: runs the complete RT-Seed protocol of paper Fig. 6
+//! on the `rtseed-sim` discrete-event many-core substrate.
+//!
+//! Per job of every task the executor simulates, in order:
+//!
+//! 1. periodic release (`clock_nanosleep` wake-up) — costs **Δm** before
+//!    the mandatory part can begin;
+//! 2. preemptive SCHED_FIFO execution of the **mandatory part** on the
+//!    task's pinned hardware thread;
+//! 3. the `pthread_cond_signal` loop waking every parallel optional thread
+//!    — **Δb**, O(npᵢ) — plus the mandatory→optional context switch
+//!    **Δs**; optional parts whose signal arrives run on their
+//!    policy-assigned hardware threads at NRTQ priority;
+//! 4. the one-shot optional-deadline timer: at `ODᵢ`, still-active parts
+//!    are terminated (per the configured [`TerminationMode`]) and the
+//!    handling — timer interrupt, `siglongjmp` restore, completion
+//!    signalling — costs **Δe** before the wind-up part is released;
+//! 5. preemptive execution of the **wind-up part**; the job's deadline is
+//!    checked and its QoS (completed / terminated / discarded parts,
+//!    achieved optional execution) recorded.
+//!
+//! Mandatory/wind-up parts of co-located tasks preempt lower-priority work
+//! exactly per SCHED_FIFO (preempted threads resume at the head of their
+//! level); equal-priority optional parts sharing a hardware thread are
+//! serialized FIFO. Everything is deterministic in the run seed.
+
+use rtseed_model::{
+    JobId, JobPhase, OptionalOutcome, PartId, Priority, QosRecord, QosSummary, Span, TaskId,
+    Time,
+};
+use rtseed_sim::{
+    BackgroundLoad, Calibration, EventQueue, FifoReadyQueue, OverheadKind, OverheadModel, Trace,
+    TraceEvent,
+};
+
+use crate::config::SystemConfig;
+use crate::report::OverheadReport;
+use crate::termination::TerminationMode;
+
+/// Run parameters for the simulation executor.
+#[derive(Debug, Clone)]
+pub struct SimRunConfig {
+    /// Number of jobs each task executes (the paper uses 100).
+    pub jobs: u64,
+    /// Background load condition (§V-B).
+    pub load: BackgroundLoad,
+    /// Overhead-model calibration.
+    pub calibration: Calibration,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+    /// Optional-part termination mechanism (Table I).
+    pub termination: TerminationMode,
+    /// Whether to collect a full execution trace (memory-heavy for large
+    /// runs; off by default).
+    pub collect_trace: bool,
+    /// Fraction of the declared mandatory/wind-up WCET the actual
+    /// computation consumes. The paper's model states that "the overheads
+    /// of real-time scheduling are included in the WCETs of the
+    /// mandatory/wind-up parts" (§II-A), so the real computation must
+    /// leave headroom for Δm/Δb/Δs/Δe; 0.75 leaves 25 %, enough for the
+    /// worst measured Δe (≈ 55 ms at np = 228 under CPU-Memory load
+    /// against a 250 ms wind-up WCET).
+    pub rt_exec_fraction: f64,
+}
+
+impl Default for SimRunConfig {
+    fn default() -> Self {
+        SimRunConfig {
+            jobs: 100,
+            load: BackgroundLoad::NoLoad,
+            calibration: Calibration::default(),
+            seed: 0,
+            termination: TerminationMode::SigjmpTimer,
+            collect_trace: false,
+            rt_exec_fraction: 0.75,
+        }
+    }
+}
+
+/// Results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// The four overheads, one sample per job per kind (Δb/Δs/Δe only for
+    /// jobs that signalled optional parts).
+    pub overheads: OverheadReport,
+    /// QoS summary across all jobs of all tasks.
+    pub qos: QosSummary,
+    /// Execution trace (empty unless requested).
+    pub trace: Trace,
+}
+
+/// Which part of which task a scheduled unit of work belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Cursor {
+    Mandatory,
+    Optional(u32),
+    Windup,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Work {
+    task: usize,
+    cursor: Cursor,
+}
+
+#[derive(Debug)]
+enum Event {
+    Release { task: usize, retried: bool },
+    Ready { work: Work },
+    Complete { hw: usize, gen: u64 },
+    OdExpire { task: usize, seq: u64 },
+    WindupReady { task: usize, seq: u64 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    work: Work,
+    prio: Priority,
+    since: Time,
+    gen: u64,
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    queue: FifoReadyQueue<Work>,
+    running: Option<Running>,
+}
+
+#[derive(Debug, Clone)]
+struct PartState {
+    executed: Span,
+    running_since: Option<Time>,
+    started: Option<Time>,
+    outcome: Option<OptionalOutcome>,
+}
+
+impl PartState {
+    fn fresh() -> PartState {
+        PartState {
+            executed: Span::ZERO,
+            running_since: None,
+            started: None,
+            outcome: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TaskRun {
+    // Static configuration.
+    mandatory_hw: usize,
+    placements: Vec<usize>,
+    mand_prio: Priority,
+    opt_prio: Priority,
+    period: Span,
+    deadline: Span,
+    mandatory: Span,
+    windup: Span,
+    optional: Vec<Span>,
+    od: Span,
+    // Per-job state.
+    seq: u64,
+    release: Time,
+    phase: JobPhase,
+    rt_remaining: Span,
+    parts: Vec<PartState>,
+    windup_scheduled: bool,
+    // Across jobs.
+    timer_broken: bool,
+    jobs_done: u64,
+}
+
+impl TaskRun {
+    fn od_time(&self) -> Time {
+        self.release + self.od
+    }
+
+    fn job(&self, id: usize) -> JobId {
+        JobId {
+            task: TaskId(id as u32),
+            seq: self.seq,
+        }
+    }
+
+    fn parts_all_ended(&self) -> bool {
+        self.parts.iter().all(|p| p.outcome.is_some())
+    }
+
+    fn requested_optional(&self) -> Span {
+        self.optional.iter().copied().sum()
+    }
+}
+
+/// The simulation executor.
+#[derive(Debug)]
+pub struct SimExecutor {
+    config: SystemConfig,
+    run_cfg: SimRunConfig,
+}
+
+impl SimExecutor {
+    /// Creates an executor for `config` with run parameters `run_cfg`.
+    pub fn new(config: SystemConfig, run_cfg: SimRunConfig) -> SimExecutor {
+        SimExecutor { config, run_cfg }
+    }
+
+    /// The system configuration this executor runs.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs the simulation to completion and returns the measurements.
+    pub fn run(&self) -> SimOutcome {
+        let mut sim = SimState::new(&self.config, &self.run_cfg);
+        sim.run();
+        SimOutcome {
+            overheads: sim.overheads,
+            qos: sim.qos,
+            trace: sim.trace,
+        }
+    }
+}
+
+struct SimState<'a> {
+    cfg: &'a SystemConfig,
+    run: &'a SimRunConfig,
+    now: Time,
+    events: EventQueue<Event>,
+    cpus: Vec<Cpu>,
+    tasks: Vec<TaskRun>,
+    model: OverheadModel,
+    gen_counter: u64,
+    overheads: OverheadReport,
+    qos: QosSummary,
+    trace: Trace,
+    live_tasks: usize,
+}
+
+impl<'a> SimState<'a> {
+    fn new(cfg: &'a SystemConfig, run: &'a SimRunConfig) -> SimState<'a> {
+        assert!(
+            run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
+            "rt_exec_fraction must be within (0, 1]"
+        );
+        let topology = *cfg.topology();
+        let cpus = (0..topology.hw_threads()).map(|_| Cpu::default()).collect();
+        let tasks = cfg
+            .set()
+            .iter()
+            .map(|(id, spec)| TaskRun {
+                mandatory_hw: cfg.mandatory_hw(id).index(),
+                placements: cfg
+                    .optional_placements(id)
+                    .iter()
+                    .map(|h| h.index())
+                    .collect(),
+                mand_prio: cfg.priorities().mandatory(id),
+                opt_prio: cfg.priorities().optional(id),
+                period: spec.period(),
+                deadline: spec.deadline(),
+                mandatory: spec.mandatory().mul_f64(run.rt_exec_fraction),
+                windup: spec.windup().mul_f64(run.rt_exec_fraction),
+                optional: spec.optional_parts().to_vec(),
+                od: cfg.optional_deadline(id),
+                seq: 0,
+                release: Time::ZERO,
+                phase: JobPhase::Done, // becomes Released at first release
+                rt_remaining: Span::ZERO,
+                parts: Vec::new(),
+                windup_scheduled: false,
+                timer_broken: false,
+                jobs_done: 0,
+            })
+            .collect::<Vec<_>>();
+        let live_tasks = tasks.len();
+        SimState {
+            cfg,
+            run,
+            now: Time::ZERO,
+            events: EventQueue::new(),
+            cpus,
+            tasks,
+            model: OverheadModel::new(run.calibration, topology, run.load, run.seed),
+            gen_counter: 0,
+            overheads: OverheadReport::new(),
+            qos: QosSummary::new(),
+            trace: Trace::new(),
+            live_tasks,
+        }
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if self.run.collect_trace {
+            self.trace.record(self.now, ev);
+        }
+    }
+
+    fn run(&mut self) {
+        if self.run.jobs == 0 {
+            return;
+        }
+        for t in 0..self.tasks.len() {
+            self.events.push(
+                Time::ZERO,
+                Event::Release {
+                    task: t,
+                    retried: false,
+                },
+            );
+        }
+        while self.live_tasks > 0 {
+            let Some((at, event)) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
+            match event {
+                Event::Release { task, retried } => self.on_release_inner(task, retried),
+                Event::Ready { work } => self.on_ready(work),
+                Event::Complete { hw, gen } => self.on_complete(hw, gen),
+                Event::OdExpire { task, seq } => self.on_od_expire(task, seq),
+                Event::WindupReady { task, seq } => self.on_windup_ready(task, seq),
+            }
+        }
+    }
+
+    // ----- event handlers -------------------------------------------------
+
+    fn on_release_inner(&mut self, task: usize, retried: bool) {
+        // A job may complete at the very instant of the next release; the
+        // completion event is already queued ahead of us (FIFO), so requeue
+        // the release once to let it land before declaring an overrun.
+        if self.tasks[task].phase != JobPhase::Done && !retried {
+            self.events.push(
+                self.now,
+                Event::Release {
+                    task,
+                    retried: true,
+                },
+            );
+            return;
+        }
+        // Abort a job that overran into its next release (deadline missed
+        // hard): finalize it so the new job starts clean.
+        if self.tasks[task].jobs_done > 0 || self.tasks[task].phase != JobPhase::Done {
+            if self.tasks[task].phase != JobPhase::Done {
+                self.abort_job(task);
+            }
+            if self.tasks[task].jobs_done >= self.run.jobs {
+                return;
+            }
+        }
+
+        let release = self.now;
+        let t = &mut self.tasks[task];
+        t.release = release;
+        t.seq = t.jobs_done;
+        t.phase = JobPhase::Released;
+        t.rt_remaining = t.mandatory;
+        t.parts = t.optional.iter().map(|_| PartState::fresh()).collect();
+        t.windup_scheduled = false;
+        let seq = t.seq;
+        let period = t.period;
+        let od_time = t.od_time();
+        let has_parts = !t.optional.is_empty();
+        let jobs_done = t.jobs_done;
+        let job = t.job(task);
+
+        self.trace(TraceEvent::JobReleased { job });
+
+        // Δm: wake-up latency before the mandatory thread is runnable.
+        let dm = self.model.begin_mandatory();
+        self.overheads.push(OverheadKind::BeginMandatory, dm);
+        self.events.push(
+            release + dm,
+            Event::Ready {
+                work: Work {
+                    task,
+                    cursor: Cursor::Mandatory,
+                },
+            },
+        );
+
+        // The optional-deadline timer (armed per job; the handler no-ops if
+        // the Table I signal-mask defect broke the timer).
+        if has_parts {
+            self.events.push(od_time, Event::OdExpire { task, seq });
+        }
+
+        // Periodic releases continue while jobs remain.
+        if jobs_done + 1 < self.run.jobs {
+            self.events.push(
+                release + period,
+                Event::Release {
+                    task,
+                    retried: false,
+                },
+            );
+        }
+    }
+
+    fn on_ready(&mut self, work: Work) {
+        let t = &self.tasks[work.task];
+        let (hw, prio) = match work.cursor {
+            Cursor::Mandatory | Cursor::Windup => (t.mandatory_hw, t.mand_prio),
+            Cursor::Optional(k) => (t.placements[k as usize], t.opt_prio),
+        };
+        self.cpus[hw].queue.enqueue(prio, work);
+        self.resched(hw);
+    }
+
+    fn on_complete(&mut self, hw: usize, gen: u64) {
+        let Some(running) = self.cpus[hw].running else {
+            return;
+        };
+        if running.gen != gen {
+            return; // stale completion (preempted or terminated meanwhile)
+        }
+        self.cpus[hw].running = None;
+        let work = running.work;
+        match work.cursor {
+            Cursor::Mandatory => self.mandatory_completed(work.task),
+            Cursor::Optional(k) => self.optional_completed(work.task, k),
+            Cursor::Windup => self.windup_completed(work.task),
+        }
+        self.resched(hw);
+    }
+
+    fn mandatory_completed(&mut self, task: usize) {
+        let job = self.tasks[task].job(task);
+        self.trace(TraceEvent::MandatoryCompleted { job });
+
+        let od_time = self.tasks[task].od_time();
+        let np = self.tasks[task].optional.len();
+        let seq = self.tasks[task].seq;
+
+        if np == 0 {
+            // Degenerate models: no optional parts.
+            if self.tasks[task].windup.is_zero() {
+                // Pure Liu–Layland task: the job is complete.
+                self.finish_job(task, true);
+            } else {
+                let at = self.now.max(od_time);
+                self.tasks[task].phase = JobPhase::OptionalRunning;
+                self.schedule_windup(task, seq, at);
+            }
+            return;
+        }
+
+        if self.now >= od_time {
+            // §II-B: mandatory part overran the optional deadline — every
+            // optional part is discarded and the wind-up part runs
+            // immediately after the mandatory part.
+            for k in 0..np {
+                self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
+                let job = self.tasks[task].job(task);
+                self.trace(TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome: OptionalOutcome::Discarded,
+                    achieved: Span::ZERO,
+                });
+            }
+            self.tasks[task].phase = JobPhase::OptionalRunning;
+            self.schedule_windup(task, seq, self.now);
+            return;
+        }
+
+        self.tasks[task].phase = JobPhase::OptionalRunning;
+
+        // Δb: the pthread_cond_signal loop over all parallel optional
+        // threads, executed sequentially by the mandatory thread.
+        let mut cum = Span::ZERO;
+        let mut ready_times = Vec::with_capacity(np);
+        for _ in 0..np {
+            cum += self.model.signal_one_optional();
+            ready_times.push(self.now + cum);
+        }
+        self.overheads.push(OverheadKind::BeginOptional, cum);
+
+        // Δs: the mandatory→optional context switch; parts placed on the
+        // mandatory thread's own processor additionally wait for it.
+        let ds = self.model.switch_to_optional(np);
+        self.overheads.push(OverheadKind::SwitchToOptional, ds);
+
+        let mandatory_hw = self.tasks[task].mandatory_hw;
+        for (k, base) in ready_times.into_iter().enumerate() {
+            let at = if self.tasks[task].placements[k] == mandatory_hw {
+                base + ds
+            } else {
+                base
+            };
+            self.events.push(
+                at,
+                Event::Ready {
+                    work: Work {
+                        task,
+                        cursor: Cursor::Optional(k as u32),
+                    },
+                },
+            );
+        }
+    }
+
+    fn optional_completed(&mut self, task: usize, k: u32) {
+        let ki = k as usize;
+        let o_k = self.tasks[task].optional[ki];
+        {
+            let part = &mut self.tasks[task].parts[ki];
+            part.executed = o_k;
+            part.running_since = None;
+            part.outcome = Some(OptionalOutcome::Completed);
+        }
+        let job = self.tasks[task].job(task);
+        self.trace(TraceEvent::OptionalEnded {
+            job,
+            part: PartId(k),
+            outcome: OptionalOutcome::Completed,
+            achieved: o_k,
+        });
+
+        if self.tasks[task].parts_all_ended() && !self.tasks[task].windup_scheduled {
+            // All parts completed before the optional deadline: the
+            // optional-deadline timer is stopped and the task sleeps in the
+            // SQ until OD, when the wind-up part is released (§IV-B).
+            let at = self.now.max(self.tasks[task].od_time());
+            let seq = self.tasks[task].seq;
+            self.schedule_windup(task, seq, at);
+        }
+    }
+
+    fn windup_completed(&mut self, task: usize) {
+        let deadline = self.tasks[task].release + self.tasks[task].deadline;
+        self.finish_job(task, self.now <= deadline);
+    }
+
+    fn on_od_expire(&mut self, task: usize, seq: u64) {
+        if self.tasks[task].seq != seq
+            || self.tasks[task].jobs_done != seq
+            || self.tasks[task].phase == JobPhase::Done
+        {
+            return; // stale timer from an already-finished job
+        }
+        if self.tasks[task].timer_broken {
+            // Table I: the try-catch implementation does not restore the
+            // signal mask, so "the timer interrupt of the next job does not
+            // occur" — optional parts now run unchecked.
+            return;
+        }
+        let job = self.tasks[task].job(task);
+        self.trace(TraceEvent::OptionalDeadlineExpired { job });
+
+        if self.tasks[task].phase != JobPhase::OptionalRunning {
+            // Mandatory part still running: nothing to terminate — the
+            // discard path triggers at mandatory completion.
+            return;
+        }
+        if self.tasks[task].parts_all_ended() {
+            return; // timer was (conceptually) cancelled by early completion
+        }
+
+        let od_time = self.tasks[task].od_time();
+        let topology = *self.cfg.topology();
+        let mode = self.run.termination;
+
+        // Terminate every un-ended part, in part order. Termination
+        // handling (timer interrupt, stack restore, completion signal) is
+        // serialized — the O(npᵢ) mechanism behind Fig. 13 — and hops
+        // between cores cost extra under load.
+        let mut handling = Span::ZERO;
+        let mut max_lag = Span::ZERO;
+        let mut prev_core: Option<rtseed_model::CoreId> = None;
+        let np = self.tasks[task].optional.len();
+        for k in 0..np {
+            if self.tasks[task].parts[k].outcome.is_some() {
+                continue;
+            }
+            let hw = self.tasks[task].placements[k];
+            let core = topology.core_of(rtseed_model::HwThreadId(hw as u32));
+            let cross = prev_core.is_some_and(|c| c != core);
+            prev_core = Some(core);
+            handling += self.model.end_one_part(cross);
+
+            // Achieved execution: whatever ran before OD, plus (for
+            // cooperative modes) the lag until the next checkpoint.
+            let o_k = self.tasks[task].optional[k];
+            let (achieved, lag) = {
+                let part = &self.tasks[task].parts[k];
+                match part.running_since {
+                    Some(since) => {
+                        let lag = mode
+                            .termination_lag(part.started.unwrap_or(since), od_time);
+                        let ran = od_time.saturating_elapsed_since(since) + lag;
+                        ((part.executed + ran).min(o_k), lag)
+                    }
+                    None => (part.executed, Span::ZERO),
+                }
+            };
+            max_lag = max_lag.max(lag);
+
+            // Remove the part from its processor (running or queued).
+            self.stop_work(
+                hw,
+                Work {
+                    task,
+                    cursor: Cursor::Optional(k as u32),
+                },
+                self.tasks[task].opt_prio,
+            );
+
+            let outcome = if achieved >= o_k {
+                OptionalOutcome::Completed
+            } else {
+                OptionalOutcome::Terminated
+            };
+            {
+                let part = &mut self.tasks[task].parts[k];
+                part.executed = achieved;
+                part.running_since = None;
+                part.outcome = Some(outcome);
+            }
+            let job = self.tasks[task].job(task);
+            self.trace(TraceEvent::OptionalEnded {
+                job,
+                part: PartId(k as u32),
+                outcome,
+                achieved,
+            });
+        }
+
+        self.overheads
+            .push(OverheadKind::EndOptional, handling + max_lag);
+
+        if mode.models_signal_mask_defect() {
+            self.tasks[task].timer_broken = true;
+        }
+
+        let windup_at = od_time + max_lag + handling;
+        self.schedule_windup(task, seq, windup_at);
+    }
+
+    fn on_windup_ready(&mut self, task: usize, seq: u64) {
+        if self.tasks[task].seq != seq || self.tasks[task].phase == JobPhase::Done {
+            return;
+        }
+        self.tasks[task].phase = JobPhase::WindupRunning;
+        self.tasks[task].rt_remaining = self.tasks[task].windup;
+        let job = self.tasks[task].job(task);
+        self.trace(TraceEvent::WindupStarted { job });
+        self.on_ready(Work {
+            task,
+            cursor: Cursor::Windup,
+        });
+    }
+
+    // ----- helpers --------------------------------------------------------
+
+    fn schedule_windup(&mut self, task: usize, seq: u64, at: Time) {
+        if self.tasks[task].windup_scheduled {
+            return;
+        }
+        self.tasks[task].windup_scheduled = true;
+        if self.tasks[task].windup.is_zero() {
+            // No wind-up part: the job ends once its optional side is done.
+            let deadline = self.tasks[task].release + self.tasks[task].deadline;
+            self.finish_job(task, at <= deadline);
+            return;
+        }
+        self.events.push(at, Event::WindupReady { task, seq });
+    }
+
+    fn finish_job(&mut self, task: usize, deadline_met: bool) {
+        let rec = {
+            let t = &mut self.tasks[task];
+            t.phase = JobPhase::Done;
+            QosRecord {
+                job: JobId {
+                    task: TaskId(task as u32),
+                    seq: t.seq,
+                },
+                parts: t
+                    .parts
+                    .iter()
+                    .map(|p| {
+                        (
+                            p.executed,
+                            p.outcome.unwrap_or(OptionalOutcome::Discarded),
+                        )
+                    })
+                    .collect(),
+                deadline_met,
+            }
+        };
+        self.trace(TraceEvent::WindupCompleted {
+            job: rec.job,
+            deadline_met,
+        });
+        let requested = self.tasks[task].requested_optional();
+        self.qos.record(&rec, requested);
+        let t = &mut self.tasks[task];
+        t.jobs_done += 1;
+        if t.jobs_done >= self.run.jobs {
+            self.live_tasks -= 1;
+        }
+    }
+
+    /// Forcibly ends a job that is still incomplete at its next release.
+    fn abort_job(&mut self, task: usize) {
+        let np = self.tasks[task].optional.len();
+        // Scrub real-time work.
+        let mand_hw = self.tasks[task].mandatory_hw;
+        let mand_prio = self.tasks[task].mand_prio;
+        for cursor in [Cursor::Mandatory, Cursor::Windup] {
+            self.stop_work(mand_hw, Work { task, cursor }, mand_prio);
+        }
+        // Scrub optional work and finalize outcomes.
+        for k in 0..np {
+            if self.tasks[task].parts[k].outcome.is_some() {
+                continue;
+            }
+            let hw = self.tasks[task].placements[k];
+            let opt_prio = self.tasks[task].opt_prio;
+            self.stop_work(
+                hw,
+                Work {
+                    task,
+                    cursor: Cursor::Optional(k as u32),
+                },
+                opt_prio,
+            );
+            let part = &mut self.tasks[task].parts[k];
+            if let Some(since) = part.running_since.take() {
+                part.executed += self.now.saturating_elapsed_since(since);
+            }
+            part.outcome = Some(if part.started.is_some() {
+                OptionalOutcome::Terminated
+            } else {
+                OptionalOutcome::Discarded
+            });
+        }
+        self.finish_job(task, false);
+    }
+
+    /// Stops `work` on `hw` whether it is currently running or queued.
+    fn stop_work(&mut self, hw: usize, work: Work, prio: Priority) {
+        let cpu = &mut self.cpus[hw];
+        if cpu.running.is_some_and(|r| r.work == work) {
+            let r = cpu.running.take().expect("checked");
+            // Bank the execution it achieved up to now.
+            let ran = self.now.saturating_elapsed_since(r.since);
+            self.bank_execution(work, ran);
+            self.resched(hw);
+        } else {
+            self.cpus[hw].queue.remove(prio, &work);
+        }
+    }
+
+    fn bank_execution(&mut self, work: Work, ran: Span) {
+        let t = &mut self.tasks[work.task];
+        match work.cursor {
+            Cursor::Mandatory | Cursor::Windup => {
+                t.rt_remaining = t.rt_remaining.saturating_sub(ran);
+            }
+            Cursor::Optional(k) => {
+                let part = &mut t.parts[k as usize];
+                part.executed += ran;
+                part.running_since = None;
+            }
+        }
+    }
+
+    /// SCHED_FIFO dispatch for one processor: preempt if a higher-priority
+    /// thread is waiting, then fill an idle processor with the best thread.
+    fn resched(&mut self, hw: usize) {
+        // Preemption check.
+        if let Some(running) = self.cpus[hw].running {
+            let waiting = self.cpus[hw].queue.peek_highest_priority();
+            if waiting.is_some_and(|p| p > running.prio) {
+                self.cpus[hw].running = None;
+                let ran = self.now.saturating_elapsed_since(running.since);
+                self.bank_execution(running.work, ran);
+                // Preempted SCHED_FIFO threads resume at the head of their
+                // level.
+                self.cpus[hw]
+                    .queue
+                    .enqueue_front(running.prio, running.work);
+            } else {
+                return;
+            }
+        }
+        // Dispatch the best waiting thread.
+        let Some((prio, work)) = self.cpus[hw].queue.dequeue_highest() else {
+            return;
+        };
+        let remaining = self.dispatch_bookkeeping(work);
+        self.gen_counter += 1;
+        let gen = self.gen_counter;
+        self.cpus[hw].running = Some(Running {
+            work,
+            prio,
+            since: self.now,
+            gen,
+        });
+        self.events.push(self.now + remaining, Event::Complete { hw, gen });
+    }
+
+    /// Updates per-part/per-phase state at dispatch; returns remaining
+    /// execution.
+    fn dispatch_bookkeeping(&mut self, work: Work) -> Span {
+        match work.cursor {
+            Cursor::Mandatory => {
+                let first = self.tasks[work.task].phase == JobPhase::Released;
+                if first {
+                    self.tasks[work.task].phase = JobPhase::MandatoryRunning;
+                    let job = self.tasks[work.task].job(work.task);
+                    let hw = self.tasks[work.task].mandatory_hw;
+                    self.trace(TraceEvent::MandatoryStarted {
+                        job,
+                        hw: rtseed_model::HwThreadId(hw as u32),
+                    });
+                }
+                self.tasks[work.task].rt_remaining
+            }
+            Cursor::Windup => self.tasks[work.task].rt_remaining,
+            Cursor::Optional(k) => {
+                let o_k = self.tasks[work.task].optional[k as usize];
+                let now = self.now;
+                let task_idx = work.task;
+                let first_start = {
+                    let part = &mut self.tasks[task_idx].parts[k as usize];
+                    part.running_since = Some(now);
+                    if part.started.is_none() {
+                        part.started = Some(now);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if first_start {
+                    let job = self.tasks[task_idx].job(task_idx);
+                    let hw = self.tasks[task_idx].placements[k as usize];
+                    self.trace(TraceEvent::OptionalStarted {
+                        job,
+                        part: PartId(k),
+                        hw: rtseed_model::HwThreadId(hw as u32),
+                    });
+                }
+                o_k.saturating_sub(self.tasks[task_idx].parts[k as usize].executed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AssignmentPolicy;
+    use rtseed_model::{TaskId, TaskSet, TaskSpec, Topology};
+
+    fn paper_set(np: usize) -> TaskSet {
+        let t = TaskSpec::builder("τ1")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(250))
+            .windup(Span::from_millis(250))
+            .optional_parts(np, Span::from_secs(1))
+            .build()
+            .unwrap();
+        TaskSet::new(vec![t]).unwrap()
+    }
+
+    fn executor(np: usize, policy: AssignmentPolicy, run: SimRunConfig) -> SimExecutor {
+        let cfg =
+            SystemConfig::build(paper_set(np), Topology::xeon_phi_3120a(), policy).unwrap();
+        SimExecutor::new(cfg, run)
+    }
+
+    fn quick_run(np: usize, jobs: u64) -> SimOutcome {
+        executor(
+            np,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs,
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .run()
+    }
+
+    #[test]
+    fn paper_workload_no_misses() {
+        let out = quick_run(57, 10);
+        assert_eq!(out.qos.jobs(), 10);
+        assert_eq!(out.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn overrunning_parts_are_terminated_not_completed() {
+        // o = 1 s but only 500 ms fit between OD and the earliest start:
+        // every part is terminated.
+        let out = quick_run(57, 5);
+        let (completed, terminated, discarded) = out.qos.outcome_totals();
+        assert_eq!(completed, 0);
+        assert_eq!(terminated, 57 * 5);
+        assert_eq!(discarded, 0);
+    }
+
+    #[test]
+    fn overhead_sample_counts() {
+        let jobs = 8;
+        let out = quick_run(16, jobs);
+        for kind in OverheadKind::ALL {
+            assert_eq!(out.overheads.count(kind), jobs as usize, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn qos_achieved_matches_window() {
+        // Parts start right after the mandatory part (~250 ms) and are
+        // terminated at OD (750 ms): achieved ≈ 500 ms each (minus
+        // signalling overheads).
+        let out = quick_run(8, 3);
+        let per_part = out.qos.achieved_total() / (8 * 3) as u64;
+        assert!(
+            per_part > Span::from_millis(520) && per_part < Span::from_millis(575),
+            "{per_part}"
+        );
+    }
+
+    #[test]
+    fn short_parts_complete_early() {
+        // 50 ms optional parts easily finish inside the 500 ms window.
+        let t = TaskSpec::builder("τ1")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(250))
+            .windup(Span::from_millis(250))
+            .optional_parts(4, Span::from_millis(50))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::xeon_phi_3120a(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 5,
+                ..Default::default()
+            },
+        )
+        .run();
+        let (completed, terminated, discarded) = out.qos.outcome_totals();
+        assert_eq!(completed, 20);
+        assert_eq!(terminated, 0);
+        assert_eq!(discarded, 0);
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert!((out.qos.aggregate_ratio() - 1.0).abs() < 1e-9);
+        // No termination happened, so no Δe samples.
+        assert_eq!(out.overheads.count(OverheadKind::EndOptional), 0);
+    }
+
+    #[test]
+    fn trace_contains_full_job_lifecycle() {
+        let out = quick_run(4, 1);
+        let events = &out.trace;
+        assert_eq!(events.count(|e| matches!(e, TraceEvent::JobReleased { .. })), 1);
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::MandatoryStarted { .. })),
+            1
+        );
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::MandatoryCompleted { .. })),
+            1
+        );
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::OptionalStarted { .. })),
+            4
+        );
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::OptionalEnded { .. })),
+            4
+        );
+        assert_eq!(
+            events.count(|e| matches!(e, TraceEvent::WindupCompleted { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = quick_run(32, 5);
+        let b = quick_run(32, 5);
+        assert_eq!(a.qos, b.qos);
+        assert_eq!(a.overheads, b.overheads);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn zero_jobs_is_empty_run() {
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 0,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.jobs(), 0);
+    }
+
+    #[test]
+    fn plain_liu_layland_task_runs() {
+        let t = TaskSpec::builder("plain")
+            .period(Span::from_millis(100))
+            .mandatory(Span::from_millis(30))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 10,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.jobs(), 10);
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert!((out.qos.aggregate_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_colocated_tasks_interfere_but_meet_deadlines() {
+        let mk = |name: &str, period_ms: u64| {
+            TaskSpec::builder(name)
+                .period(Span::from_millis(period_ms))
+                .mandatory(Span::from_millis(10))
+                .windup(Span::from_millis(10))
+                .optional_parts(2, Span::from_millis(period_ms))
+                .build()
+                .unwrap()
+        };
+        let set = TaskSet::new(vec![mk("fast", 100), mk("slow", 400)]).unwrap();
+        let cfg =
+            SystemConfig::build(set, Topology::uniprocessor(), AssignmentPolicy::OneByOne)
+                .unwrap();
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 8,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.jobs(), 16);
+        assert_eq!(out.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn periodic_check_delays_windup_but_gains_qos() {
+        let sig = executor(
+            8,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 5,
+                ..Default::default()
+            },
+        )
+        .run();
+        let pc = executor(
+            8,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 5,
+                termination: TerminationMode::PeriodicCheck {
+                    interval: Span::from_millis(40),
+                },
+                ..Default::default()
+            },
+        )
+        .run();
+        // The cooperative mode keeps running until the next checkpoint:
+        // more achieved optional execution, larger Δe (lag included).
+        assert!(pc.qos.achieved_total() > sig.qos.achieved_total());
+        assert!(
+            pc.overheads.mean(OverheadKind::EndOptional)
+                > sig.overheads.mean(OverheadKind::EndOptional)
+        );
+        // With a 40 ms interval and 250 ms of wind-up slack, deadlines
+        // still hold.
+        assert_eq!(pc.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn unwind_defect_breaks_later_jobs() {
+        // Table I: try-catch does not restore the signal mask; after the
+        // first job, optional-deadline timers never fire, parts run to
+        // completion (1 s each!) and wind-up parts miss deadlines.
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 4,
+                termination: TerminationMode::UnwindCatch,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(
+            out.qos.deadline_misses() >= 2,
+            "expected later jobs to miss deadlines, got {}",
+            out.qos.deadline_misses()
+        );
+        // The healthy mechanism has zero misses on the same workload.
+        let healthy = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 4,
+                termination: TerminationMode::SigjmpTimer,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(healthy.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn mandatory_overrunning_od_discards_all_parts() {
+        // m = 950 ms WCET with rt_exec_fraction = 1.0 completes exactly at
+        // OD = D − w = 950 ms: no time remains, every part is discarded
+        // and the wind-up part runs right after the mandatory part (§II-B).
+        let t = TaskSpec::builder("late")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(950))
+            .windup(Span::from_millis(50))
+            .optional_parts(4, Span::from_millis(100))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::xeon_phi_3120a(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let zero_dm = rtseed_sim::Calibration {
+            begin_mandatory_ns: 0,
+            jitter: 0.0,
+            ..rtseed_sim::Calibration::default()
+        };
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 3,
+                rt_exec_fraction: 1.0,
+                calibration: zero_dm,
+                ..Default::default()
+            },
+        )
+        .run();
+        let (completed, terminated, discarded) = out.qos.outcome_totals();
+        assert_eq!(discarded, 12, "c/t = {completed}/{terminated}");
+        assert_eq!(completed + terminated, 0);
+        // The wind-up still fits: 950 + 50 = 1000 = D.
+        assert_eq!(out.qos.deadline_misses(), 0);
+        // No signalling happened, so no Δb/Δs/Δe samples.
+        assert_eq!(out.overheads.count(OverheadKind::BeginOptional), 0);
+        assert_eq!(out.overheads.count(OverheadKind::EndOptional), 0);
+    }
+
+    #[test]
+    fn rt_parts_preempt_optional_parts_on_shared_thread() {
+        // Task A (higher RM rank by insertion-order tie) shares the single
+        // hw thread with task B: B's optional window is squeezed by A's
+        // mandatory part and bounded by B's interference-shrunk OD.
+        let a = TaskSpec::builder("a")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(200))
+            .windup(Span::from_millis(200))
+            .optional_parts(1, Span::from_millis(1))
+            .build()
+            .unwrap();
+        let b = TaskSpec::builder("b")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(50))
+            .windup(Span::from_millis(50))
+            .optional_parts(1, Span::from_secs(1))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![a, b]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        // B's wind-up response under A's interference: R = 50 + 400 = 450,
+        // so OD_B = 550 ms.
+        assert_eq!(cfg.optional_deadline(TaskId(1)), Span::from_millis(550));
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.deadline_misses(), 0);
+        // Per job: A's mandatory runs 0–150 ms (0.75 × 200), B's mandatory
+        // 150–187.5, B's optional then runs until OD_B = 550, minus A's
+        // tiny optional part: ≈ 360 ms. Two jobs ⇒ ≈ 720 ms total.
+        let achieved = out.qos.achieved_total();
+        assert!(
+            achieved > Span::from_millis(2 * 320) && achieved < Span::from_millis(2 * 380),
+            "preempted optional window should be ≈ 360 ms/job: {achieved}"
+        );
+    }
+
+    #[test]
+    fn shared_hw_thread_serializes_optional_parts() {
+        // 8 optional parts on a uniprocessor: all run (serialized) on the
+        // single hardware thread; total achieved is bounded by the OD
+        // window, far below 8 × window.
+        let t = TaskSpec::builder("uni")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(100))
+            .windup(Span::from_millis(100))
+            .optional_parts(8, Span::from_secs(1))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let out = SimExecutor::new(
+            cfg,
+            SimRunConfig {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .run();
+        // OD = 900 ms, mandatory done ~75 ms (0.75 × 100 ms WCET):
+        // ~825 ms of serialized optional execution per job.
+        let per_job = out.qos.achieved_total() / 2;
+        assert!(
+            per_job > Span::from_millis(780) && per_job < Span::from_millis(830),
+            "{per_job}"
+        );
+        assert_eq!(out.qos.deadline_misses(), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! # RT-Seed: real-time middleware for semi-fixed-priority scheduling
+//!
+//! A user-space middleware implementing **P-RMWP** (Partitioned Rate
+//! Monotonic with Wind-up Part) under the **parallel-extended imprecise
+//! computation model** — a faithful reproduction of
+//! *"RT-Seed: Real-Time Middleware for Semi-Fixed-Priority Scheduling"*
+//! (Chishiro, MIDDLEWARE 2014).
+//!
+//! Each periodic task has a real-time **mandatory part**, a set of
+//! non-real-time **parallel optional parts** that improve QoS and may be
+//! *completed*, *terminated* or *discarded* independently, and a real-time
+//! **wind-up part** released at the offline-computed **optional deadline**.
+//! Semi-fixed-priority scheduling keeps each part's priority fixed and
+//! changes a task's priority only at the two part boundaries (paper §III).
+//!
+//! ## Architecture
+//!
+//! * [`config::SystemConfig`] — ties a task set to a topology: partitioned
+//!   placement of mandatory threads, SCHED_FIFO priority bands
+//!   (HPQ 99 / RTQ 50–98 / NRTQ 1–49), optional deadlines, and the
+//!   optional-part **assignment policy** (One by One / Two by Two /
+//!   All by All, paper Fig. 8).
+//! * [`queues`] — the middleware's four logical queues (RTQ, NRTQ, SQ, HPQ)
+//!   over the kernel's per-CPU FIFO priority queues.
+//! * [`exec_sim::SimExecutor`] — runs the full Fig. 6 protocol on the
+//!   `rtseed-sim` discrete-event many-core substrate, measuring the four
+//!   overheads (Δm, Δb, Δs, Δe) exactly as §V-B does.
+//! * [`runtime::NativeExecutor`] — runs the same protocol on real Linux
+//!   threads with `SCHED_FIFO`/affinity via `libc` (degrading gracefully
+//!   without privileges; see `RuntimeReport`).
+//! * [`termination`] — the three optional-part termination mechanisms of
+//!   Table I.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rtseed::config::SystemConfig;
+//! use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+//! use rtseed::policy::AssignmentPolicy;
+//! use rtseed_model::{Span, TaskSpec, TaskSet, Topology};
+//!
+//! // The paper's evaluation task: T = 1 s, m = w = 250 ms, 57 optional
+//! // parts that always overrun.
+//! let task = TaskSpec::builder("trader")
+//!     .period(Span::from_secs(1))
+//!     .mandatory(Span::from_millis(250))
+//!     .windup(Span::from_millis(250))
+//!     .optional_parts(57, Span::from_secs(1))
+//!     .build()?;
+//! let set = TaskSet::new(vec![task])?;
+//! let config = SystemConfig::build(
+//!     set,
+//!     Topology::xeon_phi_3120a(),
+//!     AssignmentPolicy::OneByOne,
+//! )?;
+//! let outcome = SimExecutor::new(config, SimRunConfig { jobs: 5, ..Default::default() }).run();
+//! assert_eq!(outcome.qos.deadline_misses(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs, missing_debug_implementations)]
+// `unsafe` is confined to `runtime::posix` (libc calls); everything else is
+// checked at the module level.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+pub mod config;
+pub mod exec_global;
+pub mod exec_sim;
+pub mod policy;
+pub mod priority;
+pub mod profile;
+pub mod queues;
+pub mod report;
+pub mod runtime;
+pub mod termination;
+
+pub use config::{ConfigError, SystemConfig};
+pub use exec_global::{GlobalExecutor, GlobalOutcome, GlobalRunConfig};
+pub use exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
+pub use policy::AssignmentPolicy;
+pub use priority::PriorityMap;
+pub use report::OverheadReport;
+pub use termination::TerminationMode;

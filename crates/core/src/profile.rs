@@ -1,0 +1,251 @@
+//! Remaining-execution-time profiles — paper Fig. 3's comparison of
+//! *general scheduling* (Liu & Layland: the whole WCET `mᵢ + wᵢ` runs
+//! contiguously from release) against *semi-fixed-priority scheduling*
+//! (run `mᵢ`, sleep until `ODᵢ`, run `wᵢ`), for a task suffering no
+//! higher-priority interference.
+//!
+//! The profile is the function `Rᵢ(t)`: how much real-time execution
+//! remains at time `t` since release. Under semi-fixed-priority
+//! scheduling the plateau between `mᵢ` and `ODᵢ` is exactly the window in
+//! which parallel optional parts run *before* the wind-up part makes its
+//! decision — the structural reason imprecise computation needs the
+//! wind-up part at all (under general scheduling the decision completes
+//! at `mᵢ + wᵢ`, before any optional analysis could inform it).
+
+use rtseed_model::{Span, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling discipline a profile describes (paper Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchedulingMode {
+    /// Liu & Layland general scheduling: `C = m + w` contiguous.
+    General,
+    /// Semi-fixed-priority: `m`, sleep until `OD`, then `w`.
+    SemiFixed,
+}
+
+/// A piecewise-linear `R(t)` profile as breakpoints `(t, remaining)`.
+/// Between breakpoints the remaining time interpolates linearly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemainingProfile {
+    points: Vec<(Span, Span)>,
+}
+
+impl RemainingProfile {
+    /// Computes the no-interference profile of `task` under `mode`,
+    /// with the optional deadline `od` (relative). Matches paper Fig. 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `od` is inconsistent (`od < m` or `od + w > D`): Fig. 3's
+    /// premise is that the task alone is schedulable.
+    pub fn compute(task: &TaskSpec, od: Span, mode: SchedulingMode) -> RemainingProfile {
+        let m = task.mandatory();
+        let w = task.windup();
+        let d = task.deadline();
+        assert!(od >= m, "optional deadline before mandatory completion");
+        assert!(od + w <= d, "wind-up cannot finish by the deadline");
+        let points = match mode {
+            SchedulingMode::General => vec![
+                (Span::ZERO, m + w),
+                (m + w, Span::ZERO),
+                (d, Span::ZERO),
+            ],
+            SchedulingMode::SemiFixed => vec![
+                (Span::ZERO, m),
+                // Completes the mandatory part, then sleeps until OD with
+                // zero remaining *released* work...
+                (m, Span::ZERO),
+                (od, Span::ZERO),
+                // ...then the wind-up part is released at OD (a step,
+                // expressed as a zero-length segment):
+                (od, w),
+                (od + w, Span::ZERO),
+                (d, Span::ZERO),
+            ],
+        };
+        RemainingProfile { points }
+    }
+
+    /// The breakpoints `(t, R(t))` in time order.
+    pub fn points(&self) -> &[(Span, Span)] {
+        &self.points
+    }
+
+    /// `R(t)` by linear interpolation (clamped to the profile's range).
+    /// At a step (duplicated time point, e.g. the wind-up release at OD)
+    /// the *post-step* value is returned.
+    pub fn remaining_at(&self, t: Span) -> Span {
+        let pts = &self.points;
+        if t <= pts[0].0 {
+            return pts[0].1;
+        }
+        let mut result = pts.last().expect("non-empty").1;
+        // Take the LAST segment containing t so steps resolve to their
+        // post-step value.
+        for w in pts.windows(2).rev() {
+            let (t0, r0) = w[0];
+            let (t1, r1) = w[1];
+            if t0 <= t && t <= t1 {
+                if t1 == t0 {
+                    result = r1;
+                } else {
+                    let frac = (t - t0) / (t1 - t0);
+                    let (lo, hi) = (r0.min(r1), r0.max(r1));
+                    let interp = if r1 <= r0 {
+                        r0.saturating_sub((r0 - r1).mul_f64(frac))
+                    } else {
+                        r0 + (r1 - r0).mul_f64(frac)
+                    };
+                    result = interp.max(lo).min(hi);
+                }
+                break;
+            }
+        }
+        result
+    }
+
+    /// The total time during which the processor is free for optional
+    /// parts before the final wind-up completion (the plateau length; zero
+    /// under general scheduling until `m + w`, then it is dead time after
+    /// the decision).
+    pub fn optional_window(&self) -> Span {
+        // Zero-remaining stretches count only if real-time work is
+        // released again afterwards (the wind-up step at OD): time after
+        // the final completion is post-decision dead time, not a window.
+        let mut window = Span::ZERO;
+        let mut pending = Span::ZERO;
+        for w in self.points.windows(2) {
+            let (t0, r0) = w[0];
+            let (t1, r1) = w[1];
+            if r0.is_zero() && r1.is_zero() {
+                pending += t1 - t0;
+            } else if r1 > r0 {
+                window += pending;
+                pending = Span::ZERO;
+            }
+        }
+        window
+    }
+
+    /// Renders a small ASCII plot (time on x, remaining on y), `width`
+    /// columns wide.
+    pub fn ascii_plot(&self, width: usize) -> String {
+        let d = self.points.last().expect("non-empty").0;
+        let max_r = self
+            .points
+            .iter()
+            .map(|(_, r)| *r)
+            .max()
+            .unwrap_or(Span::ZERO);
+        if d.is_zero() || max_r.is_zero() {
+            return String::from("(empty profile)\n");
+        }
+        let height = 8usize;
+        let mut rows = vec![vec![b' '; width]; height + 1];
+        for col in 0..width {
+            let t = d.mul_f64(col as f64 / (width.max(2) - 1) as f64);
+            let r = self.remaining_at(t);
+            let level = ((r / max_r) * height as f64).round() as usize;
+            let row = height - level.min(height);
+            rows[row][col] = b'*';
+        }
+        let mut out = String::new();
+        for row in rows {
+            out.push_str(std::str::from_utf8(&row).expect("ascii"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_task() -> TaskSpec {
+        TaskSpec::builder("τi")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(250))
+            .windup(Span::from_millis(250))
+            .optional_parts(4, Span::from_secs(1))
+            .build()
+            .unwrap()
+    }
+
+    fn od() -> Span {
+        Span::from_millis(750)
+    }
+
+    #[test]
+    fn general_profile_shape() {
+        let p = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::General);
+        // Fig. 3: starts at m + w, hits zero at m + w.
+        assert_eq!(p.remaining_at(Span::ZERO), Span::from_millis(500));
+        assert_eq!(p.remaining_at(Span::from_millis(500)), Span::ZERO);
+        assert_eq!(p.remaining_at(Span::from_secs(1)), Span::ZERO);
+        // Monotone decrease down to zero.
+        assert_eq!(p.remaining_at(Span::from_millis(250)), Span::from_millis(250));
+    }
+
+    #[test]
+    fn semi_fixed_profile_shape() {
+        let p = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::SemiFixed);
+        // Fig. 3: starts at m, zero at m, jumps to w at OD, zero at OD + w.
+        assert_eq!(p.remaining_at(Span::ZERO), Span::from_millis(250));
+        assert_eq!(p.remaining_at(Span::from_millis(250)), Span::ZERO);
+        assert_eq!(p.remaining_at(Span::from_millis(500)), Span::ZERO);
+        assert_eq!(p.remaining_at(od()), Span::from_millis(250));
+        assert_eq!(p.remaining_at(Span::from_millis(1000)), Span::ZERO);
+    }
+
+    #[test]
+    fn optional_window_only_under_semi_fixed() {
+        let g = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::General);
+        let s = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::SemiFixed);
+        // Semi-fixed: [m, OD] = 500 ms of pre-decision optional window.
+        assert_eq!(s.optional_window(), Span::from_millis(500));
+        // General scheduling never sleeps before its (single) completion:
+        // no pre-decision window exists.
+        assert_eq!(g.optional_window(), Span::ZERO);
+    }
+
+    #[test]
+    fn interpolation_is_monotone_within_segments() {
+        let p = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::SemiFixed);
+        let a = p.remaining_at(Span::from_millis(100));
+        let b = p.remaining_at(Span::from_millis(200));
+        assert!(a > b);
+        let c = p.remaining_at(Span::from_millis(800));
+        let d = p.remaining_at(Span::from_millis(900));
+        assert!(c > d);
+    }
+
+    #[test]
+    #[should_panic(expected = "optional deadline before mandatory completion")]
+    fn rejects_od_before_m() {
+        let _ = RemainingProfile::compute(
+            &paper_task(),
+            Span::from_millis(100),
+            SchedulingMode::SemiFixed,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wind-up cannot finish")]
+    fn rejects_od_too_late() {
+        let _ = RemainingProfile::compute(
+            &paper_task(),
+            Span::from_millis(900),
+            SchedulingMode::SemiFixed,
+        );
+    }
+
+    #[test]
+    fn ascii_plot_renders() {
+        let p = RemainingProfile::compute(&paper_task(), od(), SchedulingMode::SemiFixed);
+        let plot = p.ascii_plot(40);
+        assert!(plot.lines().count() >= 8);
+        assert!(plot.contains('*'));
+    }
+}

@@ -1,0 +1,214 @@
+//! The middleware's logical queues over the kernel's per-CPU SCHED_FIFO
+//! structure (paper Figs. 4 and 5).
+//!
+//! * **RTQ** — tasks ready to execute mandatory or wind-up parts, RM order
+//!   (priority band 50–98 plus the HPQ at 99);
+//! * **NRTQ** — tasks ready to execute optional parts, RM order (band
+//!   1–49); every RTQ entry outranks every NRTQ entry by construction;
+//! * **SQ** — tasks sleeping until their optional deadline or next release,
+//!   *sorted by increasing wake-up time* (paper Fig. 4);
+//! * **HPQ** — the reserved level-99 slot inside the same FIFO structure.
+//!
+//! [`ReadyQueues`] is the per-hardware-thread instance the executors use.
+
+use rtseed_model::{Priority, TaskId, Time};
+use rtseed_sim::FifoReadyQueue;
+
+/// Why a task is sleeping in the SQ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepReason {
+    /// Completed its mandatory part early; wakes at the optional deadline
+    /// to run the wind-up part.
+    UntilOptionalDeadline,
+    /// Completed its wind-up part; wakes at the next release.
+    UntilNextRelease,
+}
+
+/// Per-hardware-thread queue state: one 99-level FIFO ready queue (holding
+/// both RTQ and NRTQ bands plus the HPQ) and the sleep queue.
+#[derive(Debug, Clone, Default)]
+pub struct ReadyQueues {
+    ready: FifoReadyQueue<TaskId>,
+    sleeping: Vec<(Time, TaskId, SleepReason)>,
+}
+
+impl ReadyQueues {
+    /// Empty queues.
+    pub fn new() -> ReadyQueues {
+        ReadyQueues::default()
+    }
+
+    /// Enqueues a task ready to run a mandatory or wind-up part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prio` is in the optional band — real-time parts must use
+    /// the RTQ band or the HPQ.
+    pub fn enqueue_rt(&mut self, prio: Priority, task: TaskId) {
+        assert!(
+            prio.is_mandatory_band() || prio.is_hpq(),
+            "real-time parts must be queued at RTQ/HPQ levels, got {prio}"
+        );
+        self.ready.enqueue(prio, task);
+    }
+
+    /// Enqueues a task ready to run optional parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prio` is not in the optional band.
+    pub fn enqueue_nrt(&mut self, prio: Priority, task: TaskId) {
+        assert!(
+            prio.is_optional_band(),
+            "optional parts must be queued at NRTQ levels, got {prio}"
+        );
+        self.ready.enqueue(prio, task);
+    }
+
+    /// Pops the highest-priority ready task (RTQ strictly before NRTQ).
+    pub fn dequeue(&mut self) -> Option<(Priority, TaskId)> {
+        self.ready.dequeue_highest()
+    }
+
+    /// Priority of the best ready task without removing it.
+    pub fn peek_priority(&self) -> Option<Priority> {
+        self.ready.peek_highest_priority()
+    }
+
+    /// Removes a specific ready entry (kernel dequeue-on-destroy path).
+    pub fn remove_ready(&mut self, prio: Priority, task: TaskId) -> bool {
+        self.ready.remove(prio, &task)
+    }
+
+    /// Puts a task to sleep until `wake_at`. The SQ is kept sorted by
+    /// increasing wake-up time (stable for equal times).
+    pub fn sleep_until(&mut self, wake_at: Time, task: TaskId, reason: SleepReason) {
+        let pos = self
+            .sleeping
+            .partition_point(|(t, _, _)| *t <= wake_at);
+        self.sleeping.insert(pos, (wake_at, task, reason));
+    }
+
+    /// Pops every task whose wake-up time is `≤ now`, in wake-up order.
+    pub fn wake_due(&mut self, now: Time) -> Vec<(Time, TaskId, SleepReason)> {
+        let n = self.sleeping.partition_point(|(t, _, _)| *t <= now);
+        self.sleeping.drain(..n).collect()
+    }
+
+    /// The earliest pending wake-up, if any.
+    pub fn next_wake(&self) -> Option<Time> {
+        self.sleeping.first().map(|(t, _, _)| *t)
+    }
+
+    /// Number of ready tasks (both bands).
+    pub fn ready_len(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Number of sleeping tasks.
+    pub fn sleeping_len(&self) -> usize {
+        self.sleeping.len()
+    }
+
+    /// `true` if no task is ready or sleeping.
+    pub fn is_empty(&self) -> bool {
+        self.ready.is_empty() && self.sleeping.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u8) -> Priority {
+        Priority::new(l).unwrap()
+    }
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn rt_band_beats_nrt_band() {
+        let mut q = ReadyQueues::new();
+        q.enqueue_nrt(p(49), TaskId(0));
+        q.enqueue_rt(p(50), TaskId(1));
+        assert_eq!(q.dequeue().unwrap().1, TaskId(1));
+        assert_eq!(q.dequeue().unwrap().1, TaskId(0));
+    }
+
+    #[test]
+    fn hpq_beats_everything() {
+        let mut q = ReadyQueues::new();
+        q.enqueue_rt(p(98), TaskId(0));
+        q.enqueue_rt(p(99), TaskId(1));
+        assert_eq!(q.dequeue().unwrap().1, TaskId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "RTQ/HPQ levels")]
+    fn rt_rejects_optional_band() {
+        ReadyQueues::new().enqueue_rt(p(49), TaskId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NRTQ levels")]
+    fn nrt_rejects_mandatory_band() {
+        ReadyQueues::new().enqueue_nrt(p(50), TaskId(0));
+    }
+
+    #[test]
+    fn sleep_queue_sorted_by_wake_time() {
+        let mut q = ReadyQueues::new();
+        q.sleep_until(t(30), TaskId(3), SleepReason::UntilNextRelease);
+        q.sleep_until(t(10), TaskId(1), SleepReason::UntilOptionalDeadline);
+        q.sleep_until(t(20), TaskId(2), SleepReason::UntilNextRelease);
+        assert_eq!(q.next_wake(), Some(t(10)));
+        let woken = q.wake_due(t(20));
+        assert_eq!(
+            woken.iter().map(|(_, id, _)| *id).collect::<Vec<_>>(),
+            vec![TaskId(1), TaskId(2)]
+        );
+        assert_eq!(q.sleeping_len(), 1);
+        assert_eq!(q.next_wake(), Some(t(30)));
+    }
+
+    #[test]
+    fn wake_due_is_stable_for_equal_times() {
+        let mut q = ReadyQueues::new();
+        q.sleep_until(t(5), TaskId(0), SleepReason::UntilNextRelease);
+        q.sleep_until(t(5), TaskId(1), SleepReason::UntilNextRelease);
+        let woken = q.wake_due(t(5));
+        assert_eq!(woken[0].1, TaskId(0));
+        assert_eq!(woken[1].1, TaskId(1));
+    }
+
+    #[test]
+    fn wake_due_before_anything_is_empty() {
+        let mut q = ReadyQueues::new();
+        q.sleep_until(t(100), TaskId(0), SleepReason::UntilNextRelease);
+        assert!(q.wake_due(t(99)).is_empty());
+        assert_eq!(q.sleeping_len(), 1);
+    }
+
+    #[test]
+    fn remove_ready_entry() {
+        let mut q = ReadyQueues::new();
+        q.enqueue_rt(p(60), TaskId(0));
+        assert!(q.remove_ready(p(60), TaskId(0)));
+        assert!(!q.remove_ready(p(60), TaskId(0)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = ReadyQueues::new();
+        assert!(q.is_empty());
+        q.enqueue_rt(p(55), TaskId(0));
+        q.sleep_until(t(1), TaskId(1), SleepReason::UntilOptionalDeadline);
+        assert_eq!(q.ready_len(), 1);
+        assert_eq!(q.sleeping_len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_priority(), Some(p(55)));
+    }
+}

@@ -1,0 +1,195 @@
+//! Overhead sample collection and statistics — the measurement side of the
+//! paper's §V-B (means over 100 jobs per configuration).
+
+use core::fmt;
+
+use rtseed_model::Span;
+use rtseed_sim::OverheadKind;
+use serde::{Deserialize, Serialize};
+
+/// Samples of the four overheads (Δm, Δb, Δs, Δe) across a run's jobs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    begin_mandatory: Vec<Span>,
+    begin_optional: Vec<Span>,
+    switch_to_optional: Vec<Span>,
+    end_optional: Vec<Span>,
+}
+
+impl OverheadReport {
+    /// An empty report.
+    pub fn new() -> OverheadReport {
+        OverheadReport::default()
+    }
+
+    fn bucket(&self, kind: OverheadKind) -> &Vec<Span> {
+        match kind {
+            OverheadKind::BeginMandatory => &self.begin_mandatory,
+            OverheadKind::BeginOptional => &self.begin_optional,
+            OverheadKind::SwitchToOptional => &self.switch_to_optional,
+            OverheadKind::EndOptional => &self.end_optional,
+        }
+    }
+
+    fn bucket_mut(&mut self, kind: OverheadKind) -> &mut Vec<Span> {
+        match kind {
+            OverheadKind::BeginMandatory => &mut self.begin_mandatory,
+            OverheadKind::BeginOptional => &mut self.begin_optional,
+            OverheadKind::SwitchToOptional => &mut self.switch_to_optional,
+            OverheadKind::EndOptional => &mut self.end_optional,
+        }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, kind: OverheadKind, value: Span) {
+        self.bucket_mut(kind).push(value);
+    }
+
+    /// All samples of `kind` in recording order.
+    pub fn samples(&self, kind: OverheadKind) -> &[Span] {
+        self.bucket(kind)
+    }
+
+    /// Number of samples of `kind`.
+    pub fn count(&self, kind: OverheadKind) -> usize {
+        self.bucket(kind).len()
+    }
+
+    /// Arithmetic mean of `kind`'s samples ([`Span::ZERO`] when empty).
+    pub fn mean(&self, kind: OverheadKind) -> Span {
+        let b = self.bucket(kind);
+        if b.is_empty() {
+            return Span::ZERO;
+        }
+        let total: u128 = b.iter().map(|s| s.as_nanos() as u128).sum();
+        Span::from_nanos((total / b.len() as u128) as u64)
+    }
+
+    /// Largest sample of `kind` ([`Span::ZERO`] when empty).
+    pub fn max(&self, kind: OverheadKind) -> Span {
+        self.bucket(kind).iter().copied().max().unwrap_or(Span::ZERO)
+    }
+
+    /// Smallest sample of `kind` ([`Span::ZERO`] when empty).
+    pub fn min(&self, kind: OverheadKind) -> Span {
+        self.bucket(kind).iter().copied().min().unwrap_or(Span::ZERO)
+    }
+
+    /// `p`-th percentile (0–100, nearest-rank) of `kind`'s samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `0..=100`.
+    pub fn percentile(&self, kind: OverheadKind, p: u8) -> Span {
+        assert!(p <= 100, "percentile must be within 0..=100");
+        let mut v = self.bucket(kind).clone();
+        if v.is_empty() {
+            return Span::ZERO;
+        }
+        v.sort_unstable();
+        if p == 0 {
+            return v[0];
+        }
+        let rank = (p as usize * v.len()).div_ceil(100);
+        v[rank - 1]
+    }
+
+    /// Merges another report's samples into this one.
+    pub fn merge(&mut self, other: &OverheadReport) {
+        for kind in OverheadKind::ALL {
+            self.bucket_mut(kind)
+                .extend_from_slice(other.bucket(kind));
+        }
+    }
+}
+
+impl fmt::Display for OverheadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for kind in OverheadKind::ALL {
+            writeln!(
+                f,
+                "{}: n={} mean={} max={}",
+                kind.symbol(),
+                self.count(kind),
+                self.mean(kind),
+                self.max(kind),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> Span {
+        Span::from_micros(v)
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = OverheadReport::new();
+        for kind in OverheadKind::ALL {
+            assert_eq!(r.count(kind), 0);
+            assert_eq!(r.mean(kind), Span::ZERO);
+            assert_eq!(r.max(kind), Span::ZERO);
+            assert_eq!(r.min(kind), Span::ZERO);
+            assert_eq!(r.percentile(kind, 99), Span::ZERO);
+        }
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let mut r = OverheadReport::new();
+        for v in [10u64, 20, 30] {
+            r.push(OverheadKind::BeginMandatory, us(v));
+        }
+        assert_eq!(r.count(OverheadKind::BeginMandatory), 3);
+        assert_eq!(r.mean(OverheadKind::BeginMandatory), us(20));
+        assert_eq!(r.min(OverheadKind::BeginMandatory), us(10));
+        assert_eq!(r.max(OverheadKind::BeginMandatory), us(30));
+        // Other kinds untouched.
+        assert_eq!(r.count(OverheadKind::EndOptional), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut r = OverheadReport::new();
+        for v in 1..=100u64 {
+            r.push(OverheadKind::EndOptional, us(v));
+        }
+        assert_eq!(r.percentile(OverheadKind::EndOptional, 0), us(1));
+        assert_eq!(r.percentile(OverheadKind::EndOptional, 50), us(50));
+        assert_eq!(r.percentile(OverheadKind::EndOptional, 99), us(99));
+        assert_eq!(r.percentile(OverheadKind::EndOptional, 100), us(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=100")]
+    fn percentile_rejects_out_of_range() {
+        OverheadReport::new().percentile(OverheadKind::BeginMandatory, 101);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = OverheadReport::new();
+        let mut b = OverheadReport::new();
+        a.push(OverheadKind::BeginOptional, us(5));
+        b.push(OverheadKind::BeginOptional, us(15));
+        b.push(OverheadKind::SwitchToOptional, us(1));
+        a.merge(&b);
+        assert_eq!(a.count(OverheadKind::BeginOptional), 2);
+        assert_eq!(a.mean(OverheadKind::BeginOptional), us(10));
+        assert_eq!(a.count(OverheadKind::SwitchToOptional), 1);
+    }
+
+    #[test]
+    fn display_contains_all_symbols() {
+        let r = OverheadReport::new();
+        let s = r.to_string();
+        for kind in OverheadKind::ALL {
+            assert!(s.contains(kind.symbol()), "{s}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Native background-load generators — the measurement methodology of
+//! paper §V-B on a real host:
+//!
+//! * **CPU load**: "infinite loop tasks on all hardware threads";
+//! * **CPU-Memory load**: "512 KB (equal to the L2 cache size …)
+//!   read/write tasks in infinite loops on all hardware threads", which
+//!   pollutes L1/L2 so measured code misses to memory.
+//!
+//! [`LoadGenerator`] spawns the loops as ordinary (SCHED_OTHER) threads —
+//! exactly the paper's setup, where SCHED_FIFO middleware threads preempt
+//! the load but share caches, branch units and SMT pipelines with it.
+
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rtseed_sim::BackgroundLoad;
+
+use super::posix;
+
+/// Running background load; dropping it stops the load threads.
+#[derive(Debug)]
+pub struct LoadGenerator {
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    load: BackgroundLoad,
+}
+
+impl LoadGenerator {
+    /// Starts `threads` load threads of the given kind. For
+    /// [`BackgroundLoad::NoLoad`] no threads are spawned.
+    ///
+    /// Pass [`LoadGenerator::one_per_cpu`] for the paper's
+    /// "all hardware threads" setup.
+    pub fn start(load: BackgroundLoad, threads: usize) -> LoadGenerator {
+        let stop = Arc::new(AtomicBool::new(false));
+        let spawned = match load {
+            BackgroundLoad::NoLoad => Vec::new(),
+            BackgroundLoad::CpuLoad => (0..threads)
+                .map(|i| {
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let _ = posix::set_affinity(i % posix::online_cpus());
+                        cpu_spin(&stop);
+                    })
+                })
+                .collect(),
+            BackgroundLoad::CpuMemoryLoad => (0..threads)
+                .map(|i| {
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let _ = posix::set_affinity(i % posix::online_cpus());
+                        cache_polluter(&stop);
+                    })
+                })
+                .collect(),
+        };
+        LoadGenerator {
+            stop,
+            threads: spawned,
+            load,
+        }
+    }
+
+    /// The paper's configuration: one load thread per online CPU.
+    pub fn one_per_cpu(load: BackgroundLoad) -> LoadGenerator {
+        LoadGenerator::start(load, posix::online_cpus())
+    }
+
+    /// The load kind being generated.
+    pub fn load(&self) -> BackgroundLoad {
+        self.load
+    }
+
+    /// Number of running load threads.
+    pub fn threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Stops and joins the load threads.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for LoadGenerator {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// The paper's CPU load: a pure branch-heavy spin loop.
+fn cpu_spin(stop: &AtomicBool) {
+    let mut x = 0u64;
+    while !stop.load(Ordering::Relaxed) {
+        for _ in 0..1024 {
+            x = black_box(x.wrapping_mul(6364136223846793005).wrapping_add(1));
+        }
+    }
+    black_box(x);
+}
+
+/// The paper's CPU-Memory load: read/write over a 512 KiB buffer (one L2's
+/// worth on the Xeon Phi 3120A) in an infinite loop.
+fn cache_polluter(stop: &AtomicBool) {
+    const L2_BYTES: usize = 512 * 1024;
+    let mut buf = vec![0u8; L2_BYTES];
+    let mut i = 0usize;
+    while !stop.load(Ordering::Relaxed) {
+        // Stride of one cache line: touch every line, read-modify-write.
+        for _ in 0..256 {
+            let v = buf[i].wrapping_add(1);
+            buf[i] = v;
+            i = (i + 64) % L2_BYTES;
+        }
+        black_box(&buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn no_load_spawns_nothing() {
+        let gen = LoadGenerator::start(BackgroundLoad::NoLoad, 4);
+        assert_eq!(gen.threads(), 0);
+        assert_eq!(gen.load(), BackgroundLoad::NoLoad);
+        gen.stop();
+    }
+
+    #[test]
+    fn cpu_load_starts_and_stops_quickly() {
+        let gen = LoadGenerator::start(BackgroundLoad::CpuLoad, 2);
+        assert_eq!(gen.threads(), 2);
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        gen.stop();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "load threads must stop promptly"
+        );
+    }
+
+    #[test]
+    fn memory_load_starts_and_stops_quickly() {
+        let gen = LoadGenerator::start(BackgroundLoad::CpuMemoryLoad, 2);
+        assert_eq!(gen.threads(), 2);
+        std::thread::sleep(Duration::from_millis(20));
+        let t0 = Instant::now();
+        gen.stop();
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn drop_stops_threads() {
+        {
+            let _gen = LoadGenerator::start(BackgroundLoad::CpuLoad, 1);
+            std::thread::sleep(Duration::from_millis(10));
+        } // drop must join without hanging
+    }
+
+    #[test]
+    fn one_per_cpu_matches_online() {
+        let gen = LoadGenerator::one_per_cpu(BackgroundLoad::CpuLoad);
+        assert_eq!(gen.threads(), super::posix::online_cpus());
+        gen.stop();
+    }
+}

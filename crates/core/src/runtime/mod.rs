@@ -1,0 +1,804 @@
+//! Native POSIX backend: the RT-Seed protocol on real Linux threads.
+//!
+//! This is the middleware exactly as paper §IV-C describes it — a real-time
+//! process per task, one **mandatory thread** executing the mandatory and
+//! wind-up parts, and `npᵢ` **parallel optional threads** woken by
+//! per-thread condition-variable signals, pinned with `sched_setaffinity`,
+//! prioritized with `sched_setscheduler(SCHED_FIFO)` and put to sleep with
+//! absolute-deadline waits (the `clock_nanosleep(TIMER_ABSTIME)`
+//! equivalent).
+//!
+//! Privileged calls are *attempted* and their outcomes recorded in
+//! [`RuntimeReport`]; without `CAP_SYS_NICE` the middleware still runs with
+//! the default scheduling policy so that the protocol, QoS accounting and
+//! overhead measurements all remain exercisable (the latency bounds are of
+//! course only real with RT privileges on a multi-core host).
+//!
+//! **Termination substitution (DESIGN.md):** safe Rust cannot
+//! `siglongjmp` across frames, so optional parts terminate cooperatively:
+//! user code polls [`OptionalControl::should_stop`] (the paper's "Periodic
+//! Check" row) or calls [`OptionalControl::checkpoint`] which raises a
+//! panic-unwind caught by the worker (the "try-catch" row, implemented
+//! *with* correct re-arming — Rust has no signal mask to corrupt).
+//! Requesting [`TerminationMode::SigjmpTimer`] selects the cooperative
+//! mechanism and notes the substitution in the report.
+
+pub mod loadgen;
+pub mod posix;
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use rtseed_model::{JobId, OptionalOutcome, PartId, QosRecord, QosSummary, Span, TaskId};
+use rtseed_sim::OverheadKind;
+
+use crate::config::SystemConfig;
+use crate::report::OverheadReport;
+use crate::termination::TerminationMode;
+
+/// Handle given to optional-part closures for cooperative termination.
+#[derive(Debug)]
+pub struct OptionalControl {
+    stop: Arc<AtomicBool>,
+    deadline: Instant,
+    mode: TerminationMode,
+}
+
+/// Panic payload used by [`OptionalControl::checkpoint`] in unwind mode;
+/// recognized (and swallowed) by the worker thread.
+#[derive(Debug)]
+struct TerminationSignal;
+
+impl OptionalControl {
+    /// `true` once the optional deadline has passed (or the mandatory
+    /// thread has requested termination): cooperative optional parts
+    /// should return as soon as possible.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || Instant::now() >= self.deadline
+    }
+
+    /// Termination checkpoint: in [`TerminationMode::UnwindCatch`] this
+    /// *unwinds* out of the optional part when the deadline has passed
+    /// (the `try`-`catch` mechanism of Table I); in the cooperative modes
+    /// it is equivalent to asserting on [`OptionalControl::should_stop`]
+    /// manually — it returns and the caller keeps the obligation to stop.
+    pub fn checkpoint(&self) {
+        if matches!(self.mode, TerminationMode::UnwindCatch) && self.should_stop() {
+            std::panic::panic_any(TerminationSignal);
+        }
+    }
+
+    /// The absolute optional deadline of the running job.
+    pub fn deadline(&self) -> Instant {
+        self.deadline
+    }
+}
+
+/// The three executable bodies of a parallel-extended imprecise task
+/// (paper §IV-C: `execMandatory`, `execOptional`, `execWindup`).
+pub struct TaskBody {
+    mandatory: Box<dyn FnMut(JobId) + Send>,
+    optional: Arc<dyn Fn(JobId, PartId, &OptionalControl) + Send + Sync>,
+    windup: Box<dyn FnMut(JobId) + Send>,
+}
+
+impl std::fmt::Debug for TaskBody {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskBody").finish_non_exhaustive()
+    }
+}
+
+impl TaskBody {
+    /// Builds a task body from the three closures. The optional closure is
+    /// shared by all parallel optional threads and must therefore be
+    /// `Fn + Send + Sync`; it should poll `ctl.should_stop()` (or call
+    /// `ctl.checkpoint()`) regularly.
+    pub fn new(
+        mandatory: impl FnMut(JobId) + Send + 'static,
+        optional: impl Fn(JobId, PartId, &OptionalControl) + Send + Sync + 'static,
+        windup: impl FnMut(JobId) + Send + 'static,
+    ) -> TaskBody {
+        TaskBody {
+            mandatory: Box::new(mandatory),
+            optional: Arc::new(optional),
+            windup: Box::new(windup),
+        }
+    }
+
+    /// A body that does no real work — useful for protocol tests and
+    /// latency measurement.
+    pub fn no_op() -> TaskBody {
+        TaskBody::new(|_| {}, |_, _, _| {}, |_| {})
+    }
+}
+
+/// Run parameters for the native executor.
+#[derive(Debug, Clone)]
+pub struct NativeRunConfig {
+    /// Number of jobs each task executes.
+    pub jobs: u64,
+    /// Termination mechanism for optional parts.
+    pub termination: TerminationMode,
+    /// Whether to attempt `SCHED_FIFO` and affinity syscalls (disable in
+    /// tests that must not perturb the host).
+    pub attempt_rt: bool,
+}
+
+impl Default for NativeRunConfig {
+    fn default() -> Self {
+        NativeRunConfig {
+            jobs: 10,
+            termination: TerminationMode::PeriodicCheck {
+                interval: Span::from_millis(1),
+            },
+            attempt_rt: true,
+        }
+    }
+}
+
+/// What actually happened with the privileged setup calls.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeReport {
+    /// Online OS CPUs at run time.
+    pub os_cpus: usize,
+    /// Threads whose `sched_setscheduler(SCHED_FIFO)` succeeded.
+    pub sched_fifo_ok: usize,
+    /// Threads whose `sched_setscheduler` failed.
+    pub sched_fifo_failed: usize,
+    /// First scheduler error observed, if any (typically `EPERM`).
+    pub sched_fifo_error: Option<String>,
+    /// Threads whose `sched_setaffinity` succeeded.
+    pub affinity_ok: usize,
+    /// Threads whose `sched_setaffinity` failed.
+    pub affinity_failed: usize,
+    /// First affinity error observed, if any.
+    pub affinity_error: Option<String>,
+    /// `true` when `SigjmpTimer` was requested and the cooperative
+    /// substitute was used (safe Rust cannot `siglongjmp`).
+    pub sigjmp_substituted: bool,
+}
+
+impl RuntimeReport {
+    fn merge(&mut self, other: &RuntimeReport) {
+        self.os_cpus = other.os_cpus.max(self.os_cpus);
+        self.sched_fifo_ok += other.sched_fifo_ok;
+        self.sched_fifo_failed += other.sched_fifo_failed;
+        if self.sched_fifo_error.is_none() {
+            self.sched_fifo_error.clone_from(&other.sched_fifo_error);
+        }
+        self.affinity_ok += other.affinity_ok;
+        self.affinity_failed += other.affinity_failed;
+        if self.affinity_error.is_none() {
+            self.affinity_error.clone_from(&other.affinity_error);
+        }
+        self.sigjmp_substituted |= other.sigjmp_substituted;
+    }
+}
+
+/// Results of a native run.
+#[derive(Debug)]
+pub struct NativeOutcome {
+    /// Measured overheads (Δm, Δb, Δs, Δe), one sample per applicable job.
+    pub overheads: OverheadReport,
+    /// QoS summary across all jobs of all tasks.
+    pub qos: QosSummary,
+    /// What the privileged setup calls achieved.
+    pub runtime: RuntimeReport,
+}
+
+/// The native executor: real threads, real time.
+#[derive(Debug)]
+pub struct NativeExecutor {
+    config: SystemConfig,
+    run_cfg: NativeRunConfig,
+}
+
+impl NativeExecutor {
+    /// Creates a native executor for `config`.
+    pub fn new(config: SystemConfig, run_cfg: NativeRunConfig) -> NativeExecutor {
+        NativeExecutor { config, run_cfg }
+    }
+
+    /// Runs every task of the configuration to completion with the given
+    /// bodies (one per task, in task order) and returns the measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bodies.len()` differs from the task count, or if user
+    /// code panics with anything other than a termination checkpoint.
+    pub fn run(&self, bodies: Vec<TaskBody>) -> NativeOutcome {
+        assert_eq!(
+            bodies.len(),
+            self.config.set().len(),
+            "one TaskBody per task is required"
+        );
+        let mut handles = Vec::new();
+        for (idx, body) in bodies.into_iter().enumerate() {
+            let tcfg = TaskThreadConfig::from_config(&self.config, idx, &self.run_cfg);
+            handles.push(std::thread::spawn(move || task_main(tcfg, body)));
+        }
+        let mut overheads = OverheadReport::new();
+        let mut qos = QosSummary::new();
+        let mut runtime = RuntimeReport::default();
+        for h in handles {
+            let (o, q, r) = h.join().expect("task thread panicked");
+            overheads.merge(&o);
+            qos.merge(&q);
+            runtime.merge(&r);
+        }
+        NativeOutcome {
+            overheads,
+            qos,
+            runtime,
+        }
+    }
+}
+
+/// Everything a task's coordinator thread needs, extracted from the
+/// `SystemConfig` so the thread owns its data.
+#[derive(Debug, Clone)]
+struct TaskThreadConfig {
+    task: TaskId,
+    period: StdDuration,
+    deadline: StdDuration,
+    od: StdDuration,
+    optional_spans: Vec<Span>,
+    mandatory_hw: usize,
+    placements: Vec<usize>,
+    mand_prio: u8,
+    opt_prio: u8,
+    jobs: u64,
+    termination: TerminationMode,
+    attempt_rt: bool,
+}
+
+impl TaskThreadConfig {
+    fn from_config(cfg: &SystemConfig, idx: usize, run: &NativeRunConfig) -> TaskThreadConfig {
+        let id = TaskId(idx as u32);
+        let spec = cfg.set().task(id);
+        TaskThreadConfig {
+            task: id,
+            period: StdDuration::from_nanos(spec.period().as_nanos()),
+            deadline: StdDuration::from_nanos(spec.deadline().as_nanos()),
+            od: StdDuration::from_nanos(cfg.optional_deadline(id).as_nanos()),
+            optional_spans: spec.optional_parts().to_vec(),
+            mandatory_hw: cfg.mandatory_hw(id).index(),
+            placements: cfg
+                .optional_placements(id)
+                .iter()
+                .map(|h| h.index())
+                .collect(),
+            mand_prio: cfg.priorities().mandatory(id).level(),
+            opt_prio: cfg.priorities().optional(id).level(),
+            jobs: run.jobs,
+            termination: run.termination,
+            attempt_rt: run.attempt_rt,
+        }
+    }
+}
+
+enum Cmd {
+    Run(WorkOrder),
+    Exit,
+}
+
+#[derive(Clone)]
+struct WorkOrder {
+    job: JobId,
+    stop: Arc<AtomicBool>,
+    deadline: Instant,
+    sync: Arc<JobSync>,
+}
+
+struct WorkerSlot {
+    cell: Mutex<Vec<Cmd>>,
+    cv: Condvar,
+}
+
+struct JobSync {
+    remaining: Mutex<usize>,
+    cv: Condvar,
+    results: Mutex<Vec<PartResult>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PartResult {
+    part: PartId,
+    started: Instant,
+    executed: StdDuration,
+    outcome: OptionalOutcome,
+}
+
+fn span(d: StdDuration) -> Span {
+    Span::from_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}
+
+fn sleep_until(target: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= target {
+            return;
+        }
+        std::thread::sleep(target - now);
+    }
+}
+
+fn try_rt_setup(report: &Mutex<RuntimeReport>, prio: u8, hw: usize, attempt: bool) {
+    if !attempt {
+        return;
+    }
+    let os_cpus = posix::online_cpus();
+    let mut r = report.lock();
+    r.os_cpus = os_cpus;
+    match posix::set_sched_fifo(prio) {
+        Ok(()) => r.sched_fifo_ok += 1,
+        Err(e) => {
+            r.sched_fifo_failed += 1;
+            if r.sched_fifo_error.is_none() {
+                r.sched_fifo_error = Some(e.to_string());
+            }
+        }
+    }
+    match posix::set_affinity(hw % os_cpus) {
+        Ok(()) => r.affinity_ok += 1,
+        Err(e) => {
+            r.affinity_failed += 1;
+            if r.affinity_error.is_none() {
+                r.affinity_error = Some(e.to_string());
+            }
+        }
+    }
+}
+
+fn worker_main(
+    slot: Arc<WorkerSlot>,
+    body: Arc<dyn Fn(JobId, PartId, &OptionalControl) + Send + Sync>,
+    part: PartId,
+    mode: TerminationMode,
+    fatal: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+) {
+    loop {
+        let cmd = {
+            let mut cell = slot.cell.lock();
+            loop {
+                if let Some(cmd) = cell.pop() {
+                    break cmd;
+                }
+                slot.cv.wait(&mut cell);
+            }
+        };
+        let order = match cmd {
+            Cmd::Exit => return,
+            Cmd::Run(order) => order,
+        };
+
+        let started = Instant::now();
+        let ctl = OptionalControl {
+            stop: Arc::clone(&order.stop),
+            deadline: order.deadline,
+            mode,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| (body)(order.job, part, &ctl)));
+        let executed = started.elapsed();
+        let mut user_panic = None;
+        let outcome = match result {
+            Ok(()) => {
+                if ctl.should_stop() {
+                    OptionalOutcome::Terminated
+                } else {
+                    OptionalOutcome::Completed
+                }
+            }
+            Err(payload) => {
+                if payload.is::<TerminationSignal>() {
+                    OptionalOutcome::Terminated
+                } else {
+                    // A real bug in user code: deliver it to the mandatory
+                    // thread, but keep the completion protocol intact so
+                    // nothing deadlocks.
+                    user_panic = Some(payload);
+                    OptionalOutcome::Terminated
+                }
+            }
+        };
+
+        order.sync.results.lock().push(PartResult {
+            part,
+            started,
+            executed,
+            outcome,
+        });
+        // Publish a user panic BEFORE announcing completion, so the
+        // mandatory thread is guaranteed to observe it when the job ends.
+        let dead = user_panic.is_some();
+        if let Some(payload) = user_panic {
+            let mut slot = fatal.lock();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        {
+            let mut remaining = order.sync.remaining.lock();
+            *remaining -= 1;
+            if *remaining == 0 {
+                order.sync.cv.notify_all();
+            }
+        }
+        if dead {
+            return; // this worker is dead; the run aborts after the job
+        }
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> (OverheadReport, QosSummary, RuntimeReport) {
+    let TaskBody {
+        mut mandatory,
+        optional,
+        mut windup,
+    } = body;
+    let np = cfg.optional_spans.len();
+    let fatal: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> =
+        Arc::new(Mutex::new(None));
+    let report = Arc::new(Mutex::new(RuntimeReport {
+        os_cpus: posix::online_cpus(),
+        sigjmp_substituted: matches!(cfg.termination, TerminationMode::SigjmpTimer),
+        ..RuntimeReport::default()
+    }));
+
+    // Mandatory thread setup (this thread).
+    try_rt_setup(&report, cfg.mand_prio, cfg.mandatory_hw, cfg.attempt_rt);
+
+    // Spawn the parallel optional threads, pinned per the assignment
+    // policy (paper: they migrate to their processors *before* execution).
+    let slots: Vec<Arc<WorkerSlot>> = (0..np)
+        .map(|_| {
+            Arc::new(WorkerSlot {
+                cell: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+            })
+        })
+        .collect();
+    let workers: Vec<_> = (0..np)
+        .map(|k| {
+            let slot = Arc::clone(&slots[k]);
+            let body = Arc::clone(&optional);
+            let report = Arc::clone(&report);
+            let hw = cfg.placements[k];
+            let prio = cfg.opt_prio;
+            let attempt = cfg.attempt_rt;
+            let mode = cfg.termination;
+            let fatal = Arc::clone(&fatal);
+            std::thread::spawn(move || {
+                try_rt_setup(&report, prio, hw, attempt);
+                worker_main(slot, body, PartId(k as u32), mode, fatal);
+            })
+        })
+        .collect();
+
+    let mut overheads = OverheadReport::new();
+    let mut qos = QosSummary::new();
+    let requested: Span = cfg.optional_spans.iter().copied().sum();
+
+    let anchor = Instant::now();
+    let mut aborted = None;
+    for seq in 0..cfg.jobs {
+        let job = JobId {
+            task: cfg.task,
+            seq,
+        };
+        let release = anchor + cfg.period * u32::try_from(seq).unwrap_or(u32::MAX);
+        sleep_until(release);
+        // Δm: release → beginning of the mandatory part.
+        overheads.push(OverheadKind::BeginMandatory, span(release.elapsed()));
+
+        mandatory(job);
+        let mandatory_done = Instant::now();
+        let od_instant = release + cfg.od;
+
+        let mut parts: Vec<(Span, OptionalOutcome)> =
+            vec![(Span::ZERO, OptionalOutcome::Discarded); np];
+
+        if np > 0 && mandatory_done < od_instant {
+            let stop = Arc::new(AtomicBool::new(false));
+            let sync = Arc::new(JobSync {
+                remaining: Mutex::new(np),
+                cv: Condvar::new(),
+                results: Mutex::new(Vec::with_capacity(np)),
+            });
+
+            // Δb: the signal loop waking every optional thread.
+            let signal_start = Instant::now();
+            for slot in &slots {
+                slot.cell.lock().push(Cmd::Run(WorkOrder {
+                    job,
+                    stop: Arc::clone(&stop),
+                    deadline: od_instant,
+                    sync: Arc::clone(&sync),
+                }));
+                slot.cv.notify_one();
+            }
+            let signal_end = Instant::now();
+            overheads.push(
+                OverheadKind::BeginOptional,
+                span(signal_end - signal_start),
+            );
+
+            // Wait for completion or the optional deadline, whichever is
+            // first (the paper's pthread_cond_wait / one-shot timer pair).
+            {
+                let mut remaining = sync.remaining.lock();
+                while *remaining > 0 {
+                    let now = Instant::now();
+                    if now >= od_instant {
+                        break;
+                    }
+                    sync.cv.wait_for(&mut remaining, od_instant - now);
+                }
+                if *remaining > 0 {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                while *remaining > 0 {
+                    sync.cv.wait(&mut remaining);
+                }
+            }
+            let all_ended = Instant::now();
+
+            // Δs: signal end → first optional part actually running.
+            let results = sync.results.lock();
+            // Δe: optional deadline → all parts ended, sampled whenever any
+            // part was actually terminated (whether the mandatory thread
+            // set the stop flag or the worker observed the deadline
+            // itself — both are the paper's timer firing).
+            if results
+                .iter()
+                .any(|r| r.outcome == OptionalOutcome::Terminated)
+            {
+                overheads.push(
+                    OverheadKind::EndOptional,
+                    span(all_ended.saturating_duration_since(od_instant)),
+                );
+            }
+            if let Some(first_start) = results.iter().map(|r| r.started).min() {
+                overheads.push(
+                    OverheadKind::SwitchToOptional,
+                    span(first_start.saturating_duration_since(signal_end)),
+                );
+            }
+            for r in results.iter() {
+                parts[r.part.index()] = (span(r.executed), r.outcome);
+            }
+            drop(results);
+
+            // The wind-up part is released at the optional deadline, never
+            // before (§IV-B: early completers sleep in the SQ until OD).
+            sleep_until(od_instant);
+        }
+
+        windup(job);
+        let windup_done = Instant::now();
+        let deadline_met = windup_done <= release + cfg.deadline;
+        qos.record(
+            &QosRecord {
+                job,
+                parts,
+                deadline_met,
+            },
+            requested,
+        );
+
+        // A user panic in an optional part aborts the run after the job's
+        // bookkeeping so the caller sees both the records and the panic.
+        if let Some(payload) = fatal.lock().take() {
+            aborted = Some(payload);
+            break;
+        }
+    }
+
+    // Shut the workers down.
+    for slot in &slots {
+        slot.cell.lock().push(Cmd::Exit);
+        slot.cv.notify_one();
+    }
+    for w in workers {
+        w.join().expect("optional worker panicked");
+    }
+    if let Some(payload) = aborted {
+        resume_unwind(payload);
+    }
+
+    let report = Arc::try_unwrap(report)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+    (overheads, qos, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::AssignmentPolicy;
+    use rtseed_model::{TaskSet, TaskSpec, Topology};
+
+    /// A short task: T = 60 ms, m = 2 ms, w = 2 ms, np optional parts of
+    /// nominally 20 ms.
+    fn quick_config(np: usize) -> SystemConfig {
+        let t = TaskSpec::builder("native-test")
+            .period(Span::from_millis(60))
+            .mandatory(Span::from_millis(2))
+            .windup(Span::from_millis(2))
+            .optional_parts(np, Span::from_millis(20))
+            .build()
+            .unwrap();
+        SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap()
+    }
+
+    fn run_cfg(jobs: u64) -> NativeRunConfig {
+        NativeRunConfig {
+            jobs,
+            termination: TerminationMode::PeriodicCheck {
+                interval: Span::from_millis(1),
+            },
+            attempt_rt: false,
+        }
+    }
+
+    /// Optional body that spins in 200 µs naps until told to stop.
+    fn overrunning_optional() -> impl Fn(JobId, PartId, &OptionalControl) + Send + Sync {
+        |_, _, ctl: &OptionalControl| {
+            while !ctl.should_stop() {
+                std::thread::sleep(StdDuration::from_micros(200));
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_runs_and_terminates_overrunning_parts() {
+        let cfg = quick_config(2);
+        let exec = NativeExecutor::new(cfg, run_cfg(3));
+        let out = exec.run(vec![TaskBody::new(
+            |_| std::thread::sleep(StdDuration::from_millis(1)),
+            overrunning_optional(),
+            |_| {},
+        )]);
+        assert_eq!(out.qos.jobs(), 3);
+        let (completed, terminated, discarded) = out.qos.outcome_totals();
+        assert_eq!(completed, 0);
+        assert_eq!(terminated, 2 * 3);
+        assert_eq!(discarded, 0);
+        // Overheads were sampled.
+        assert_eq!(out.overheads.count(OverheadKind::BeginMandatory), 3);
+        assert_eq!(out.overheads.count(OverheadKind::BeginOptional), 3);
+        assert_eq!(out.overheads.count(OverheadKind::EndOptional), 3);
+        assert_eq!(out.overheads.count(OverheadKind::SwitchToOptional), 3);
+    }
+
+    #[test]
+    fn quick_parts_complete() {
+        let cfg = quick_config(2);
+        let exec = NativeExecutor::new(cfg, run_cfg(2));
+        let out = exec.run(vec![TaskBody::new(
+            |_| {},
+            |_, _, _| std::thread::sleep(StdDuration::from_millis(2)),
+            |_| {},
+        )]);
+        let (completed, terminated, discarded) = out.qos.outcome_totals();
+        assert_eq!(completed, 4, "t/d = {terminated}/{discarded}");
+        // Completing early means no Δe samples.
+        assert_eq!(out.overheads.count(OverheadKind::EndOptional), 0);
+    }
+
+    #[test]
+    fn unwind_mode_cuts_parts_via_checkpoint() {
+        let cfg = quick_config(2);
+        let exec = NativeExecutor::new(
+            cfg,
+            NativeRunConfig {
+                jobs: 2,
+                termination: TerminationMode::UnwindCatch,
+                attempt_rt: false,
+            },
+        );
+        let out = exec.run(vec![TaskBody::new(
+            |_| {},
+            |_, _, ctl: &OptionalControl| loop {
+                ctl.checkpoint();
+                std::thread::sleep(StdDuration::from_micros(200));
+            },
+            |_| {},
+        )]);
+        let (_, terminated, _) = out.qos.outcome_totals();
+        assert_eq!(terminated, 4);
+        // Unlike the paper's C++ try-catch, the Rust unwind path re-arms
+        // cleanly: *both* jobs terminated their parts (tolerating one CFS
+        // hiccup on loaded CI machines).
+        assert!(out.qos.deadline_misses() <= 1, "{}", out.qos);
+    }
+
+    #[test]
+    fn user_panic_propagates() {
+        let cfg = quick_config(1);
+        let exec = NativeExecutor::new(cfg, run_cfg(1));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run(vec![TaskBody::new(
+                |_| {},
+                |_, _, _| panic!("user bug"),
+                |_| {},
+            )])
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn no_op_body_with_no_parts() {
+        let t = TaskSpec::builder("plain")
+            .period(Span::from_millis(20))
+            .mandatory(Span::from_millis(1))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![t]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let out = NativeExecutor::new(cfg, run_cfg(3)).run(vec![TaskBody::no_op()]);
+        assert_eq!(out.qos.jobs(), 3);
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert!((out.qos.aggregate_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn runtime_report_records_outcomes() {
+        let cfg = quick_config(1);
+        let exec = NativeExecutor::new(
+            cfg,
+            NativeRunConfig {
+                jobs: 1,
+                termination: TerminationMode::SigjmpTimer,
+                attempt_rt: true,
+            },
+        );
+        let out = exec.run(vec![TaskBody::new(
+            |_| {},
+            |_, _, _| {},
+            |_| {},
+        )]);
+        let r = &out.runtime;
+        assert!(r.os_cpus >= 1);
+        // Substitution is reported for SigjmpTimer.
+        assert!(r.sigjmp_substituted);
+        // Two threads attempted setup (mandatory + 1 worker): each call
+        // either succeeded or failed, nothing silently dropped.
+        assert_eq!(r.sched_fifo_ok + r.sched_fifo_failed, 2);
+        assert_eq!(r.affinity_ok + r.affinity_failed, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one TaskBody per task")]
+    fn body_count_must_match() {
+        let exec = NativeExecutor::new(quick_config(1), run_cfg(1));
+        let _ = exec.run(vec![]);
+    }
+
+    #[test]
+    fn deadlines_met_under_nominal_load() {
+        let cfg = quick_config(2);
+        let out = NativeExecutor::new(cfg, run_cfg(3)).run(vec![TaskBody::new(
+            |_| {},
+            overrunning_optional(),
+            |_| {},
+        )]);
+        // 2 ms of wind-up budget against ~µs-scale actual work: even
+        // unprivileged scheduling meets a 60 ms deadline — tolerate one
+        // CFS hiccup on loaded CI machines.
+        assert!(out.qos.deadline_misses() <= 1, "{}", out.qos);
+    }
+}

@@ -1,0 +1,316 @@
+//! The **practical imprecise computation model** — the paper's stated
+//! future work (§VII): tasks with *multiple mandatory parts*, each
+//! followed by its own (parallel) optional parts, generalizing the
+//! mandatory → optional → wind-up pipeline of the extended model
+//! (Chishiro & Yamasaki 2013, "Semi-Fixed-Priority Scheduling with
+//! Multiple Mandatory Parts").
+//!
+//! A practical task is a sequence of **stages**; stage *j* consists of a
+//! mandatory part `m_j` and the parallel optional parts that may run after
+//! it. The last stage's mandatory part plays the wind-up role (it may
+//! have no optional parts). A two-stage task with optional parts only in
+//! the first stage is exactly the parallel-extended model.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::task::{TaskSetError, TaskSpec};
+use crate::time::Span;
+
+/// One stage of a practical imprecise task: a mandatory part followed by
+/// zero or more parallel optional parts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    mandatory: Span,
+    optional: Vec<Span>,
+}
+
+impl Stage {
+    /// Creates a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskSetError::ZeroMandatory`] if the mandatory part is
+    /// zero.
+    pub fn new(mandatory: Span, optional: Vec<Span>) -> Result<Stage, TaskSetError> {
+        if mandatory.is_zero() {
+            return Err(TaskSetError::ZeroMandatory {
+                task: "<stage>".into(),
+            });
+        }
+        Ok(Stage {
+            mandatory,
+            optional,
+        })
+    }
+
+    /// The stage's mandatory WCET `m_j`.
+    #[inline]
+    pub fn mandatory(&self) -> Span {
+        self.mandatory
+    }
+
+    /// The stage's parallel optional parts.
+    #[inline]
+    pub fn optional_parts(&self) -> &[Span] {
+        &self.optional
+    }
+}
+
+/// A practical imprecise task: `N ≥ 1` stages within one period.
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::practical::{PracticalTaskSpec, Stage};
+/// use rtseed_model::Span;
+///
+/// // Three mandatory parts; optional analysis after the first two.
+/// let task = PracticalTaskSpec::new(
+///     "multi",
+///     Span::from_secs(1),
+///     vec![
+///         Stage::new(Span::from_millis(100), vec![Span::from_millis(500); 4])?,
+///         Stage::new(Span::from_millis(100), vec![Span::from_millis(500); 4])?,
+///         Stage::new(Span::from_millis(100), vec![])?,
+///     ],
+/// )?;
+/// assert_eq!(task.total_mandatory(), Span::from_millis(300));
+/// assert_eq!(task.stages().len(), 3);
+/// # Ok::<(), rtseed_model::TaskSetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PracticalTaskSpec {
+    name: String,
+    period: Span,
+    stages: Vec<Stage>,
+}
+
+impl PracticalTaskSpec {
+    /// Creates a practical task.
+    ///
+    /// # Errors
+    ///
+    /// * [`TaskSetError::Empty`] if `stages` is empty;
+    /// * [`TaskSetError::ZeroPeriod`] if the period is zero;
+    /// * [`TaskSetError::WcetExceedsPeriod`] if `Σ m_j > T`.
+    pub fn new(
+        name: impl Into<String>,
+        period: Span,
+        stages: Vec<Stage>,
+    ) -> Result<PracticalTaskSpec, TaskSetError> {
+        let name = name.into();
+        if stages.is_empty() {
+            return Err(TaskSetError::Empty);
+        }
+        if period.is_zero() {
+            return Err(TaskSetError::ZeroPeriod { task: name });
+        }
+        let total: Span = stages.iter().map(Stage::mandatory).sum();
+        if total > period {
+            return Err(TaskSetError::WcetExceedsPeriod { task: name });
+        }
+        Ok(PracticalTaskSpec {
+            name,
+            period,
+            stages,
+        })
+    }
+
+    /// The task's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Period (= relative deadline).
+    #[inline]
+    pub fn period(&self) -> Span {
+        self.period
+    }
+
+    /// Relative deadline (implicit-deadline model).
+    #[inline]
+    pub fn deadline(&self) -> Span {
+        self.period
+    }
+
+    /// The stages in execution order.
+    #[inline]
+    pub fn stages(&self) -> &[Stage] {
+        &self.stages
+    }
+
+    /// Total real-time demand `Σ m_j` (the schedulable WCET; optional
+    /// parts never count).
+    pub fn total_mandatory(&self) -> Span {
+        self.stages.iter().map(Stage::mandatory).sum()
+    }
+
+    /// Real-time utilization `Σ m_j / T`.
+    pub fn utilization(&self) -> f64 {
+        self.total_mandatory() / self.period
+    }
+
+    /// Mandatory demand of stages *after* `stage` (exclusive) — the work
+    /// that must still fit between `OD_j` and the deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn remaining_mandatory_after(&self, stage: usize) -> Span {
+        assert!(stage < self.stages.len(), "stage out of range");
+        self.stages[stage + 1..].iter().map(Stage::mandatory).sum()
+    }
+
+    /// Mandatory demand of stages up to and including `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn mandatory_through(&self, stage: usize) -> Span {
+        assert!(stage < self.stages.len(), "stage out of range");
+        self.stages[..=stage].iter().map(Stage::mandatory).sum()
+    }
+
+    /// Converts a two-stage practical task (optional parts only in the
+    /// first stage) into the equivalent parallel-extended [`TaskSpec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` if the task has more than two stages or the second
+    /// stage carries optional parts (not representable in the extended
+    /// model).
+    pub fn to_extended(&self) -> Option<TaskSpec> {
+        if self.stages.len() != 2 || !self.stages[1].optional.is_empty() {
+            return None;
+        }
+        let mut b = TaskSpec::builder(self.name.clone());
+        b.period(self.period)
+            .mandatory(self.stages[0].mandatory)
+            .windup(self.stages[1].mandatory);
+        for &o in &self.stages[0].optional {
+            b.optional_part(o);
+        }
+        b.build().ok()
+    }
+}
+
+impl fmt::Display for PracticalTaskSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}(T={}, stages={})",
+            self.name,
+            self.period,
+            self.stages.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Span {
+        Span::from_millis(v)
+    }
+
+    fn three_stage() -> PracticalTaskSpec {
+        PracticalTaskSpec::new(
+            "p",
+            ms(1000),
+            vec![
+                Stage::new(ms(100), vec![ms(500), ms(500)]).unwrap(),
+                Stage::new(ms(150), vec![ms(300)]).unwrap(),
+                Stage::new(ms(50), vec![]).unwrap(),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let t = three_stage();
+        assert_eq!(t.name(), "p");
+        assert_eq!(t.period(), ms(1000));
+        assert_eq!(t.deadline(), ms(1000));
+        assert_eq!(t.stages().len(), 3);
+        assert_eq!(t.total_mandatory(), ms(300));
+        assert!((t.utilization() - 0.3).abs() < 1e-12);
+        assert_eq!(t.stages()[0].optional_parts().len(), 2);
+    }
+
+    #[test]
+    fn remaining_and_through() {
+        let t = three_stage();
+        assert_eq!(t.remaining_mandatory_after(0), ms(200));
+        assert_eq!(t.remaining_mandatory_after(1), ms(50));
+        assert_eq!(t.remaining_mandatory_after(2), Span::ZERO);
+        assert_eq!(t.mandatory_through(0), ms(100));
+        assert_eq!(t.mandatory_through(2), ms(300));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            PracticalTaskSpec::new("x", ms(10), vec![]),
+            Err(TaskSetError::Empty)
+        ));
+        assert!(matches!(
+            PracticalTaskSpec::new("x", Span::ZERO, vec![Stage::new(ms(1), vec![]).unwrap()]),
+            Err(TaskSetError::ZeroPeriod { .. })
+        ));
+        assert!(matches!(
+            PracticalTaskSpec::new(
+                "x",
+                ms(10),
+                vec![Stage::new(ms(6), vec![]).unwrap(), Stage::new(ms(5), vec![]).unwrap()]
+            ),
+            Err(TaskSetError::WcetExceedsPeriod { .. })
+        ));
+        assert!(matches!(
+            Stage::new(Span::ZERO, vec![]),
+            Err(TaskSetError::ZeroMandatory { .. })
+        ));
+    }
+
+    #[test]
+    fn two_stage_converts_to_extended() {
+        let t = PracticalTaskSpec::new(
+            "conv",
+            ms(1000),
+            vec![
+                Stage::new(ms(250), vec![ms(1000); 4]).unwrap(),
+                Stage::new(ms(250), vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+        let ext = t.to_extended().unwrap();
+        assert_eq!(ext.mandatory(), ms(250));
+        assert_eq!(ext.windup(), ms(250));
+        assert_eq!(ext.optional_count(), 4);
+    }
+
+    #[test]
+    fn three_stage_does_not_convert() {
+        assert!(three_stage().to_extended().is_none());
+        // Nor does a two-stage with optional in the final stage.
+        let t = PracticalTaskSpec::new(
+            "bad",
+            ms(1000),
+            vec![
+                Stage::new(ms(100), vec![]).unwrap(),
+                Stage::new(ms(100), vec![ms(10)]).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(t.to_extended().is_none());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(three_stage().to_string(), "p(T=1s, stages=3)");
+    }
+}

@@ -1,0 +1,280 @@
+//! QoS accounting for imprecise computation.
+//!
+//! The paper's QoS notion (§II-A): "the longer the optional part of each
+//! task takes to execute, the higher its QoS is". We record, per job, how
+//! much optional execution each parallel optional part achieved and its
+//! terminal [`OptionalOutcome`], and summarize across jobs.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::JobId;
+use crate::state::OptionalOutcome;
+use crate::time::Span;
+
+/// Per-job QoS record: one entry per parallel optional part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosRecord {
+    /// The job this record describes.
+    pub job: JobId,
+    /// `(achieved execution, outcome)` for each parallel optional part, in
+    /// part order.
+    pub parts: Vec<(Span, OptionalOutcome)>,
+    /// Whether the wind-up part met the job's deadline.
+    pub deadline_met: bool,
+}
+
+impl QosRecord {
+    /// Total optional execution achieved by this job.
+    pub fn achieved(&self) -> Span {
+        self.parts.iter().map(|(s, _)| *s).sum()
+    }
+
+    /// Number of parts with each outcome `(completed, terminated, discarded)`.
+    pub fn outcome_counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for (_, o) in &self.parts {
+            match o {
+                OptionalOutcome::Completed => c.0 += 1,
+                OptionalOutcome::Terminated => c.1 += 1,
+                OptionalOutcome::Discarded => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// QoS ratio of this job: achieved optional execution divided by
+    /// requested optional execution (`Σ oᵢ,ₖ`). 1.0 when `requested` is
+    /// zero (a job with no optional work trivially has full QoS).
+    pub fn ratio(&self, requested: Span) -> f64 {
+        if requested.is_zero() {
+            1.0
+        } else {
+            self.achieved() / requested
+        }
+    }
+}
+
+/// Aggregated QoS across many jobs.
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::{JobId, QosRecord, QosSummary, Span, TaskId};
+/// use rtseed_model::OptionalOutcome::*;
+/// let rec = QosRecord {
+///     job: JobId { task: TaskId(0), seq: 0 },
+///     parts: vec![(Span::from_millis(300), Completed), (Span::from_millis(100), Terminated)],
+///     deadline_met: true,
+/// };
+/// let mut sum = QosSummary::new();
+/// sum.record(&rec, Span::from_millis(400));
+/// assert_eq!(sum.jobs(), 1);
+/// assert!((sum.mean_ratio() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QosSummary {
+    jobs: u64,
+    deadline_misses: u64,
+    completed: u64,
+    terminated: u64,
+    discarded: u64,
+    achieved_total: Span,
+    requested_total: Span,
+    ratio_sum: f64,
+}
+
+impl QosSummary {
+    /// An empty summary.
+    pub fn new() -> QosSummary {
+        QosSummary::default()
+    }
+
+    /// Folds one job record into the summary. `requested` is the job's total
+    /// requested optional execution `Σ oᵢ,ₖ`.
+    pub fn record(&mut self, rec: &QosRecord, requested: Span) {
+        self.jobs += 1;
+        if !rec.deadline_met {
+            self.deadline_misses += 1;
+        }
+        let (c, t, d) = rec.outcome_counts();
+        self.completed += c as u64;
+        self.terminated += t as u64;
+        self.discarded += d as u64;
+        self.achieved_total += rec.achieved();
+        self.requested_total += requested;
+        self.ratio_sum += rec.ratio(requested);
+    }
+
+    /// Number of jobs recorded.
+    #[inline]
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Number of jobs whose wind-up part missed its deadline.
+    #[inline]
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Optional parts completed / terminated / discarded across all jobs.
+    #[inline]
+    pub fn outcome_totals(&self) -> (u64, u64, u64) {
+        (self.completed, self.terminated, self.discarded)
+    }
+
+    /// Total optional execution achieved.
+    #[inline]
+    pub fn achieved_total(&self) -> Span {
+        self.achieved_total
+    }
+
+    /// Total optional execution requested.
+    #[inline]
+    pub fn requested_total(&self) -> Span {
+        self.requested_total
+    }
+
+    /// Mean per-job QoS ratio (1.0 if no jobs were recorded).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.jobs == 0 {
+            1.0
+        } else {
+            self.ratio_sum / self.jobs as f64
+        }
+    }
+
+    /// Aggregate QoS ratio: total achieved / total requested.
+    pub fn aggregate_ratio(&self) -> f64 {
+        if self.requested_total.is_zero() {
+            1.0
+        } else {
+            self.achieved_total / self.requested_total
+        }
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &QosSummary) {
+        self.jobs += other.jobs;
+        self.deadline_misses += other.deadline_misses;
+        self.completed += other.completed;
+        self.terminated += other.terminated;
+        self.discarded += other.discarded;
+        self.achieved_total += other.achieved_total;
+        self.requested_total += other.requested_total;
+        self.ratio_sum += other.ratio_sum;
+    }
+}
+
+impl fmt::Display for QosSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} jobs, {} misses, parts C/T/D = {}/{}/{}, QoS {:.3}",
+            self.jobs,
+            self.deadline_misses,
+            self.completed,
+            self.terminated,
+            self.discarded,
+            self.aggregate_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::TaskId;
+
+    fn job(seq: u64) -> JobId {
+        JobId {
+            task: TaskId(0),
+            seq,
+        }
+    }
+
+    fn rec(seq: u64, parts: Vec<(Span, OptionalOutcome)>, met: bool) -> QosRecord {
+        QosRecord {
+            job: job(seq),
+            parts,
+            deadline_met: met,
+        }
+    }
+
+    #[test]
+    fn record_accounting() {
+        let r = rec(
+            0,
+            vec![
+                (Span::from_millis(10), OptionalOutcome::Completed),
+                (Span::from_millis(5), OptionalOutcome::Terminated),
+                (Span::ZERO, OptionalOutcome::Discarded),
+            ],
+            true,
+        );
+        assert_eq!(r.achieved(), Span::from_millis(15));
+        assert_eq!(r.outcome_counts(), (1, 1, 1));
+        assert!((r.ratio(Span::from_millis(30)) - 0.5).abs() < 1e-12);
+        assert!((r.ratio(Span::ZERO) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_aggregates() {
+        let mut s = QosSummary::new();
+        s.record(
+            &rec(0, vec![(Span::from_millis(10), OptionalOutcome::Completed)], true),
+            Span::from_millis(10),
+        );
+        s.record(
+            &rec(1, vec![(Span::from_millis(5), OptionalOutcome::Terminated)], false),
+            Span::from_millis(10),
+        );
+        assert_eq!(s.jobs(), 2);
+        assert_eq!(s.deadline_misses(), 1);
+        assert_eq!(s.outcome_totals(), (1, 1, 0));
+        assert_eq!(s.achieved_total(), Span::from_millis(15));
+        assert_eq!(s.requested_total(), Span::from_millis(20));
+        assert!((s.mean_ratio() - 0.75).abs() < 1e-12);
+        assert!((s.aggregate_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary_has_full_qos() {
+        let s = QosSummary::new();
+        assert_eq!(s.jobs(), 0);
+        assert!((s.mean_ratio() - 1.0).abs() < 1e-12);
+        assert!((s.aggregate_ratio() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = QosSummary::new();
+        let mut b = QosSummary::new();
+        a.record(
+            &rec(0, vec![(Span::from_millis(10), OptionalOutcome::Completed)], true),
+            Span::from_millis(10),
+        );
+        b.record(
+            &rec(1, vec![(Span::ZERO, OptionalOutcome::Discarded)], true),
+            Span::from_millis(10),
+        );
+        a.merge(&b);
+        assert_eq!(a.jobs(), 2);
+        assert_eq!(a.outcome_totals(), (1, 0, 1));
+        assert!((a.aggregate_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let mut s = QosSummary::new();
+        s.record(
+            &rec(0, vec![(Span::from_millis(10), OptionalOutcome::Completed)], true),
+            Span::from_millis(10),
+        );
+        let out = s.to_string();
+        assert!(out.contains("1 jobs"), "{out}");
+        assert!(out.contains("QoS 1.000"), "{out}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Job- and part-level state machines for the parallel-extended imprecise
+//! computation model (paper Fig. 1 and §III).
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Which of a task's three part kinds is meant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartKind {
+    /// The real-time first part (mᵢ).
+    Mandatory,
+    /// A non-real-time parallel optional part (oᵢ,ₖ).
+    Optional,
+    /// The real-time second ("wind-up") part (wᵢ).
+    Windup,
+}
+
+impl PartKind {
+    /// `true` for the real-time parts (mandatory and wind-up), which alone
+    /// count towards schedulability.
+    #[inline]
+    pub const fn is_real_time(self) -> bool {
+        matches!(self, PartKind::Mandatory | PartKind::Windup)
+    }
+}
+
+impl fmt::Display for PartKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PartKind::Mandatory => "mandatory",
+            PartKind::Optional => "optional",
+            PartKind::Windup => "wind-up",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Terminal state of one parallel optional part (paper Fig. 1: each part is
+/// completed, terminated or discarded *independently*).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptionalOutcome {
+    /// Ran to completion before the optional deadline: full QoS.
+    Completed,
+    /// Was running at the optional deadline and was cut short: partial QoS.
+    Terminated,
+    /// Never started (mandatory part finished too late to leave any time):
+    /// zero QoS.
+    Discarded,
+}
+
+impl OptionalOutcome {
+    /// `true` if the part contributed any QoS (completed or terminated).
+    #[inline]
+    pub const fn executed(self) -> bool {
+        !matches!(self, OptionalOutcome::Discarded)
+    }
+}
+
+impl fmt::Display for OptionalOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptionalOutcome::Completed => "completed",
+            OptionalOutcome::Terminated => "terminated",
+            OptionalOutcome::Discarded => "discarded",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Phase of one job of a parallel-extended imprecise task as it moves
+/// through semi-fixed-priority scheduling (paper §III).
+///
+/// Legal transitions (enforced by [`JobPhase::can_transition_to`]):
+///
+/// ```text
+/// Released ─► MandatoryRunning ─► OptionalRunning ─► WindupRunning ─► Done
+///                    │                                    ▲
+///                    └──────────── (late mandatory) ──────┘
+/// ```
+///
+/// A job whose mandatory part completes *after* the optional deadline skips
+/// `OptionalRunning` entirely (its optional parts are discarded, §II-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Released, mandatory part not yet started.
+    Released,
+    /// Mandatory part executing (RTQ).
+    MandatoryRunning,
+    /// Parallel optional parts executing (NRTQ); mandatory complete.
+    OptionalRunning,
+    /// Wind-up part executing (RTQ); released at the optional deadline or at
+    /// late mandatory completion.
+    WindupRunning,
+    /// Wind-up complete; job sleeps until its next release (SQ).
+    Done,
+}
+
+impl JobPhase {
+    /// Whether the transition `self → next` is legal in the
+    /// semi-fixed-priority part state machine.
+    pub const fn can_transition_to(self, next: JobPhase) -> bool {
+        matches!(
+            (self, next),
+            (JobPhase::Released, JobPhase::MandatoryRunning)
+                | (JobPhase::MandatoryRunning, JobPhase::OptionalRunning)
+                | (JobPhase::MandatoryRunning, JobPhase::WindupRunning)
+                | (JobPhase::OptionalRunning, JobPhase::WindupRunning)
+                | (JobPhase::WindupRunning, JobPhase::Done)
+        )
+    }
+
+    /// The two *semi-fixed* priority-change points of §III: entering the
+    /// optional phase (priority drops to the optional band) and entering the
+    /// wind-up phase (priority rises back to the mandatory band).
+    pub const fn is_priority_change(self, next: JobPhase) -> bool {
+        matches!(
+            (self, next),
+            (JobPhase::MandatoryRunning, JobPhase::OptionalRunning)
+                | (JobPhase::OptionalRunning, JobPhase::WindupRunning)
+                | (JobPhase::MandatoryRunning, JobPhase::WindupRunning)
+        )
+    }
+}
+
+impl fmt::Display for JobPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JobPhase::Released => "released",
+            JobPhase::MandatoryRunning => "mandatory-running",
+            JobPhase::OptionalRunning => "optional-running",
+            JobPhase::WindupRunning => "windup-running",
+            JobPhase::Done => "done",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_parts() {
+        assert!(PartKind::Mandatory.is_real_time());
+        assert!(PartKind::Windup.is_real_time());
+        assert!(!PartKind::Optional.is_real_time());
+    }
+
+    #[test]
+    fn optional_outcome_executed() {
+        assert!(OptionalOutcome::Completed.executed());
+        assert!(OptionalOutcome::Terminated.executed());
+        assert!(!OptionalOutcome::Discarded.executed());
+    }
+
+    #[test]
+    fn happy_path_transitions() {
+        use JobPhase::*;
+        let path = [Released, MandatoryRunning, OptionalRunning, WindupRunning, Done];
+        for w in path.windows(2) {
+            assert!(w[0].can_transition_to(w[1]), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn late_mandatory_skips_optional() {
+        assert!(JobPhase::MandatoryRunning.can_transition_to(JobPhase::WindupRunning));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        use JobPhase::*;
+        assert!(!Released.can_transition_to(OptionalRunning));
+        assert!(!Released.can_transition_to(WindupRunning));
+        assert!(!OptionalRunning.can_transition_to(MandatoryRunning));
+        assert!(!WindupRunning.can_transition_to(OptionalRunning));
+        assert!(!Done.can_transition_to(Released)); // next job is a new phase value
+        assert!(!MandatoryRunning.can_transition_to(MandatoryRunning));
+    }
+
+    #[test]
+    fn exactly_the_semi_fixed_priority_changes() {
+        use JobPhase::*;
+        // Paper §III: priority changes in exactly two situations (the late
+        // mandatory → wind-up case is variant (ii) happening early).
+        assert!(MandatoryRunning.is_priority_change(OptionalRunning));
+        assert!(OptionalRunning.is_priority_change(WindupRunning));
+        assert!(MandatoryRunning.is_priority_change(WindupRunning));
+        assert!(!Released.is_priority_change(MandatoryRunning));
+        assert!(!WindupRunning.is_priority_change(Done));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(PartKind::Windup.to_string(), "wind-up");
+        assert_eq!(OptionalOutcome::Discarded.to_string(), "discarded");
+        assert_eq!(JobPhase::OptionalRunning.to_string(), "optional-running");
+    }
+}

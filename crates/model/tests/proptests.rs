@@ -1,0 +1,97 @@
+//! Property-based tests for the foundational types.
+
+use proptest::prelude::*;
+use rtseed_model::{Priority, Span, Time, Topology};
+
+proptest! {
+    #[test]
+    fn span_add_sub_roundtrip(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+        let (sa, sb) = (Span::from_nanos(a), Span::from_nanos(b));
+        prop_assert_eq!((sa + sb) - sb, sa);
+        prop_assert_eq!((sa + sb) - sa, sb);
+    }
+
+    #[test]
+    fn span_ordering_matches_nanos(a in any::<u64>(), b in any::<u64>()) {
+        let (sa, sb) = (Span::from_nanos(a), Span::from_nanos(b));
+        prop_assert_eq!(sa.cmp(&sb), a.cmp(&b));
+    }
+
+    #[test]
+    fn span_div_ceil_bounds(r in 1u64..u64::MAX / 4, t in 1u64..u64::MAX / 4) {
+        let jobs = Span::from_nanos(r).div_ceil(Span::from_nanos(t));
+        // ⌈r/t⌉ satisfies (jobs − 1)·t < r ≤ jobs·t.
+        prop_assert!(jobs * t >= r);
+        prop_assert!((jobs - 1).saturating_mul(t) < r || r == 0);
+    }
+
+    #[test]
+    fn span_saturating_sub_never_underflows(a in any::<u64>(), b in any::<u64>()) {
+        let res = Span::from_nanos(a).saturating_sub(Span::from_nanos(b));
+        prop_assert_eq!(res.as_nanos(), a.saturating_sub(b));
+    }
+
+    #[test]
+    fn time_elapsed_inverse_of_add(base in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 2) {
+        let t0 = Time::from_nanos(base);
+        let t1 = t0 + Span::from_nanos(d);
+        prop_assert_eq!(t1.elapsed_since(t0), Span::from_nanos(d));
+        prop_assert_eq!(t0.saturating_elapsed_since(t1), Span::ZERO);
+    }
+
+    #[test]
+    fn priority_valid_range_roundtrips(level in 1u8..=99) {
+        let p = Priority::new(level).unwrap();
+        prop_assert_eq!(p.level(), level);
+        if p.is_mandatory_band() {
+            let o = p.optional_counterpart().unwrap();
+            prop_assert!(o.is_optional_band());
+            prop_assert_eq!(o.mandatory_counterpart().unwrap(), p);
+            prop_assert_eq!(p.level() - o.level(), Priority::MANDATORY_OPTIONAL_GAP);
+        }
+    }
+
+    #[test]
+    fn priority_invalid_rejected(level in prop_oneof![Just(0u8), 100u8..=255]) {
+        prop_assert!(Priority::new(level).is_err());
+    }
+
+    #[test]
+    fn topology_core_slot_bijection(cores in 1u32..128, smt in 1u32..8) {
+        let topo = Topology::new(cores, smt).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for hw in topo.hw_thread_ids() {
+            let core = topo.core_of(hw);
+            let slot = topo.slot_of(hw);
+            prop_assert!(core.0 < cores);
+            prop_assert!(slot < smt);
+            prop_assert_eq!(topo.hw_thread(core, slot), hw);
+            prop_assert!(seen.insert((core, slot)));
+        }
+        prop_assert_eq!(seen.len() as u32, topo.hw_threads());
+    }
+
+    #[test]
+    fn siblings_partition_hw_threads(cores in 1u32..32, smt in 1u32..8) {
+        let topo = Topology::new(cores, smt).unwrap();
+        for hw in topo.hw_thread_ids() {
+            let sibs: Vec<_> = topo.siblings(hw).collect();
+            prop_assert_eq!(sibs.len() as u32, smt);
+            prop_assert!(sibs.contains(&hw));
+            for s in sibs {
+                prop_assert_eq!(topo.core_of(s), topo.core_of(hw));
+            }
+        }
+    }
+
+    #[test]
+    fn mul_f64_monotone(ns in 0u64..1_000_000_000_000, k in 0.0f64..10.0) {
+        let s = Span::from_nanos(ns);
+        let scaled = s.mul_f64(k);
+        if k >= 1.0 {
+            prop_assert!(scaled >= s.mul_f64(1.0).min(s));
+        } else {
+            prop_assert!(scaled <= s + Span::from_nanos(1));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Deterministic discrete-event queue.
+//!
+//! A thin wrapper over [`std::collections::BinaryHeap`] that delivers
+//! events in time order, breaking ties by insertion order (FIFO), which is
+//! what makes whole-simulation runs reproducible byte-for-byte across
+//! repeats and platforms.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rtseed_model::Time;
+
+/// A time-ordered event queue with stable FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::Time;
+/// use rtseed_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Time::from_nanos(20), "late");
+/// q.push(Time::from_nanos(10), "early-a");
+/// q.push(Time::from_nanos(10), "early-b");
+/// assert_eq!(q.pop(), Some((Time::from_nanos(10), "early-a")));
+/// assert_eq!(q.pop(), Some((Time::from_nanos(10), "early-b")));
+/// assert_eq!(q.pop(), Some((Time::from_nanos(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Entry<T>>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Time,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> EventQueue<T> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at instant `at`.
+    pub fn push(&mut self, at: Time, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { at, seq, payload }));
+    }
+
+    /// Removes and returns the earliest event, FIFO among equals.
+    pub fn pop(&mut self) -> Option<(Time, T)> {
+        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+    }
+
+    /// The instant of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn orders_by_time() {
+        let mut q = EventQueue::new();
+        q.push(t(30), 3);
+        q.push(t(10), 1);
+        q.push(t(20), 2);
+        assert_eq!(q.pop(), Some((t(10), 1)));
+        assert_eq!(q.pop(), Some((t(20), 2)));
+        assert_eq!(q.pop(), Some((t(30), 3)));
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(t(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.push(t(10), "a");
+        q.push(t(5), "b");
+        assert_eq!(q.pop(), Some((t(5), "b")));
+        q.push(t(7), "c");
+        q.push(t(7), "d");
+        assert_eq!(q.pop(), Some((t(7), "c")));
+        assert_eq!(q.pop(), Some((t(7), "d")));
+        assert_eq!(q.pop(), Some((t(10), "a")));
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(t(42), ());
+        q.push(t(7), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(t(7)));
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,43 @@
+//! # rtseed-sim
+//!
+//! Discrete-event many-core simulation substrate for RT-Seed.
+//!
+//! The paper evaluates RT-Seed on a 228-hardware-thread Xeon Phi that this
+//! reproduction environment does not have, so this crate provides the
+//! machine model the middleware runs on instead:
+//!
+//! * a deterministic **event queue** ([`eventq`]) with stable FIFO ordering
+//!   of simultaneous events,
+//! * per-hardware-thread **SCHED_FIFO ready queues** ([`readyq`]) mirroring
+//!   Linux's 99 priority levels with FIFO order within a level (paper
+//!   Fig. 5's "double circular linked list" queues),
+//! * one-shot **optional-deadline timers** with cancellation ([`timer`],
+//!   the `timer_settime` analogue of paper Fig. 7),
+//! * the three **background loads** of §V-B (`NoLoad`, `CpuLoad`,
+//!   `CpuMemoryLoad`) ([`load`]),
+//! * a calibrated **overhead/contention model** ([`overhead`]) producing the
+//!   four overheads of Fig. 9 (Δm, Δb, Δs, Δe) from mechanistic inputs
+//!   (number of parallel optional parts, distinct cores touched, SMT
+//!   occupancy, cache pollution), and
+//! * an execution **trace** ([`trace`]) for tests and visualization.
+//!
+//! The middleware crate (`rtseed`) drives this machine with the *same*
+//! scheduler state machine it uses on real Linux; only the clock and the
+//! cost of each primitive differ.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod eventq;
+pub mod load;
+pub mod overhead;
+pub mod readyq;
+pub mod timer;
+pub mod trace;
+
+pub use eventq::EventQueue;
+pub use load::BackgroundLoad;
+pub use overhead::{Calibration, OverheadKind, OverheadModel, OverheadSample};
+pub use readyq::FifoReadyQueue;
+pub use timer::{TimerHandle, TimerWheel};
+pub use trace::{Trace, TraceEvent};

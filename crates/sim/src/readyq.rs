@@ -1,0 +1,255 @@
+//! Linux SCHED_FIFO ready-queue semantics (paper Fig. 5).
+//!
+//! Each processor in the kernel owns 99 FIFO queues, one per priority
+//! level, with larger levels scheduled first. RT-Seed's four logical queues
+//! (HPQ / RTQ / NRTQ / SQ) map onto priority *bands* of this structure plus
+//! a sleep set; this module implements the kernel-side structure exactly:
+//! enqueue at tail, dequeue from head of the highest non-empty level, and
+//! `sched_yield`-style head-to-tail rotation.
+
+use std::collections::VecDeque;
+
+use rtseed_model::Priority;
+
+/// A 99-level FIFO ready queue for values of type `T` (thread identifiers).
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::Priority;
+/// use rtseed_sim::FifoReadyQueue;
+///
+/// let mut q = FifoReadyQueue::new();
+/// q.enqueue(Priority::new(50).unwrap(), "mandatory");
+/// q.enqueue(Priority::new(1).unwrap(), "optional");
+/// // The mandatory band always wins.
+/// assert_eq!(q.dequeue_highest(), Some((Priority::new(50).unwrap(), "mandatory")));
+/// assert_eq!(q.dequeue_highest(), Some((Priority::new(1).unwrap(), "optional")));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FifoReadyQueue<T> {
+    // Index 0 ⇒ priority level 1 … index 98 ⇒ level 99.
+    levels: Vec<VecDeque<T>>,
+    len: usize,
+}
+
+impl<T> FifoReadyQueue<T> {
+    /// An empty ready queue.
+    pub fn new() -> FifoReadyQueue<T> {
+        FifoReadyQueue {
+            levels: (0..99).map(|_| VecDeque::new()).collect(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(prio: Priority) -> usize {
+        (prio.level() - 1) as usize
+    }
+
+    /// Appends `value` at the tail of its priority level's FIFO.
+    pub fn enqueue(&mut self, prio: Priority, value: T) {
+        self.levels[Self::slot(prio)].push_back(value);
+        self.len += 1;
+    }
+
+    /// Pushes `value` at the *head* of its priority level's FIFO — the
+    /// SCHED_FIFO rule for a preempted thread: it resumes before any equal-
+    /// priority thread that was queued behind it.
+    pub fn enqueue_front(&mut self, prio: Priority, value: T) {
+        self.levels[Self::slot(prio)].push_front(value);
+        self.len += 1;
+    }
+
+    /// Pops the head of the highest non-empty priority level.
+    pub fn dequeue_highest(&mut self) -> Option<(Priority, T)> {
+        for level in (0..99usize).rev() {
+            if let Some(v) = self.levels[level].pop_front() {
+                self.len -= 1;
+                let prio = Priority::new((level + 1) as u8).expect("level in range");
+                return Some((prio, v));
+            }
+        }
+        None
+    }
+
+    /// The priority of the highest-priority queued value, without removing
+    /// it.
+    pub fn peek_highest_priority(&self) -> Option<Priority> {
+        (0..99usize)
+            .rev()
+            .find(|&l| !self.levels[l].is_empty())
+            .map(|l| Priority::new((l + 1) as u8).expect("level in range"))
+    }
+
+    /// `sched_yield` semantics: moves the head of `prio`'s FIFO to its
+    /// tail. Returns `false` if the level had fewer than two entries (a
+    /// yield with no one to yield to is a no-op, like the syscall).
+    pub fn rotate(&mut self, prio: Priority) -> bool {
+        let q = &mut self.levels[Self::slot(prio)];
+        if q.len() < 2 {
+            return false;
+        }
+        let head = q.pop_front().expect("checked non-empty");
+        q.push_back(head);
+        true
+    }
+
+    /// Number of queued values across all levels.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no values are queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of values queued at exactly `prio`.
+    pub fn len_at(&self, prio: Priority) -> usize {
+        self.levels[Self::slot(prio)].len()
+    }
+
+    /// Iterates over the values queued at `prio` in FIFO order.
+    pub fn iter_at(&self, prio: Priority) -> impl Iterator<Item = &T> {
+        self.levels[Self::slot(prio)].iter()
+    }
+}
+
+impl<T: PartialEq> FifoReadyQueue<T> {
+    /// Removes the first occurrence of `value` at level `prio`. Returns
+    /// `true` if found (the kernel's dequeue-on-block/destroy path).
+    pub fn remove(&mut self, prio: Priority, value: &T) -> bool {
+        let q = &mut self.levels[Self::slot(prio)];
+        if let Some(pos) = q.iter().position(|v| v == value) {
+            q.remove(pos);
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<T> Default for FifoReadyQueue<T> {
+    fn default() -> Self {
+        FifoReadyQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(l: u8) -> Priority {
+        Priority::new(l).unwrap()
+    }
+
+    #[test]
+    fn highest_priority_first() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(10), 'a');
+        q.enqueue(p(99), 'b');
+        q.enqueue(p(50), 'c');
+        assert_eq!(q.dequeue_highest(), Some((p(99), 'b')));
+        assert_eq!(q.dequeue_highest(), Some((p(50), 'c')));
+        assert_eq!(q.dequeue_highest(), Some((p(10), 'a')));
+        assert_eq!(q.dequeue_highest(), None);
+    }
+
+    #[test]
+    fn fifo_within_a_level() {
+        let mut q = FifoReadyQueue::new();
+        for i in 0..10 {
+            q.enqueue(p(42), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.dequeue_highest(), Some((p(42), i)));
+        }
+    }
+
+    #[test]
+    fn rotate_moves_head_to_tail() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(7), 'x');
+        assert!(!q.rotate(p(7)), "single entry: yield is a no-op");
+        q.enqueue(p(7), 'y');
+        assert!(q.rotate(p(7)));
+        assert_eq!(q.dequeue_highest(), Some((p(7), 'y')));
+        assert_eq!(q.dequeue_highest(), Some((p(7), 'x')));
+    }
+
+    #[test]
+    fn rotate_empty_level_is_noop() {
+        let mut q: FifoReadyQueue<u8> = FifoReadyQueue::new();
+        assert!(!q.rotate(p(3)));
+    }
+
+    #[test]
+    fn remove_specific_value() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(5), 'a');
+        q.enqueue(p(5), 'b');
+        q.enqueue(p(5), 'a');
+        assert!(q.remove(p(5), &'a'));
+        assert_eq!(q.len(), 2);
+        // Only the first occurrence is removed.
+        assert_eq!(q.dequeue_highest(), Some((p(5), 'b')));
+        assert_eq!(q.dequeue_highest(), Some((p(5), 'a')));
+        assert!(!q.remove(p(5), &'z'));
+    }
+
+    #[test]
+    fn peek_and_len_at() {
+        let mut q = FifoReadyQueue::new();
+        assert_eq!(q.peek_highest_priority(), None);
+        q.enqueue(p(20), 1);
+        q.enqueue(p(20), 2);
+        q.enqueue(p(60), 3);
+        assert_eq!(q.peek_highest_priority(), Some(p(60)));
+        assert_eq!(q.len_at(p(20)), 2);
+        assert_eq!(q.len_at(p(60)), 1);
+        assert_eq!(q.len_at(p(99)), 0);
+        assert_eq!(q.iter_at(p(20)).copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bands_never_invert() {
+        // Optional-band work (1–49) must never be chosen over
+        // mandatory-band work (50–98) or HPQ (99).
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(49), "optional-max");
+        q.enqueue(p(50), "mandatory-min");
+        q.enqueue(p(99), "hpq");
+        assert_eq!(q.dequeue_highest().unwrap().1, "hpq");
+        assert_eq!(q.dequeue_highest().unwrap().1, "mandatory-min");
+        assert_eq!(q.dequeue_highest().unwrap().1, "optional-max");
+    }
+
+    #[test]
+    fn enqueue_front_preempted_resumes_first() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(30), "waiter");
+        // A preempted thread is put back at the head of its level.
+        q.enqueue_front(p(30), "preempted");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.dequeue_highest(), Some((p(30), "preempted")));
+        assert_eq!(q.dequeue_highest(), Some((p(30), "waiter")));
+    }
+
+    #[test]
+    fn len_tracks_operations() {
+        let mut q = FifoReadyQueue::new();
+        assert!(q.is_empty());
+        q.enqueue(p(1), 0);
+        q.enqueue(p(99), 1);
+        assert_eq!(q.len(), 2);
+        q.dequeue_highest();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.dequeue_highest();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,214 @@
+//! One-shot timers with cancellation — the simulator analogue of the
+//! POSIX `timer_create` / `timer_settime(TIMER_ABSTIME)` /
+//! `timer_settime(…, 0, &stop, …)` sequence the middleware uses for
+//! optional-deadline timers (paper Fig. 7).
+//!
+//! Cancellation is implemented by generation counting: `cancel` bumps the
+//! handle's generation so an already-scheduled expiry is recognized as
+//! stale when it fires, exactly like stopping a one-shot POSIX timer whose
+//! signal may already be in flight.
+
+use rtseed_model::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::eventq::EventQueue;
+
+/// Identifies one armed timer instance (timer id + arming generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimerHandle {
+    id: u32,
+    generation: u32,
+}
+
+impl TimerHandle {
+    /// The underlying timer id (stable across re-arms of the same timer).
+    #[inline]
+    pub fn timer_id(self) -> u32 {
+        self.id
+    }
+}
+
+/// A set of one-shot timers multiplexed onto an [`EventQueue`].
+///
+/// `T` is the payload delivered on expiry (e.g. "terminate the optional
+/// parts of job J").
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::Time;
+/// use rtseed_sim::TimerWheel;
+///
+/// let mut w = TimerWheel::new();
+/// let h = w.arm(Time::from_nanos(100), "optional deadline");
+/// // Completing early stops the timer, like timer_settime(…, 0, &stop, …).
+/// w.cancel(h);
+/// assert_eq!(w.pop_expired(Time::from_nanos(200)), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimerWheel<T> {
+    queue: EventQueue<(TimerHandle, T)>,
+    generations: Vec<u32>,
+    armed: Vec<bool>,
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty timer wheel.
+    pub fn new() -> TimerWheel<T> {
+        TimerWheel {
+            queue: EventQueue::new(),
+            generations: Vec::new(),
+            armed: Vec::new(),
+        }
+    }
+
+    /// Arms a fresh one-shot timer expiring at `at` with `payload`.
+    pub fn arm(&mut self, at: Time, payload: T) -> TimerHandle {
+        let id = self.generations.len() as u32;
+        self.generations.push(0);
+        self.armed.push(true);
+        let handle = TimerHandle { id, generation: 0 };
+        self.queue.push(at, (handle, payload));
+        handle
+    }
+
+    /// Re-arms an existing timer id (bumping its generation so any stale
+    /// expiry is ignored) to expire at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's id was never issued by this wheel.
+    pub fn rearm(&mut self, handle: TimerHandle, at: Time, payload: T) -> TimerHandle {
+        let idx = handle.id as usize;
+        self.generations[idx] += 1;
+        self.armed[idx] = true;
+        let new = TimerHandle {
+            id: handle.id,
+            generation: self.generations[idx],
+        };
+        self.queue.push(at, (new, payload));
+        new
+    }
+
+    /// Stops a one-shot timer. Expiries already queued for this handle are
+    /// discarded when they surface. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's id was never issued by this wheel.
+    pub fn cancel(&mut self, handle: TimerHandle) {
+        let idx = handle.id as usize;
+        if self.generations[idx] == handle.generation {
+            self.armed[idx] = false;
+        }
+    }
+
+    /// Pops the next *live* expiry at or before `now`, skipping cancelled
+    /// and stale entries. Returns `(expiry time, payload)`.
+    pub fn pop_expired(&mut self, now: Time) -> Option<(Time, T)> {
+        while let Some(at) = self.queue.peek_time() {
+            if at > now {
+                return None;
+            }
+            let (at, (h, payload)) = self.queue.pop().expect("peeked");
+            let idx = h.id as usize;
+            if self.armed[idx] && self.generations[idx] == h.generation {
+                self.armed[idx] = false; // one-shot
+                return Some((at, payload));
+            }
+        }
+        None
+    }
+
+    /// The earliest pending expiry instant (live or stale — callers use it
+    /// only as a lower bound for time advancement).
+    pub fn next_expiry(&self) -> Option<Time> {
+        self.queue.peek_time()
+    }
+
+    /// `true` if the given handle is still armed (not expired, not
+    /// cancelled, not superseded by a re-arm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle's id was never issued by this wheel.
+    pub fn is_armed(&self, handle: TimerHandle) -> bool {
+        let idx = handle.id as usize;
+        self.armed[idx] && self.generations[idx] == handle.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn fires_at_expiry() {
+        let mut w = TimerWheel::new();
+        let h = w.arm(t(100), "x");
+        assert!(w.is_armed(h));
+        assert_eq!(w.pop_expired(t(99)), None);
+        assert_eq!(w.pop_expired(t(100)), Some((t(100), "x")));
+        assert!(!w.is_armed(h));
+        // One-shot: does not fire again.
+        assert_eq!(w.pop_expired(t(1000)), None);
+    }
+
+    #[test]
+    fn cancel_suppresses_expiry() {
+        let mut w = TimerWheel::new();
+        let h = w.arm(t(50), 1);
+        w.cancel(h);
+        assert!(!w.is_armed(h));
+        assert_eq!(w.pop_expired(t(100)), None);
+        // Idempotent.
+        w.cancel(h);
+    }
+
+    #[test]
+    fn rearm_supersedes_old_expiry() {
+        let mut w = TimerWheel::new();
+        let h0 = w.arm(t(50), "old");
+        let h1 = w.rearm(h0, t(80), "new");
+        assert!(!w.is_armed(h0));
+        assert!(w.is_armed(h1));
+        // The stale t=50 entry is skipped; the live one fires at 80.
+        assert_eq!(w.pop_expired(t(100)), Some((t(80), "new")));
+    }
+
+    #[test]
+    fn cancel_old_handle_does_not_kill_rearmed() {
+        let mut w = TimerWheel::new();
+        let h0 = w.arm(t(50), "old");
+        let h1 = w.rearm(h0, t(60), "new");
+        w.cancel(h0); // stale handle: no effect on the new arming
+        assert!(w.is_armed(h1));
+        assert_eq!(w.pop_expired(t(100)), Some((t(60), "new")));
+    }
+
+    #[test]
+    fn multiple_timers_fire_in_order() {
+        let mut w = TimerWheel::new();
+        w.arm(t(30), 'c');
+        w.arm(t(10), 'a');
+        w.arm(t(20), 'b');
+        assert_eq!(w.next_expiry(), Some(t(10)));
+        assert_eq!(w.pop_expired(t(100)), Some((t(10), 'a')));
+        assert_eq!(w.pop_expired(t(100)), Some((t(20), 'b')));
+        assert_eq!(w.pop_expired(t(100)), Some((t(30), 'c')));
+        assert_eq!(w.pop_expired(t(100)), None);
+    }
+
+    #[test]
+    fn simultaneous_expiries_fifo() {
+        let mut w = TimerWheel::new();
+        w.arm(t(10), 1);
+        w.arm(t(10), 2);
+        assert_eq!(w.pop_expired(t(10)), Some((t(10), 1)));
+        assert_eq!(w.pop_expired(t(10)), Some((t(10), 2)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Execution traces: a timestamped record of everything the simulated
+//! middleware did, for assertions in tests and for the example binaries'
+//! schedule dumps.
+
+use core::fmt;
+
+use rtseed_model::{HwThreadId, JobId, OptionalOutcome, PartId, Span, Time};
+use serde::{Deserialize, Serialize};
+
+/// One traced occurrence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A job was released (periodic release or initial synchronous release).
+    JobReleased {
+        /// The released job.
+        job: JobId,
+    },
+    /// The mandatory part began executing on `hw`.
+    MandatoryStarted {
+        /// The job.
+        job: JobId,
+        /// Pinned hardware thread.
+        hw: HwThreadId,
+    },
+    /// The mandatory part completed.
+    MandatoryCompleted {
+        /// The job.
+        job: JobId,
+    },
+    /// An optional part began executing on `hw`.
+    OptionalStarted {
+        /// The job.
+        job: JobId,
+        /// Which parallel optional part.
+        part: PartId,
+        /// The hardware thread it was placed on.
+        hw: HwThreadId,
+    },
+    /// An optional part reached a terminal state.
+    OptionalEnded {
+        /// The job.
+        job: JobId,
+        /// Which parallel optional part.
+        part: PartId,
+        /// How it ended.
+        outcome: OptionalOutcome,
+        /// How much execution it achieved.
+        achieved: Span,
+    },
+    /// The wind-up part began executing.
+    WindupStarted {
+        /// The job.
+        job: JobId,
+    },
+    /// The wind-up part completed.
+    WindupCompleted {
+        /// The job.
+        job: JobId,
+        /// Whether the deadline was met.
+        deadline_met: bool,
+    },
+    /// The optional-deadline timer fired for a job.
+    OptionalDeadlineExpired {
+        /// The job.
+        job: JobId,
+    },
+}
+
+/// A time-ordered trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<(Time, TraceEvent)>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    /// Appends an event at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if `at` precedes the last recorded event:
+    /// traces are append-only in time order.
+    pub fn record(&mut self, at: Time, event: TraceEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|(t, _)| *t <= at),
+            "trace must be recorded in time order"
+        );
+        self.events.push((at, event));
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[(Time, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events concerning `job`, in time order.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.events.iter().filter(move |(_, e)| match e {
+            TraceEvent::JobReleased { job: j }
+            | TraceEvent::MandatoryStarted { job: j, .. }
+            | TraceEvent::MandatoryCompleted { job: j }
+            | TraceEvent::OptionalStarted { job: j, .. }
+            | TraceEvent::OptionalEnded { job: j, .. }
+            | TraceEvent::WindupStarted { job: j }
+            | TraceEvent::WindupCompleted { job: j, .. }
+            | TraceEvent::OptionalDeadlineExpired { job: j } => *j == job,
+        })
+    }
+
+    /// The time of the first event matching `pred`, if any.
+    pub fn first_time(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> Option<Time> {
+        self.events
+            .iter()
+            .find(|(_, e)| pred(e))
+            .map(|(t, _)| *t)
+    }
+
+    /// Counts events matching `pred`.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (t, e) in &self.events {
+            writeln!(f, "{t}: {e:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::TaskId;
+
+    fn job(seq: u64) -> JobId {
+        JobId {
+            task: TaskId(0),
+            seq,
+        }
+    }
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut tr = Trace::new();
+        tr.record(t(0), TraceEvent::JobReleased { job: job(0) });
+        tr.record(
+            t(10),
+            TraceEvent::MandatoryStarted {
+                job: job(0),
+                hw: HwThreadId(0),
+            },
+        );
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+        assert_eq!(tr.events()[0].0, t(0));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "time order")]
+    fn rejects_out_of_order() {
+        let mut tr = Trace::new();
+        tr.record(t(10), TraceEvent::JobReleased { job: job(0) });
+        tr.record(t(5), TraceEvent::JobReleased { job: job(1) });
+    }
+
+    #[test]
+    fn filters_by_job() {
+        let mut tr = Trace::new();
+        tr.record(t(0), TraceEvent::JobReleased { job: job(0) });
+        tr.record(t(1), TraceEvent::JobReleased { job: job(1) });
+        tr.record(t(2), TraceEvent::MandatoryCompleted { job: job(0) });
+        assert_eq!(tr.for_job(job(0)).count(), 2);
+        assert_eq!(tr.for_job(job(1)).count(), 1);
+    }
+
+    #[test]
+    fn first_time_and_count() {
+        let mut tr = Trace::new();
+        tr.record(t(3), TraceEvent::JobReleased { job: job(0) });
+        tr.record(t(7), TraceEvent::OptionalDeadlineExpired { job: job(0) });
+        assert_eq!(
+            tr.first_time(|e| matches!(e, TraceEvent::OptionalDeadlineExpired { .. })),
+            Some(t(7))
+        );
+        assert_eq!(tr.count(|e| matches!(e, TraceEvent::JobReleased { .. })), 1);
+        assert_eq!(
+            tr.first_time(|e| matches!(e, TraceEvent::WindupStarted { .. })),
+            None
+        );
+    }
+
+    #[test]
+    fn display_lists_events() {
+        let mut tr = Trace::new();
+        tr.record(t(0), TraceEvent::JobReleased { job: job(0) });
+        let s = tr.to_string();
+        assert!(s.contains("JobReleased"), "{s}");
+    }
+}

@@ -1,0 +1,349 @@
+//! The adapter from a trading pipeline to a parallel-extended imprecise
+//! task (paper §II-A's worked example):
+//!
+//! * **mandatory part** — obtain the latest exchange rate from the feed;
+//! * **parallel optional parts** — run one analysis (technical or
+//!   fundamental) each, in parallel, refining QoS;
+//! * **wind-up part** — collect whatever opinions exist, decide
+//!   bid / ask / wait, and send the trade request to the venue.
+//!
+//! [`ImpreciseTrader`] is the shared state those three parts operate on;
+//! [`ImpreciseTrader::task_body`] packages them as a [`rtseed::runtime::TaskBody`]
+//! for the native executor.
+
+use std::sync::{Arc, Mutex};
+
+use rtseed::runtime::{OptionalControl, TaskBody};
+use rtseed_model::JobId;
+
+use crate::execution::{Order, PaperVenue, Side};
+use crate::market::{Tick, TickSource};
+use crate::strategy::{Signal, SignalAggregator, Strategy};
+
+/// Shared state of one imprecise trading task.
+pub struct ImpreciseTrader {
+    feed: Mutex<Box<dyn TickSource + Send>>,
+    strategies: Vec<Mutex<Box<dyn Strategy>>>,
+    aggregator: SignalAggregator,
+    venue: Mutex<PaperVenue>,
+    current_tick: Mutex<Option<Tick>>,
+    opinions: Mutex<Vec<Option<Signal>>>,
+    decisions: Mutex<Vec<Signal>>,
+    order_quantity: f64,
+}
+
+impl std::fmt::Debug for ImpreciseTrader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImpreciseTrader")
+            .field("strategies", &self.strategies.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ImpreciseTrader {
+    /// Creates a trader over `feed` running one strategy per parallel
+    /// optional part.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `strategies` is empty or `order_quantity` is not positive.
+    pub fn new(
+        feed: Box<dyn TickSource + Send>,
+        strategies: Vec<Box<dyn Strategy>>,
+        aggregator: SignalAggregator,
+        venue: PaperVenue,
+        order_quantity: f64,
+    ) -> ImpreciseTrader {
+        assert!(!strategies.is_empty(), "at least one analysis is required");
+        assert!(
+            order_quantity > 0.0 && order_quantity.is_finite(),
+            "order quantity must be positive"
+        );
+        let n = strategies.len();
+        ImpreciseTrader {
+            feed: Mutex::new(feed),
+            strategies: strategies.into_iter().map(Mutex::new).collect(),
+            aggregator,
+            venue: Mutex::new(venue),
+            current_tick: Mutex::new(None),
+            opinions: Mutex::new(vec![None; n]),
+            decisions: Mutex::new(Vec::new()),
+            order_quantity,
+        }
+    }
+
+    /// Number of parallel analyses (the task's `npᵢ`).
+    pub fn analyses(&self) -> usize {
+        self.strategies.len()
+    }
+
+    /// **Mandatory part**: pulls the next tick, resets this cycle's
+    /// opinions and publishes the tick to the venue. Returns `false` when
+    /// the feed is exhausted.
+    pub fn ingest(&self) -> bool {
+        let Some(tick) = self.feed.lock().expect("feed lock").next_tick() else {
+            return false;
+        };
+        *self.current_tick.lock().expect("tick lock") = Some(tick);
+        self.opinions
+            .lock()
+            .expect("opinions lock")
+            .iter_mut()
+            .for_each(|o| *o = None);
+        self.venue.lock().expect("venue lock").on_tick(tick);
+        true
+    }
+
+    /// **Parallel optional part** `part`: feeds the current tick to that
+    /// part's strategy and records its opinion. `should_stop` is polled
+    /// between work units for cooperative termination; an analysis cut
+    /// before recording simply abstains this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `part` is out of range.
+    pub fn analyze(&self, part: usize, should_stop: &dyn Fn() -> bool) {
+        let tick = *self.current_tick.lock().expect("tick lock");
+        let Some(tick) = tick else {
+            return;
+        };
+        if should_stop() {
+            return; // terminated before doing anything: abstain
+        }
+        let mut strategy = self.strategies[part].lock().expect("strategy lock");
+        strategy.on_tick(&tick);
+        if should_stop() {
+            return; // terminated mid-analysis: abstain (partial work kept)
+        }
+        let opinion = strategy.signal();
+        self.opinions.lock().expect("opinions lock")[part] = opinion;
+    }
+
+    /// **Wind-up part**: aggregates the surviving opinions, records the
+    /// decision, and sends a trade request when it is not `Wait`.
+    pub fn decide(&self) -> Signal {
+        let opinions = self.opinions.lock().expect("opinions lock").clone();
+        let signal = self.aggregator.decide(&opinions);
+        self.decisions.lock().expect("decisions lock").push(signal);
+        if let Some(side) = Side::from_signal(signal) {
+            let mut venue = self.venue.lock().expect("venue lock");
+            let at = self
+                .current_tick
+                .lock()
+                .expect("tick lock")
+                .map(|t| t.at)
+                .unwrap_or_default();
+            // A failed submission (no market yet) is impossible after
+            // ingest(); quantity is validated at construction.
+            let _ = venue.submit(Order {
+                at,
+                side,
+                quantity: self.order_quantity,
+            });
+        }
+        signal
+    }
+
+    /// Runs one full synchronous cycle (ingest → all analyses → decide) —
+    /// the precise-computation baseline, used by tests and examples.
+    pub fn run_cycle_synchronous(&self) -> Option<Signal> {
+        if !self.ingest() {
+            return None;
+        }
+        for part in 0..self.analyses() {
+            self.analyze(part, &|| false);
+        }
+        Some(self.decide())
+    }
+
+    /// All decisions made so far, in cycle order.
+    pub fn decisions(&self) -> Vec<Signal> {
+        self.decisions.lock().expect("decisions lock").clone()
+    }
+
+    /// Venue snapshot (position, fills, P&L).
+    pub fn venue_snapshot(&self) -> PaperVenue {
+        self.venue.lock().expect("venue lock").clone()
+    }
+
+    /// Packages this trader as a [`TaskBody`] for
+    /// [`rtseed::runtime::NativeExecutor`]: mandatory = [`ImpreciseTrader::ingest`],
+    /// optional part k = [`ImpreciseTrader::analyze`]`(k)`, wind-up =
+    /// [`ImpreciseTrader::decide`].
+    pub fn task_body(self: &Arc<Self>) -> TaskBody {
+        let m = Arc::clone(self);
+        let o = Arc::clone(self);
+        let w = Arc::clone(self);
+        TaskBody::new(
+            move |_job: JobId| {
+                m.ingest();
+            },
+            move |_job, part, ctl: &OptionalControl| {
+                o.analyze(part.index(), &|| ctl.should_stop());
+            },
+            move |_job| {
+                w.decide();
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionConfig;
+    use crate::market::SyntheticFeed;
+    use crate::strategy::{BollingerReversion, MacdMomentum, RsiContrarian};
+
+    fn trader(quorum: usize) -> ImpreciseTrader {
+        ImpreciseTrader::new(
+            Box::new(SyntheticFeed::eur_usd(42)),
+            vec![
+                Box::new(BollingerReversion::standard()),
+                Box::new(MacdMomentum::new(0.00005)),
+                Box::new(RsiContrarian::standard()),
+            ],
+            SignalAggregator::new(quorum),
+            PaperVenue::new(ExecutionConfig::default()),
+            1.0,
+        )
+    }
+
+    #[test]
+    fn synchronous_cycles_produce_decisions() {
+        let t = trader(1);
+        for _ in 0..100 {
+            assert!(t.run_cycle_synchronous().is_some());
+        }
+        assert_eq!(t.decisions().len(), 100);
+    }
+
+    #[test]
+    fn warmup_cycles_wait() {
+        let t = trader(1);
+        // Before any indicator window fills, every analysis abstains.
+        assert_eq!(t.run_cycle_synchronous(), Some(Signal::Wait));
+    }
+
+    #[test]
+    fn discarded_analyses_abstain() {
+        let t = trader(1);
+        // Warm up the strategies fully.
+        for _ in 0..60 {
+            t.run_cycle_synchronous();
+        }
+        // Next cycle: ingest but terminate every analysis immediately —
+        // all abstain, the decision must be Wait regardless of market.
+        assert!(t.ingest());
+        for part in 0..t.analyses() {
+            t.analyze(part, &|| true);
+        }
+        assert_eq!(t.decide(), Signal::Wait);
+    }
+
+    #[test]
+    fn trades_are_sent_to_the_venue() {
+        let t = trader(1);
+        for _ in 0..500 {
+            t.run_cycle_synchronous();
+        }
+        let traded: usize = t
+            .decisions()
+            .iter()
+            .filter(|s| !matches!(s, Signal::Wait))
+            .count();
+        let venue = t.venue_snapshot();
+        assert_eq!(venue.fills().len(), traded);
+    }
+
+    #[test]
+    fn higher_quorum_trades_less() {
+        let loose = trader(1);
+        let strict = trader(3);
+        for _ in 0..500 {
+            loose.run_cycle_synchronous();
+            strict.run_cycle_synchronous();
+        }
+        let trades = |t: &ImpreciseTrader| {
+            t.decisions()
+                .iter()
+                .filter(|s| !matches!(s, Signal::Wait))
+                .count()
+        };
+        assert!(trades(&strict) <= trades(&loose));
+    }
+
+    #[test]
+    fn exhausted_feed_stops() {
+        let t = ImpreciseTrader::new(
+            Box::new(SyntheticFeed::new(
+                1,
+                crate::market::PriceProcess::GeometricBrownian { mu: 0.0, sigma: 0.001 },
+                1.0,
+                0.0001,
+                rtseed_model::Span::from_secs(1),
+                Some(3),
+            )),
+            vec![Box::new(BollingerReversion::new(2, 2.0))],
+            SignalAggregator::new(1),
+            PaperVenue::new(ExecutionConfig::default()),
+            1.0,
+        );
+        assert!(t.run_cycle_synchronous().is_some());
+        assert!(t.run_cycle_synchronous().is_some());
+        assert!(t.run_cycle_synchronous().is_some());
+        assert!(t.run_cycle_synchronous().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one analysis")]
+    fn rejects_empty_strategies() {
+        let _ = ImpreciseTrader::new(
+            Box::new(SyntheticFeed::eur_usd(0)),
+            vec![],
+            SignalAggregator::new(1),
+            PaperVenue::new(ExecutionConfig::default()),
+            1.0,
+        );
+    }
+
+    #[test]
+    fn native_task_body_runs_the_pipeline() {
+        use rtseed::config::SystemConfig;
+        use rtseed::policy::AssignmentPolicy;
+        use rtseed::runtime::{NativeExecutor, NativeRunConfig};
+        use rtseed::termination::TerminationMode;
+        use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
+
+        let trader = Arc::new(trader(1));
+        let spec = TaskSpec::builder("trader")
+            .period(Span::from_millis(40))
+            .mandatory(Span::from_millis(2))
+            .windup(Span::from_millis(2))
+            .optional_parts(trader.analyses(), Span::from_millis(20))
+            .build()
+            .unwrap();
+        let cfg = SystemConfig::build(
+            TaskSet::new(vec![spec]).unwrap(),
+            Topology::uniprocessor(),
+            AssignmentPolicy::OneByOne,
+        )
+        .unwrap();
+        let exec = NativeExecutor::new(
+            cfg,
+            NativeRunConfig {
+                jobs: 5,
+                termination: TerminationMode::PeriodicCheck {
+                    interval: Span::from_millis(1),
+                },
+                attempt_rt: false,
+            },
+        );
+        let out = exec.run(vec![trader.task_body()]);
+        assert_eq!(out.qos.jobs(), 5);
+        assert_eq!(trader.decisions().len(), 5);
+        // Analyses are fast: they complete, full QoS.
+        let (completed, _, _) = out.qos.outcome_totals();
+        assert_eq!(completed, 15);
+    }
+}

@@ -1,0 +1,271 @@
+//! Risk management for the trading pipeline: position limits, drawdown
+//! guard, and volatility-aware position sizing.
+//!
+//! A real-time trading system needs its wind-up part to make a *safe*
+//! decision even at degraded QoS; [`RiskManager`] sits between the signal
+//! aggregator and the venue, vetoing or resizing orders. All checks are
+//! O(1) so they fit in the wind-up part's WCET budget.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::execution::{Position, Side};
+use crate::strategy::Signal;
+
+/// Risk limits configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskLimits {
+    /// Maximum absolute position (base-currency units).
+    pub max_position: f64,
+    /// Maximum tolerated equity drawdown from the high-water mark (quote
+    /// currency) before trading halts.
+    pub max_drawdown: f64,
+    /// Base order size (base-currency units).
+    pub base_order: f64,
+    /// Volatility (ATR) above which orders shrink proportionally; at
+    /// `2 × vol_target` orders halve, etc. Zero disables vol scaling.
+    pub vol_target: f64,
+}
+
+impl Default for RiskLimits {
+    fn default() -> Self {
+        RiskLimits {
+            max_position: 10.0,
+            max_drawdown: 1.0,
+            base_order: 1.0,
+            vol_target: 0.0,
+        }
+    }
+}
+
+/// Why an order was vetoed or resized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RiskVerdict {
+    /// Order approved at the returned size.
+    Approved,
+    /// Position limit reached in that direction: vetoed.
+    PositionLimit,
+    /// Drawdown halt is active: vetoed.
+    DrawdownHalt,
+    /// The signal was `Wait`: nothing to do.
+    NoSignal,
+}
+
+impl fmt::Display for RiskVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RiskVerdict::Approved => "approved",
+            RiskVerdict::PositionLimit => "position-limit",
+            RiskVerdict::DrawdownHalt => "drawdown-halt",
+            RiskVerdict::NoSignal => "no-signal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stateful risk manager.
+#[derive(Debug, Clone)]
+pub struct RiskManager {
+    limits: RiskLimits,
+    high_water: f64,
+    halted: bool,
+}
+
+impl RiskManager {
+    /// Creates a manager with the given limits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any limit is non-positive where positivity is required.
+    pub fn new(limits: RiskLimits) -> RiskManager {
+        assert!(limits.max_position > 0.0, "max_position must be positive");
+        assert!(limits.max_drawdown > 0.0, "max_drawdown must be positive");
+        assert!(limits.base_order > 0.0, "base_order must be positive");
+        assert!(limits.vol_target >= 0.0, "vol_target must be non-negative");
+        RiskManager {
+            limits,
+            high_water: 0.0,
+            halted: false,
+        }
+    }
+
+    /// The configured limits.
+    pub fn limits(&self) -> &RiskLimits {
+        &self.limits
+    }
+
+    /// `true` once the drawdown guard has tripped (latched until
+    /// [`RiskManager::reset_halt`]).
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Clears a drawdown halt (manual intervention).
+    pub fn reset_halt(&mut self) {
+        self.halted = false;
+    }
+
+    /// Updates the equity high-water mark and the drawdown guard. Call
+    /// once per cycle with current total equity.
+    pub fn on_equity(&mut self, equity: f64) {
+        if equity > self.high_water {
+            self.high_water = equity;
+        }
+        if self.high_water - equity > self.limits.max_drawdown {
+            self.halted = true;
+        }
+    }
+
+    /// Vets a signal against the current position and (optionally) a
+    /// volatility estimate. Returns the verdict and the approved order
+    /// quantity (zero unless approved).
+    pub fn vet(
+        &self,
+        signal: Signal,
+        position: &Position,
+        volatility: Option<f64>,
+    ) -> (RiskVerdict, f64) {
+        let Some(side) = Side::from_signal(signal) else {
+            return (RiskVerdict::NoSignal, 0.0);
+        };
+        if self.halted {
+            return (RiskVerdict::DrawdownHalt, 0.0);
+        }
+        let direction = match side {
+            Side::Buy => 1.0,
+            Side::Sell => -1.0,
+        };
+        // Orders that *reduce* exposure are always allowed; orders that
+        // grow it respect the cap.
+        let projected = position.quantity + direction * self.limits.base_order;
+        if projected.abs() > self.limits.max_position
+            && projected.abs() > position.quantity.abs()
+        {
+            return (RiskVerdict::PositionLimit, 0.0);
+        }
+        let mut size = self.limits.base_order;
+        if self.limits.vol_target > 0.0 {
+            if let Some(vol) = volatility {
+                if vol > self.limits.vol_target {
+                    size *= self.limits.vol_target / vol;
+                }
+            }
+        }
+        (RiskVerdict::Approved, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager() -> RiskManager {
+        RiskManager::new(RiskLimits {
+            max_position: 3.0,
+            max_drawdown: 0.5,
+            base_order: 1.0,
+            vol_target: 0.01,
+        })
+    }
+
+    fn long(q: f64) -> Position {
+        Position {
+            quantity: q,
+            avg_price: 1.0,
+            realized_pnl: 0.0,
+        }
+    }
+
+    #[test]
+    fn wait_is_no_signal() {
+        let (v, q) = manager().vet(Signal::Wait, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::NoSignal);
+        assert_eq!(q, 0.0);
+    }
+
+    #[test]
+    fn approves_within_limits() {
+        let (v, q) = manager().vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::Approved);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn vetoes_growth_past_position_limit() {
+        let (v, q) = manager().vet(Signal::Bid, &long(3.0), None);
+        assert_eq!(v, RiskVerdict::PositionLimit);
+        assert_eq!(q, 0.0);
+        // Shorts hit the cap symmetrically.
+        let (v, _) = manager().vet(Signal::Ask, &long(-3.0), None);
+        assert_eq!(v, RiskVerdict::PositionLimit);
+    }
+
+    #[test]
+    fn always_allows_reducing_exposure() {
+        // Long 3 at the cap: selling reduces exposure and must pass.
+        let (v, q) = manager().vet(Signal::Ask, &long(3.0), None);
+        assert_eq!(v, RiskVerdict::Approved);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn drawdown_halts_and_latches() {
+        let mut m = manager();
+        m.on_equity(1.0);
+        m.on_equity(0.6);
+        assert!(!m.is_halted(), "0.4 drawdown is within the 0.5 limit");
+        m.on_equity(0.4);
+        assert!(m.is_halted());
+        let (v, _) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::DrawdownHalt);
+        // Recovery alone does not un-halt…
+        m.on_equity(2.0);
+        assert!(m.is_halted());
+        // …manual reset does.
+        m.reset_halt();
+        assert!(!m.is_halted());
+        let (v, _) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::Approved);
+    }
+
+    #[test]
+    fn volatility_scales_size_down_only() {
+        let m = manager();
+        // Calm market (vol below target): full size.
+        let (_, q) = m.vet(Signal::Bid, &long(0.0), Some(0.005));
+        assert_eq!(q, 1.0);
+        // Double the target volatility: half size.
+        let (_, q) = m.vet(Signal::Bid, &long(0.0), Some(0.02));
+        assert!((q - 0.5).abs() < 1e-12);
+        // No estimate: full size.
+        let (_, q) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(q, 1.0);
+    }
+
+    #[test]
+    fn high_water_only_rises() {
+        let mut m = manager();
+        m.on_equity(1.0);
+        m.on_equity(0.8);
+        m.on_equity(0.9);
+        assert!(!m.is_halted(), "drawdown measured from the high-water mark");
+        m.on_equity(0.49);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_position must be positive")]
+    fn rejects_bad_limits() {
+        let _ = RiskManager::new(RiskLimits {
+            max_position: 0.0,
+            ..RiskLimits::default()
+        });
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(RiskVerdict::Approved.to_string(), "approved");
+        assert_eq!(RiskVerdict::DrawdownHalt.to_string(), "drawdown-halt");
+    }
+}

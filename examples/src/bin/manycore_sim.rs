@@ -1,0 +1,77 @@
+//! Many-core exploration: sweep assignment policies on the simulated Xeon
+//! Phi for a chosen np and print overheads, QoS and a trace excerpt.
+//!
+//!     cargo run -p rtseed-examples --bin manycore_sim -- 171
+
+use rtseed::config::SystemConfig;
+use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::policy::AssignmentPolicy;
+use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
+use rtseed_sim::{BackgroundLoad, OverheadKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let np: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(171);
+    let phi = Topology::xeon_phi_3120a();
+    println!("Simulated machine: {phi}");
+    println!("Parallel optional parts: {np}\n");
+
+    let task = TaskSpec::builder("τ1")
+        .period(Span::from_secs(1))
+        .mandatory(Span::from_millis(250))
+        .windup(Span::from_millis(250))
+        .optional_parts(np, Span::from_secs(1))
+        .build()?;
+
+    println!(
+        "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "policy", "cores", "Δm", "Δb", "Δs", "Δe", "misses"
+    );
+    for policy in AssignmentPolicy::PAPER_POLICIES {
+        let config = SystemConfig::build(
+            TaskSet::new(vec![task.clone()])?,
+            phi,
+            policy,
+        )?;
+        let outcome = SimExecutor::new(
+            config,
+            SimRunConfig {
+                jobs: 20,
+                load: BackgroundLoad::CpuMemoryLoad,
+                ..Default::default()
+            },
+        )
+        .run();
+        println!(
+            "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            policy.label(),
+            policy.distinct_cores(&phi, np),
+            outcome.overheads.mean(OverheadKind::BeginMandatory).to_string(),
+            outcome.overheads.mean(OverheadKind::BeginOptional).to_string(),
+            outcome.overheads.mean(OverheadKind::SwitchToOptional).to_string(),
+            outcome.overheads.mean(OverheadKind::EndOptional).to_string(),
+            outcome.qos.deadline_misses(),
+        );
+    }
+
+    // Trace excerpt for one job under One by One.
+    let config = SystemConfig::build(
+        TaskSet::new(vec![task.with_optional_parts(4, Span::from_secs(1))])?,
+        phi,
+        AssignmentPolicy::OneByOne,
+    )?;
+    let outcome = SimExecutor::new(
+        config,
+        SimRunConfig {
+            jobs: 1,
+            collect_trace: true,
+            ..Default::default()
+        },
+    )
+    .run();
+    println!("\nTrace of one job with np = 4 (one-by-one):");
+    print!("{}", outcome.trace);
+    Ok(())
+}

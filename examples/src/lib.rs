@@ -1,0 +1,3 @@
+//! Shared helpers for the RT-Seed example binaries (see `src/bin/`).
+//!
+//! Run an example with e.g. `cargo run -p rtseed-examples --bin quickstart`.

@@ -1,0 +1,184 @@
+//! End-to-end integration tests asserting the *shapes* of the paper's
+//! evaluation (§V) on the simulated Xeon Phi: these are the claims
+//! EXPERIMENTS.md records, executed with reduced job counts so the test
+//! suite stays fast.
+
+use rtseed::policy::AssignmentPolicy;
+use rtseed_bench::{run_paper_workload, NP_SET};
+use rtseed_model::Span;
+use rtseed_sim::{BackgroundLoad, OverheadKind};
+
+fn mean_us(np: usize, policy: AssignmentPolicy, load: BackgroundLoad, kind: OverheadKind) -> f64 {
+    run_paper_workload(np, policy, load, 10, 0)
+        .overheads
+        .mean(kind)
+        .as_micros_f64()
+}
+
+#[test]
+fn fig10_dm_is_constant_in_np() {
+    // "the overheads are approximately constant, regardless of the number
+    // of parallel optional parts".
+    for load in BackgroundLoad::ALL {
+        let at_4 = mean_us(4, AssignmentPolicy::OneByOne, load, OverheadKind::BeginMandatory);
+        let at_228 = mean_us(
+            228,
+            AssignmentPolicy::OneByOne,
+            load,
+            OverheadKind::BeginMandatory,
+        );
+        let ratio = at_228 / at_4;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "{load}: Δm should be flat, got {at_4:.1} → {at_228:.1} µs"
+        );
+    }
+}
+
+#[test]
+fn fig10_dm_load_ordering() {
+    // NoLoad < CpuLoad < CpuMemoryLoad (Fig. 10a–c).
+    let n = mean_us(57, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::BeginMandatory);
+    let c = mean_us(57, AssignmentPolicy::OneByOne, BackgroundLoad::CpuLoad, OverheadKind::BeginMandatory);
+    let m = mean_us(57, AssignmentPolicy::OneByOne, BackgroundLoad::CpuMemoryLoad, OverheadKind::BeginMandatory);
+    assert!(n < c && c < m, "{n:.1} {c:.1} {m:.1}");
+}
+
+#[test]
+fn fig11_ds_grows_unloaded_flat_loaded() {
+    // Fig. 11a: grows with np, dramatic at 228; Fig. 11b–c: ~constant.
+    let unloaded: Vec<f64> = NP_SET
+        .iter()
+        .map(|&np| {
+            mean_us(np, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::SwitchToOptional)
+        })
+        .collect();
+    assert!(
+        unloaded.last().unwrap() > &(unloaded[0] * 3.0),
+        "unloaded Δs should grow strongly: {unloaded:?}"
+    );
+    // The 171 → 228 step is the sharpest ("a dramatic increase").
+    let step_small = unloaded[1] - unloaded[0];
+    let step_surge = unloaded[7] - unloaded[6];
+    assert!(step_surge > step_small * 5.0, "{unloaded:?}");
+
+    for load in [BackgroundLoad::CpuLoad, BackgroundLoad::CpuMemoryLoad] {
+        let a = mean_us(4, AssignmentPolicy::OneByOne, load, OverheadKind::SwitchToOptional);
+        let b = mean_us(228, AssignmentPolicy::OneByOne, load, OverheadKind::SwitchToOptional);
+        assert!((b / a) < 1.25, "{load}: loaded Δs should be flat: {a:.1} {b:.1}");
+    }
+}
+
+#[test]
+fn fig12_db_linear_and_cpu_worst() {
+    // Fig. 12: linear in np; the CpuLoad curve sits ABOVE CpuMemoryLoad
+    // (the signal path is branch-bound, §V-B's inversion).
+    for load in BackgroundLoad::ALL {
+        let at_57 = mean_us(57, AssignmentPolicy::OneByOne, load, OverheadKind::BeginOptional);
+        let at_114 = mean_us(114, AssignmentPolicy::OneByOne, load, OverheadKind::BeginOptional);
+        let at_228 = mean_us(228, AssignmentPolicy::OneByOne, load, OverheadKind::BeginOptional);
+        assert!(
+            (at_114 / at_57 - 2.0).abs() < 0.25 && (at_228 / at_114 - 2.0).abs() < 0.25,
+            "{load}: Δb should be linear: {at_57:.0} {at_114:.0} {at_228:.0}"
+        );
+    }
+    let cpu = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuLoad, OverheadKind::BeginOptional);
+    let mem = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuMemoryLoad, OverheadKind::BeginOptional);
+    let none = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::BeginOptional);
+    assert!(cpu > mem && mem > none, "{cpu:.0} {mem:.0} {none:.0}");
+}
+
+#[test]
+fn fig13_de_largest_overhead_and_mem_worst() {
+    // "The overhead of ending the parallel optional parts is the largest
+    // of all types of overhead"; CpuMemoryLoad > CpuLoad (inverse of Δb).
+    let out = run_paper_workload(228, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, 10, 0);
+    let de = out.overheads.mean(OverheadKind::EndOptional);
+    for kind in [
+        OverheadKind::BeginMandatory,
+        OverheadKind::BeginOptional,
+        OverheadKind::SwitchToOptional,
+    ] {
+        assert!(de > out.overheads.mean(kind), "Δe must dominate {kind:?}");
+    }
+    let cpu = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuLoad, OverheadKind::EndOptional);
+    let mem = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuMemoryLoad, OverheadKind::EndOptional);
+    assert!(mem > cpu, "{mem:.0} {cpu:.0}");
+}
+
+#[test]
+fn fig13_policy_ordering_under_load() {
+    // Figs. 13b–c: "the one by one assignment policy has the highest
+    // overhead, whereas the all by all assignment policy has the lowest".
+    for load in [BackgroundLoad::CpuLoad, BackgroundLoad::CpuMemoryLoad] {
+        for np in [57usize, 114, 171, 228] {
+            let one = mean_us(np, AssignmentPolicy::OneByOne, load, OverheadKind::EndOptional);
+            let two = mean_us(np, AssignmentPolicy::TwoByTwo, load, OverheadKind::EndOptional);
+            let all = mean_us(np, AssignmentPolicy::AllByAll, load, OverheadKind::EndOptional);
+            assert!(
+                one > two && two >= all,
+                "{load} np={np}: {one:.0} {two:.0} {all:.0}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig13_policies_similar_unloaded() {
+    // Fig. 13a: "all assignment policies have approximately the same
+    // overheads".
+    let one = mean_us(171, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::EndOptional);
+    let all = mean_us(171, AssignmentPolicy::AllByAll, BackgroundLoad::NoLoad, OverheadKind::EndOptional);
+    assert!((one / all) < 1.15, "{one:.0} vs {all:.0}");
+}
+
+#[test]
+fn de_grows_linearly_with_np() {
+    // Time complexity O(np_i) (§V-B).
+    let at_57 = mean_us(57, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::EndOptional);
+    let at_228 = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::NoLoad, OverheadKind::EndOptional);
+    assert!(((at_228 / at_57) - 4.0).abs() < 0.8, "{at_57:.0} {at_228:.0}");
+}
+
+#[test]
+fn paper_magnitudes_match_figure_axes() {
+    // Coarse absolute calibration (the axes of Figs. 10–13).
+    let dm = mean_us(57, AssignmentPolicy::OneByOne, BackgroundLoad::CpuMemoryLoad, OverheadKind::BeginMandatory);
+    assert!((100.0..300.0).contains(&dm), "Δm CpuMem ≈ 250 µs, got {dm:.0}");
+    let db = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuLoad, OverheadKind::BeginOptional);
+    assert!((7_000.0..13_000.0).contains(&db), "Δb CPU@228 ≈ 10 ms, got {db:.0} µs");
+    let de = mean_us(228, AssignmentPolicy::OneByOne, BackgroundLoad::CpuMemoryLoad, OverheadKind::EndOptional);
+    assert!(
+        (40_000.0..62_000.0).contains(&de),
+        "Δe CpuMem@228 ≈ 50 ms, got {de:.0} µs"
+    );
+}
+
+#[test]
+fn all_np_policies_loads_meet_deadlines() {
+    // The paper workload is schedulable by construction; the measured
+    // overheads must fit in the WCET headroom everywhere on the grid.
+    for load in BackgroundLoad::ALL {
+        for policy in AssignmentPolicy::PAPER_POLICIES {
+            for np in NP_SET {
+                let out = run_paper_workload(np, policy, load, 3, 1);
+                assert_eq!(
+                    out.qos.deadline_misses(),
+                    0,
+                    "missed deadlines at np={np} {policy} {load}"
+                );
+                assert_eq!(out.qos.jobs(), 3);
+            }
+        }
+    }
+}
+
+#[test]
+fn optional_deadline_equals_d_minus_w() {
+    // §V-A: OD1 = D1 − w1 for the single-task evaluation.
+    let cfg = rtseed_bench::paper_config(57, AssignmentPolicy::OneByOne);
+    assert_eq!(
+        cfg.optional_deadline(rtseed_model::TaskId(0)),
+        Span::from_millis(750)
+    );
+}
