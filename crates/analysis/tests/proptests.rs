@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rtseed_analysis::bounds::{hyperbolic_schedulable, liu_layland_schedulable};
 use rtseed_analysis::rmwp::RmwpAnalysis;
-use rtseed_analysis::rta::{all_schedulable, response_time, response_time_at, Interferer};
+use rtseed_analysis::rta::{all_schedulable, response_time, Interferer};
 use rtseed_analysis::taskgen::{generate, log_uniform_period, uunifast, TaskGenConfig};
 use rtseed_model::{Span, TaskSet};
 

@@ -56,15 +56,17 @@ fn main() {
                     attempt_rt: true,
                 },
             );
-            let out = exec.run(vec![TaskBody::new(
-                |_| {},
-                |_, _, ctl| {
-                    while !ctl.should_stop() {
-                        std::thread::sleep(std::time::Duration::from_micros(200));
-                    }
-                },
-                |_| {},
-            )]);
+            let out = exec
+                .run(vec![TaskBody::new(
+                    |_| {},
+                    |_, _, ctl| {
+                        while !ctl.should_stop() {
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                        }
+                    },
+                    |_| {},
+                )])
+                .expect("native run");
             println!(
                 "{:>12} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8}",
                 load.to_string(),

@@ -22,11 +22,13 @@ use rtseed_model::{
     JobId, OptionalOutcome, Priority, QosRecord, QosSummary, Span, TaskId, Time,
     Topology,
 };
-use rtseed_sim::{EventQueue, FifoReadyQueue};
+use rtseed_sim::{EventQueue, FaultPlan, FaultTarget, FifoReadyQueue, TimerFault};
 
 use crate::config::SystemConfig;
 use crate::policy::AssignmentPolicy;
 use crate::priority::PriorityMap;
+use crate::report::FaultReport;
+use crate::supervisor::{OverloadSupervisor, SupervisorConfig};
 
 /// Run parameters for the global executor.
 #[derive(Debug, Clone)]
@@ -40,6 +42,12 @@ pub struct GlobalRunConfig {
     /// Fraction of declared WCET the actual computation consumes (see
     /// [`crate::exec_sim::SimRunConfig::rt_exec_fraction`]).
     pub rt_exec_fraction: f64,
+    /// Deterministic fault schedule. This executor honours WCET overruns
+    /// and timer faults; CPU stall windows are a substrate feature of
+    /// [`crate::exec_sim`] and are ignored here.
+    pub fault_plan: FaultPlan,
+    /// Overload supervisor configuration (disabled by default).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for GlobalRunConfig {
@@ -48,6 +56,8 @@ impl Default for GlobalRunConfig {
             jobs: 10,
             migration_cost: Span::from_micros(100),
             rt_exec_fraction: 0.75,
+            fault_plan: FaultPlan::none(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -64,6 +74,9 @@ pub struct GlobalOutcome {
     pub migration_overhead: Span,
     /// Number of real-time dispatches (for migrations-per-dispatch rates).
     pub dispatches: u64,
+    /// Fault injections and supervisor responses (all-zero for a healthy,
+    /// unsupervised run).
+    pub faults: FaultReport,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,9 +129,12 @@ struct TaskRun {
     seq: u64,
     release: Time,
     rt_remaining: Span,
+    rt_budget: Span,
     parts: Vec<PartState>,
     done: bool,
     windup_issued: bool,
+    overran: bool,
+    shed: bool,
     last_cpu: Option<usize>,
     jobs_done: u64,
 }
@@ -166,11 +182,13 @@ impl GlobalExecutor {
         );
         let mut state = GlobalState::new(self);
         state.run(self.run.jobs);
+        let faults = state.sup.finish(state.now);
         GlobalOutcome {
             qos: state.qos,
             migrations: state.migrations,
             migration_overhead: state.migration_overhead,
             dispatches: state.dispatches,
+            faults,
         }
     }
 }
@@ -191,6 +209,7 @@ struct GlobalState<'a> {
     migration_overhead: Span,
     dispatches: u64,
     live: usize,
+    sup: OverloadSupervisor,
 }
 
 impl<'a> GlobalState<'a> {
@@ -217,14 +236,18 @@ impl<'a> GlobalState<'a> {
                 seq: 0,
                 release: Time::ZERO,
                 rt_remaining: Span::ZERO,
+                rt_budget: Span::ZERO,
                 parts: Vec::new(),
                 done: true,
                 windup_issued: false,
+                overran: false,
+                shed: false,
                 last_cpu: None,
                 jobs_done: 0,
             })
             .collect();
         let live = tasks.len();
+        let sup = OverloadSupervisor::new(exec.run.supervisor, live);
         GlobalState {
             exec,
             now: Time::ZERO,
@@ -239,6 +262,7 @@ impl<'a> GlobalState<'a> {
             migration_overhead: Span::ZERO,
             dispatches: 0,
             live,
+            sup,
         }
     }
 
@@ -269,12 +293,24 @@ impl<'a> GlobalState<'a> {
         if self.tasks[task].jobs_done >= jobs {
             return;
         }
+        let next_seq = self.tasks[task].jobs_done;
+        let mand_factor =
+            self.exec
+                .run
+                .fault_plan
+                .wcet_factor(task as u32, next_seq, FaultTarget::Mandatory);
+        let timer_fault = self.exec.run.fault_plan.timer_fault(task as u32, next_seq);
+        if mand_factor != 1.0 {
+            self.sup.note_wcet_fault();
+        }
         let t = &mut self.tasks[task];
         t.seq = t.jobs_done;
         t.release = self.now;
         t.done = false;
         t.windup_issued = false;
-        t.rt_remaining = t.mandatory;
+        t.overran = false;
+        t.shed = false;
+        t.rt_remaining = t.mandatory.mul_f64(mand_factor);
         t.parts = t
             .optional
             .iter()
@@ -290,6 +326,7 @@ impl<'a> GlobalState<'a> {
         let has_parts = !t.optional.is_empty();
         let prio = t.mand_prio;
         let jobs_done = t.jobs_done;
+        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].mandatory);
 
         self.rt_queue.enqueue(
             prio,
@@ -299,7 +336,14 @@ impl<'a> GlobalState<'a> {
             },
         );
         if has_parts {
-            self.events.push(od_at, Event::OdExpire { task, seq });
+            match timer_fault {
+                None => self.events.push(od_at, Event::OdExpire { task, seq }),
+                Some(TimerFault::Delay(d)) => {
+                    self.sup.note_timer_fault();
+                    self.events.push(od_at + d, Event::OdExpire { task, seq });
+                }
+                Some(TimerFault::Lost) => self.sup.note_timer_fault(),
+            }
         }
         if jobs_done + 1 < jobs {
             self.events.push(self.now + period, Event::Release { task });
@@ -384,6 +428,7 @@ impl<'a> GlobalState<'a> {
         match work.cursor {
             Cursor::Mandatory | Cursor::Windup => {
                 t.rt_remaining = t.rt_remaining.saturating_sub(ran);
+                t.rt_budget = t.rt_budget.saturating_sub(ran);
             }
             Cursor::Optional(k) => {
                 let p = &mut t.parts[k as usize];
@@ -400,14 +445,21 @@ impl<'a> GlobalState<'a> {
                 let t = &mut self.tasks[work.task];
                 let mut rem = t.rt_remaining;
                 if t.last_cpu.is_some_and(|c| c != cpu) {
-                    // Migration: cold caches on the new processor.
+                    // Migration: cold caches on the new processor. A
+                    // legitimate system overhead, so the supervisor budget
+                    // absorbs it too (migrations alone must not trip cuts).
                     rem += self.exec.run.migration_cost;
                     t.rt_remaining = rem;
+                    t.rt_budget += self.exec.run.migration_cost;
                     self.migrations += 1;
                     self.migration_overhead += self.exec.run.migration_cost;
                 }
                 t.last_cpu = Some(cpu);
-                rem
+                if self.sup.enabled() {
+                    rem.min(self.tasks[work.task].rt_budget)
+                } else {
+                    rem
+                }
             }
             Cursor::Optional(k) => {
                 let t = &mut self.tasks[work.task];
@@ -435,6 +487,19 @@ impl<'a> GlobalState<'a> {
         }
         self.cpus[cpu] = None;
         let work = run.work;
+        if matches!(work.cursor, Cursor::Mandatory | Cursor::Windup) {
+            // Bank the slice; leftover demand under an armed supervisor
+            // means the part hit its budget — cut it there.
+            let ran = self.now.saturating_elapsed_since(run.since);
+            self.bank(work, ran);
+            let t = &mut self.tasks[work.task];
+            if self.sup.enabled() && !t.rt_remaining.is_zero() {
+                t.rt_remaining = Span::ZERO;
+                t.overran = true;
+                self.sup.note_budget_cut();
+                self.sup.on_overrun(work.task, self.now);
+            }
+        }
         match work.cursor {
             Cursor::Mandatory => self.mandatory_done(work.task),
             Cursor::Windup => self.windup_done(work.task),
@@ -446,7 +511,12 @@ impl<'a> GlobalState<'a> {
     fn mandatory_done(&mut self, task: usize) {
         let od_at = self.tasks[task].release + self.tasks[task].od;
         let np = self.tasks[task].optional.len();
-        if np == 0 || self.now >= od_at {
+        let shed = np > 0 && self.sup.shed_optional(task);
+        if np == 0 || self.now >= od_at || shed {
+            if shed {
+                self.sup.note_degraded_job();
+                self.tasks[task].shed = true;
+            }
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
             }
@@ -555,7 +625,17 @@ impl<'a> GlobalState<'a> {
             self.finish(task, true);
             return;
         }
-        self.tasks[task].rt_remaining = self.tasks[task].windup;
+        let seq = self.tasks[task].seq;
+        let factor = self
+            .exec
+            .run
+            .fault_plan
+            .wcet_factor(task as u32, seq, FaultTarget::Windup);
+        if factor != 1.0 {
+            self.sup.note_wcet_fault();
+        }
+        self.tasks[task].rt_remaining = self.tasks[task].windup.mul_f64(factor);
+        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].windup);
         let prio = self.tasks[task].mand_prio;
         self.rt_queue.enqueue(
             prio,
@@ -596,7 +676,15 @@ impl<'a> GlobalState<'a> {
             }
         };
         let requested: Span = self.tasks[task].optional.iter().copied().sum();
-        self.qos.record(&rec, requested);
+        self.qos
+            .record_with_mode(&rec, requested, self.tasks[task].shed);
+        if self.sup.enabled() && !self.tasks[task].overran {
+            if met {
+                self.sup.on_clean_job(task, self.now);
+            } else {
+                self.sup.on_overrun(task, self.now);
+            }
+        }
         let t = &mut self.tasks[task];
         t.jobs_done += 1;
         if t.jobs_done >= self.exec.run.jobs {
@@ -762,6 +850,48 @@ mod tests {
         let (c, t, d) = out.qos.outcome_totals();
         assert_eq!(c, 8, "t/d = {t}/{d}");
         assert_eq!(out.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn supervisor_cuts_global_overruns() {
+        use crate::supervisor::SupervisorConfig;
+        use rtseed_sim::{JobWindow, WcetFault};
+
+        let cfg = config(vec![task("t", 100, 10, 10, 0)], Topology::new(2, 1).unwrap());
+        // 15× the mandatory demand (7.5 ms × 15 = 112.5 ms) overruns the
+        // whole period.
+        let plan = FaultPlan::new(3).with_wcet_fault(WcetFault {
+            task: None,
+            jobs: JobWindow::ALL,
+            target: FaultTarget::Mandatory,
+            factor: 15.0,
+        });
+        let sick = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 5,
+                fault_plan: plan.clone(),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert!(sick.qos.deadline_misses() > 0);
+        assert_eq!(sick.faults.wcet_faults, 5);
+        assert_eq!(sick.faults.budget_cuts, 0);
+
+        let cured = GlobalExecutor::from_config(
+            &cfg,
+            GlobalRunConfig {
+                jobs: 5,
+                fault_plan: plan,
+                supervisor: SupervisorConfig::armed(),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(cured.qos.deadline_misses(), 0);
+        assert_eq!(cured.faults.budget_cuts, 5);
+        assert_eq!(cured.faults.degraded_entries, 1);
     }
 
     #[test]

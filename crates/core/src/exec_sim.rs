@@ -29,12 +29,13 @@ use rtseed_model::{
     Time,
 };
 use rtseed_sim::{
-    BackgroundLoad, Calibration, EventQueue, FifoReadyQueue, OverheadKind, OverheadModel, Trace,
-    TraceEvent,
+    BackgroundLoad, Calibration, EventQueue, FaultPlan, FaultTarget, FifoReadyQueue,
+    OverheadKind, OverheadModel, TimerFault, Trace, TraceEvent,
 };
 
 use crate::config::SystemConfig;
-use crate::report::OverheadReport;
+use crate::report::{FaultReport, OverheadReport};
+use crate::supervisor::{OverloadSupervisor, SupervisorConfig};
 use crate::termination::TerminationMode;
 
 /// Run parameters for the simulation executor.
@@ -61,6 +62,12 @@ pub struct SimRunConfig {
     /// worst measured Δe (≈ 55 ms at np = 228 under CPU-Memory load
     /// against a 250 ms wind-up WCET).
     pub rt_exec_fraction: f64,
+    /// Deterministic fault schedule injected into the run
+    /// ([`FaultPlan::none`] by default: a healthy machine).
+    pub fault_plan: FaultPlan,
+    /// Overload supervisor configuration (disabled by default: faults run
+    /// their course unsupervised).
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for SimRunConfig {
@@ -73,6 +80,8 @@ impl Default for SimRunConfig {
             termination: TerminationMode::SigjmpTimer,
             collect_trace: false,
             rt_exec_fraction: 0.75,
+            fault_plan: FaultPlan::none(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -87,6 +96,9 @@ pub struct SimOutcome {
     pub qos: QosSummary,
     /// Execution trace (empty unless requested).
     pub trace: Trace,
+    /// What the fault plan injected and how the overload supervisor
+    /// responded (all-zero for an unfaulted, unsupervised run).
+    pub faults: FaultReport,
 }
 
 /// Which part of which task a scheduled unit of work belongs to.
@@ -110,6 +122,8 @@ enum Event {
     Complete { hw: usize, gen: u64 },
     OdExpire { task: usize, seq: u64 },
     WindupReady { task: usize, seq: u64 },
+    StallStart { hw: usize, duration: Span },
+    StallEnd { hw: usize },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +138,9 @@ struct Running {
 struct Cpu {
     queue: FifoReadyQueue<Work>,
     running: Option<Running>,
+    /// Depth of overlapping fault-plan stall windows; > 0 means the
+    /// hardware thread executes nothing.
+    stalled: u32,
 }
 
 #[derive(Debug, Clone)]
@@ -163,8 +180,16 @@ struct TaskRun {
     release: Time,
     phase: JobPhase,
     rt_remaining: Span,
+    /// Supervisor execution budget remaining for the current real-time
+    /// part (only enforced when the supervisor is armed).
+    rt_budget: Span,
     parts: Vec<PartState>,
     windup_scheduled: bool,
+    /// The current job exceeded a real-time budget (supervisor cut it).
+    overran: bool,
+    /// The current job ran with its optional parts shed (degraded mode or
+    /// quarantine).
+    shed: bool,
     // Across jobs.
     timer_broken: bool,
     jobs_done: u64,
@@ -213,10 +238,12 @@ impl SimExecutor {
     pub fn run(&self) -> SimOutcome {
         let mut sim = SimState::new(&self.config, &self.run_cfg);
         sim.run();
+        let faults = sim.sup.finish(sim.now);
         SimOutcome {
             overheads: sim.overheads,
             qos: sim.qos,
             trace: sim.trace,
+            faults,
         }
     }
 }
@@ -234,6 +261,7 @@ struct SimState<'a> {
     qos: QosSummary,
     trace: Trace,
     live_tasks: usize,
+    sup: OverloadSupervisor,
 }
 
 impl<'a> SimState<'a> {
@@ -266,13 +294,17 @@ impl<'a> SimState<'a> {
                 release: Time::ZERO,
                 phase: JobPhase::Done, // becomes Released at first release
                 rt_remaining: Span::ZERO,
+                rt_budget: Span::ZERO,
                 parts: Vec::new(),
                 windup_scheduled: false,
+                overran: false,
+                shed: false,
                 timer_broken: false,
                 jobs_done: 0,
             })
             .collect::<Vec<_>>();
         let live_tasks = tasks.len();
+        let sup = OverloadSupervisor::new(run.supervisor, tasks.len());
         SimState {
             cfg,
             run,
@@ -286,6 +318,7 @@ impl<'a> SimState<'a> {
             qos: QosSummary::new(),
             trace: Trace::new(),
             live_tasks,
+            sup,
         }
     }
 
@@ -308,6 +341,23 @@ impl<'a> SimState<'a> {
                 },
             );
         }
+        // Planned CPU stall windows enter the same event queue as everything
+        // else, so a faulted run replays exactly like a healthy one.
+        for stall in self.run.fault_plan.stalls() {
+            let hw = stall.hw as usize;
+            if hw >= self.cpus.len() {
+                continue;
+            }
+            self.events.push(
+                stall.at,
+                Event::StallStart {
+                    hw,
+                    duration: stall.duration,
+                },
+            );
+            self.events
+                .push(stall.at + stall.duration, Event::StallEnd { hw });
+        }
         while self.live_tasks > 0 {
             let Some((at, event)) = self.events.pop() else {
                 break;
@@ -320,6 +370,8 @@ impl<'a> SimState<'a> {
                 Event::Complete { hw, gen } => self.on_complete(hw, gen),
                 Event::OdExpire { task, seq } => self.on_od_expire(task, seq),
                 Event::WindupReady { task, seq } => self.on_windup_ready(task, seq),
+                Event::StallStart { hw, duration } => self.on_stall_start(hw, duration),
+                Event::StallEnd { hw } => self.on_stall_end(hw),
             }
         }
     }
@@ -352,21 +404,38 @@ impl<'a> SimState<'a> {
         }
 
         let release = self.now;
+        let next_seq = self.tasks[task].jobs_done;
+        let mand_factor =
+            self.run
+                .fault_plan
+                .wcet_factor(task as u32, next_seq, FaultTarget::Mandatory);
+        let timer_fault = self.run.fault_plan.timer_fault(task as u32, next_seq);
         let t = &mut self.tasks[task];
         t.release = release;
         t.seq = t.jobs_done;
         t.phase = JobPhase::Released;
-        t.rt_remaining = t.mandatory;
+        t.rt_remaining = t.mandatory.mul_f64(mand_factor);
         t.parts = t.optional.iter().map(|_| PartState::fresh()).collect();
         t.windup_scheduled = false;
+        t.overran = false;
+        t.shed = false;
         let seq = t.seq;
         let period = t.period;
         let od_time = t.od_time();
         let has_parts = !t.optional.is_empty();
         let jobs_done = t.jobs_done;
         let job = t.job(task);
+        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].mandatory);
 
         self.trace(TraceEvent::JobReleased { job });
+        if mand_factor != 1.0 {
+            self.sup.note_wcet_fault();
+            self.trace(TraceEvent::WcetFaultInjected {
+                job,
+                target: FaultTarget::Mandatory,
+                factor: mand_factor,
+            });
+        }
 
         // Δm: wake-up latency before the mandatory thread is runnable.
         let dm = self.model.begin_mandatory();
@@ -382,9 +451,27 @@ impl<'a> SimState<'a> {
         );
 
         // The optional-deadline timer (armed per job; the handler no-ops if
-        // the Table I signal-mask defect broke the timer).
+        // the Table I signal-mask defect broke the timer). The fault plan
+        // may delay the one-shot or lose it outright.
         if has_parts {
-            self.events.push(od_time, Event::OdExpire { task, seq });
+            match timer_fault {
+                None => self.events.push(od_time, Event::OdExpire { task, seq }),
+                Some(TimerFault::Delay(d)) => {
+                    self.sup.note_timer_fault();
+                    self.trace(TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Delay(d),
+                    });
+                    self.events.push(od_time + d, Event::OdExpire { task, seq });
+                }
+                Some(TimerFault::Lost) => {
+                    self.sup.note_timer_fault();
+                    self.trace(TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Lost,
+                    });
+                }
+            }
         }
 
         // Periodic releases continue while jobs remain.
@@ -418,12 +505,46 @@ impl<'a> SimState<'a> {
         }
         self.cpus[hw].running = None;
         let work = running.work;
+        if matches!(work.cursor, Cursor::Mandatory | Cursor::Windup) {
+            // Bank what actually ran. Under an armed supervisor the
+            // dispatched slice was clipped to the remaining budget, so
+            // demand left over here means the part hit its budget: cut it
+            // (treat it as complete) instead of letting the overrun eat
+            // into lower-priority parts' response times.
+            let ran = self.now.saturating_elapsed_since(running.since);
+            self.bank_execution(work, ran);
+            if self.sup.enabled() && !self.tasks[work.task].rt_remaining.is_zero() {
+                self.budget_cut(work);
+            }
+        }
         match work.cursor {
             Cursor::Mandatory => self.mandatory_completed(work.task),
             Cursor::Optional(k) => self.optional_completed(work.task, k),
             Cursor::Windup => self.windup_completed(work.task),
         }
         self.resched(hw);
+    }
+
+    /// A supervised real-time part reached its execution budget with
+    /// demand remaining: shed the excess and escalate.
+    fn budget_cut(&mut self, work: Work) {
+        let task = work.task;
+        let target = match work.cursor {
+            Cursor::Windup => FaultTarget::Windup,
+            _ => FaultTarget::Mandatory,
+        };
+        self.tasks[task].rt_remaining = Span::ZERO;
+        self.tasks[task].overran = true;
+        self.sup.note_budget_cut();
+        let job = self.tasks[task].job(task);
+        self.trace(TraceEvent::BudgetCut { job, target });
+        let resp = self.sup.on_overrun(task, self.now);
+        if resp.quarantined_task {
+            self.trace(TraceEvent::TaskQuarantined { job });
+        }
+        if resp.entered_degraded {
+            self.trace(TraceEvent::DegradedModeEntered);
+        }
     }
 
     fn mandatory_completed(&mut self, task: usize) {
@@ -451,6 +572,29 @@ impl<'a> SimState<'a> {
             // §II-B: mandatory part overran the optional deadline — every
             // optional part is discarded and the wind-up part runs
             // immediately after the mandatory part.
+            for k in 0..np {
+                self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
+                let job = self.tasks[task].job(task);
+                self.trace(TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome: OptionalOutcome::Discarded,
+                    achieved: Span::ZERO,
+                });
+            }
+            self.tasks[task].phase = JobPhase::OptionalRunning;
+            self.schedule_windup(task, seq, self.now);
+            return;
+        }
+
+        if self.sup.shed_optional(task) {
+            // Overload supervisor: degraded mode or task quarantine —
+            // optional parts are shed (discarded unstarted), the wind-up
+            // part runs right after the mandatory part. No signalling, no
+            // Δb/Δs, no OD-timer interference: minimum service, maximum
+            // headroom.
+            self.sup.note_degraded_job();
+            self.tasks[task].shed = true;
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
                 let job = self.tasks[task].job(task);
@@ -559,7 +703,10 @@ impl<'a> SimState<'a> {
             return; // timer was (conceptually) cancelled by early completion
         }
 
-        let od_time = self.tasks[task].od_time();
+        // Termination happens when the timer actually fires: `self.now` is
+        // the nominal OD normally, later if the fault plan delayed the
+        // one-shot (parts kept running in the meantime).
+        let term_at = self.now;
         let topology = *self.cfg.topology();
         let mode = self.run.termination;
 
@@ -589,8 +736,8 @@ impl<'a> SimState<'a> {
                 match part.running_since {
                     Some(since) => {
                         let lag = mode
-                            .termination_lag(part.started.unwrap_or(since), od_time);
-                        let ran = od_time.saturating_elapsed_since(since) + lag;
+                            .termination_lag(part.started.unwrap_or(since), term_at);
+                        let ran = term_at.saturating_elapsed_since(since) + lag;
                         ((part.executed + ran).min(o_k), lag)
                     }
                     None => (part.executed, Span::ZERO),
@@ -635,7 +782,7 @@ impl<'a> SimState<'a> {
             self.tasks[task].timer_broken = true;
         }
 
-        let windup_at = od_time + max_lag + handling;
+        let windup_at = term_at + max_lag + handling;
         self.schedule_windup(task, seq, windup_at);
     }
 
@@ -643,14 +790,51 @@ impl<'a> SimState<'a> {
         if self.tasks[task].seq != seq || self.tasks[task].phase == JobPhase::Done {
             return;
         }
+        let factor = self
+            .run
+            .fault_plan
+            .wcet_factor(task as u32, seq, FaultTarget::Windup);
         self.tasks[task].phase = JobPhase::WindupRunning;
-        self.tasks[task].rt_remaining = self.tasks[task].windup;
+        self.tasks[task].rt_remaining = self.tasks[task].windup.mul_f64(factor);
+        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].windup);
         let job = self.tasks[task].job(task);
         self.trace(TraceEvent::WindupStarted { job });
+        if factor != 1.0 {
+            self.sup.note_wcet_fault();
+            self.trace(TraceEvent::WcetFaultInjected {
+                job,
+                target: FaultTarget::Windup,
+                factor,
+            });
+        }
         self.on_ready(Work {
             task,
             cursor: Cursor::Windup,
         });
+    }
+
+    fn on_stall_start(&mut self, hw: usize, duration: Span) {
+        self.sup.note_cpu_stall();
+        self.trace(TraceEvent::CpuStallStarted {
+            hw: rtseed_model::HwThreadId(hw as u32),
+            duration,
+        });
+        self.cpus[hw].stalled += 1;
+        // Whatever was running loses the processor; its banked progress is
+        // kept and it resumes at the head of its priority level when the
+        // stall window closes.
+        if let Some(r) = self.cpus[hw].running.take() {
+            let ran = self.now.saturating_elapsed_since(r.since);
+            self.bank_execution(r.work, ran);
+            self.cpus[hw].queue.enqueue_front(r.prio, r.work);
+        }
+    }
+
+    fn on_stall_end(&mut self, hw: usize) {
+        self.cpus[hw].stalled = self.cpus[hw].stalled.saturating_sub(1);
+        if self.cpus[hw].stalled == 0 {
+            self.resched(hw);
+        }
     }
 
     // ----- helpers --------------------------------------------------------
@@ -696,7 +880,29 @@ impl<'a> SimState<'a> {
             deadline_met,
         });
         let requested = self.tasks[task].requested_optional();
-        self.qos.record(&rec, requested);
+        self.qos
+            .record_with_mode(&rec, requested, self.tasks[task].shed);
+        if self.sup.enabled() {
+            if self.tasks[task].overran {
+                // Already escalated at budget-cut time.
+            } else if deadline_met {
+                let resp = self.sup.on_clean_job(task, self.now);
+                if resp.recovered {
+                    self.trace(TraceEvent::DegradedModeExited);
+                }
+            } else {
+                // A miss without a budget overrun (stall-induced, lost
+                // timer, overrun into the next release) is still an
+                // overload signal.
+                let resp = self.sup.on_overrun(task, self.now);
+                if resp.quarantined_task {
+                    self.trace(TraceEvent::TaskQuarantined { job: rec.job });
+                }
+                if resp.entered_degraded {
+                    self.trace(TraceEvent::DegradedModeEntered);
+                }
+            }
+        }
         let t = &mut self.tasks[task];
         t.jobs_done += 1;
         if t.jobs_done >= self.run.jobs {
@@ -760,6 +966,7 @@ impl<'a> SimState<'a> {
         match work.cursor {
             Cursor::Mandatory | Cursor::Windup => {
                 t.rt_remaining = t.rt_remaining.saturating_sub(ran);
+                t.rt_budget = t.rt_budget.saturating_sub(ran);
             }
             Cursor::Optional(k) => {
                 let part = &mut t.parts[k as usize];
@@ -772,6 +979,11 @@ impl<'a> SimState<'a> {
     /// SCHED_FIFO dispatch for one processor: preempt if a higher-priority
     /// thread is waiting, then fill an idle processor with the best thread.
     fn resched(&mut self, hw: usize) {
+        // A stalled hardware thread dispatches nothing until the window
+        // closes (the stall handler already vacated it).
+        if self.cpus[hw].stalled > 0 {
+            return;
+        }
         // Preemption check.
         if let Some(running) = self.cpus[hw].running {
             let waiting = self.cpus[hw].queue.peek_highest_priority();
@@ -804,6 +1016,17 @@ impl<'a> SimState<'a> {
         self.events.push(self.now + remaining, Event::Complete { hw, gen });
     }
 
+    /// Remaining execution to dispatch for a real-time part: the demand,
+    /// clipped to the supervisor budget when the supervisor is armed.
+    fn rt_slice(&self, task: usize) -> Span {
+        let t = &self.tasks[task];
+        if self.sup.enabled() {
+            t.rt_remaining.min(t.rt_budget)
+        } else {
+            t.rt_remaining
+        }
+    }
+
     /// Updates per-part/per-phase state at dispatch; returns remaining
     /// execution.
     fn dispatch_bookkeeping(&mut self, work: Work) -> Span {
@@ -819,9 +1042,9 @@ impl<'a> SimState<'a> {
                         hw: rtseed_model::HwThreadId(hw as u32),
                     });
                 }
-                self.tasks[work.task].rt_remaining
+                self.rt_slice(work.task)
             }
-            Cursor::Windup => self.tasks[work.task].rt_remaining,
+            Cursor::Windup => self.rt_slice(work.task),
             Cursor::Optional(k) => {
                 let o_k = self.tasks[work.task].optional[k as usize];
                 let now = self.now;
@@ -995,6 +1218,225 @@ mod tests {
         assert_eq!(a.qos, b.qos);
         assert_eq!(a.overheads, b.overheads);
         assert_eq!(a.trace, b.trace);
+        assert!(a.faults.is_clean());
+    }
+
+    fn mandatory_fault_plan(factor: f64, jobs: rtseed_sim::JobWindow) -> FaultPlan {
+        FaultPlan::new(1).with_wcet_fault(rtseed_sim::WcetFault {
+            task: None,
+            jobs,
+            target: FaultTarget::Mandatory,
+            factor,
+        })
+    }
+
+    #[test]
+    fn wcet_fault_without_supervisor_misses_deadlines() {
+        // 5× the mandatory demand (0.75 × 250 ms × 5 = 937.5 ms) blows past
+        // the optional deadline and leaves no room for the wind-up part.
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 4,
+                fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::ALL),
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.deadline_misses(), 4);
+        assert_eq!(out.faults.wcet_faults, 4);
+        // Unsupervised: faults observed, nothing cut, nothing degraded.
+        assert_eq!(out.faults.budget_cuts, 0);
+        assert_eq!(out.faults.degraded_entries, 0);
+    }
+
+    #[test]
+    fn supervisor_budget_cut_preserves_deadlines_under_same_fault() {
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 4,
+                fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::ALL),
+                supervisor: SupervisorConfig::armed(),
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        // Every mandatory part is cut at its declared budget, so the
+        // analysed schedule holds: zero misses.
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert_eq!(out.faults.budget_cuts, 4);
+        assert_eq!(out.faults.overruns_detected, 4);
+        // Sustained overrun ⇒ degraded mode (entered at the 2nd cut) and
+        // eventually quarantine (3rd consecutive overrun).
+        assert_eq!(out.faults.degraded_entries, 1);
+        assert_eq!(out.faults.quarantines, 1);
+        assert_eq!(out.faults.jobs_degraded, 3, "jobs 1..=3 shed optional");
+        assert_eq!(out.qos.degraded_jobs(), 3);
+        assert!(out.faults.degraded_dwell > Span::ZERO);
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::BudgetCut { .. })),
+            4
+        );
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::DegradedModeEntered)),
+            1
+        );
+    }
+
+    #[test]
+    fn supervisor_recovers_when_the_fault_clears() {
+        // Fault the first two jobs only; the remaining clean jobs must
+        // bring the system back to normal mode with full QoS.
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 8,
+                fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::new(0, 2)),
+                supervisor: SupervisorConfig::armed(),
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        assert_eq!(out.qos.deadline_misses(), 0);
+        assert_eq!(out.faults.degraded_entries, 1);
+        assert!(out.faults.recovery_latency > Span::ZERO);
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::DegradedModeExited)),
+            1
+        );
+        // Post-recovery jobs deliver optional QoS again.
+        let (_, terminated, discarded) = out.qos.outcome_totals();
+        assert!(terminated > 0, "recovered jobs run optional parts");
+        assert!(discarded > 0, "degraded jobs shed optional parts");
+    }
+
+    #[test]
+    fn lost_timer_fault_breaks_one_job() {
+        let plan = FaultPlan::new(0).with_timer_fault(rtseed_sim::TimerFaultSpec {
+            task: None,
+            jobs: rtseed_sim::JobWindow::new(0, 1),
+            fault: TimerFault::Lost,
+        });
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 3,
+                fault_plan: plan,
+                ..Default::default()
+            },
+        )
+        .run();
+        // Job 0's parts (o = 1 s) run unchecked until the next release
+        // aborts the job; jobs 1–2 are healthy.
+        assert_eq!(out.qos.deadline_misses(), 1);
+        assert_eq!(out.faults.timer_faults, 1);
+    }
+
+    #[test]
+    fn delayed_timer_extends_optional_window() {
+        let delayed = |d_ms| {
+            executor(
+                2,
+                AssignmentPolicy::OneByOne,
+                SimRunConfig {
+                    jobs: 2,
+                    fault_plan: FaultPlan::new(0).with_timer_fault(
+                        rtseed_sim::TimerFaultSpec {
+                            task: None,
+                            jobs: rtseed_sim::JobWindow::ALL,
+                            fault: TimerFault::Delay(Span::from_millis(d_ms)),
+                        },
+                    ),
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let on_time = quick_run(2, 2);
+        let late = delayed(30);
+        // Parts keep executing during the latency spike...
+        assert!(late.qos.achieved_total() > on_time.qos.achieved_total());
+        // ...and a 30 ms spike fits inside the wind-up slack
+        // (1000 − 750 − 187.5 ≈ 62 ms), so deadlines still hold.
+        assert_eq!(late.qos.deadline_misses(), 0);
+        assert_eq!(late.faults.timer_faults, 2);
+        // A spike larger than the slack pushes the wind-up past the
+        // deadline.
+        assert_eq!(delayed(100).qos.deadline_misses(), 2);
+    }
+
+    #[test]
+    fn cpu_stall_starves_the_pinned_mandatory_thread() {
+        let plan = FaultPlan::new(0).with_cpu_stall(rtseed_sim::CpuStall {
+            hw: 0,
+            at: Time::ZERO,
+            duration: Span::from_millis(900),
+        });
+        let out = executor(
+            4,
+            AssignmentPolicy::OneByOne,
+            SimRunConfig {
+                jobs: 3,
+                fault_plan: plan,
+                collect_trace: true,
+                ..Default::default()
+            },
+        )
+        .run();
+        // Job 0 cannot start its mandatory part until 900 ms and is aborted
+        // by the next release; later jobs are healthy.
+        assert_eq!(out.qos.deadline_misses(), 1);
+        assert_eq!(out.faults.cpu_stalls, 1);
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::CpuStallStarted { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn faulted_run_replays_bit_identically() {
+        let run = || {
+            executor(
+                8,
+                AssignmentPolicy::OneByOne,
+                SimRunConfig {
+                    jobs: 6,
+                    fault_plan: FaultPlan::new(99)
+                        .with_random_overruns(rtseed_sim::RandomOverruns {
+                            probability: 0.4,
+                            min_factor: 2.0,
+                            max_factor: 6.0,
+                            target: FaultTarget::Mandatory,
+                        })
+                        .with_cpu_stall(rtseed_sim::CpuStall {
+                            hw: 1,
+                            at: Time::from_nanos(2_300_000_000),
+                            duration: Span::from_millis(40),
+                        }),
+                    supervisor: SupervisorConfig::armed(),
+                    collect_trace: true,
+                    ..Default::default()
+                },
+            )
+            .run()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.qos, b.qos);
+        assert_eq!(a.faults, b.faults);
+        assert!(!a.faults.is_clean());
     }
 
     #[test]

@@ -72,6 +72,7 @@ pub mod profile;
 pub mod queues;
 pub mod report;
 pub mod runtime;
+pub mod supervisor;
 pub mod termination;
 
 pub use config::{ConfigError, SystemConfig};
@@ -79,5 +80,6 @@ pub use exec_global::{GlobalExecutor, GlobalOutcome, GlobalRunConfig};
 pub use exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
 pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;
-pub use report::OverheadReport;
+pub use report::{FaultReport, OverheadReport};
+pub use supervisor::{OverloadMode, OverloadSupervisor, SupervisorConfig};
 pub use termination::TerminationMode;

@@ -151,6 +151,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // core index is part of the claim
     fn fig8b_two_by_two_171_parts() {
         // Fig. 8(b): four threads on C0–C27, three on C28, two on C29–C56.
         let counts = AssignmentPolicy::TwoByTwo.per_core_counts(&phi(), 171);
@@ -164,6 +165,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // core index is part of the claim
     fn fig8c_all_by_all_171_parts() {
         // Fig. 8(c): four threads on C0–C41, three on C42, none on C43–C56.
         let counts = AssignmentPolicy::AllByAll.per_core_counts(&phi(), 171);

@@ -143,6 +143,7 @@ impl RemainingProfile {
         }
         let height = 8usize;
         let mut rows = vec![vec![b' '; width]; height + 1];
+        #[allow(clippy::needless_range_loop)] // col indexes a computed row
         for col in 0..width {
             let t = d.mul_f64(col as f64 / (width.max(2) - 1) as f64);
             let r = self.remaining_at(t);

@@ -1,5 +1,7 @@
 //! Overhead sample collection and statistics — the measurement side of the
-//! paper's §V-B (means over 100 jobs per configuration).
+//! paper's §V-B (means over 100 jobs per configuration) — plus the fault /
+//! overload resilience report produced when a run executes under a
+//! [`FaultPlan`](rtseed_sim::FaultPlan) with the overload supervisor.
 
 use core::fmt;
 
@@ -119,6 +121,87 @@ impl fmt::Display for OverheadReport {
     }
 }
 
+/// What the fault plan did to a run and how the overload supervisor
+/// responded — the resilience counterpart of [`OverheadReport`].
+///
+/// All counters are totals over one run; [`merge`](FaultReport::merge)
+/// combines runs (dwell/latency spans add, so per-run means need the
+/// episode counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultReport {
+    /// WCET overruns the plan injected (demand multipliers applied).
+    pub wcet_faults: u64,
+    /// Optional-deadline timer faults injected (delays and losses).
+    pub timer_faults: u64,
+    /// CPU stall windows entered.
+    pub cpu_stalls: u64,
+    /// Real-time part overruns the supervisor observed (demand exceeded
+    /// the per-task budget).
+    pub overruns_detected: u64,
+    /// Real-time parts the supervisor cut at their budget.
+    pub budget_cuts: u64,
+    /// Quarantine episodes entered (a task's optional parts shed after
+    /// consecutive overruns).
+    pub quarantines: u64,
+    /// Jobs whose optional parts were shed by quarantine or degraded mode.
+    pub jobs_degraded: u64,
+    /// Times the system entered degraded (mandatory + wind-up only) mode.
+    pub degraded_entries: u64,
+    /// Total simulated time spent in degraded mode.
+    pub degraded_dwell: Span,
+    /// Total time from first overrun of an overload episode to full
+    /// recovery (normal mode restored). Divide by
+    /// [`degraded_entries`](FaultReport::degraded_entries) for the mean.
+    pub recovery_latency: Span,
+}
+
+impl FaultReport {
+    /// An all-zero report.
+    pub fn new() -> FaultReport {
+        FaultReport::default()
+    }
+
+    /// `true` when nothing was injected and nothing was supervised away —
+    /// the report of a healthy run.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultReport::default()
+    }
+
+    /// Adds another run's counters into this one.
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.wcet_faults += other.wcet_faults;
+        self.timer_faults += other.timer_faults;
+        self.cpu_stalls += other.cpu_stalls;
+        self.overruns_detected += other.overruns_detected;
+        self.budget_cuts += other.budget_cuts;
+        self.quarantines += other.quarantines;
+        self.jobs_degraded += other.jobs_degraded;
+        self.degraded_entries += other.degraded_entries;
+        self.degraded_dwell += other.degraded_dwell;
+        self.recovery_latency += other.recovery_latency;
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "injected: {} wcet, {} timer, {} cpu-stall",
+            self.wcet_faults, self.timer_faults, self.cpu_stalls
+        )?;
+        writeln!(
+            f,
+            "supervisor: {} overruns, {} budget cuts, {} quarantines, {} jobs degraded",
+            self.overruns_detected, self.budget_cuts, self.quarantines, self.jobs_degraded
+        )?;
+        write!(
+            f,
+            "degraded mode: {} entries, dwell {}, recovery latency {}",
+            self.degraded_entries, self.degraded_dwell, self.recovery_latency
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +274,29 @@ mod tests {
         for kind in OverheadKind::ALL {
             assert!(s.contains(kind.symbol()), "{s}");
         }
+    }
+
+    #[test]
+    fn fault_report_clean_and_merge() {
+        let mut a = FaultReport::new();
+        assert!(a.is_clean());
+        let b = FaultReport {
+            wcet_faults: 2,
+            budget_cuts: 1,
+            degraded_entries: 1,
+            degraded_dwell: us(500),
+            recovery_latency: us(700),
+            ..FaultReport::default()
+        };
+        assert!(!b.is_clean());
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.wcet_faults, 4);
+        assert_eq!(a.degraded_entries, 2);
+        assert_eq!(a.degraded_dwell, us(1000));
+        assert_eq!(a.recovery_latency, us(1400));
+        let s = a.to_string();
+        assert!(s.contains("4 wcet"), "{s}");
+        assert!(s.contains("2 entries"), "{s}");
     }
 }

@@ -26,7 +26,7 @@
 pub mod loadgen;
 pub mod posix;
 
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
@@ -36,8 +36,71 @@ use rtseed_model::{JobId, OptionalOutcome, PartId, QosRecord, QosSummary, Span, 
 use rtseed_sim::OverheadKind;
 
 use crate::config::SystemConfig;
-use crate::report::OverheadReport;
+use crate::report::{FaultReport, OverheadReport};
 use crate::termination::TerminationMode;
+
+/// Why a native run could not produce an outcome.
+///
+/// Injected faults and user bugs surface as `Err`, never as a panic in
+/// the middleware itself (the scheduler's own threads are panic-free; the
+/// only panics in flight are the user's, and those are caught, labelled
+/// and returned here).
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// `run` was given the wrong number of [`TaskBody`]s.
+    BodyCountMismatch {
+        /// Tasks in the configuration.
+        expected: usize,
+        /// Bodies supplied.
+        got: usize,
+    },
+    /// User code in a mandatory / wind-up body (or the task's coordinator
+    /// thread) panicked.
+    TaskPanicked {
+        /// Index of the offending task.
+        task: usize,
+        /// The panic message, when it was a string.
+        message: String,
+    },
+    /// User code in a parallel optional part panicked with something other
+    /// than a termination checkpoint.
+    WorkerPanicked {
+        /// Index of the offending task.
+        task: usize,
+        /// The panic message, when it was a string.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::BodyCountMismatch { expected, got } => write!(
+                f,
+                "one TaskBody per task is required: {expected} tasks, {got} bodies"
+            ),
+            RuntimeError::TaskPanicked { task, message } => {
+                write!(f, "task {task} panicked: {message}")
+            }
+            RuntimeError::WorkerPanicked { task, message } => {
+                write!(f, "optional worker of task {task} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("(non-string panic payload)")
+    }
+}
 
 /// Handle given to optional-part closures for cooperative termination.
 #[derive(Debug)]
@@ -77,11 +140,14 @@ impl OptionalControl {
     }
 }
 
+/// Shared optional-part body, callable from any worker thread.
+type OptionalBody = Arc<dyn Fn(JobId, PartId, &OptionalControl) + Send + Sync>;
+
 /// The three executable bodies of a parallel-extended imprecise task
 /// (paper §IV-C: `execMandatory`, `execOptional`, `execWindup`).
 pub struct TaskBody {
     mandatory: Box<dyn FnMut(JobId) + Send>,
-    optional: Arc<dyn Fn(JobId, PartId, &OptionalControl) + Send + Sync>,
+    optional: OptionalBody,
     windup: Box<dyn FnMut(JobId) + Send>,
 }
 
@@ -187,6 +253,11 @@ pub struct NativeOutcome {
     pub qos: QosSummary,
     /// What the privileged setup calls achieved.
     pub runtime: RuntimeReport,
+    /// Overload the runtime *observed* (the native backend injects
+    /// nothing): `overruns_detected` counts deadline misses,
+    /// `jobs_degraded` counts jobs where at least one optional part was
+    /// terminated or discarded instead of completing.
+    pub faults: FaultReport,
 }
 
 /// The native executor: real threads, real time.
@@ -205,16 +276,20 @@ impl NativeExecutor {
     /// Runs every task of the configuration to completion with the given
     /// bodies (one per task, in task order) and returns the measurements.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `bodies.len()` differs from the task count, or if user
-    /// code panics with anything other than a termination checkpoint.
-    pub fn run(&self, bodies: Vec<TaskBody>) -> NativeOutcome {
-        assert_eq!(
-            bodies.len(),
-            self.config.set().len(),
-            "one TaskBody per task is required"
-        );
+    /// Returns [`RuntimeError::BodyCountMismatch`] when `bodies.len()`
+    /// differs from the task count, and [`RuntimeError::TaskPanicked`] /
+    /// [`RuntimeError::WorkerPanicked`] when user code panics with
+    /// anything other than a termination checkpoint. All task threads are
+    /// joined before an error is returned — nothing keeps running.
+    pub fn run(&self, bodies: Vec<TaskBody>) -> Result<NativeOutcome, RuntimeError> {
+        if bodies.len() != self.config.set().len() {
+            return Err(RuntimeError::BodyCountMismatch {
+                expected: self.config.set().len(),
+                got: bodies.len(),
+            });
+        }
         let mut handles = Vec::new();
         for (idx, body) in bodies.into_iter().enumerate() {
             let tcfg = TaskThreadConfig::from_config(&self.config, idx, &self.run_cfg);
@@ -223,17 +298,37 @@ impl NativeExecutor {
         let mut overheads = OverheadReport::new();
         let mut qos = QosSummary::new();
         let mut runtime = RuntimeReport::default();
-        for h in handles {
-            let (o, q, r) = h.join().expect("task thread panicked");
-            overheads.merge(&o);
-            qos.merge(&q);
-            runtime.merge(&r);
+        let mut faults = FaultReport::new();
+        let mut first_err = None;
+        // Join every thread even after an error so no task outlives `run`.
+        for (task, h) in handles.into_iter().enumerate() {
+            match h.join() {
+                Ok(Ok((o, q, r, f))) => {
+                    overheads.merge(&o);
+                    qos.merge(&q);
+                    runtime.merge(&r);
+                    faults.merge(&f);
+                }
+                Ok(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                Err(payload) => {
+                    first_err.get_or_insert(RuntimeError::TaskPanicked {
+                        task,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
         }
-        NativeOutcome {
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        Ok(NativeOutcome {
             overheads,
             qos,
             runtime,
-        }
+            faults,
+        })
     }
 }
 
@@ -355,7 +450,7 @@ fn try_rt_setup(report: &Mutex<RuntimeReport>, prio: u8, hw: usize, attempt: boo
 
 fn worker_main(
     slot: Arc<WorkerSlot>,
-    body: Arc<dyn Fn(JobId, PartId, &OptionalControl) + Send + Sync>,
+    body: OptionalBody,
     part: PartId,
     mode: TerminationMode,
     fatal: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
@@ -433,8 +528,10 @@ fn worker_main(
     }
 }
 
+type TaskMainOk = (OverheadReport, QosSummary, RuntimeReport, FaultReport);
+
 #[allow(clippy::too_many_lines)]
-fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> (OverheadReport, QosSummary, RuntimeReport) {
+fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, RuntimeError> {
     let TaskBody {
         mut mandatory,
         optional,
@@ -481,6 +578,7 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> (OverheadReport, QosSumma
 
     let mut overheads = OverheadReport::new();
     let mut qos = QosSummary::new();
+    let mut faults = FaultReport::new();
     let requested: Span = cfg.optional_spans.iter().copied().sum();
 
     let anchor = Instant::now();
@@ -581,6 +679,16 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> (OverheadReport, QosSumma
         windup(job);
         let windup_done = Instant::now();
         let deadline_met = windup_done <= release + cfg.deadline;
+        if !deadline_met {
+            faults.overruns_detected += 1;
+        }
+        if np > 0
+            && parts
+                .iter()
+                .any(|(_, o)| *o != OptionalOutcome::Completed)
+        {
+            faults.jobs_degraded += 1;
+        }
         qos.record(
             &QosRecord {
                 job,
@@ -598,22 +706,35 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> (OverheadReport, QosSumma
         }
     }
 
-    // Shut the workers down.
+    // Shut the workers down; join all of them before reporting any error
+    // so no optional thread outlives its task.
     for slot in &slots {
         slot.cell.lock().push(Cmd::Exit);
         slot.cv.notify_one();
     }
+    let mut worker_err = None;
     for w in workers {
-        w.join().expect("optional worker panicked");
+        if let Err(payload) = w.join() {
+            worker_err.get_or_insert_with(|| RuntimeError::WorkerPanicked {
+                task: cfg.task.index(),
+                message: panic_message(payload.as_ref()),
+            });
+        }
+    }
+    if let Some(e) = worker_err {
+        return Err(e);
     }
     if let Some(payload) = aborted {
-        resume_unwind(payload);
+        return Err(RuntimeError::WorkerPanicked {
+            task: cfg.task.index(),
+            message: panic_message(payload.as_ref()),
+        });
     }
 
     let report = Arc::try_unwrap(report)
         .map(Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone());
-    (overheads, qos, report)
+    Ok((overheads, qos, report, faults))
 }
 
 #[cfg(test)]
@@ -663,12 +784,16 @@ mod tests {
     fn protocol_runs_and_terminates_overrunning_parts() {
         let cfg = quick_config(2);
         let exec = NativeExecutor::new(cfg, run_cfg(3));
-        let out = exec.run(vec![TaskBody::new(
-            |_| std::thread::sleep(StdDuration::from_millis(1)),
-            overrunning_optional(),
-            |_| {},
-        )]);
+        let out = exec
+            .run(vec![TaskBody::new(
+                |_| std::thread::sleep(StdDuration::from_millis(1)),
+                overrunning_optional(),
+                |_| {},
+            )])
+            .expect("run");
         assert_eq!(out.qos.jobs(), 3);
+        // Terminated parts are observed overload: every job degraded.
+        assert_eq!(out.faults.jobs_degraded, 3);
         let (completed, terminated, discarded) = out.qos.outcome_totals();
         assert_eq!(completed, 0);
         assert_eq!(terminated, 2 * 3);
@@ -684,13 +809,16 @@ mod tests {
     fn quick_parts_complete() {
         let cfg = quick_config(2);
         let exec = NativeExecutor::new(cfg, run_cfg(2));
-        let out = exec.run(vec![TaskBody::new(
-            |_| {},
-            |_, _, _| std::thread::sleep(StdDuration::from_millis(2)),
-            |_| {},
-        )]);
+        let out = exec
+            .run(vec![TaskBody::new(
+                |_| {},
+                |_, _, _| std::thread::sleep(StdDuration::from_millis(2)),
+                |_| {},
+            )])
+            .expect("run");
         let (completed, terminated, discarded) = out.qos.outcome_totals();
         assert_eq!(completed, 4, "t/d = {terminated}/{discarded}");
+        assert_eq!(out.faults.jobs_degraded, 0);
         // Completing early means no Δe samples.
         assert_eq!(out.overheads.count(OverheadKind::EndOptional), 0);
     }
@@ -706,14 +834,16 @@ mod tests {
                 attempt_rt: false,
             },
         );
-        let out = exec.run(vec![TaskBody::new(
-            |_| {},
-            |_, _, ctl: &OptionalControl| loop {
-                ctl.checkpoint();
-                std::thread::sleep(StdDuration::from_micros(200));
-            },
-            |_| {},
-        )]);
+        let out = exec
+            .run(vec![TaskBody::new(
+                |_| {},
+                |_, _, ctl: &OptionalControl| loop {
+                    ctl.checkpoint();
+                    std::thread::sleep(StdDuration::from_micros(200));
+                },
+                |_| {},
+            )])
+            .expect("run");
         let (_, terminated, _) = out.qos.outcome_totals();
         assert_eq!(terminated, 4);
         // Unlike the paper's C++ try-catch, the Rust unwind path re-arms
@@ -723,17 +853,24 @@ mod tests {
     }
 
     #[test]
-    fn user_panic_propagates() {
+    fn user_panic_surfaces_as_typed_error() {
         let cfg = quick_config(1);
         let exec = NativeExecutor::new(cfg, run_cfg(1));
-        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            exec.run(vec![TaskBody::new(
+        let err = exec
+            .run(vec![TaskBody::new(
                 |_| {},
                 |_, _, _| panic!("user bug"),
                 |_| {},
             )])
-        }));
-        assert!(result.is_err());
+            .unwrap_err();
+        match &err {
+            RuntimeError::WorkerPanicked { task, message } => {
+                assert_eq!(*task, 0);
+                assert_eq!(message, "user bug");
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert!(err.to_string().contains("user bug"), "{err}");
     }
 
     #[test]
@@ -749,10 +886,13 @@ mod tests {
             AssignmentPolicy::OneByOne,
         )
         .unwrap();
-        let out = NativeExecutor::new(cfg, run_cfg(3)).run(vec![TaskBody::no_op()]);
+        let out = NativeExecutor::new(cfg, run_cfg(3))
+            .run(vec![TaskBody::no_op()])
+            .expect("run");
         assert_eq!(out.qos.jobs(), 3);
         assert_eq!(out.qos.deadline_misses(), 0);
         assert!((out.qos.aggregate_ratio() - 1.0).abs() < 1e-12);
+        assert!(out.faults.is_clean(), "{}", out.faults);
     }
 
     #[test]
@@ -766,11 +906,9 @@ mod tests {
                 attempt_rt: true,
             },
         );
-        let out = exec.run(vec![TaskBody::new(
-            |_| {},
-            |_, _, _| {},
-            |_| {},
-        )]);
+        let out = exec
+            .run(vec![TaskBody::new(|_| {}, |_, _, _| {}, |_| {})])
+            .expect("run");
         let r = &out.runtime;
         assert!(r.os_cpus >= 1);
         // Substitution is reported for SigjmpTimer.
@@ -782,20 +920,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one TaskBody per task")]
-    fn body_count_must_match() {
+    fn body_count_mismatch_is_a_typed_error() {
         let exec = NativeExecutor::new(quick_config(1), run_cfg(1));
-        let _ = exec.run(vec![]);
+        let err = exec.run(vec![]).unwrap_err();
+        match err {
+            RuntimeError::BodyCountMismatch { expected, got } => {
+                assert_eq!((expected, got), (1, 0));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
     }
 
     #[test]
     fn deadlines_met_under_nominal_load() {
         let cfg = quick_config(2);
-        let out = NativeExecutor::new(cfg, run_cfg(3)).run(vec![TaskBody::new(
-            |_| {},
-            overrunning_optional(),
-            |_| {},
-        )]);
+        let out = NativeExecutor::new(cfg, run_cfg(3))
+            .run(vec![TaskBody::new(|_| {}, overrunning_optional(), |_| {})])
+            .expect("run");
         // 2 ms of wind-up budget against ~µs-scale actual work: even
         // unprivileged scheduling meets a 60 ms deadline — tolerate one
         // CFS hiccup on loaded CI machines.

@@ -83,6 +83,7 @@ pub struct QosSummary {
     achieved_total: Span,
     requested_total: Span,
     ratio_sum: f64,
+    degraded_jobs: u64,
 }
 
 impl QosSummary {
@@ -94,6 +95,16 @@ impl QosSummary {
     /// Folds one job record into the summary. `requested` is the job's total
     /// requested optional execution `Σ oᵢ,ₖ`.
     pub fn record(&mut self, rec: &QosRecord, requested: Span) {
+        self.record_with_mode(rec, requested, false);
+    }
+
+    /// Like [`record`](QosSummary::record), additionally noting whether the
+    /// job ran under an overload supervisor's degraded mode or quarantine
+    /// (its optional parts were shed rather than scheduled).
+    pub fn record_with_mode(&mut self, rec: &QosRecord, requested: Span, degraded: bool) {
+        if degraded {
+            self.degraded_jobs += 1;
+        }
         self.jobs += 1;
         if !rec.deadline_met {
             self.deadline_misses += 1;
@@ -117,6 +128,13 @@ impl QosSummary {
     #[inline]
     pub fn deadline_misses(&self) -> u64 {
         self.deadline_misses
+    }
+
+    /// Number of jobs that ran with optional parts shed (degraded mode or
+    /// task quarantine).
+    #[inline]
+    pub fn degraded_jobs(&self) -> u64 {
+        self.degraded_jobs
     }
 
     /// Optional parts completed / terminated / discarded across all jobs.
@@ -165,6 +183,7 @@ impl QosSummary {
         self.achieved_total += other.achieved_total;
         self.requested_total += other.requested_total;
         self.ratio_sum += other.ratio_sum;
+        self.degraded_jobs += other.degraded_jobs;
     }
 }
 
@@ -172,9 +191,10 @@ impl fmt::Display for QosSummary {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} jobs, {} misses, parts C/T/D = {}/{}/{}, QoS {:.3}",
+            "{} jobs, {} misses, {} degraded, parts C/T/D = {}/{}/{}, QoS {:.3}",
             self.jobs,
             self.deadline_misses,
+            self.degraded_jobs,
             self.completed,
             self.terminated,
             self.discarded,
@@ -264,6 +284,20 @@ mod tests {
         assert_eq!(a.jobs(), 2);
         assert_eq!(a.outcome_totals(), (1, 0, 1));
         assert!((a.aggregate_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_jobs_are_counted_and_merged() {
+        let mut a = QosSummary::new();
+        a.record_with_mode(&rec(0, vec![], true), Span::ZERO, true);
+        a.record(&rec(1, vec![], true), Span::ZERO);
+        assert_eq!(a.degraded_jobs(), 1);
+        assert_eq!(a.jobs(), 2);
+        let mut b = QosSummary::new();
+        b.record_with_mode(&rec(2, vec![], true), Span::ZERO, true);
+        a.merge(&b);
+        assert_eq!(a.degraded_jobs(), 2);
+        assert!(a.to_string().contains("2 degraded"), "{a}");
     }
 
     #[test]

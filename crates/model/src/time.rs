@@ -72,7 +72,7 @@ impl Span {
     /// representable range and treating NaN/negative input as zero.
     #[inline]
     pub fn from_secs_f64(s: f64) -> Self {
-        if !(s > 0.0) {
+        if s.is_nan() || s <= 0.0 {
             return Span::ZERO;
         }
         let ns = s * 1e9;
@@ -269,11 +269,11 @@ impl fmt::Display for Span {
         let ns = self.0;
         if ns == 0 {
             write!(f, "0s")
-        } else if ns % 1_000_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000_000) {
             write!(f, "{}s", ns / 1_000_000_000)
-        } else if ns % 1_000_000 == 0 {
+        } else if ns.is_multiple_of(1_000_000) {
             write!(f, "{}ms", ns / 1_000_000)
-        } else if ns % 1_000 == 0 {
+        } else if ns.is_multiple_of(1_000) {
             write!(f, "{}us", ns / 1_000)
         } else {
             write!(f, "{ns}ns")

@@ -19,7 +19,10 @@
 //!   four overheads of Fig. 9 (Δm, Δb, Δs, Δe) from mechanistic inputs
 //!   (number of parallel optional parts, distinct cores touched, SMT
 //!   occupancy, cache pollution), and
-//! * an execution **trace** ([`trace`]) for tests and visualization.
+//! * an execution **trace** ([`trace`]) for tests and visualization, and
+//! * a deterministic **fault plan** ([`fault`]): seeded, replayable WCET
+//!   overruns, optional-deadline timer faults and CPU stall windows that
+//!   the executors inject through the event queue.
 //!
 //! The middleware crate (`rtseed`) drives this machine with the *same*
 //! scheduler state machine it uses on real Linux; only the clock and the
@@ -29,6 +32,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod eventq;
+pub mod fault;
 pub mod load;
 pub mod overhead;
 pub mod readyq;
@@ -36,6 +40,10 @@ pub mod timer;
 pub mod trace;
 
 pub use eventq::EventQueue;
+pub use fault::{
+    CpuStall, FaultPlan, FaultTarget, JobWindow, RandomOverruns, TimerFault, TimerFaultSpec,
+    WcetFault,
+};
 pub use load::BackgroundLoad;
 pub use overhead::{Calibration, OverheadKind, OverheadModel, OverheadSample};
 pub use readyq::FifoReadyQueue;

@@ -7,6 +7,8 @@ use core::fmt;
 use rtseed_model::{HwThreadId, JobId, OptionalOutcome, PartId, Span, Time};
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultTarget, TimerFault};
+
 /// One traced occurrence.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceEvent {
@@ -64,6 +66,47 @@ pub enum TraceEvent {
         /// The job.
         job: JobId,
     },
+    /// The fault plan inflated a real-time part's execution demand.
+    WcetFaultInjected {
+        /// The job.
+        job: JobId,
+        /// Which part overruns.
+        target: FaultTarget,
+        /// Demand multiplier applied.
+        factor: f64,
+    },
+    /// The fault plan perturbed the job's optional-deadline timer.
+    TimerFaultInjected {
+        /// The job.
+        job: JobId,
+        /// The injected fault.
+        fault: TimerFault,
+    },
+    /// A hardware thread entered a planned stall window.
+    CpuStallStarted {
+        /// The stalled hardware thread.
+        hw: HwThreadId,
+        /// Stall length.
+        duration: Span,
+    },
+    /// The overload supervisor cut a real-time part at its budget.
+    BudgetCut {
+        /// The job.
+        job: JobId,
+        /// Which part was cut.
+        target: FaultTarget,
+    },
+    /// The overload supervisor quarantined the job's task (its optional
+    /// parts are skipped until the task proves healthy again).
+    TaskQuarantined {
+        /// The job whose overrun tripped the quarantine.
+        job: JobId,
+    },
+    /// The overload supervisor switched the system to degraded mode
+    /// (mandatory + wind-up only).
+    DegradedModeEntered,
+    /// The overload supervisor recovered the system to normal mode.
+    DegradedModeExited,
 }
 
 /// A time-ordered trace.
@@ -117,7 +160,14 @@ impl Trace {
             | TraceEvent::OptionalEnded { job: j, .. }
             | TraceEvent::WindupStarted { job: j }
             | TraceEvent::WindupCompleted { job: j, .. }
-            | TraceEvent::OptionalDeadlineExpired { job: j } => *j == job,
+            | TraceEvent::OptionalDeadlineExpired { job: j }
+            | TraceEvent::WcetFaultInjected { job: j, .. }
+            | TraceEvent::TimerFaultInjected { job: j, .. }
+            | TraceEvent::BudgetCut { job: j, .. }
+            | TraceEvent::TaskQuarantined { job: j } => *j == job,
+            TraceEvent::CpuStallStarted { .. }
+            | TraceEvent::DegradedModeEntered
+            | TraceEvent::DegradedModeExited => false,
         })
     }
 

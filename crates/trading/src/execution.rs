@@ -150,7 +150,7 @@ impl PaperVenue {
     ///   quantities.
     pub fn submit(&mut self, order: Order) -> Result<Fill, ExecutionError> {
         let tick = self.last_tick.ok_or(ExecutionError::NoMarket)?;
-        if !(order.quantity > 0.0) || !order.quantity.is_finite() {
+        if !order.quantity.is_finite() || order.quantity <= 0.0 {
             return Err(ExecutionError::BadQuantity);
         }
         let impact = self.config.slippage_per_unit * order.quantity;

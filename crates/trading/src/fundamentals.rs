@@ -98,7 +98,7 @@ impl MacroFeed {
         let ind_idx = (self.rng.random::<u32>() % 4) as usize;
         let drift: f64 = (self.rng.random::<f64>() - 0.5) * 0.4;
         let expected = self.state[econ_idx][ind_idx];
-        let value = (expected + drift).max(-5.0).min(25.0);
+        let value = (expected + drift).clamp(-5.0, 25.0);
         self.state[econ_idx][ind_idx] = value;
         let at = self.now;
         self.now += self.interval;

@@ -308,6 +308,60 @@ mod tests {
     }
 
     #[test]
+    fn trader_over_guarded_faulty_feed_keeps_trading() {
+        use crate::fault::{
+            FaultyFeed, FeedFault, FeedFaultPlan, FeedWatchdog,
+            WatchdogConfig,
+        };
+
+        // A feed with every fault class injected, guarded by the
+        // watchdog, under the full trading pipeline.
+        let plan = FeedFaultPlan::new(21)
+            .with_fault(10, FeedFault::NanTick)
+            .with_fault(20, FeedFault::OutOfOrder)
+            .with_fault(30, FeedFault::Gap { ticks: 2 })
+            .with_fault(40, FeedFault::Stall { polls: 2 });
+        let dog = FeedWatchdog::new(
+            FaultyFeed::new(SyntheticFeed::eur_usd(42), plan),
+            WatchdogConfig::default(),
+        );
+        let t = ImpreciseTrader::new(
+            Box::new(dog),
+            vec![
+                Box::new(BollingerReversion::standard()),
+                Box::new(MacdMomentum::new(0.00005)),
+                Box::new(RsiContrarian::standard()),
+            ],
+            SignalAggregator::new(1),
+            PaperVenue::new(ExecutionConfig::default()),
+            1.0,
+        );
+        // Every cycle still gets a validated tick: the faults are
+        // absorbed below the strategies.
+        for _ in 0..100 {
+            assert!(t.run_cycle_synchronous().is_some());
+        }
+        assert_eq!(t.decisions().len(), 100);
+    }
+
+    #[test]
+    fn watchdog_is_a_send_tick_source() {
+        use crate::fault::{FeedFaultPlan, FaultyFeed, FeedWatchdog, WatchdogConfig};
+        use crate::market::TickSource;
+
+        // Boxed feeds compose under the watchdog too (blanket impl).
+        let boxed: Box<dyn TickSource + Send> =
+            Box::new(SyntheticFeed::eur_usd(1));
+        let mut dog = FeedWatchdog::new(
+            FaultyFeed::new(boxed, FeedFaultPlan::none()),
+            WatchdogConfig::default(),
+        );
+        assert!(dog.next_tick().is_some());
+        fn assert_send<T: Send>(_: &T) {}
+        assert_send(&dog);
+    }
+
+    #[test]
     fn native_task_body_runs_the_pipeline() {
         use rtseed::config::SystemConfig;
         use rtseed::policy::AssignmentPolicy;
@@ -339,7 +393,7 @@ mod tests {
                 attempt_rt: false,
             },
         );
-        let out = exec.run(vec![trader.task_body()]);
+        let out = exec.run(vec![trader.task_body()]).expect("native run");
         assert_eq!(out.qos.jobs(), 5);
         assert_eq!(trader.decisions().len(), 5);
         // Analyses are fast: they complete, full QoS.

@@ -22,6 +22,10 @@
 //!   accounting;
 //! * [`risk`] — O(1) risk checks (position limits, drawdown guard,
 //!   volatility sizing) that fit in the wind-up part's WCET budget;
+//! * [`fault`] — deterministic feed-fault injection (stalls, gaps,
+//!   out-of-order and NaN ticks) plus the defence: a validating stall
+//!   watchdog with bounded retry/backoff that escalates sustained failure
+//!   to a risk kill-switch;
 //! * [`imprecise`] — the adapter that maps a full trading pipeline onto an
 //!   RT-Seed task: mandatory = ingest tick, parallel optional = analyses,
 //!   wind-up = aggregate and trade.
@@ -30,6 +34,7 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 pub mod execution;
+pub mod fault;
 pub mod fundamentals;
 pub mod imprecise;
 pub mod indicators;
@@ -38,5 +43,9 @@ pub mod risk;
 pub mod strategy;
 
 pub use execution::{ExecutionConfig, Fill, Order, PaperVenue, Position, Side};
-pub use market::{PriceProcess, SyntheticFeed, Tick, TickSource};
+pub use fault::{
+    FaultyFeed, FeedError, FeedFaultPlan, FeedFaultReport, FeedWatchdog,
+    KillSwitch, WatchdogConfig,
+};
+pub use market::{PriceProcess, SyntheticFeed, Tick, TickError, TickSource};
 pub use strategy::{Signal, SignalAggregator, Strategy};

@@ -67,10 +67,76 @@ impl fmt::Display for Tick {
     }
 }
 
+/// Why a tick failed [`Tick::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TickError {
+    /// Bid or ask is NaN or infinite.
+    NonFinite,
+    /// Bid or ask is not strictly positive.
+    NonPositive,
+    /// Ask is below bid (crossed book).
+    CrossedBook,
+    /// Timestamp is not after the previously accepted tick.
+    OutOfOrder {
+        /// Timestamp of the last accepted tick.
+        last: Time,
+        /// Timestamp of the offending tick.
+        at: Time,
+    },
+}
+
+impl fmt::Display for TickError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TickError::NonFinite => f.write_str("non-finite price"),
+            TickError::NonPositive => f.write_str("non-positive price"),
+            TickError::CrossedBook => f.write_str("crossed book (ask < bid)"),
+            TickError::OutOfOrder { last, at } => {
+                write!(f, "out-of-order tick ({at} after {last})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TickError {}
+
+impl Tick {
+    /// Validates the tick against basic feed invariants: finite, strictly
+    /// positive prices, an uncrossed book, and (when `previous` is the
+    /// timestamp of the last accepted tick) strictly increasing time.
+    ///
+    /// This is the sanity gate a real feed handler runs before letting a
+    /// tick anywhere near the strategies; `FeedWatchdog` in
+    /// [`fault`](crate::fault) applies it to every polled tick.
+    pub fn validate(&self, previous: Option<Time>) -> Result<(), TickError> {
+        if !self.bid.is_finite() || !self.ask.is_finite() {
+            return Err(TickError::NonFinite);
+        }
+        if self.bid <= 0.0 || self.ask <= 0.0 {
+            return Err(TickError::NonPositive);
+        }
+        if self.ask < self.bid {
+            return Err(TickError::CrossedBook);
+        }
+        if let Some(last) = previous {
+            if self.at <= last {
+                return Err(TickError::OutOfOrder { last, at: self.at });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A source of market ticks.
 pub trait TickSource {
     /// The next tick, or `None` when the feed is exhausted.
     fn next_tick(&mut self) -> Option<Tick>;
+}
+
+impl<T: TickSource + ?Sized> TickSource for Box<T> {
+    fn next_tick(&mut self) -> Option<Tick> {
+        (**self).next_tick()
+    }
 }
 
 /// The stochastic process driving a [`SyntheticFeed`].
@@ -387,6 +453,42 @@ mod tests {
             Span::from_secs(1),
             None,
         );
+    }
+
+    #[test]
+    fn validate_accepts_sane_ticks() {
+        let t = Tick {
+            at: Time::from_nanos(10),
+            bid: 1.0999,
+            ask: 1.1001,
+        };
+        assert_eq!(t.validate(None), Ok(()));
+        assert_eq!(t.validate(Some(Time::from_nanos(9))), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_ticks() {
+        let base = Tick {
+            at: Time::from_nanos(10),
+            bid: 1.0999,
+            ask: 1.1001,
+        };
+        let nan = Tick { bid: f64::NAN, ..base };
+        assert_eq!(nan.validate(None), Err(TickError::NonFinite));
+        let inf = Tick { ask: f64::INFINITY, ..base };
+        assert_eq!(inf.validate(None), Err(TickError::NonFinite));
+        let neg = Tick { bid: -1.0, ask: 1.0, ..base };
+        assert_eq!(neg.validate(None), Err(TickError::NonPositive));
+        let crossed = Tick { bid: 1.2, ask: 1.1, ..base };
+        assert_eq!(crossed.validate(None), Err(TickError::CrossedBook));
+        assert_eq!(
+            base.validate(Some(Time::from_nanos(10))),
+            Err(TickError::OutOfOrder {
+                last: Time::from_nanos(10),
+                at: Time::from_nanos(10),
+            }),
+        );
+        assert!(TickError::CrossedBook.to_string().contains("crossed"));
     }
 
     #[test]

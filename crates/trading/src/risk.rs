@@ -7,10 +7,12 @@
 //! O(1) so they fit in the wind-up part's WCET budget.
 
 use core::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
 use crate::execution::{Position, Side};
+use crate::fault::KillSwitch;
 use crate::strategy::Signal;
 
 /// Risk limits configuration.
@@ -48,6 +50,8 @@ pub enum RiskVerdict {
     PositionLimit,
     /// Drawdown halt is active: vetoed.
     DrawdownHalt,
+    /// The feed watchdog's kill switch is tripped: vetoed.
+    KillSwitch,
     /// The signal was `Wait`: nothing to do.
     NoSignal,
 }
@@ -58,6 +62,7 @@ impl fmt::Display for RiskVerdict {
             RiskVerdict::Approved => "approved",
             RiskVerdict::PositionLimit => "position-limit",
             RiskVerdict::DrawdownHalt => "drawdown-halt",
+            RiskVerdict::KillSwitch => "kill-switch",
             RiskVerdict::NoSignal => "no-signal",
         };
         f.write_str(s)
@@ -70,6 +75,7 @@ pub struct RiskManager {
     limits: RiskLimits,
     high_water: f64,
     halted: bool,
+    kill_switch: Option<Arc<KillSwitch>>,
 }
 
 impl RiskManager {
@@ -87,7 +93,22 @@ impl RiskManager {
             limits,
             high_water: 0.0,
             halted: false,
+            kill_switch: None,
         }
+    }
+
+    /// Attaches a feed watchdog's [`KillSwitch`]: once the watchdog trips
+    /// it (sustained feed failure), every order is vetoed with
+    /// [`RiskVerdict::KillSwitch`] until the switch is manually reset —
+    /// the final rung of the fault-escalation ladder.
+    pub fn with_kill_switch(mut self, switch: Arc<KillSwitch>) -> RiskManager {
+        self.kill_switch = Some(switch);
+        self
+    }
+
+    /// `true` while an attached kill switch is tripped.
+    pub fn is_killed(&self) -> bool {
+        self.kill_switch.as_ref().is_some_and(|k| k.is_tripped())
     }
 
     /// The configured limits.
@@ -129,6 +150,9 @@ impl RiskManager {
         let Some(side) = Side::from_signal(signal) else {
             return (RiskVerdict::NoSignal, 0.0);
         };
+        if self.is_killed() {
+            return (RiskVerdict::KillSwitch, 0.0);
+        }
         if self.halted {
             return (RiskVerdict::DrawdownHalt, 0.0);
         }
@@ -267,5 +291,30 @@ mod tests {
     fn verdict_display() {
         assert_eq!(RiskVerdict::Approved.to_string(), "approved");
         assert_eq!(RiskVerdict::DrawdownHalt.to_string(), "drawdown-halt");
+        assert_eq!(RiskVerdict::KillSwitch.to_string(), "kill-switch");
+    }
+
+    #[test]
+    fn kill_switch_vetoes_until_reset() {
+        let switch = Arc::new(KillSwitch::new());
+        let m = manager().with_kill_switch(Arc::clone(&switch));
+        assert!(!m.is_killed());
+        let (v, q) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::Approved);
+        assert_eq!(q, 1.0);
+        // The watchdog (any holder of the shared switch) trips it.
+        switch.trip();
+        assert!(m.is_killed());
+        let (v, q) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::KillSwitch);
+        assert_eq!(q, 0.0);
+        // Even exposure-reducing orders are vetoed: the feed is dead, so
+        // prices are stale and any fill would be blind.
+        let (v, _) = m.vet(Signal::Ask, &long(3.0), None);
+        assert_eq!(v, RiskVerdict::KillSwitch);
+        // Manual reset restores trading.
+        switch.reset();
+        let (v, _) = m.vet(Signal::Bid, &long(0.0), None);
+        assert_eq!(v, RiskVerdict::Approved);
     }
 }

@@ -58,7 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             attempt_rt: true,
         },
     )
-    .run(vec![trader.task_body()]);
+    .run(vec![trader.task_body()])?;
 
     let decisions = trader.decisions();
     let bids = decisions.iter().filter(|s| **s == Signal::Bid).count();

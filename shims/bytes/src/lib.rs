@@ -1,0 +1,169 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset `rtseed-trading` uses for the 24-byte tick wire
+//! format: `BytesMut` with big-endian `put_*` writers, `Bytes` with
+//! big-endian `get_*` readers, `freeze`, and `from_static`. Network byte
+//! order matches upstream `bytes`.
+
+/// Read access to a contiguous byte buffer, consuming from the front.
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+    /// Removes and returns the first `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// Reads a big-endian `u64` from the front.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.copy_to_array::<8>())
+    }
+
+    /// Reads a big-endian IEEE-754 `f64` from the front.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.copy_to_array::<8>())
+    }
+}
+
+/// Write access to a growable byte buffer, appending at the back.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            data: bytes.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether no unread bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.remaining() >= N, "buffer underflow");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.data[self.pos..self.pos + N]);
+        self.pos += N;
+        out
+    }
+}
+
+/// A growable, writable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts to an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_is_big_endian() {
+        let mut buf = BytesMut::new();
+        buf.put_u64(0x0102_0304_0506_0708);
+        let mut b = buf.freeze();
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.get_u64(), 0x0102_0304_0506_0708);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_f64(1.25);
+        buf.put_f64(-0.5);
+        let mut b = buf.freeze();
+        assert_eq!(b.get_f64(), 1.25);
+        assert_eq!(b.get_f64(), -0.5);
+    }
+
+    #[test]
+    fn from_static_and_remaining() {
+        let mut b = Bytes::from_static(&[0u8; 23]);
+        assert_eq!(b.remaining(), 23);
+        let _: [u8; 8] = b.copy_to_array();
+        assert_eq!(b.remaining(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(&[1, 2, 3]);
+        let _ = b.get_u64();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exposes `Serialize`/`Deserialize` as marker traits and (behind the
+//! `derive` feature, which the workspace enables) re-exports the no-op
+//! derive macros from the local `serde_derive` shim. The workspace uses
+//! serde purely as an annotation today; see `serde_derive` for the
+//! growth path to real serialization.
+
+/// Marker for types intended to be serializable.
+pub trait Serialize {}
+
+/// Marker for types intended to be deserializable from lifetime `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! purely as forward-looking serialization markers — nothing takes
+//! `T: Serialize` bounds or calls serde entry points yet. These derives
+//! therefore expand to nothing, which keeps every annotation compiling
+//! without syn/quote (unavailable offline). When real serialization
+//! lands, this crate is the single place to grow actual impl generation.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -76,7 +76,8 @@ fn native_pipeline_full_qos_with_fast_analyses() {
             attempt_rt: false,
         },
     )
-    .run(vec![t.task_body()]);
+    .run(vec![t.task_body()])
+    .expect("native run");
     assert_eq!(out.qos.jobs(), 8);
     assert_eq!(t.decisions().len(), 8);
     let (completed, terminated, discarded) = out.qos.outcome_totals();
@@ -122,7 +123,8 @@ fn native_pipeline_terminations_degrade_to_waits_not_errors() {
             attempt_rt: false,
         },
     )
-    .run(vec![slow_trader.task_body()]);
+    .run(vec![slow_trader.task_body()])
+    .expect("native run");
     assert_eq!(out.qos.jobs(), 5);
     // Quorum 2 with one abstaining analysis ⇒ every decision is Wait.
     assert!(slow_trader
