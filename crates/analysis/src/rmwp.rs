@@ -7,7 +7,7 @@
 //! optional parts are terminated and its wind-up part is released (paper
 //! §II-B).
 //!
-//! The paper cites the OD formula as "Theorem 2 of [5]" without reprinting
+//! The paper cites the OD formula as "Theorem 2 of \[5\]" without reprinting
 //! it; DESIGN.md documents our sound reconstruction:
 //!
 //! * `R^m_i` — worst-case response time of the mandatory part under

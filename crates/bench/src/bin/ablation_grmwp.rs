@@ -8,8 +8,9 @@
 //! refill per move). P-RMWP has zero migrations by construction.
 
 use rtseed::config::SystemConfig;
-use rtseed::exec_global::{GlobalExecutor, GlobalRunConfig};
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::exec_global::GlobalExecutor;
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
 use rtseed::policy::AssignmentPolicy;
 use rtseed_analysis::taskgen::{generate, TaskGenConfig};
 use rtseed_model::{Span, Topology};
@@ -50,7 +51,7 @@ fn main() {
 
         let global = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 30,
                 migration_cost: Span::from_micros(100),
                 ..Default::default()
@@ -59,7 +60,7 @@ fn main() {
         .run();
         let partitioned = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 30,
                 ..Default::default()
             },

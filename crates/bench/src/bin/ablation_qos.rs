@@ -8,7 +8,8 @@
 //! Xeon Phi.
 
 use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
 use rtseed::policy::AssignmentPolicy;
 use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
 
@@ -40,7 +41,7 @@ fn main() {
         for policy in AssignmentPolicy::PAPER_POLICIES {
             let out = SimExecutor::new(
                 config(np, policy),
-                SimRunConfig {
+                RunConfig {
                     jobs: 10,
                     ..Default::default()
                 },

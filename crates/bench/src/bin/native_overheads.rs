@@ -8,13 +8,8 @@
 //! whether SCHED_FIFO was granted); on an RT-enabled multi-core host this
 //! harness reproduces the paper's measurement loop faithfully.
 
-use rtseed::config::SystemConfig;
-use rtseed::policy::AssignmentPolicy;
+use rtseed::prelude::*;
 use rtseed::runtime::loadgen::LoadGenerator;
-use rtseed::runtime::{NativeExecutor, NativeRunConfig, TaskBody};
-use rtseed::termination::TerminationMode;
-use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
-use rtseed_sim::{BackgroundLoad, OverheadKind};
 
 fn config(np: usize) -> SystemConfig {
     let task = TaskSpec::builder("native-probe")
@@ -46,16 +41,14 @@ fn main() {
     for load in BackgroundLoad::ALL {
         let gen = LoadGenerator::one_per_cpu(load);
         for np in [1usize, 2, 4] {
-            let exec = NativeExecutor::new(
-                config(np),
-                NativeRunConfig {
-                    jobs,
-                    termination: TerminationMode::PeriodicCheck {
-                        interval: Span::from_micros(200),
-                    },
-                    attempt_rt: true,
-                },
-            );
+            let run = RunConfig::builder()
+                .jobs(jobs)
+                .termination(TerminationMode::PeriodicCheck {
+                    interval: Span::from_micros(200),
+                })
+                .build()
+                .expect("valid run config");
+            let exec = NativeExecutor::new(config(np), run);
             let out = exec
                 .run(vec![TaskBody::new(
                     |_| {},
@@ -67,14 +60,14 @@ fn main() {
                     |_| {},
                 )])
                 .expect("native run");
+            let means: String = OverheadKind::ALL
+                .iter()
+                .map(|&k| format!(" {:>12}", out.overheads.mean(k).to_string()))
+                .collect();
             println!(
-                "{:>12} {:>4} {:>12} {:>12} {:>12} {:>12} {:>8}",
+                "{:>12} {:>4}{means} {:>8}",
                 load.to_string(),
                 np,
-                out.overheads.mean(OverheadKind::BeginMandatory).to_string(),
-                out.overheads.mean(OverheadKind::BeginOptional).to_string(),
-                out.overheads.mean(OverheadKind::SwitchToOptional).to_string(),
-                out.overheads.mean(OverheadKind::EndOptional).to_string(),
                 out.qos.deadline_misses(),
             );
             report.get_or_insert(out.runtime);

@@ -5,7 +5,8 @@
 //! try-catch mechanism loses the optional-deadline timer after the first
 //! job (signal mask not restored) and later jobs miss their deadlines.
 
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
 use rtseed::policy::AssignmentPolicy;
 use rtseed::termination::{render_table1, TerminationMode};
 use rtseed_bench::paper_config;
@@ -30,7 +31,7 @@ fn main() {
         let cfg = paper_config(57, AssignmentPolicy::OneByOne);
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 20,
                 termination: mode,
                 ..Default::default()

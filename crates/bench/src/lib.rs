@@ -17,7 +17,8 @@
 #![warn(missing_docs)]
 
 use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::{Outcome, RunConfig};
 use rtseed::policy::AssignmentPolicy;
 use rtseed::termination::TerminationMode;
 use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
@@ -56,11 +57,11 @@ pub fn run_paper_workload(
     load: BackgroundLoad,
     jobs: u64,
     seed: u64,
-) -> SimOutcome {
+) -> Outcome {
     let cfg = paper_config(np, policy);
     SimExecutor::new(
         cfg,
-        SimRunConfig {
+        RunConfig {
             jobs,
             load,
             seed,

@@ -19,65 +19,25 @@
 //! parts are scheduled globally.
 
 use rtseed_model::{
-    JobId, OptionalOutcome, Priority, QosRecord, QosSummary, Span, TaskId, Time,
-    Topology,
+    HwThreadId, JobId, OptionalOutcome, PartId, Priority, QosRecord, QosSummary, Span, TaskId,
+    Time,
 };
-use rtseed_sim::{EventQueue, FaultPlan, FaultTarget, FifoReadyQueue, TimerFault};
+use rtseed_sim::{EventQueue, FaultTarget, FifoReadyQueue, TimerFault};
 
 use crate::config::SystemConfig;
-use crate::policy::AssignmentPolicy;
-use crate::priority::PriorityMap;
-use crate::report::FaultReport;
-use crate::supervisor::{OverloadSupervisor, SupervisorConfig};
+use crate::executor::{Backend, ExecError, Executor, Outcome, RunConfig};
+use crate::obs::{MetricsRegistry, QueueBand, QueueOp, TraceEvent, TraceRecorder};
+use crate::supervisor::OverloadSupervisor;
 
-/// Run parameters for the global executor.
-#[derive(Debug, Clone)]
-pub struct GlobalRunConfig {
-    /// Number of jobs each task executes.
-    pub jobs: u64,
-    /// Cost added to a real-time part's remaining execution each time it
-    /// resumes on a different hardware thread (cache refill). The paper's
-    /// "high overheads" of global scheduling live here.
-    pub migration_cost: Span,
-    /// Fraction of declared WCET the actual computation consumes (see
-    /// [`crate::exec_sim::SimRunConfig::rt_exec_fraction`]).
-    pub rt_exec_fraction: f64,
-    /// Deterministic fault schedule. This executor honours WCET overruns
-    /// and timer faults; CPU stall windows are a substrate feature of
-    /// [`crate::exec_sim`] and are ignored here.
-    pub fault_plan: FaultPlan,
-    /// Overload supervisor configuration (disabled by default).
-    pub supervisor: SupervisorConfig,
-}
+/// Former name of the unified [`RunConfig`]; note the unified default runs
+/// 100 jobs where this executor's old default ran 10 — set
+/// [`RunConfig::jobs`] explicitly.
+#[deprecated(note = "use `rtseed::executor::RunConfig` (or the prelude)")]
+pub type GlobalRunConfig = RunConfig;
 
-impl Default for GlobalRunConfig {
-    fn default() -> Self {
-        GlobalRunConfig {
-            jobs: 10,
-            migration_cost: Span::from_micros(100),
-            rt_exec_fraction: 0.75,
-            fault_plan: FaultPlan::none(),
-            supervisor: SupervisorConfig::default(),
-        }
-    }
-}
-
-/// Results of a global (G-RMWP) run.
-#[derive(Debug, Clone)]
-pub struct GlobalOutcome {
-    /// QoS summary across all jobs.
-    pub qos: QosSummary,
-    /// Number of real-time part migrations (resumed on a different
-    /// hardware thread).
-    pub migrations: u64,
-    /// Total execution time added by migrations.
-    pub migration_overhead: Span,
-    /// Number of real-time dispatches (for migrations-per-dispatch rates).
-    pub dispatches: u64,
-    /// Fault injections and supervisor responses (all-zero for a healthy,
-    /// unsupervised run).
-    pub faults: FaultReport,
-}
+/// Former name of the unified [`Outcome`]; every field carries over.
+#[deprecated(note = "use `rtseed::executor::Outcome` (or the prelude)")]
+pub type GlobalOutcome = Outcome;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Cursor {
@@ -111,6 +71,7 @@ struct Running {
 struct PartState {
     executed: Span,
     running_since: Option<Time>,
+    started: bool,
     outcome: Option<OptionalOutcome>,
 }
 
@@ -132,6 +93,7 @@ struct TaskRun {
     rt_budget: Span,
     parts: Vec<PartState>,
     done: bool,
+    mand_started: bool,
     windup_issued: bool,
     overran: bool,
     shed: bool,
@@ -141,16 +103,12 @@ struct TaskRun {
 
 /// The global (G-RMWP) executor. Unlike [`crate::exec_sim::SimExecutor`],
 /// real-time parts are **not** pinned: they run wherever a processor is
-/// free (or preemptible), paying [`GlobalRunConfig::migration_cost`] when
-/// they move.
+/// free (or preemptible), paying [`RunConfig::migration_cost`] when they
+/// move.
 #[derive(Debug)]
 pub struct GlobalExecutor {
-    topology: Topology,
-    policy: AssignmentPolicy,
-    run: GlobalRunConfig,
-    priorities: PriorityMap,
-    set: rtseed_model::TaskSet,
-    od: Vec<Span>,
+    config: SystemConfig,
+    run: RunConfig,
 }
 
 impl GlobalExecutor {
@@ -158,24 +116,20 @@ impl GlobalExecutor {
     /// placement is ignored — that is the point — but its per-task
     /// optional deadlines and priorities are reused so both executors run
     /// the identical offline configuration).
-    pub fn from_config(config: &SystemConfig, run: GlobalRunConfig) -> GlobalExecutor {
-        let od = config
-            .set()
-            .ids()
-            .map(|id| config.optional_deadline(id))
-            .collect();
+    pub fn from_config(config: &SystemConfig, run: RunConfig) -> GlobalExecutor {
         GlobalExecutor {
-            topology: *config.topology(),
-            policy: config.policy(),
+            config: config.clone(),
             run,
-            priorities: config.priorities().clone(),
-            set: config.set().clone(),
-            od,
         }
     }
 
+    /// The system configuration this executor runs.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
     /// Runs the global simulation to completion.
-    pub fn run(&self) -> GlobalOutcome {
+    pub fn run(&self) -> Outcome {
         assert!(
             self.run.rt_exec_fraction > 0.0 && self.run.rt_exec_fraction <= 1.0,
             "rt_exec_fraction must be within (0, 1]"
@@ -183,13 +137,31 @@ impl GlobalExecutor {
         let mut state = GlobalState::new(self);
         state.run(self.run.jobs);
         let faults = state.sup.finish(state.now);
-        GlobalOutcome {
+        Outcome {
             qos: state.qos,
             migrations: state.migrations,
             migration_overhead: state.migration_overhead,
             dispatches: state.dispatches,
+            trace: state.rec.finish(),
+            metrics: state.metrics,
             faults,
+            ..Default::default()
         }
+    }
+}
+
+impl Executor for GlobalExecutor {
+    fn backend(&self) -> Backend {
+        Backend::Global
+    }
+
+    fn system(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn execute(&mut self) -> Result<Outcome, ExecError> {
+        self.run.validate()?;
+        Ok(self.run())
     }
 }
 
@@ -208,15 +180,21 @@ struct GlobalState<'a> {
     migrations: u64,
     migration_overhead: Span,
     dispatches: u64,
+    rec: TraceRecorder,
+    metrics: MetricsRegistry,
     live: usize,
     sup: OverloadSupervisor,
 }
 
 impl<'a> GlobalState<'a> {
     fn new(exec: &'a GlobalExecutor) -> GlobalState<'a> {
-        let m = exec.topology.hw_threads() as usize;
+        let topology = *exec.config.topology();
+        let m = topology.hw_threads() as usize;
+        let policy = exec.config.policy();
+        let priorities = exec.config.priorities();
         let tasks: Vec<TaskRun> = exec
-            .set
+            .config
+            .set()
             .iter()
             .map(|(id, spec)| TaskRun {
                 period: spec.period(),
@@ -224,21 +202,21 @@ impl<'a> GlobalState<'a> {
                 mandatory: spec.mandatory().mul_f64(exec.run.rt_exec_fraction),
                 windup: spec.windup().mul_f64(exec.run.rt_exec_fraction),
                 optional: spec.optional_parts().to_vec(),
-                od: exec.od[id.index()],
-                placements: exec
-                    .policy
-                    .placements(&exec.topology, spec.optional_count())
+                od: exec.config.optional_deadline(id),
+                placements: policy
+                    .placements(&topology, spec.optional_count())
                     .iter()
                     .map(|h| h.index())
                     .collect(),
-                mand_prio: exec.priorities.mandatory(id),
-                opt_prio: exec.priorities.optional(id),
+                mand_prio: priorities.mandatory(id),
+                opt_prio: priorities.optional(id),
                 seq: 0,
                 release: Time::ZERO,
                 rt_remaining: Span::ZERO,
                 rt_budget: Span::ZERO,
                 parts: Vec::new(),
                 done: true,
+                mand_started: false,
                 windup_issued: false,
                 overran: false,
                 shed: false,
@@ -261,14 +239,44 @@ impl<'a> GlobalState<'a> {
             migrations: 0,
             migration_overhead: Span::ZERO,
             dispatches: 0,
+            rec: TraceRecorder::new(exec.run.trace_config()),
+            metrics: MetricsRegistry::new(),
             live,
             sup,
         }
     }
 
+    fn job(&self, task: usize) -> JobId {
+        JobId {
+            task: TaskId(task as u32),
+            seq: self.tasks[task].seq,
+        }
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        self.rec.record(self.now, ev);
+    }
+
     fn run(&mut self, jobs: u64) {
         if jobs == 0 {
             return;
+        }
+        if self.rec.enabled() {
+            let topology = *self.exec.config.topology();
+            let policy = self.exec.config.policy();
+            for (idx, t) in self.tasks.iter().enumerate() {
+                let np = t.optional.len();
+                if np == 0 {
+                    continue;
+                }
+                let ev = TraceEvent::PolicyDecision {
+                    task: TaskId(idx as u32),
+                    policy: policy.label(),
+                    parts: np as u32,
+                    distinct_cores: policy.distinct_cores(&topology, np),
+                };
+                self.rec.record(Time::ZERO, ev);
+            }
         }
         for t in 0..self.tasks.len() {
             self.events.push(Time::ZERO, Event::Release { task: t });
@@ -300,13 +308,11 @@ impl<'a> GlobalState<'a> {
                 .fault_plan
                 .wcet_factor(task as u32, next_seq, FaultTarget::Mandatory);
         let timer_fault = self.exec.run.fault_plan.timer_fault(task as u32, next_seq);
-        if mand_factor != 1.0 {
-            self.sup.note_wcet_fault();
-        }
         let t = &mut self.tasks[task];
         t.seq = t.jobs_done;
         t.release = self.now;
         t.done = false;
+        t.mand_started = false;
         t.windup_issued = false;
         t.overran = false;
         t.shed = false;
@@ -317,6 +323,7 @@ impl<'a> GlobalState<'a> {
             .map(|_| PartState {
                 executed: Span::ZERO,
                 running_since: None,
+                started: false,
                 outcome: None,
             })
             .collect();
@@ -328,6 +335,24 @@ impl<'a> GlobalState<'a> {
         let jobs_done = t.jobs_done;
         self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].mandatory);
 
+        let job = self.job(task);
+        self.trace(TraceEvent::JobReleased { job });
+        if mand_factor != 1.0 {
+            self.sup.note_wcet_fault();
+            self.trace(TraceEvent::WcetFaultInjected {
+                job,
+                target: FaultTarget::Mandatory,
+                factor: mand_factor,
+            });
+        }
+
+        self.trace(TraceEvent::Queue {
+            band: QueueBand::of(prio),
+            op: QueueOp::Enqueue,
+            job,
+            // Global RT queue: not bound to any hardware thread.
+            hw: None,
+        });
         self.rt_queue.enqueue(
             prio,
             Work {
@@ -337,12 +362,26 @@ impl<'a> GlobalState<'a> {
         );
         if has_parts {
             match timer_fault {
-                None => self.events.push(od_at, Event::OdExpire { task, seq }),
+                None => {
+                    self.trace(TraceEvent::TimerArmed { job, at: od_at });
+                    self.events.push(od_at, Event::OdExpire { task, seq });
+                }
                 Some(TimerFault::Delay(d)) => {
                     self.sup.note_timer_fault();
+                    self.trace(TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Delay(d),
+                    });
+                    self.trace(TraceEvent::TimerArmed { job, at: od_at + d });
                     self.events.push(od_at + d, Event::OdExpire { task, seq });
                 }
-                Some(TimerFault::Lost) => self.sup.note_timer_fault(),
+                Some(TimerFault::Lost) => {
+                    self.sup.note_timer_fault();
+                    self.trace(TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Lost,
+                    });
+                }
             }
         }
         if jobs_done + 1 < jobs {
@@ -439,33 +478,77 @@ impl<'a> GlobalState<'a> {
     }
 
     fn start(&mut self, cpu: usize, work: Work, prio: Priority) {
+        let job = self.job(work.task);
+        self.trace(TraceEvent::Queue {
+            band: QueueBand::of(prio),
+            op: QueueOp::Dispatch,
+            job,
+            hw: Some(HwThreadId(cpu as u32)),
+        });
         let remaining = match work.cursor {
             Cursor::Mandatory | Cursor::Windup => {
                 self.dispatches += 1;
-                let t = &mut self.tasks[work.task];
-                let mut rem = t.rt_remaining;
-                if t.last_cpu.is_some_and(|c| c != cpu) {
-                    // Migration: cold caches on the new processor. A
-                    // legitimate system overhead, so the supervisor budget
-                    // absorbs it too (migrations alone must not trip cuts).
-                    rem += self.exec.run.migration_cost;
-                    t.rt_remaining = rem;
-                    t.rt_budget += self.exec.run.migration_cost;
-                    self.migrations += 1;
-                    self.migration_overhead += self.exec.run.migration_cost;
+                let migrated_from = {
+                    let t = &mut self.tasks[work.task];
+                    let mut rem = t.rt_remaining;
+                    let from = t.last_cpu.filter(|&c| c != cpu);
+                    if from.is_some() {
+                        // Migration: cold caches on the new processor. A
+                        // legitimate system overhead, so the supervisor
+                        // budget absorbs it too (migrations alone must not
+                        // trip cuts).
+                        rem += self.exec.run.migration_cost;
+                        t.rt_remaining = rem;
+                        t.rt_budget += self.exec.run.migration_cost;
+                        self.migrations += 1;
+                        self.migration_overhead += self.exec.run.migration_cost;
+                    }
+                    t.last_cpu = Some(cpu);
+                    from
+                };
+                if let Some(from) = migrated_from {
+                    self.trace(TraceEvent::Migrated {
+                        job,
+                        from: HwThreadId(from as u32),
+                        to: HwThreadId(cpu as u32),
+                    });
                 }
-                t.last_cpu = Some(cpu);
+                if matches!(work.cursor, Cursor::Mandatory)
+                    && !self.tasks[work.task].mand_started
+                {
+                    self.tasks[work.task].mand_started = true;
+                    let jitter = self
+                        .now
+                        .saturating_elapsed_since(self.tasks[work.task].release);
+                    self.metrics.record_release_jitter(jitter);
+                    self.trace(TraceEvent::MandatoryStarted {
+                        job,
+                        hw: HwThreadId(cpu as u32),
+                    });
+                }
+                let t = &self.tasks[work.task];
                 if self.sup.enabled() {
-                    rem.min(self.tasks[work.task].rt_budget)
+                    t.rt_remaining.min(t.rt_budget)
                 } else {
-                    rem
+                    t.rt_remaining
                 }
             }
             Cursor::Optional(k) => {
-                let t = &mut self.tasks[work.task];
-                let p = &mut t.parts[k as usize];
-                p.running_since = Some(self.now);
-                t.optional[k as usize].saturating_sub(p.executed)
+                let first = {
+                    let t = &mut self.tasks[work.task];
+                    let p = &mut t.parts[k as usize];
+                    p.running_since = Some(self.now);
+                    !std::mem::replace(&mut p.started, true)
+                };
+                if first {
+                    self.trace(TraceEvent::OptionalStarted {
+                        job,
+                        part: PartId(k),
+                        hw: HwThreadId(cpu as u32),
+                    });
+                }
+                let t = &self.tasks[work.task];
+                t.optional[k as usize].saturating_sub(t.parts[k as usize].executed)
             }
         };
         self.gen += 1;
@@ -497,7 +580,19 @@ impl<'a> GlobalState<'a> {
                 t.rt_remaining = Span::ZERO;
                 t.overran = true;
                 self.sup.note_budget_cut();
-                self.sup.on_overrun(work.task, self.now);
+                let resp = self.sup.on_overrun(work.task, self.now);
+                let job = self.job(work.task);
+                let target = match work.cursor {
+                    Cursor::Windup => FaultTarget::Windup,
+                    _ => FaultTarget::Mandatory,
+                };
+                self.trace(TraceEvent::BudgetCut { job, target });
+                if resp.quarantined_task {
+                    self.trace(TraceEvent::TaskQuarantined { job });
+                }
+                if resp.entered_degraded {
+                    self.trace(TraceEvent::DegradedModeEntered);
+                }
             }
         }
         match work.cursor {
@@ -509,6 +604,8 @@ impl<'a> GlobalState<'a> {
     }
 
     fn mandatory_done(&mut self, task: usize) {
+        let job = self.job(task);
+        self.trace(TraceEvent::MandatoryCompleted { job });
         let od_at = self.tasks[task].release + self.tasks[task].od;
         let np = self.tasks[task].optional.len();
         let shed = np > 0 && self.sup.shed_optional(task);
@@ -519,6 +616,12 @@ impl<'a> GlobalState<'a> {
             }
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
+                self.trace(TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome: OptionalOutcome::Discarded,
+                    achieved: Span::ZERO,
+                });
             }
             self.issue_windup(task);
             return;
@@ -528,6 +631,12 @@ impl<'a> GlobalState<'a> {
         for k in 0..np {
             let hw = self.tasks[task].placements[k];
             let prio = self.tasks[task].opt_prio;
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::of(prio),
+                op: QueueOp::Enqueue,
+                job,
+                hw: Some(HwThreadId(hw as u32)),
+            });
             self.opt_queues[hw].enqueue(
                 prio,
                 Work {
@@ -544,6 +653,13 @@ impl<'a> GlobalState<'a> {
         p.executed = o_k;
         p.running_since = None;
         p.outcome = Some(OptionalOutcome::Completed);
+        let job = self.job(task);
+        self.trace(TraceEvent::OptionalEnded {
+            job,
+            part: PartId(k),
+            outcome: OptionalOutcome::Completed,
+            achieved: o_k,
+        });
         // Wind-up waits for the optional deadline even when parts finish
         // early; the OdExpire event handles issuing it.
         if self.tasks[task].parts.iter().all(|p| p.outcome.is_some()) {
@@ -558,6 +674,8 @@ impl<'a> GlobalState<'a> {
         if self.tasks[task].done || self.tasks[task].seq != seq {
             return;
         }
+        let expired_job = self.job(task);
+        self.trace(TraceEvent::OptionalDeadlineExpired { job: expired_job });
         if self.tasks[task].rt_remaining > Span::ZERO && !self.tasks[task].windup_issued {
             // Mandatory still running past OD? Then discard handling occurs
             // at mandatory completion; nothing to do now.
@@ -592,14 +710,31 @@ impl<'a> GlobalState<'a> {
                 }
             }
             let prio = self.tasks[task].opt_prio;
-            self.opt_queues[hw].remove(prio, &work);
+            if self.opt_queues[hw].remove(prio, &work) {
+                self.trace(TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Remove,
+                    job: expired_job,
+                    hw: Some(HwThreadId(hw as u32)),
+                });
+            }
             let o_k = self.tasks[task].optional[k];
-            let p = &mut self.tasks[task].parts[k];
-            p.running_since = None;
-            p.outcome = Some(if p.executed >= o_k {
-                OptionalOutcome::Completed
-            } else {
-                OptionalOutcome::Terminated
+            let (achieved, outcome) = {
+                let p = &mut self.tasks[task].parts[k];
+                p.running_since = None;
+                let outcome = if p.executed >= o_k {
+                    OptionalOutcome::Completed
+                } else {
+                    OptionalOutcome::Terminated
+                };
+                p.outcome = Some(outcome);
+                (p.executed, outcome)
+            };
+            self.trace(TraceEvent::OptionalEnded {
+                job: expired_job,
+                part: PartId(k as u32),
+                outcome,
+                achieved,
             });
         }
         self.issue_windup(task);
@@ -631,12 +766,25 @@ impl<'a> GlobalState<'a> {
             .run
             .fault_plan
             .wcet_factor(task as u32, seq, FaultTarget::Windup);
+        let job = self.job(task);
+        self.trace(TraceEvent::WindupStarted { job });
         if factor != 1.0 {
             self.sup.note_wcet_fault();
+            self.trace(TraceEvent::WcetFaultInjected {
+                job,
+                target: FaultTarget::Windup,
+                factor,
+            });
         }
         self.tasks[task].rt_remaining = self.tasks[task].windup.mul_f64(factor);
         self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].windup);
         let prio = self.tasks[task].mand_prio;
+        self.trace(TraceEvent::Queue {
+            band: QueueBand::of(prio),
+            op: QueueOp::Enqueue,
+            job,
+            hw: None,
+        });
         self.rt_queue.enqueue(
             prio,
             Work {
@@ -675,14 +823,32 @@ impl<'a> GlobalState<'a> {
                 deadline_met: met,
             }
         };
+        self.trace(TraceEvent::WindupCompleted {
+            job: rec.job,
+            deadline_met: met,
+        });
         let requested: Span = self.tasks[task].optional.iter().copied().sum();
+        let response = self
+            .now
+            .saturating_elapsed_since(self.tasks[task].release);
+        self.metrics.record_response_time(response);
+        self.metrics.record_qos_level(rec.ratio(requested));
         self.qos
             .record_with_mode(&rec, requested, self.tasks[task].shed);
         if self.sup.enabled() && !self.tasks[task].overran {
             if met {
-                self.sup.on_clean_job(task, self.now);
+                let resp = self.sup.on_clean_job(task, self.now);
+                if resp.recovered {
+                    self.trace(TraceEvent::DegradedModeExited);
+                }
             } else {
-                self.sup.on_overrun(task, self.now);
+                let resp = self.sup.on_overrun(task, self.now);
+                if resp.quarantined_task {
+                    self.trace(TraceEvent::TaskQuarantined { job: rec.job });
+                }
+                if resp.entered_degraded {
+                    self.trace(TraceEvent::DegradedModeEntered);
+                }
             }
         }
         let t = &mut self.tasks[task];
@@ -733,7 +899,9 @@ impl<'a> GlobalState<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtseed_model::{TaskSet, TaskSpec};
+    use crate::policy::AssignmentPolicy;
+    use rtseed_model::{TaskSet, TaskSpec, Topology};
+    use rtseed_sim::FaultPlan;
 
     fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64, np: usize) -> TaskSpec {
         let mut b = TaskSpec::builder(name);
@@ -758,7 +926,7 @@ mod tests {
     #[test]
     fn single_task_never_migrates() {
         let cfg = config(vec![task("t", 100, 10, 10, 2)], Topology::quad_core_smt2());
-        let out = GlobalExecutor::from_config(&cfg, GlobalRunConfig::default()).run();
+        let out = GlobalExecutor::from_config(&cfg, RunConfig { jobs: 10, ..Default::default() }).run();
         assert_eq!(out.qos.jobs(), 10);
         assert_eq!(out.qos.deadline_misses(), 0);
         assert_eq!(out.migrations, 0, "one task sticks to its last cpu");
@@ -780,7 +948,7 @@ mod tests {
         );
         let out = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 20,
                 ..Default::default()
             },
@@ -800,7 +968,7 @@ mod tests {
         let cfg = config(vec![task("t", 100, 20, 20, 3)], Topology::quad_core_smt2());
         let out = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 5,
                 ..Default::default()
             },
@@ -820,7 +988,7 @@ mod tests {
         );
         let out = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 10,
                 migration_cost: Span::ZERO,
                 ..Default::default()
@@ -841,7 +1009,7 @@ mod tests {
         let cfg = config(vec![b.build().unwrap()], Topology::quad_core_smt2());
         let out = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 4,
                 ..Default::default()
             },
@@ -868,7 +1036,7 @@ mod tests {
         });
         let sick = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 5,
                 fault_plan: plan.clone(),
                 ..Default::default()
@@ -881,7 +1049,7 @@ mod tests {
 
         let cured = GlobalExecutor::from_config(
             &cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 5,
                 fault_plan: plan,
                 supervisor: SupervisorConfig::armed(),
@@ -903,7 +1071,7 @@ mod tests {
         let run = || {
             GlobalExecutor::from_config(
                 &cfg,
-                GlobalRunConfig {
+                RunConfig {
                     jobs: 10,
                     ..Default::default()
                 },

@@ -12,7 +12,8 @@
 //!    **Δs**; optional parts whose signal arrives run on their
 //!    policy-assigned hardware threads at NRTQ priority;
 //! 4. the one-shot optional-deadline timer: at `ODᵢ`, still-active parts
-//!    are terminated (per the configured [`TerminationMode`]) and the
+//!    are terminated (per the configured
+//!    [`TerminationMode`](crate::termination::TerminationMode)) and the
 //!    handling — timer interrupt, `siglongjmp` restore, completion
 //!    signalling — costs **Δe** before the wind-up part is released;
 //! 5. preemptive execution of the **wind-up part**; the job's deadline is
@@ -29,77 +30,22 @@ use rtseed_model::{
     Time,
 };
 use rtseed_sim::{
-    BackgroundLoad, Calibration, EventQueue, FaultPlan, FaultTarget, FifoReadyQueue,
-    OverheadKind, OverheadModel, TimerFault, Trace, TraceEvent,
+    EventQueue, FaultTarget, FifoReadyQueue, OverheadKind, OverheadModel, TimerFault,
 };
 
 use crate::config::SystemConfig;
-use crate::report::{FaultReport, OverheadReport};
-use crate::supervisor::{OverloadSupervisor, SupervisorConfig};
-use crate::termination::TerminationMode;
+use crate::executor::{Backend, ExecError, Executor, Outcome, RunConfig};
+use crate::obs::{MetricsRegistry, QueueBand, QueueOp, TraceEvent, TraceRecorder};
+use crate::report::OverheadReport;
+use crate::supervisor::OverloadSupervisor;
 
-/// Run parameters for the simulation executor.
-#[derive(Debug, Clone)]
-pub struct SimRunConfig {
-    /// Number of jobs each task executes (the paper uses 100).
-    pub jobs: u64,
-    /// Background load condition (§V-B).
-    pub load: BackgroundLoad,
-    /// Overhead-model calibration.
-    pub calibration: Calibration,
-    /// Seed for the deterministic jitter stream.
-    pub seed: u64,
-    /// Optional-part termination mechanism (Table I).
-    pub termination: TerminationMode,
-    /// Whether to collect a full execution trace (memory-heavy for large
-    /// runs; off by default).
-    pub collect_trace: bool,
-    /// Fraction of the declared mandatory/wind-up WCET the actual
-    /// computation consumes. The paper's model states that "the overheads
-    /// of real-time scheduling are included in the WCETs of the
-    /// mandatory/wind-up parts" (§II-A), so the real computation must
-    /// leave headroom for Δm/Δb/Δs/Δe; 0.75 leaves 25 %, enough for the
-    /// worst measured Δe (≈ 55 ms at np = 228 under CPU-Memory load
-    /// against a 250 ms wind-up WCET).
-    pub rt_exec_fraction: f64,
-    /// Deterministic fault schedule injected into the run
-    /// ([`FaultPlan::none`] by default: a healthy machine).
-    pub fault_plan: FaultPlan,
-    /// Overload supervisor configuration (disabled by default: faults run
-    /// their course unsupervised).
-    pub supervisor: SupervisorConfig,
-}
+/// Former name of the unified [`RunConfig`]; every field carries over.
+#[deprecated(note = "use `rtseed::executor::RunConfig` (or the prelude)")]
+pub type SimRunConfig = RunConfig;
 
-impl Default for SimRunConfig {
-    fn default() -> Self {
-        SimRunConfig {
-            jobs: 100,
-            load: BackgroundLoad::NoLoad,
-            calibration: Calibration::default(),
-            seed: 0,
-            termination: TerminationMode::SigjmpTimer,
-            collect_trace: false,
-            rt_exec_fraction: 0.75,
-            fault_plan: FaultPlan::none(),
-            supervisor: SupervisorConfig::default(),
-        }
-    }
-}
-
-/// Results of a simulation run.
-#[derive(Debug, Clone)]
-pub struct SimOutcome {
-    /// The four overheads, one sample per job per kind (Δb/Δs/Δe only for
-    /// jobs that signalled optional parts).
-    pub overheads: OverheadReport,
-    /// QoS summary across all jobs of all tasks.
-    pub qos: QosSummary,
-    /// Execution trace (empty unless requested).
-    pub trace: Trace,
-    /// What the fault plan injected and how the overload supervisor
-    /// responded (all-zero for an unfaulted, unsupervised run).
-    pub faults: FaultReport,
-}
+/// Former name of the unified [`Outcome`]; every field carries over.
+#[deprecated(note = "use `rtseed::executor::Outcome` (or the prelude)")]
+pub type SimOutcome = Outcome;
 
 /// Which part of which task a scheduled unit of work belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,6 +131,9 @@ struct TaskRun {
     rt_budget: Span,
     parts: Vec<PartState>,
     windup_scheduled: bool,
+    /// The task entered the SQ waiting for its wind-up release (traced so
+    /// the SQ enqueue/remove pair stays balanced).
+    in_sq: bool,
     /// The current job exceeded a real-time budget (supervisor cut it).
     overran: bool,
     /// The current job ran with its optional parts shed (degraded mode or
@@ -220,12 +169,12 @@ impl TaskRun {
 #[derive(Debug)]
 pub struct SimExecutor {
     config: SystemConfig,
-    run_cfg: SimRunConfig,
+    run_cfg: RunConfig,
 }
 
 impl SimExecutor {
     /// Creates an executor for `config` with run parameters `run_cfg`.
-    pub fn new(config: SystemConfig, run_cfg: SimRunConfig) -> SimExecutor {
+    pub fn new(config: SystemConfig, run_cfg: RunConfig) -> SimExecutor {
         SimExecutor { config, run_cfg }
     }
 
@@ -235,22 +184,39 @@ impl SimExecutor {
     }
 
     /// Runs the simulation to completion and returns the measurements.
-    pub fn run(&self) -> SimOutcome {
+    pub fn run(&self) -> Outcome {
         let mut sim = SimState::new(&self.config, &self.run_cfg);
         sim.run();
         let faults = sim.sup.finish(sim.now);
-        SimOutcome {
+        Outcome {
             overheads: sim.overheads,
             qos: sim.qos,
-            trace: sim.trace,
+            trace: sim.rec.finish(),
+            metrics: sim.metrics,
             faults,
+            ..Default::default()
         }
+    }
+}
+
+impl Executor for SimExecutor {
+    fn backend(&self) -> Backend {
+        Backend::Sim
+    }
+
+    fn system(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn execute(&mut self) -> Result<Outcome, ExecError> {
+        self.run_cfg.validate()?;
+        Ok(self.run())
     }
 }
 
 struct SimState<'a> {
     cfg: &'a SystemConfig,
-    run: &'a SimRunConfig,
+    run: &'a RunConfig,
     now: Time,
     events: EventQueue<Event>,
     cpus: Vec<Cpu>,
@@ -259,13 +225,14 @@ struct SimState<'a> {
     gen_counter: u64,
     overheads: OverheadReport,
     qos: QosSummary,
-    trace: Trace,
+    rec: TraceRecorder,
+    metrics: MetricsRegistry,
     live_tasks: usize,
     sup: OverloadSupervisor,
 }
 
 impl<'a> SimState<'a> {
-    fn new(cfg: &'a SystemConfig, run: &'a SimRunConfig) -> SimState<'a> {
+    fn new(cfg: &'a SystemConfig, run: &'a RunConfig) -> SimState<'a> {
         assert!(
             run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
             "rt_exec_fraction must be within (0, 1]"
@@ -297,6 +264,7 @@ impl<'a> SimState<'a> {
                 rt_budget: Span::ZERO,
                 parts: Vec::new(),
                 windup_scheduled: false,
+                in_sq: false,
                 overran: false,
                 shed: false,
                 timer_broken: false,
@@ -316,21 +284,47 @@ impl<'a> SimState<'a> {
             gen_counter: 0,
             overheads: OverheadReport::new(),
             qos: QosSummary::new(),
-            trace: Trace::new(),
+            rec: TraceRecorder::new(run.trace_config()),
+            metrics: MetricsRegistry::new(),
             live_tasks,
             sup,
         }
     }
 
     fn trace(&mut self, ev: TraceEvent) {
-        if self.run.collect_trace {
-            self.trace.record(self.now, ev);
-        }
+        self.rec.record(self.now, ev);
+    }
+
+    /// Records one overhead sample in both the per-kind sample report and
+    /// the histogram metrics.
+    fn sample(&mut self, kind: OverheadKind, value: Span) {
+        self.overheads.push(kind, value);
+        self.metrics.record_overhead(kind, value);
     }
 
     fn run(&mut self) {
         if self.run.jobs == 0 {
             return;
+        }
+        // One decision event per task records where the assignment policy
+        // placed its optional parts (paper Fig. 8). Guarded: the label is a
+        // formatted string, not worth building with tracing off.
+        if self.rec.enabled() {
+            let topology = *self.cfg.topology();
+            let policy = self.cfg.policy();
+            for (idx, t) in self.tasks.iter().enumerate() {
+                let np = t.optional.len();
+                if np == 0 {
+                    continue;
+                }
+                let ev = TraceEvent::PolicyDecision {
+                    task: TaskId(idx as u32),
+                    policy: policy.label(),
+                    parts: np as u32,
+                    distinct_cores: policy.distinct_cores(&topology, np),
+                };
+                self.rec.record(Time::ZERO, ev);
+            }
         }
         for t in 0..self.tasks.len() {
             self.events.push(
@@ -417,6 +411,7 @@ impl<'a> SimState<'a> {
         t.rt_remaining = t.mandatory.mul_f64(mand_factor);
         t.parts = t.optional.iter().map(|_| PartState::fresh()).collect();
         t.windup_scheduled = false;
+        t.in_sq = false;
         t.overran = false;
         t.shed = false;
         let seq = t.seq;
@@ -439,7 +434,7 @@ impl<'a> SimState<'a> {
 
         // Δm: wake-up latency before the mandatory thread is runnable.
         let dm = self.model.begin_mandatory();
-        self.overheads.push(OverheadKind::BeginMandatory, dm);
+        self.sample(OverheadKind::BeginMandatory, dm);
         self.events.push(
             release + dm,
             Event::Ready {
@@ -455,12 +450,19 @@ impl<'a> SimState<'a> {
         // may delay the one-shot or lose it outright.
         if has_parts {
             match timer_fault {
-                None => self.events.push(od_time, Event::OdExpire { task, seq }),
+                None => {
+                    self.trace(TraceEvent::TimerArmed { job, at: od_time });
+                    self.events.push(od_time, Event::OdExpire { task, seq });
+                }
                 Some(TimerFault::Delay(d)) => {
                     self.sup.note_timer_fault();
                     self.trace(TraceEvent::TimerFaultInjected {
                         job,
                         fault: TimerFault::Delay(d),
+                    });
+                    self.trace(TraceEvent::TimerArmed {
+                        job,
+                        at: od_time + d,
                     });
                     self.events.push(od_time + d, Event::OdExpire { task, seq });
                 }
@@ -492,6 +494,13 @@ impl<'a> SimState<'a> {
             Cursor::Mandatory | Cursor::Windup => (t.mandatory_hw, t.mand_prio),
             Cursor::Optional(k) => (t.placements[k as usize], t.opt_prio),
         };
+        let job = t.job(work.task);
+        self.trace(TraceEvent::Queue {
+            band: QueueBand::of(prio),
+            op: QueueOp::Enqueue,
+            job,
+            hw: Some(rtseed_model::HwThreadId(hw as u32)),
+        });
         self.cpus[hw].queue.enqueue(prio, work);
         self.resched(hw);
     }
@@ -620,12 +629,12 @@ impl<'a> SimState<'a> {
             cum += self.model.signal_one_optional();
             ready_times.push(self.now + cum);
         }
-        self.overheads.push(OverheadKind::BeginOptional, cum);
+        self.sample(OverheadKind::BeginOptional, cum);
 
         // Δs: the mandatory→optional context switch; parts placed on the
         // mandatory thread's own processor additionally wait for it.
         let ds = self.model.switch_to_optional(np);
-        self.overheads.push(OverheadKind::SwitchToOptional, ds);
+        self.sample(OverheadKind::SwitchToOptional, ds);
 
         let mandatory_hw = self.tasks[task].mandatory_hw;
         for (k, base) in ready_times.into_iter().enumerate() {
@@ -667,6 +676,7 @@ impl<'a> SimState<'a> {
             // All parts completed before the optional deadline: the
             // optional-deadline timer is stopped and the task sleeps in the
             // SQ until OD, when the wind-up part is released (§IV-B).
+            self.trace(TraceEvent::TimerCancelled { job });
             let at = self.now.max(self.tasks[task].od_time());
             let seq = self.tasks[task].seq;
             self.schedule_windup(task, seq, at);
@@ -775,8 +785,7 @@ impl<'a> SimState<'a> {
             });
         }
 
-        self.overheads
-            .push(OverheadKind::EndOptional, handling + max_lag);
+        self.sample(OverheadKind::EndOptional, handling + max_lag);
 
         if mode.models_signal_mask_defect() {
             self.tasks[task].timer_broken = true;
@@ -789,6 +798,16 @@ impl<'a> SimState<'a> {
     fn on_windup_ready(&mut self, task: usize, seq: u64) {
         if self.tasks[task].seq != seq || self.tasks[task].phase == JobPhase::Done {
             return;
+        }
+        if self.tasks[task].in_sq {
+            self.tasks[task].in_sq = false;
+            let job = self.tasks[task].job(task);
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::Sq,
+                op: QueueOp::Remove,
+                job,
+                hw: None,
+            });
         }
         let factor = self
             .run
@@ -850,6 +869,17 @@ impl<'a> SimState<'a> {
             self.finish_job(task, at <= deadline);
             return;
         }
+        if at > self.now {
+            // The task sleeps in the SQ until its wind-up release (§IV-B).
+            self.tasks[task].in_sq = true;
+            let job = self.tasks[task].job(task);
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::Sq,
+                op: QueueOp::Enqueue,
+                job,
+                hw: None,
+            });
+        }
         self.events.push(at, Event::WindupReady { task, seq });
     }
 
@@ -880,6 +910,11 @@ impl<'a> SimState<'a> {
             deadline_met,
         });
         let requested = self.tasks[task].requested_optional();
+        let response = self
+            .now
+            .saturating_elapsed_since(self.tasks[task].release);
+        self.metrics.record_response_time(response);
+        self.metrics.record_qos_level(rec.ratio(requested));
         self.qos
             .record_with_mode(&rec, requested, self.tasks[task].shed);
         if self.sup.enabled() {
@@ -956,8 +991,14 @@ impl<'a> SimState<'a> {
             let ran = self.now.saturating_elapsed_since(r.since);
             self.bank_execution(work, ran);
             self.resched(hw);
-        } else {
-            self.cpus[hw].queue.remove(prio, &work);
+        } else if self.cpus[hw].queue.remove(prio, &work) {
+            let job = self.tasks[work.task].job(work.task);
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::of(prio),
+                op: QueueOp::Remove,
+                job,
+                hw: Some(rtseed_model::HwThreadId(hw as u32)),
+            });
         }
     }
 
@@ -1004,6 +1045,13 @@ impl<'a> SimState<'a> {
         let Some((prio, work)) = self.cpus[hw].queue.dequeue_highest() else {
             return;
         };
+        let job = self.tasks[work.task].job(work.task);
+        self.trace(TraceEvent::Queue {
+            band: QueueBand::of(prio),
+            op: QueueOp::Dispatch,
+            job,
+            hw: Some(rtseed_model::HwThreadId(hw as u32)),
+        });
         let remaining = self.dispatch_bookkeeping(work);
         self.gen_counter += 1;
         let gen = self.gen_counter;
@@ -1037,6 +1085,10 @@ impl<'a> SimState<'a> {
                     self.tasks[work.task].phase = JobPhase::MandatoryRunning;
                     let job = self.tasks[work.task].job(work.task);
                     let hw = self.tasks[work.task].mandatory_hw;
+                    let jitter = self
+                        .now
+                        .saturating_elapsed_since(self.tasks[work.task].release);
+                    self.metrics.record_release_jitter(jitter);
                     self.trace(TraceEvent::MandatoryStarted {
                         job,
                         hw: rtseed_model::HwThreadId(hw as u32),
@@ -1078,7 +1130,10 @@ impl<'a> SimState<'a> {
 mod tests {
     use super::*;
     use crate::policy::AssignmentPolicy;
+    use crate::supervisor::SupervisorConfig;
+    use crate::termination::TerminationMode;
     use rtseed_model::{TaskId, TaskSet, TaskSpec, Topology};
+    use rtseed_sim::FaultPlan;
 
     fn paper_set(np: usize) -> TaskSet {
         let t = TaskSpec::builder("τ1")
@@ -1091,19 +1146,19 @@ mod tests {
         TaskSet::new(vec![t]).unwrap()
     }
 
-    fn executor(np: usize, policy: AssignmentPolicy, run: SimRunConfig) -> SimExecutor {
+    fn executor(np: usize, policy: AssignmentPolicy, run: RunConfig) -> SimExecutor {
         let cfg =
             SystemConfig::build(paper_set(np), Topology::xeon_phi_3120a(), policy).unwrap();
         SimExecutor::new(cfg, run)
     }
 
-    fn quick_run(np: usize, jobs: u64) -> SimOutcome {
+    fn quick_run(np: usize, jobs: u64) -> Outcome {
         executor(
             np,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs,
-                collect_trace: true,
+                trace: crate::obs::TraceConfig::enabled(),
                 ..Default::default()
             },
         )
@@ -1168,7 +1223,7 @@ mod tests {
         .unwrap();
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 5,
                 ..Default::default()
             },
@@ -1237,7 +1292,7 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 4,
                 fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::ALL),
                 ..Default::default()
@@ -1256,11 +1311,11 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 4,
                 fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::ALL),
                 supervisor: SupervisorConfig::armed(),
-                collect_trace: true,
+                trace: crate::obs::TraceConfig::enabled(),
                 ..Default::default()
             },
         )
@@ -1296,11 +1351,11 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 8,
                 fault_plan: mandatory_fault_plan(5.0, rtseed_sim::JobWindow::new(0, 2)),
                 supervisor: SupervisorConfig::armed(),
-                collect_trace: true,
+                trace: crate::obs::TraceConfig::enabled(),
                 ..Default::default()
             },
         )
@@ -1329,7 +1384,7 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 3,
                 fault_plan: plan,
                 ..Default::default()
@@ -1348,7 +1403,7 @@ mod tests {
             executor(
                 2,
                 AssignmentPolicy::OneByOne,
-                SimRunConfig {
+                RunConfig {
                     jobs: 2,
                     fault_plan: FaultPlan::new(0).with_timer_fault(
                         rtseed_sim::TimerFaultSpec {
@@ -1385,10 +1440,10 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 3,
                 fault_plan: plan,
-                collect_trace: true,
+                trace: crate::obs::TraceConfig::enabled(),
                 ..Default::default()
             },
         )
@@ -1410,7 +1465,7 @@ mod tests {
             executor(
                 8,
                 AssignmentPolicy::OneByOne,
-                SimRunConfig {
+                RunConfig {
                     jobs: 6,
                     fault_plan: FaultPlan::new(99)
                         .with_random_overruns(rtseed_sim::RandomOverruns {
@@ -1425,7 +1480,7 @@ mod tests {
                             duration: Span::from_millis(40),
                         }),
                     supervisor: SupervisorConfig::armed(),
-                    collect_trace: true,
+                    trace: crate::obs::TraceConfig::enabled(),
                     ..Default::default()
                 },
             )
@@ -1444,7 +1499,7 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 0,
                 ..Default::default()
             },
@@ -1468,7 +1523,7 @@ mod tests {
         .unwrap();
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 10,
                 ..Default::default()
             },
@@ -1496,7 +1551,7 @@ mod tests {
                 .unwrap();
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 8,
                 ..Default::default()
             },
@@ -1511,7 +1566,7 @@ mod tests {
         let sig = executor(
             8,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 5,
                 ..Default::default()
             },
@@ -1520,7 +1575,7 @@ mod tests {
         let pc = executor(
             8,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 5,
                 termination: TerminationMode::PeriodicCheck {
                     interval: Span::from_millis(40),
@@ -1549,7 +1604,7 @@ mod tests {
         let out = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 4,
                 termination: TerminationMode::UnwindCatch,
                 ..Default::default()
@@ -1565,7 +1620,7 @@ mod tests {
         let healthy = executor(
             4,
             AssignmentPolicy::OneByOne,
-            SimRunConfig {
+            RunConfig {
                 jobs: 4,
                 termination: TerminationMode::SigjmpTimer,
                 ..Default::default()
@@ -1600,7 +1655,7 @@ mod tests {
         };
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 3,
                 rt_exec_fraction: 1.0,
                 calibration: zero_dm,
@@ -1648,7 +1703,7 @@ mod tests {
         assert_eq!(cfg.optional_deadline(TaskId(1)), Span::from_millis(550));
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 2,
                 ..Default::default()
             },
@@ -1685,7 +1740,7 @@ mod tests {
         .unwrap();
         let out = SimExecutor::new(
             cfg,
-            SimRunConfig {
+            RunConfig {
                 jobs: 2,
                 ..Default::default()
             },

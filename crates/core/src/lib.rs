@@ -30,14 +30,17 @@
 //!   without privileges; see `RuntimeReport`).
 //! * [`termination`] — the three optional-part termination mechanisms of
 //!   Table I.
+//! * [`executor`] — the unified [`executor::Executor`] trait,
+//!   [`executor::RunConfig`] and [`executor::Outcome`] shared by all
+//!   backends.
+//! * [`obs`] — structured tracing ([`obs::TraceEvent`]) and histogram
+//!   metrics ([`obs::MetricsRegistry`]), with JSONL and Chrome-trace
+//!   exporters.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use rtseed::config::SystemConfig;
-//! use rtseed::exec_sim::{SimExecutor, SimRunConfig};
-//! use rtseed::policy::AssignmentPolicy;
-//! use rtseed_model::{Span, TaskSpec, TaskSet, Topology};
+//! use rtseed::prelude::*;
 //!
 //! // The paper's evaluation task: T = 1 s, m = w = 250 ms, 57 optional
 //! // parts that always overrun.
@@ -53,7 +56,8 @@
 //!     Topology::xeon_phi_3120a(),
 //!     AssignmentPolicy::OneByOne,
 //! )?;
-//! let outcome = SimExecutor::new(config, SimRunConfig { jobs: 5, ..Default::default() }).run();
+//! let run = RunConfig::builder().jobs(5).build()?;
+//! let outcome = SimExecutor::new(config, run).run();
 //! assert_eq!(outcome.qos.deadline_misses(), 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -66,7 +70,10 @@
 pub mod config;
 pub mod exec_global;
 pub mod exec_sim;
+pub mod executor;
+pub mod obs;
 pub mod policy;
+pub mod prelude;
 pub mod priority;
 pub mod profile;
 pub mod queues;
@@ -76,7 +83,10 @@ pub mod supervisor;
 pub mod termination;
 
 pub use config::{ConfigError, SystemConfig};
+pub use executor::{Backend, ExecError, Executor, Outcome, RunConfig, RunConfigError};
+#[allow(deprecated)]
 pub use exec_global::{GlobalExecutor, GlobalOutcome, GlobalRunConfig};
+#[allow(deprecated)]
 pub use exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
 pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;

@@ -1,0 +1,450 @@
+//! Trace exporters: JSONL and Chrome trace-event format.
+//!
+//! Both exporters are pure functions of the trace (and metrics), built on
+//! integer timestamps, so the same seed yields byte-identical output —
+//! the golden-trace tests rely on this.
+//!
+//! * [`jsonl`] — one JSON object per line; the first line is a meta
+//!   record with the event count and ring-drop count. Easy to grep and
+//!   to post-process with `jq`.
+//! * [`chrome_trace`] — the Chrome trace-event format (the JSON object
+//!   form), loadable in Perfetto or `chrome://tracing`. Part executions
+//!   become complete ("X") slices grouped by task (pid) and hardware
+//!   thread (tid); everything else becomes instant ("i") events; the
+//!   `otherData` section embeds the Δm/Δb/Δs/Δe, response-time, jitter
+//!   and QoS histogram summaries from the [`MetricsRegistry`].
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use rtseed_model::{HwThreadId, JobId, Time};
+use rtseed_sim::{OverheadKind, TimerFault};
+
+use super::{Histogram, MetricsRegistry, Trace, TraceEvent, QOS_PPM};
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_job(out: &mut String, job: JobId) {
+    let _ = write!(out, "\"task\":{},\"seq\":{}", job.task.0, job.seq);
+}
+
+/// Appends the event-specific fields (without braces) to `out`.
+fn push_fields(out: &mut String, event: &TraceEvent) {
+    match event {
+        TraceEvent::JobReleased { job }
+        | TraceEvent::MandatoryCompleted { job }
+        | TraceEvent::WindupStarted { job }
+        | TraceEvent::OptionalDeadlineExpired { job }
+        | TraceEvent::TimerCancelled { job }
+        | TraceEvent::TaskQuarantined { job } => push_job(out, *job),
+        TraceEvent::MandatoryStarted { job, hw } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"hw\":{}", hw.0);
+        }
+        TraceEvent::OptionalStarted { job, part, hw } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"part\":{},\"hw\":{}", part.0, hw.0);
+        }
+        TraceEvent::OptionalEnded {
+            job,
+            part,
+            outcome,
+            achieved,
+        } => {
+            push_job(out, *job);
+            let _ = write!(
+                out,
+                ",\"part\":{},\"outcome\":\"{:?}\",\"achieved_ns\":{}",
+                part.0,
+                outcome,
+                achieved.as_nanos()
+            );
+        }
+        TraceEvent::WindupCompleted { job, deadline_met } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"deadline_met\":{deadline_met}");
+        }
+        TraceEvent::Queue { band, op, job, hw } => {
+            let _ = write!(out, "\"band\":\"{}\",\"op\":\"{}\",", band.name(), op.name());
+            push_job(out, *job);
+            if let Some(hw) = hw {
+                let _ = write!(out, ",\"hw\":{}", hw.0);
+            }
+        }
+        TraceEvent::TimerArmed { job, at } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"at_ns\":{}", at.as_nanos());
+        }
+        TraceEvent::PolicyDecision {
+            task,
+            policy,
+            parts,
+            distinct_cores,
+        } => {
+            let _ = write!(out, "\"task\":{},\"policy\":\"", task.0);
+            escape_into(out, policy);
+            let _ = write!(
+                out,
+                "\",\"parts\":{parts},\"distinct_cores\":{distinct_cores}"
+            );
+        }
+        TraceEvent::Migrated { job, from, to } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"from\":{},\"to\":{}", from.0, to.0);
+        }
+        TraceEvent::WcetFaultInjected {
+            job,
+            target,
+            factor,
+        } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"target\":\"{target:?}\",\"factor\":{factor}");
+        }
+        TraceEvent::TimerFaultInjected { job, fault } => {
+            push_job(out, *job);
+            match fault {
+                TimerFault::Delay(by) => {
+                    let _ = write!(
+                        out,
+                        ",\"fault\":\"delay\",\"delay_ns\":{}",
+                        by.as_nanos()
+                    );
+                }
+                TimerFault::Lost => out.push_str(",\"fault\":\"lost\""),
+            }
+        }
+        TraceEvent::CpuStallStarted { hw, duration } => {
+            let _ = write!(
+                out,
+                "\"hw\":{},\"duration_ns\":{}",
+                hw.0,
+                duration.as_nanos()
+            );
+        }
+        TraceEvent::BudgetCut { job, target } => {
+            push_job(out, *job);
+            let _ = write!(out, ",\"target\":\"{target:?}\"");
+        }
+        TraceEvent::DegradedModeEntered | TraceEvent::DegradedModeExited => {}
+        TraceEvent::PipelineStage { cycle, stage, part } => {
+            let _ = write!(out, "\"cycle\":{cycle},\"stage\":\"{}\"", stage.name());
+            if let Some(part) = part {
+                let _ = write!(out, ",\"part\":{}", part.0);
+            }
+        }
+    }
+}
+
+/// Exports a trace as JSON Lines: a meta record, then one object per
+/// event in time order.
+pub fn jsonl(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 * (trace.len() + 1));
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"format\":\"rtseed-trace\",\"version\":1,\"events\":{},\"dropped\":{}}}",
+        trace.len(),
+        trace.dropped()
+    );
+    for (t, e) in trace.events() {
+        let _ = write!(out, "{{\"t_ns\":{},\"ev\":\"{}\"", t.as_nanos(), e.name());
+        let mut fields = String::new();
+        push_fields(&mut fields, e);
+        if !fields.is_empty() {
+            out.push(',');
+            out.push_str(&fields);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Appends a Chrome ts value (microseconds with nanosecond precision).
+fn push_ts(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn push_histogram(out: &mut String, name: &str, h: &Histogram) {
+    let _ = write!(
+        out,
+        "\"{name}\":{{\"count\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p99_bound_ns\":{}}}",
+        h.count(),
+        h.mean(),
+        h.min(),
+        h.max(),
+        h.quantile_bound(0.99)
+    );
+}
+
+/// Chrome trace-event slice bookkeeping: one open span per (job, lane).
+#[derive(PartialEq, Eq, Hash, Clone, Copy)]
+enum Lane {
+    Mandatory,
+    Optional(u32),
+    Windup,
+}
+
+/// Exports a trace (plus the run's metric summaries) in the Chrome
+/// trace-event format. Open the result in Perfetto (`ui.perfetto.dev`)
+/// or `chrome://tracing`: rows are grouped by task, slices are part
+/// executions, instants are releases/timers/faults/queue operations.
+pub fn chrome_trace(trace: &Trace, metrics: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(128 * (trace.len() + 8));
+    out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut open: HashMap<(JobId, Lane), (Time, HwThreadId)> = HashMap::new();
+    let mut mandatory_hw: HashMap<JobId, HwThreadId> = HashMap::new();
+
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    for (t, e) in trace.events() {
+        match e {
+            TraceEvent::MandatoryStarted { job, hw } => {
+                open.insert((*job, Lane::Mandatory), (*t, *hw));
+                mandatory_hw.insert(*job, *hw);
+            }
+            TraceEvent::OptionalStarted { job, part, hw } => {
+                open.insert((*job, Lane::Optional(part.0)), (*t, *hw));
+            }
+            TraceEvent::WindupStarted { job } => {
+                let hw = mandatory_hw
+                    .get(job)
+                    .copied()
+                    .unwrap_or(HwThreadId(0));
+                open.insert((*job, Lane::Windup), (*t, hw));
+            }
+            TraceEvent::MandatoryCompleted { job }
+            | TraceEvent::OptionalEnded { job, .. }
+            | TraceEvent::WindupCompleted { job, .. } => {
+                let (lane, name) = match e {
+                    TraceEvent::MandatoryCompleted { .. } => {
+                        (Lane::Mandatory, "mandatory".to_string())
+                    }
+                    TraceEvent::OptionalEnded { part, outcome, .. } => (
+                        Lane::Optional(part.0),
+                        format!("optional[{}] {:?}", part.0, outcome),
+                    ),
+                    _ => (Lane::Windup, "wind-up".to_string()),
+                };
+                if let Some((start, hw)) = open.remove(&(*job, lane)) {
+                    sep(&mut out);
+                    let _ = write!(out, "{{\"name\":\"");
+                    escape_into(&mut out, &name);
+                    let _ = write!(
+                        out,
+                        " {}\",\"cat\":\"part\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":",
+                        job, job.task.0, hw.0
+                    );
+                    push_ts(&mut out, start.as_nanos());
+                    out.push_str(",\"dur\":");
+                    push_ts(&mut out, t.as_nanos() - start.as_nanos());
+                    out.push('}');
+                }
+            }
+            _ => {
+                // Everything else is an instant with the JSONL fields as args.
+                sep(&mut out);
+                let pid = e.job().map_or(0, |j| j.task.0);
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"g\",\"pid\":{pid},\"tid\":0,\"ts\":",
+                    e.name()
+                );
+                push_ts(&mut out, t.as_nanos());
+                out.push_str(",\"args\":{");
+                push_fields(&mut out, e);
+                out.push_str("}}");
+            }
+        }
+    }
+
+    out.push_str("],\"otherData\":{");
+    let _ = write!(out, "\"dropped\":{},\"overheads\":{{", trace.dropped());
+    for (i, kind) in OverheadKind::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_histogram(&mut out, kind.symbol(), metrics.overhead(*kind));
+    }
+    out.push_str("},");
+    push_histogram(&mut out, "response_time", metrics.response_time());
+    out.push(',');
+    push_histogram(&mut out, "release_jitter", metrics.release_jitter());
+    let q = metrics.qos_level();
+    let _ = write!(
+        out,
+        ",\"qos_level\":{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{}}}",
+        q.count(),
+        q.mean() as f64 / QOS_PPM as f64,
+        q.min() as f64 / QOS_PPM as f64,
+        q.max() as f64 / QOS_PPM as f64
+    );
+    out.push_str("}}");
+    out
+}
+
+/// Writes [`jsonl`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_jsonl(path: impl AsRef<Path>, trace: &Trace) -> io::Result<()> {
+    std::fs::write(path, jsonl(trace))
+}
+
+/// Writes [`chrome_trace`] output to `path`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from writing the file.
+pub fn write_chrome_trace(
+    path: impl AsRef<Path>,
+    trace: &Trace,
+    metrics: &MetricsRegistry,
+) -> io::Result<()> {
+    std::fs::write(path, chrome_trace(trace, metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::{OptionalOutcome, PartId, Span, TaskId};
+
+    fn job(seq: u64) -> JobId {
+        JobId {
+            task: TaskId(0),
+            seq,
+        }
+    }
+
+    fn t(ns: u64) -> Time {
+        Time::from_nanos(ns)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut tr = Trace::new();
+        tr.record(t(0), TraceEvent::JobReleased { job: job(0) });
+        tr.record(
+            t(100),
+            TraceEvent::MandatoryStarted {
+                job: job(0),
+                hw: HwThreadId(3),
+            },
+        );
+        tr.record(t(900), TraceEvent::MandatoryCompleted { job: job(0) });
+        tr.record(
+            t(950),
+            TraceEvent::OptionalStarted {
+                job: job(0),
+                part: PartId(0),
+                hw: HwThreadId(4),
+            },
+        );
+        tr.record(
+            t(1950),
+            TraceEvent::OptionalEnded {
+                job: job(0),
+                part: PartId(0),
+                outcome: OptionalOutcome::Completed,
+                achieved: Span::from_nanos(1000),
+            },
+        );
+        tr.record(t(2000), TraceEvent::WindupStarted { job: job(0) });
+        tr.record(
+            t(2500),
+            TraceEvent::WindupCompleted {
+                job: job(0),
+                deadline_met: true,
+            },
+        );
+        tr
+    }
+
+    #[test]
+    fn jsonl_has_meta_then_one_line_per_event() {
+        let tr = sample_trace();
+        let text = jsonl(&tr);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), tr.len() + 1);
+        assert!(lines[0].contains("\"type\":\"meta\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"events\":7"), "{}", lines[0]);
+        assert!(lines[1].contains("\"ev\":\"job_released\""), "{}", lines[1]);
+        assert!(
+            lines[2].contains("\"hw\":3") && lines[2].contains("\"t_ns\":100"),
+            "{}",
+            lines[2]
+        );
+        // Every line is a braces-wrapped object.
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_pairs_parts_into_slices() {
+        let tr = sample_trace();
+        let json = chrome_trace(&tr, &MetricsRegistry::new());
+        // Mandatory: 100 → 900 ns = ts 0.100 µs, dur 0.800 µs.
+        assert!(json.contains("\"ts\":0.100,\"dur\":0.800"), "{json}");
+        assert!(json.contains("mandatory τ1#0"), "{json}");
+        assert!(json.contains("optional[0] Completed τ1#0"), "{json}");
+        // Wind-up inherits the mandatory hw thread (tid 3).
+        assert!(json.contains("wind-up τ1#0\",\"cat\":\"part\",\"ph\":\"X\",\"pid\":0,\"tid\":3"),
+            "{json}");
+        // The release is an instant event.
+        assert!(json.contains("\"name\":\"job_released\",\"cat\":\"event\",\"ph\":\"i\""),
+            "{json}");
+    }
+
+    #[test]
+    fn chrome_trace_embeds_metric_summaries() {
+        let mut m = MetricsRegistry::new();
+        m.record_overhead(OverheadKind::BeginMandatory, Span::from_nanos(2_000));
+        m.record_overhead(OverheadKind::BeginMandatory, Span::from_nanos(4_000));
+        m.record_qos_level(1.0);
+        let json = chrome_trace(&Trace::new(), &m);
+        assert!(
+            json.contains("\"Δm\":{\"count\":2,\"mean_ns\":3000,\"min_ns\":2000,\"max_ns\":4000"),
+            "{json}"
+        );
+        assert!(json.contains("\"qos_level\":{\"count\":1,\"mean\":1,"), "{json}");
+        assert!(json.contains("\"response_time\":{\"count\":0"), "{json}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let tr = sample_trace();
+        let m = MetricsRegistry::new();
+        assert_eq!(jsonl(&tr), jsonl(&tr));
+        assert_eq!(chrome_trace(&tr, &m), chrome_trace(&tr, &m));
+    }
+
+    #[test]
+    fn string_escaping() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

@@ -32,10 +32,14 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rtseed_model::{JobId, OptionalOutcome, PartId, QosRecord, QosSummary, Span, TaskId};
+use rtseed_model::{
+    HwThreadId, JobId, OptionalOutcome, PartId, QosRecord, QosSummary, Span, TaskId, Time,
+};
 use rtseed_sim::OverheadKind;
 
 use crate::config::SystemConfig;
+use crate::executor::{Backend, ExecError, Executor, Outcome, RunConfig};
+use crate::obs::{MetricsRegistry, Trace, TraceConfig, TraceEvent, TraceRecorder};
 use crate::report::{FaultReport, OverheadReport};
 use crate::termination::TerminationMode;
 
@@ -181,29 +185,12 @@ impl TaskBody {
     }
 }
 
-/// Run parameters for the native executor.
-#[derive(Debug, Clone)]
-pub struct NativeRunConfig {
-    /// Number of jobs each task executes.
-    pub jobs: u64,
-    /// Termination mechanism for optional parts.
-    pub termination: TerminationMode,
-    /// Whether to attempt `SCHED_FIFO` and affinity syscalls (disable in
-    /// tests that must not perturb the host).
-    pub attempt_rt: bool,
-}
-
-impl Default for NativeRunConfig {
-    fn default() -> Self {
-        NativeRunConfig {
-            jobs: 10,
-            termination: TerminationMode::PeriodicCheck {
-                interval: Span::from_millis(1),
-            },
-            attempt_rt: true,
-        }
-    }
-}
+/// Former name of the unified [`RunConfig`]; the native backend reads its
+/// `jobs`, `termination`, `attempt_rt` and `trace` fields. Note the unified
+/// default is `jobs: 100` (the old native default was 10) — set `jobs`
+/// explicitly when migrating.
+#[deprecated(note = "use `rtseed::executor::RunConfig` (or the prelude)")]
+pub type NativeRunConfig = RunConfig;
 
 /// What actually happened with the privileged setup calls.
 #[derive(Debug, Clone, Default)]
@@ -244,33 +231,41 @@ impl RuntimeReport {
     }
 }
 
-/// Results of a native run.
-#[derive(Debug)]
-pub struct NativeOutcome {
-    /// Measured overheads (Δm, Δb, Δs, Δe), one sample per applicable job.
-    pub overheads: OverheadReport,
-    /// QoS summary across all jobs of all tasks.
-    pub qos: QosSummary,
-    /// What the privileged setup calls achieved.
-    pub runtime: RuntimeReport,
-    /// Overload the runtime *observed* (the native backend injects
-    /// nothing): `overruns_detected` counts deadline misses,
-    /// `jobs_degraded` counts jobs where at least one optional part was
-    /// terminated or discarded instead of completing.
-    pub faults: FaultReport,
-}
+/// Former name of the unified [`Outcome`]; the `overheads`, `qos`,
+/// `runtime` and `faults` fields carry over unchanged.
+#[deprecated(note = "use `rtseed::executor::Outcome` (or the prelude)")]
+pub type NativeOutcome = Outcome;
 
 /// The native executor: real threads, real time.
 #[derive(Debug)]
 pub struct NativeExecutor {
     config: SystemConfig,
-    run_cfg: NativeRunConfig,
+    run_cfg: RunConfig,
+    /// Bodies staged for [`Executor::execute`]; `run` takes its own.
+    bodies: Option<Vec<TaskBody>>,
 }
 
 impl NativeExecutor {
     /// Creates a native executor for `config`.
-    pub fn new(config: SystemConfig, run_cfg: NativeRunConfig) -> NativeExecutor {
-        NativeExecutor { config, run_cfg }
+    pub fn new(config: SystemConfig, run_cfg: RunConfig) -> NativeExecutor {
+        NativeExecutor {
+            config,
+            run_cfg,
+            bodies: None,
+        }
+    }
+
+    /// The system configuration this executor runs.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Stages the task bodies used by [`Executor::execute`] (one per task,
+    /// in task order). Without staged bodies, `execute` runs
+    /// [`TaskBody::no_op`] for every task — enough to exercise the protocol
+    /// and measure its overheads.
+    pub fn set_bodies(&mut self, bodies: Vec<TaskBody>) {
+        self.bodies = Some(bodies);
     }
 
     /// Runs every task of the configuration to completion with the given
@@ -283,31 +278,39 @@ impl NativeExecutor {
     /// [`RuntimeError::WorkerPanicked`] when user code panics with
     /// anything other than a termination checkpoint. All task threads are
     /// joined before an error is returned — nothing keeps running.
-    pub fn run(&self, bodies: Vec<TaskBody>) -> Result<NativeOutcome, RuntimeError> {
+    pub fn run(&self, bodies: Vec<TaskBody>) -> Result<Outcome, RuntimeError> {
         if bodies.len() != self.config.set().len() {
             return Err(RuntimeError::BodyCountMismatch {
                 expected: self.config.set().len(),
                 got: bodies.len(),
             });
         }
+        // A single epoch shared by every task thread so per-thread trace
+        // timestamps merge onto one axis (each task keeps its own release
+        // anchor for scheduling, taken after its setup syscalls).
+        let epoch = Instant::now();
         let mut handles = Vec::new();
         for (idx, body) in bodies.into_iter().enumerate() {
-            let tcfg = TaskThreadConfig::from_config(&self.config, idx, &self.run_cfg);
+            let tcfg = TaskThreadConfig::from_config(&self.config, idx, &self.run_cfg, epoch);
             handles.push(std::thread::spawn(move || task_main(tcfg, body)));
         }
         let mut overheads = OverheadReport::new();
         let mut qos = QosSummary::new();
         let mut runtime = RuntimeReport::default();
         let mut faults = FaultReport::new();
+        let mut metrics = MetricsRegistry::new();
+        let mut traces = Vec::new();
         let mut first_err = None;
         // Join every thread even after an error so no task outlives `run`.
         for (task, h) in handles.into_iter().enumerate() {
             match h.join() {
-                Ok(Ok((o, q, r, f))) => {
-                    overheads.merge(&o);
-                    qos.merge(&q);
-                    runtime.merge(&r);
-                    faults.merge(&f);
+                Ok(Ok(done)) => {
+                    overheads.merge(&done.overheads);
+                    qos.merge(&done.qos);
+                    runtime.merge(&done.runtime);
+                    faults.merge(&done.faults);
+                    metrics.merge(&done.metrics);
+                    traces.push(done.trace);
                 }
                 Ok(Err(e)) => {
                     first_err.get_or_insert(e);
@@ -323,12 +326,35 @@ impl NativeExecutor {
         if let Some(e) = first_err {
             return Err(e);
         }
-        Ok(NativeOutcome {
+        Ok(Outcome {
             overheads,
             qos,
             runtime,
             faults,
+            metrics,
+            trace: Trace::merged(traces),
+            ..Outcome::default()
         })
+    }
+}
+
+impl Executor for NativeExecutor {
+    fn backend(&self) -> Backend {
+        Backend::Native
+    }
+
+    fn system(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    fn execute(&mut self) -> Result<Outcome, ExecError> {
+        self.run_cfg.validate()?;
+        let bodies = self.bodies.take().unwrap_or_else(|| {
+            (0..self.config.set().len())
+                .map(|_| TaskBody::no_op())
+                .collect()
+        });
+        Ok(self.run(bodies)?)
     }
 }
 
@@ -348,10 +374,17 @@ struct TaskThreadConfig {
     jobs: u64,
     termination: TerminationMode,
     attempt_rt: bool,
+    trace: TraceConfig,
+    epoch: Instant,
 }
 
 impl TaskThreadConfig {
-    fn from_config(cfg: &SystemConfig, idx: usize, run: &NativeRunConfig) -> TaskThreadConfig {
+    fn from_config(
+        cfg: &SystemConfig,
+        idx: usize,
+        run: &RunConfig,
+        epoch: Instant,
+    ) -> TaskThreadConfig {
         let id = TaskId(idx as u32);
         let spec = cfg.set().task(id);
         TaskThreadConfig {
@@ -371,7 +404,17 @@ impl TaskThreadConfig {
             jobs: run.jobs,
             termination: run.termination,
             attempt_rt: run.attempt_rt,
+            trace: run.trace_config(),
+            epoch,
         }
+    }
+
+    /// A trace timestamp for `at` on the run-wide axis.
+    fn stamp(&self, at: Instant) -> Time {
+        Time::from_nanos(
+            u64::try_from(at.saturating_duration_since(self.epoch).as_nanos())
+                .unwrap_or(u64::MAX),
+        )
     }
 }
 
@@ -528,7 +571,14 @@ fn worker_main(
     }
 }
 
-type TaskMainOk = (OverheadReport, QosSummary, RuntimeReport, FaultReport);
+struct TaskMainOk {
+    overheads: OverheadReport,
+    qos: QosSummary,
+    runtime: RuntimeReport,
+    faults: FaultReport,
+    trace: Trace,
+    metrics: MetricsRegistry,
+}
 
 #[allow(clippy::too_many_lines)]
 fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, RuntimeError> {
@@ -579,6 +629,8 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
     let mut overheads = OverheadReport::new();
     let mut qos = QosSummary::new();
     let mut faults = FaultReport::new();
+    let mut rec = TraceRecorder::new(cfg.trace);
+    let mut metrics = MetricsRegistry::new();
     let requested: Span = cfg.optional_spans.iter().copied().sum();
 
     let anchor = Instant::now();
@@ -591,10 +643,26 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
         let release = anchor + cfg.period * u32::try_from(seq).unwrap_or(u32::MAX);
         sleep_until(release);
         // Δm: release → beginning of the mandatory part.
-        overheads.push(OverheadKind::BeginMandatory, span(release.elapsed()));
+        let mand_start = Instant::now();
+        let dm = span(mand_start.saturating_duration_since(release));
+        overheads.push(OverheadKind::BeginMandatory, dm);
+        metrics.record_overhead(OverheadKind::BeginMandatory, dm);
+        metrics.record_release_jitter(dm);
+        rec.record(cfg.stamp(release), TraceEvent::JobReleased { job });
+        rec.record(
+            cfg.stamp(mand_start),
+            TraceEvent::MandatoryStarted {
+                job,
+                hw: HwThreadId(cfg.mandatory_hw as u32),
+            },
+        );
 
         mandatory(job);
         let mandatory_done = Instant::now();
+        rec.record(
+            cfg.stamp(mandatory_done),
+            TraceEvent::MandatoryCompleted { job },
+        );
         let od_instant = release + cfg.od;
 
         let mut parts: Vec<(Span, OptionalOutcome)> =
@@ -620,9 +688,15 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
                 slot.cv.notify_one();
             }
             let signal_end = Instant::now();
-            overheads.push(
-                OverheadKind::BeginOptional,
-                span(signal_end - signal_start),
+            let db = span(signal_end - signal_start);
+            overheads.push(OverheadKind::BeginOptional, db);
+            metrics.record_overhead(OverheadKind::BeginOptional, db);
+            rec.record(
+                cfg.stamp(signal_start),
+                TraceEvent::TimerArmed {
+                    job,
+                    at: cfg.stamp(od_instant),
+                },
             );
 
             // Wait for completion or the optional deadline, whichever is
@@ -655,30 +729,71 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
                 .iter()
                 .any(|r| r.outcome == OptionalOutcome::Terminated)
             {
-                overheads.push(
-                    OverheadKind::EndOptional,
-                    span(all_ended.saturating_duration_since(od_instant)),
+                let de = span(all_ended.saturating_duration_since(od_instant));
+                overheads.push(OverheadKind::EndOptional, de);
+                metrics.record_overhead(OverheadKind::EndOptional, de);
+                rec.record(
+                    cfg.stamp(od_instant),
+                    TraceEvent::OptionalDeadlineExpired { job },
                 );
             }
             if let Some(first_start) = results.iter().map(|r| r.started).min() {
-                overheads.push(
-                    OverheadKind::SwitchToOptional,
-                    span(first_start.saturating_duration_since(signal_end)),
-                );
+                let ds = span(first_start.saturating_duration_since(signal_end));
+                overheads.push(OverheadKind::SwitchToOptional, ds);
+                metrics.record_overhead(OverheadKind::SwitchToOptional, ds);
             }
             for r in results.iter() {
                 parts[r.part.index()] = (span(r.executed), r.outcome);
+                if rec.enabled() {
+                    rec.record(
+                        cfg.stamp(r.started),
+                        TraceEvent::OptionalStarted {
+                            job,
+                            part: r.part,
+                            hw: HwThreadId(cfg.placements[r.part.index()] as u32),
+                        },
+                    );
+                    rec.record(
+                        cfg.stamp(r.started + r.executed),
+                        TraceEvent::OptionalEnded {
+                            job,
+                            part: r.part,
+                            outcome: r.outcome,
+                            achieved: span(r.executed),
+                        },
+                    );
+                }
             }
             drop(results);
 
             // The wind-up part is released at the optional deadline, never
             // before (§IV-B: early completers sleep in the SQ until OD).
             sleep_until(od_instant);
+        } else if np > 0 && rec.enabled() {
+            // The mandatory part overran OD: every optional part is
+            // discarded without ever running.
+            for k in 0..np {
+                rec.record(
+                    cfg.stamp(mandatory_done),
+                    TraceEvent::OptionalEnded {
+                        job,
+                        part: PartId(k as u32),
+                        outcome: OptionalOutcome::Discarded,
+                        achieved: Span::ZERO,
+                    },
+                );
+            }
         }
 
+        rec.record(cfg.stamp(Instant::now()), TraceEvent::WindupStarted { job });
         windup(job);
         let windup_done = Instant::now();
         let deadline_met = windup_done <= release + cfg.deadline;
+        rec.record(
+            cfg.stamp(windup_done),
+            TraceEvent::WindupCompleted { job, deadline_met },
+        );
+        metrics.record_response_time(span(windup_done.saturating_duration_since(release)));
         if !deadline_met {
             faults.overruns_detected += 1;
         }
@@ -689,14 +804,13 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
         {
             faults.jobs_degraded += 1;
         }
-        qos.record(
-            &QosRecord {
-                job,
-                parts,
-                deadline_met,
-            },
-            requested,
-        );
+        let record = QosRecord {
+            job,
+            parts,
+            deadline_met,
+        };
+        metrics.record_qos_level(record.ratio(requested));
+        qos.record(&record, requested);
 
         // A user panic in an optional part aborts the run after the job's
         // bookkeeping so the caller sees both the records and the panic.
@@ -734,7 +848,14 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
     let report = Arc::try_unwrap(report)
         .map(Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone());
-    Ok((overheads, qos, report, faults))
+    Ok(TaskMainOk {
+        overheads,
+        qos,
+        runtime: report,
+        faults,
+        trace: rec.finish(),
+        metrics,
+    })
 }
 
 #[cfg(test)]
@@ -761,13 +882,14 @@ mod tests {
         .unwrap()
     }
 
-    fn run_cfg(jobs: u64) -> NativeRunConfig {
-        NativeRunConfig {
+    fn run_cfg(jobs: u64) -> RunConfig {
+        RunConfig {
             jobs,
             termination: TerminationMode::PeriodicCheck {
                 interval: Span::from_millis(1),
             },
             attempt_rt: false,
+            ..RunConfig::default()
         }
     }
 
@@ -828,10 +950,11 @@ mod tests {
         let cfg = quick_config(2);
         let exec = NativeExecutor::new(
             cfg,
-            NativeRunConfig {
+            RunConfig {
                 jobs: 2,
                 termination: TerminationMode::UnwindCatch,
                 attempt_rt: false,
+                ..RunConfig::default()
             },
         );
         let out = exec
@@ -900,10 +1023,11 @@ mod tests {
         let cfg = quick_config(1);
         let exec = NativeExecutor::new(
             cfg,
-            NativeRunConfig {
+            RunConfig {
                 jobs: 1,
                 termination: TerminationMode::SigjmpTimer,
                 attempt_rt: true,
+                ..RunConfig::default()
             },
         );
         let out = exec
@@ -929,6 +1053,57 @@ mod tests {
             }
             other => panic!("unexpected error: {other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_covers_the_native_protocol() {
+        let cfg = quick_config(1);
+        let mut run = run_cfg(2);
+        run.trace = TraceConfig::enabled();
+        let out = NativeExecutor::new(cfg, run)
+            .run(vec![TaskBody::no_op()])
+            .expect("run");
+        let releases = out
+            .trace
+            .count(|e| matches!(e, TraceEvent::JobReleased { .. }));
+        assert_eq!(releases, 2);
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::WindupCompleted { .. })),
+            2
+        );
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::OptionalStarted { .. })),
+            2
+        );
+        // The merged trace is on one time axis, in order.
+        assert!(out.trace.events().windows(2).all(|w| w[0].0 <= w[1].0));
+        // Metrics accumulate regardless of tracing.
+        assert_eq!(out.metrics.response_time().count(), 2);
+        assert_eq!(out.metrics.qos_level().count(), 2);
+    }
+
+    #[test]
+    fn untraced_run_carries_an_empty_trace() {
+        let out = NativeExecutor::new(quick_config(1), run_cfg(1))
+            .run(vec![TaskBody::no_op()])
+            .expect("run");
+        assert!(out.trace.is_empty());
+        // ... but the metrics registry still fills.
+        assert_eq!(out.metrics.response_time().count(), 1);
+    }
+
+    #[test]
+    fn executor_trait_runs_staged_or_default_bodies() {
+        let mut exec = NativeExecutor::new(quick_config(1), run_cfg(1));
+        assert_eq!(exec.backend(), Backend::Native);
+        assert_eq!(exec.system().set().len(), 1);
+        let out = exec.execute().expect("default no-op bodies");
+        assert_eq!(out.qos.jobs(), 1);
+        exec.set_bodies(vec![TaskBody::no_op()]);
+        let out = exec.execute().expect("staged bodies");
+        assert_eq!(out.qos.jobs(), 1);
     }
 
     #[test]

@@ -19,7 +19,6 @@
 //!   four overheads of Fig. 9 (Δm, Δb, Δs, Δe) from mechanistic inputs
 //!   (number of parallel optional parts, distinct cores touched, SMT
 //!   occupancy, cache pollution), and
-//! * an execution **trace** ([`trace`]) for tests and visualization, and
 //! * a deterministic **fault plan** ([`fault`]): seeded, replayable WCET
 //!   overruns, optional-deadline timer faults and CPU stall windows that
 //!   the executors inject through the event queue.
@@ -37,7 +36,6 @@ pub mod load;
 pub mod overhead;
 pub mod readyq;
 pub mod timer;
-pub mod trace;
 
 pub use eventq::EventQueue;
 pub use fault::{
@@ -48,4 +46,3 @@ pub use load::BackgroundLoad;
 pub use overhead::{Calibration, OverheadKind, OverheadModel, OverheadSample};
 pub use readyq::FifoReadyQueue;
 pub use timer::{TimerHandle, TimerWheel};
-pub use trace::{Trace, TraceEvent};

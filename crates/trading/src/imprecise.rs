@@ -9,16 +9,73 @@
 //!
 //! [`ImpreciseTrader`] is the shared state those three parts operate on;
 //! [`ImpreciseTrader::task_body`] packages them as a [`rtseed::runtime::TaskBody`]
-//! for the native executor.
+//! for the native executor. Attach a [`PipelineTracer`] to emit
+//! [`TraceEvent::PipelineStage`] events on the unified observability
+//! stream (`rtseed::obs`).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
+use rtseed::obs::{PipelineStage, Trace, TraceConfig, TraceEvent, TraceRecorder};
 use rtseed::runtime::{OptionalControl, TaskBody};
-use rtseed_model::JobId;
+use rtseed_model::{JobId, PartId, Time};
 
 use crate::execution::{Order, PaperVenue, Side};
 use crate::market::{Tick, TickSource};
 use crate::strategy::{Signal, SignalAggregator, Strategy};
+
+/// Records the trading pipeline's stage transitions as
+/// [`TraceEvent::PipelineStage`] events, shared by the mandatory, optional
+/// and wind-up threads of a native run (hence the internal lock — the
+/// pipeline stages themselves serialize on the trader's own state anyway).
+///
+/// Cycles are numbered from 0: each [`ImpreciseTrader::ingest`] that
+/// obtains a tick starts a new cycle; analyses and the decision record
+/// against the current one.
+#[derive(Debug)]
+pub struct PipelineTracer {
+    epoch: Instant,
+    cycle: AtomicU64,
+    rec: Mutex<TraceRecorder>,
+}
+
+impl PipelineTracer {
+    /// Creates a tracer; timestamps are nanoseconds since this call.
+    pub fn new(config: TraceConfig) -> PipelineTracer {
+        PipelineTracer {
+            epoch: Instant::now(),
+            cycle: AtomicU64::new(0),
+            rec: Mutex::new(TraceRecorder::new(config)),
+        }
+    }
+
+    fn now(&self) -> Time {
+        Time::from_nanos(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    fn begin_cycle(&self) -> u64 {
+        self.cycle.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn current_cycle(&self) -> u64 {
+        self.cycle.load(Ordering::Relaxed).saturating_sub(1)
+    }
+
+    fn record(&self, cycle: u64, stage: PipelineStage, part: Option<PartId>) {
+        let mut rec = self.rec.lock().expect("tracer lock");
+        if rec.enabled() {
+            let at = self.now();
+            rec.record(at, TraceEvent::PipelineStage { cycle, stage, part });
+        }
+    }
+
+    /// The trace recorded so far (recording continues). Event order follows
+    /// the pipeline's own serialization; export with [`rtseed::obs::export`].
+    pub fn snapshot(&self) -> Trace {
+        self.rec.lock().expect("tracer lock").clone().finish()
+    }
+}
 
 /// Shared state of one imprecise trading task.
 pub struct ImpreciseTrader {
@@ -30,6 +87,7 @@ pub struct ImpreciseTrader {
     opinions: Mutex<Vec<Option<Signal>>>,
     decisions: Mutex<Vec<Signal>>,
     order_quantity: f64,
+    tracer: Mutex<Option<Arc<PipelineTracer>>>,
 }
 
 impl std::fmt::Debug for ImpreciseTrader {
@@ -69,6 +127,24 @@ impl ImpreciseTrader {
             opinions: Mutex::new(vec![None; n]),
             decisions: Mutex::new(Vec::new()),
             order_quantity,
+            tracer: Mutex::new(None),
+        }
+    }
+
+    /// Attaches a [`PipelineTracer`]: from now on every ingest / analysis /
+    /// decision records a [`TraceEvent::PipelineStage`] event.
+    pub fn attach_tracer(&self, tracer: Arc<PipelineTracer>) {
+        *self.tracer.lock().expect("tracer lock") = Some(tracer);
+    }
+
+    fn trace_stage(&self, stage: PipelineStage, part: Option<PartId>) {
+        if let Some(tr) = self.tracer.lock().expect("tracer lock").as_ref() {
+            let cycle = if matches!(stage, PipelineStage::Ingest) {
+                tr.begin_cycle()
+            } else {
+                tr.current_cycle()
+            };
+            tr.record(cycle, stage, part);
         }
     }
 
@@ -84,6 +160,7 @@ impl ImpreciseTrader {
         let Some(tick) = self.feed.lock().expect("feed lock").next_tick() else {
             return false;
         };
+        self.trace_stage(PipelineStage::Ingest, None);
         *self.current_tick.lock().expect("tick lock") = Some(tick);
         self.opinions
             .lock()
@@ -107,6 +184,7 @@ impl ImpreciseTrader {
         let Some(tick) = tick else {
             return;
         };
+        self.trace_stage(PipelineStage::Analysis, Some(PartId(part as u32)));
         if should_stop() {
             return; // terminated before doing anything: abstain
         }
@@ -122,6 +200,7 @@ impl ImpreciseTrader {
     /// **Wind-up part**: aggregates the surviving opinions, records the
     /// decision, and sends a trade request when it is not `Wait`.
     pub fn decide(&self) -> Signal {
+        self.trace_stage(PipelineStage::Decide, None);
         let opinions = self.opinions.lock().expect("opinions lock").clone();
         let signal = self.aggregator.decide(&opinions);
         self.decisions.lock().expect("decisions lock").push(signal);
@@ -364,12 +443,15 @@ mod tests {
     #[test]
     fn native_task_body_runs_the_pipeline() {
         use rtseed::config::SystemConfig;
+        use rtseed::executor::RunConfig;
         use rtseed::policy::AssignmentPolicy;
-        use rtseed::runtime::{NativeExecutor, NativeRunConfig};
+        use rtseed::runtime::NativeExecutor;
         use rtseed::termination::TerminationMode;
         use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
 
         let trader = Arc::new(trader(1));
+        let tracer = Arc::new(PipelineTracer::new(TraceConfig::enabled()));
+        trader.attach_tracer(Arc::clone(&tracer));
         let spec = TaskSpec::builder("trader")
             .period(Span::from_millis(40))
             .mandatory(Span::from_millis(2))
@@ -385,12 +467,13 @@ mod tests {
         .unwrap();
         let exec = NativeExecutor::new(
             cfg,
-            NativeRunConfig {
+            RunConfig {
                 jobs: 5,
                 termination: TerminationMode::PeriodicCheck {
                     interval: Span::from_millis(1),
                 },
                 attempt_rt: false,
+                ..RunConfig::default()
             },
         );
         let out = exec.run(vec![trader.task_body()]).expect("native run");
@@ -399,5 +482,41 @@ mod tests {
         // Analyses are fast: they complete, full QoS.
         let (completed, _, _) = out.qos.outcome_totals();
         assert_eq!(completed, 15);
+        // Every cycle traced ingest, three analyses, one decision.
+        let trace = tracer.snapshot();
+        let stage_count = |s: PipelineStage| {
+            trace.count(
+                |e| matches!(e, TraceEvent::PipelineStage { stage, .. } if *stage == s),
+            )
+        };
+        assert_eq!(stage_count(PipelineStage::Ingest), 5);
+        assert_eq!(stage_count(PipelineStage::Analysis), 15);
+        assert_eq!(stage_count(PipelineStage::Decide), 5);
+    }
+
+    #[test]
+    fn pipeline_tracer_numbers_cycles() {
+        let t = trader(1);
+        let tracer = Arc::new(PipelineTracer::new(TraceConfig::enabled()));
+        t.attach_tracer(Arc::clone(&tracer));
+        for _ in 0..3 {
+            t.run_cycle_synchronous();
+        }
+        let trace = tracer.snapshot();
+        // ingest + 3 analyses + decide, per cycle.
+        assert_eq!(trace.len(), 3 * 5);
+        let max_cycle = trace
+            .events()
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TraceEvent::PipelineStage { cycle, .. } => Some(*cycle),
+                _ => None,
+            })
+            .max();
+        assert_eq!(max_cycle, Some(2));
+        // Detached by default: a fresh trader records nothing.
+        let silent = trader(1);
+        silent.run_cycle_synchronous();
+        assert_eq!(PipelineTracer::new(TraceConfig::enabled()).snapshot().len(), 0);
     }
 }

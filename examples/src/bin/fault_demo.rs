@@ -6,17 +6,13 @@
 //!
 //! Everything below is seeded — run it twice and the output is identical.
 
-use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
-use rtseed::policy::AssignmentPolicy;
-use rtseed::SupervisorConfig;
-use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
-use rtseed_sim::{FaultPlan, FaultTarget, JobWindow, WcetFault};
+use rtseed::prelude::*;
+use rtseed_sim::{FaultTarget, JobWindow, WcetFault};
 use rtseed_trading::fault::{FeedFault, FeedFaultPlan};
 use rtseed_trading::market::SyntheticFeed;
 use rtseed_trading::{FaultyFeed, FeedError, FeedWatchdog, WatchdogConfig};
 
-fn simulate(supervisor: SupervisorConfig) -> Result<SimOutcome, Box<dyn std::error::Error>> {
+fn simulate(supervisor: SupervisorConfig) -> Result<Outcome, Box<dyn std::error::Error>> {
     // The paper's task (T = 1 s, m = w = 250 ms) with a seeded overload:
     // jobs 2–4 run their mandatory part at 5× the declared WCET.
     let task = TaskSpec::builder("τ1")
@@ -30,21 +26,17 @@ fn simulate(supervisor: SupervisorConfig) -> Result<SimOutcome, Box<dyn std::err
         Topology::xeon_phi_3120a(),
         AssignmentPolicy::OneByOne,
     )?;
-    Ok(SimExecutor::new(
-        config,
-        SimRunConfig {
-            jobs: 10,
-            fault_plan: FaultPlan::new(2026).with_wcet_fault(WcetFault {
-                task: None,
-                jobs: JobWindow { from: 2, until: 5 },
-                target: FaultTarget::Mandatory,
-                factor: 5.0,
-            }),
-            supervisor,
-            ..Default::default()
-        },
-    )
-    .run())
+    let run = RunConfig::builder()
+        .jobs(10)
+        .fault_plan(FaultPlan::new(2026).with_wcet_fault(WcetFault {
+            task: None,
+            jobs: JobWindow { from: 2, until: 5 },
+            target: FaultTarget::Mandatory,
+            factor: 5.0,
+        }))
+        .supervisor(supervisor)
+        .build()?;
+    Ok(SimExecutor::new(config, run).run())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -3,11 +3,7 @@
 //!
 //!     cargo run -p rtseed-examples --bin manycore_sim -- 171
 
-use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
-use rtseed::policy::AssignmentPolicy;
-use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
-use rtseed_sim::{BackgroundLoad, OverheadKind};
+use rtseed::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let np: usize = std::env::args()
@@ -35,23 +31,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             phi,
             policy,
         )?;
-        let outcome = SimExecutor::new(
-            config,
-            SimRunConfig {
-                jobs: 20,
-                load: BackgroundLoad::CpuMemoryLoad,
-                ..Default::default()
-            },
-        )
-        .run();
+        let run = RunConfig::builder()
+            .jobs(20)
+            .load(BackgroundLoad::CpuMemoryLoad)
+            .build()?;
+        let outcome = SimExecutor::new(config, run).run();
+        let means: String = OverheadKind::ALL
+            .iter()
+            .map(|&k| format!(" {:>12}", outcome.overheads.mean(k).to_string()))
+            .collect();
         println!(
-            "{:<12} {:>8} {:>12} {:>12} {:>12} {:>12} {:>8}",
+            "{:<12} {:>8}{means} {:>8}",
             policy.label(),
             policy.distinct_cores(&phi, np),
-            outcome.overheads.mean(OverheadKind::BeginMandatory).to_string(),
-            outcome.overheads.mean(OverheadKind::BeginOptional).to_string(),
-            outcome.overheads.mean(OverheadKind::SwitchToOptional).to_string(),
-            outcome.overheads.mean(OverheadKind::EndOptional).to_string(),
             outcome.qos.deadline_misses(),
         );
     }
@@ -62,15 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         phi,
         AssignmentPolicy::OneByOne,
     )?;
-    let outcome = SimExecutor::new(
-        config,
-        SimRunConfig {
-            jobs: 1,
-            collect_trace: true,
-            ..Default::default()
-        },
-    )
-    .run();
+    let run = RunConfig::builder()
+        .jobs(1)
+        .trace(TraceConfig::enabled())
+        .build()?;
+    let outcome = SimExecutor::new(config, run).run();
     println!("\nTrace of one job with np = 4 (one-by-one):");
     print!("{}", outcome.trace);
     Ok(())

@@ -3,11 +3,7 @@
 //!
 //!     cargo run -p rtseed-examples --bin quickstart
 
-use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
-use rtseed::policy::AssignmentPolicy;
-use rtseed_model::{Span, TaskId, TaskSet, TaskSpec, Topology};
-use rtseed_sim::OverheadKind;
+use rtseed::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's evaluation task (§V-A): period 1 s, mandatory 250 ms,
@@ -38,23 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run 10 jobs on the discrete-event backend.
-    let outcome = SimExecutor::new(
-        config,
-        SimRunConfig {
-            jobs: 10,
-            ..Default::default()
-        },
-    )
-    .run();
+    let outcome = SimExecutor::new(config, RunConfig::builder().jobs(10).build()?).run();
 
-    println!("\nQoS: {}", outcome.qos);
-    println!("\nMeasured middleware overheads (mean over 10 jobs):");
-    for kind in OverheadKind::ALL {
-        println!(
-            "  {:>3}: {}",
-            kind.symbol(),
-            outcome.overheads.mean(kind)
-        );
-    }
+    println!("\n{}", outcome.summary());
     Ok(())
 }

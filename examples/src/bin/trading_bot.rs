@@ -6,13 +6,9 @@
 
 use std::sync::Arc;
 
-use rtseed::config::SystemConfig;
-use rtseed::policy::AssignmentPolicy;
-use rtseed::runtime::{NativeExecutor, NativeRunConfig};
-use rtseed::termination::TerminationMode;
-use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
+use rtseed::prelude::*;
 use rtseed_trading::execution::{ExecutionConfig, PaperVenue};
-use rtseed_trading::imprecise::ImpreciseTrader;
+use rtseed_trading::imprecise::{ImpreciseTrader, PipelineTracer};
 use rtseed_trading::market::SyntheticFeed;
 use rtseed_trading::strategy::{
     BollingerReversion, MacdMomentum, RsiContrarian, Signal, SignalAggregator,
@@ -46,19 +42,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         AssignmentPolicy::OneByOne,
     )?;
 
+    // Trace both the middleware protocol and the pipeline's own stages.
+    let tracer = Arc::new(PipelineTracer::new(TraceConfig::enabled()));
+    trader.attach_tracer(Arc::clone(&tracer));
+
     let jobs = 100;
     println!("Running {jobs} trading cycles on the native backend…");
-    let outcome = NativeExecutor::new(
-        config,
-        NativeRunConfig {
-            jobs,
-            termination: TerminationMode::PeriodicCheck {
-                interval: Span::from_millis(1),
-            },
-            attempt_rt: true,
-        },
-    )
-    .run(vec![trader.task_body()])?;
+    let run = RunConfig::builder()
+        .jobs(jobs)
+        .termination(TerminationMode::PeriodicCheck {
+            interval: Span::from_millis(1),
+        })
+        .trace(TraceConfig::enabled())
+        .build()?;
+    let outcome = NativeExecutor::new(config, run).run(vec![trader.task_body()])?;
 
     let decisions = trader.decisions();
     let bids = decisions.iter().filter(|s| **s == Signal::Bid).count();
@@ -72,5 +69,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("QoS       : {}", outcome.qos);
     println!("\nRuntime report: {:#?}", outcome.runtime);
     println!("\nOverheads (native, mean):\n{}", outcome.overheads);
+
+    let pipeline = Trace::merged(vec![outcome.trace, tracer.snapshot()]);
+    println!(
+        "Trace     : {} events ({} pipeline-stage, {} dropped)",
+        pipeline.len(),
+        pipeline.count(|e| matches!(e, TraceEvent::PipelineStage { .. })),
+        pipeline.dropped(),
+    );
+    println!("Metrics   : {}", outcome.metrics);
     Ok(())
 }

@@ -227,7 +227,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length ranges accepted by [`vec`].
+    /// Length ranges accepted by [`vec()`].
     pub trait SizeRange {
         /// Draws a length.
         fn draw(&self, rng: &mut TestRng) -> usize;

@@ -4,8 +4,9 @@
 //! pipeline.
 
 use rtseed::config::SystemConfig;
-use rtseed::exec_global::{GlobalExecutor, GlobalRunConfig};
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::exec_global::GlobalExecutor;
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
 use rtseed::policy::AssignmentPolicy;
 use rtseed::profile::{RemainingProfile, SchedulingMode};
 use rtseed_analysis::practical::{PracticalAnalysis, PracticalTaskSet};
@@ -47,7 +48,7 @@ fn practical_model_round_trips_through_the_full_stack() {
     );
     let out = SimExecutor::new(
         cfg,
-        SimRunConfig {
+        RunConfig {
             jobs: 5,
             ..Default::default()
         },
@@ -76,7 +77,7 @@ fn grmwp_migrations_vanish_with_one_task_and_grow_with_contention() {
     let run = |cfg: &SystemConfig| {
         GlobalExecutor::from_config(
             cfg,
-            GlobalRunConfig {
+            RunConfig {
                 jobs: 20,
                 ..Default::default()
             },

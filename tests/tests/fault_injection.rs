@@ -4,7 +4,8 @@
 //! comparison of the termination mechanisms under a fault plan.
 
 use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::{Outcome, RunConfig};
 use rtseed::policy::AssignmentPolicy;
 use rtseed::termination::TerminationMode;
 use rtseed::SupervisorConfig;
@@ -32,7 +33,7 @@ fn paper_config(np: usize) -> SystemConfig {
     .unwrap()
 }
 
-fn run(np: usize, run_cfg: SimRunConfig) -> SimOutcome {
+fn run(np: usize, run_cfg: RunConfig) -> Outcome {
     SimExecutor::new(paper_config(np), run_cfg).run()
 }
 
@@ -52,7 +53,7 @@ fn overload_plan() -> FaultPlan {
 fn acceptance_overload_without_supervisor_misses_deadlines() {
     let out = run(
         4,
-        SimRunConfig {
+        RunConfig {
             jobs: 8,
             fault_plan: overload_plan(),
             ..Default::default()
@@ -73,7 +74,7 @@ fn acceptance_overload_without_supervisor_misses_deadlines() {
 fn acceptance_degraded_mode_saves_deadlines_and_recovers() {
     let out = run(
         4,
-        SimRunConfig {
+        RunConfig {
             jobs: 8,
             fault_plan: overload_plan(),
             supervisor: SupervisorConfig::armed(),
@@ -104,8 +105,8 @@ fn acceptance_degraded_mode_saves_deadlines_and_recovers() {
 
 /// The full chaos plan: random mandatory overruns, a delayed and a lost
 /// timer, and a CPU stall — under an armed supervisor.
-fn chaos_cfg(seed: u64) -> SimRunConfig {
-    SimRunConfig {
+fn chaos_cfg(seed: u64) -> RunConfig {
+    RunConfig {
         jobs: 10,
         collect_trace: true,
         fault_plan: FaultPlan::new(seed)
@@ -186,7 +187,7 @@ fn table1_termination_modes_miss_counts_under_fault_plan() {
     for (mode, expected_misses) in cases {
         let out = run(
             4,
-            SimRunConfig {
+            RunConfig {
                 jobs: 4,
                 termination: mode,
                 fault_plan: plan(),

@@ -4,7 +4,8 @@
 
 use proptest::prelude::*;
 use rtseed::config::SystemConfig;
-use rtseed::exec_sim::{SimExecutor, SimRunConfig};
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
 use rtseed::policy::AssignmentPolicy;
 use rtseed_analysis::rmwp::RmwpAnalysis;
 use rtseed_analysis::taskgen::{generate, TaskGenConfig};
@@ -117,7 +118,7 @@ proptest! {
             };
             let out = SimExecutor::new(
                 cfg,
-                SimRunConfig {
+                RunConfig {
                     jobs: 4,
                     calibration: zero,
                     rt_exec_fraction: 1.0,
@@ -146,7 +147,7 @@ proptest! {
             let jobs = 3u64;
             let out = SimExecutor::new(
                 cfg,
-                SimRunConfig { jobs, ..Default::default() },
+                RunConfig { jobs, ..Default::default() },
             ).run();
             let (c, t, d) = out.qos.outcome_totals();
             prop_assert_eq!(c + t + d, np as u64 * jobs);
@@ -169,7 +170,7 @@ fn determinism_across_identical_runs() {
     let run = || {
         SimExecutor::new(
             cfg(),
-            SimRunConfig {
+            RunConfig {
                 jobs: 5,
                 seed: 99,
                 collect_trace: true,

@@ -1,0 +1,225 @@
+//! Integration tests for the unified executor API and the observability
+//! subsystem: golden-trace determinism, export/report agreement (the
+//! acceptance criterion), disabled-recorder parity, and the deprecated
+//! compatibility aliases.
+
+use rtseed::obs::export;
+use rtseed::prelude::*;
+
+/// The paper's always-overrunning workload, small enough for tests: every
+/// optional part is terminated at OD, so all four overheads get samples.
+fn overrun_config(np: usize) -> SystemConfig {
+    let task = TaskSpec::builder("τ1")
+        .period(Span::from_secs(1))
+        .mandatory(Span::from_millis(250))
+        .windup(Span::from_millis(250))
+        .optional_parts(np, Span::from_secs(1))
+        .build()
+        .unwrap();
+    SystemConfig::build(
+        TaskSet::new(vec![task]).unwrap(),
+        Topology::xeon_phi_3120a(),
+        AssignmentPolicy::OneByOne,
+    )
+    .unwrap()
+}
+
+fn traced_run(seed: u64) -> RunConfig {
+    RunConfig::builder()
+        .jobs(10)
+        .seed(seed)
+        .trace(TraceConfig::enabled())
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn golden_trace_same_seed_byte_identical_exports() {
+    let a = SimExecutor::new(overrun_config(8), traced_run(42)).run();
+    let b = SimExecutor::new(overrun_config(8), traced_run(42)).run();
+    assert!(!a.trace.is_empty());
+    assert_eq!(export::jsonl(&a.trace), export::jsonl(&b.trace));
+    assert_eq!(
+        export::chrome_trace(&a.trace, &a.metrics),
+        export::chrome_trace(&b.trace, &b.metrics)
+    );
+}
+
+#[test]
+fn different_seed_changes_the_stream() {
+    let a = SimExecutor::new(
+        overrun_config(8),
+        RunConfig::builder()
+            .jobs(10)
+            .seed(1)
+            .load(BackgroundLoad::CpuMemoryLoad)
+            .trace(TraceConfig::enabled())
+            .build()
+            .unwrap(),
+    )
+    .run();
+    let b = SimExecutor::new(
+        overrun_config(8),
+        RunConfig::builder()
+            .jobs(10)
+            .seed(2)
+            .load(BackgroundLoad::CpuMemoryLoad)
+            .trace(TraceConfig::enabled())
+            .build()
+            .unwrap(),
+    )
+    .run();
+    assert_ne!(export::jsonl(&a.trace), export::jsonl(&b.trace));
+}
+
+/// The acceptance criterion: the Δm/Δb/Δs/Δe histogram summaries embedded
+/// in the Chrome export match the `OverheadReport` values for the same
+/// seed.
+#[test]
+fn chrome_export_histograms_match_overhead_report() {
+    let out = SimExecutor::new(overrun_config(8), traced_run(7)).run();
+    let json = export::chrome_trace(&out.trace, &out.metrics);
+    for kind in OverheadKind::ALL {
+        let count = out.overheads.count(kind) as u64;
+        assert!(count > 0, "{} must be sampled", kind.symbol());
+        let expected = format!(
+            "\"{}\":{{\"count\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+            kind.symbol(),
+            count,
+            out.overheads.mean(kind).as_nanos(),
+            out.overheads.min(kind).as_nanos(),
+            out.overheads.max(kind).as_nanos(),
+        );
+        assert!(json.contains(&expected), "missing {expected} in {json}");
+        // The registry histogram agrees sample for sample.
+        let h = out.metrics.overhead(kind);
+        assert_eq!(h.count(), count);
+        assert_eq!(h.mean_span(), out.overheads.mean(kind));
+    }
+}
+
+/// Disabling the recorder must not change what is measured: same seed,
+/// recorder on vs off, identical overheads and QoS.
+#[test]
+fn disabled_recorder_does_not_change_reported_overheads() {
+    let traced = SimExecutor::new(overrun_config(8), traced_run(11)).run();
+    let untraced = SimExecutor::new(
+        overrun_config(8),
+        RunConfig::builder().jobs(10).seed(11).build().unwrap(),
+    )
+    .run();
+    assert!(untraced.trace.is_empty());
+    assert!(!traced.trace.is_empty());
+    for kind in OverheadKind::ALL {
+        assert_eq!(
+            traced.overheads.samples(kind),
+            untraced.overheads.samples(kind),
+            "{} must not depend on tracing",
+            kind.symbol()
+        );
+    }
+    assert_eq!(
+        traced.qos.aggregate_ratio(),
+        untraced.qos.aggregate_ratio()
+    );
+    assert_eq!(traced.metrics, untraced.metrics);
+}
+
+#[test]
+fn bounded_ring_drops_oldest_and_counts() {
+    let run = RunConfig::builder()
+        .jobs(10)
+        .trace(TraceConfig::bounded(16))
+        .build()
+        .unwrap();
+    let out = SimExecutor::new(overrun_config(8), run).run();
+    assert_eq!(out.trace.len(), 16);
+    assert!(out.trace.dropped() > 0);
+}
+
+#[test]
+fn executor_trait_is_backend_agnostic() {
+    let system = overrun_config(4);
+    let run = traced_run(3);
+    let mut executors: Vec<Box<dyn Executor>> = vec![
+        Box::new(SimExecutor::new(system.clone(), run.clone())),
+        Box::new(GlobalExecutor::from_config(&system, run.clone())),
+        Box::new(NativeExecutor::new(
+            {
+                // A fast native variant of the same shape (milliseconds,
+                // not seconds, so the test stays quick).
+                let t = TaskSpec::builder("native")
+                    .period(Span::from_millis(50))
+                    .mandatory(Span::from_millis(1))
+                    .windup(Span::from_millis(1))
+                    .optional_parts(2, Span::from_millis(5))
+                    .build()
+                    .unwrap();
+                SystemConfig::build(
+                    TaskSet::new(vec![t]).unwrap(),
+                    Topology::uniprocessor(),
+                    AssignmentPolicy::OneByOne,
+                )
+                .unwrap()
+            },
+            RunConfig {
+                jobs: 10,
+                attempt_rt: false,
+                trace: TraceConfig::enabled(),
+                ..RunConfig::default()
+            },
+        )),
+    ];
+    let names: Vec<&str> = executors.iter().map(|e| e.backend().name()).collect();
+    assert_eq!(names, ["sim", "global", "native"]);
+    for ex in &mut executors {
+        let out = ex.execute().expect("run");
+        assert_eq!(out.qos.jobs(), 10, "{} backend", ex.backend().name());
+        assert!(!out.trace.is_empty(), "{} backend", ex.backend().name());
+        // Exports work off every backend's outcome.
+        let json = export::chrome_trace(&out.trace, &out.metrics);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}
+
+#[test]
+fn run_config_validation_is_typed() {
+    let err = RunConfig::builder()
+        .rt_exec_fraction(0.0)
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RunConfigError::ExecFraction { .. }));
+    let err = RunConfig::builder()
+        .trace(TraceConfig::bounded(0))
+        .build()
+        .unwrap_err();
+    assert!(matches!(err, RunConfigError::ZeroTraceCapacity));
+    // Executor::execute surfaces the same error as ExecError::Config.
+    let mut bad = SimExecutor::new(
+        overrun_config(4),
+        RunConfig {
+            rt_exec_fraction: -1.0,
+            ..RunConfig::default()
+        },
+    );
+    assert!(matches!(bad.execute(), Err(ExecError::Config(_))));
+}
+
+/// The pre-unification names still compile and behave identically.
+#[test]
+#[allow(deprecated)]
+fn deprecated_aliases_still_compile() {
+    use rtseed::exec_sim::{SimOutcome, SimRunConfig};
+    use rtseed::runtime::NativeRunConfig;
+
+    let run = SimRunConfig {
+        jobs: 3,
+        seed: 9,
+        ..SimRunConfig::default()
+    };
+    let out: SimOutcome = SimExecutor::new(overrun_config(4), run).run();
+    assert_eq!(out.qos.jobs(), 3);
+    // The aliases are the same type, not lookalikes.
+    let _unified: &RunConfig = &NativeRunConfig::default();
+    let _outcome: &Outcome = &out;
+}

@@ -5,7 +5,8 @@ use std::sync::Arc;
 
 use rtseed::config::SystemConfig;
 use rtseed::policy::AssignmentPolicy;
-use rtseed::runtime::{NativeExecutor, NativeRunConfig};
+use rtseed::executor::RunConfig;
+use rtseed::runtime::NativeExecutor;
 use rtseed::termination::TerminationMode;
 use rtseed_model::{Span, TaskSet, TaskSpec, Topology};
 use rtseed_trading::execution::{ExecutionConfig, PaperVenue};
@@ -68,12 +69,13 @@ fn native_pipeline_full_qos_with_fast_analyses() {
     .unwrap();
     let out = NativeExecutor::new(
         cfg,
-        NativeRunConfig {
+        RunConfig {
             jobs: 8,
             termination: TerminationMode::PeriodicCheck {
                 interval: Span::from_millis(1),
             },
             attempt_rt: false,
+            ..RunConfig::default()
         },
     )
     .run(vec![t.task_body()])
@@ -115,12 +117,13 @@ fn native_pipeline_terminations_degrade_to_waits_not_errors() {
     .unwrap();
     let out = NativeExecutor::new(
         cfg,
-        NativeRunConfig {
+        RunConfig {
             jobs: 5,
             termination: TerminationMode::PeriodicCheck {
                 interval: Span::from_millis(1),
             },
             attempt_rt: false,
+            ..RunConfig::default()
         },
     )
     .run(vec![slow_trader.task_body()])
