@@ -1,0 +1,283 @@
+//! `simbench` — dispatcher-throughput benchmark for the discrete-event
+//! simulator, with a machine-readable output contract.
+//!
+//! Middleware-level scheduling results are only credible when dispatcher
+//! overhead is measured and bounded (YASMIN, arXiv:2108.00730), so this
+//! harness sweeps the simulator across topology size (1×1 → 57×4 → 128×4)
+//! and task-set size, measures wall-clock time and events/sec with
+//! warmup + repeat medians, and writes `BENCH_simbench.json` in a stable
+//! schema that future PRs diff against to track the perf trajectory:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "simbench",
+//!   "mode": "full",
+//!   "points": [
+//!     {"bench": "phi_57x4_np228", "config": {"cores": 57, "smt": 4,
+//!      "tasks": 1, "np": 228, "jobs": 100, "seed": 0},
+//!      "events": 123456, "repeats": 5, "wall_ms": 12.345,
+//!      "events_per_sec": 10000000.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! simbench [--quick] [--out PATH] [--check BASELINE] [--repeats N]
+//! ```
+//!
+//! * `--quick`     reduced sweep (fewer jobs/repeats) for CI smoke runs;
+//! * `--out PATH`  where to write the JSON (default `BENCH_simbench.json`);
+//! * `--check B`   compare events/sec per point against baseline JSON `B`
+//!   and exit non-zero if any point regresses more than the tolerance
+//!   (30 % by default, `SIMBENCH_TOLERANCE=0.5` to widen).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtseed::config::SystemConfig;
+use rtseed::exec_sim::SimExecutor;
+use rtseed::executor::RunConfig;
+use rtseed::policy::AssignmentPolicy;
+use rtseed_analysis::taskgen::{generate, TaskGenConfig};
+use rtseed_bench::paper_task_set;
+use rtseed_model::{Span, TaskSet, Topology};
+
+/// One sweep point: a named simulator configuration.
+struct Point {
+    name: &'static str,
+    cores: u32,
+    smt: u32,
+    tasks: usize,
+    /// Parallel optional parts of the paper task, or 0 when the task set
+    /// comes from the generator (`tasks > 1`).
+    np: usize,
+    jobs: u64,
+    seed: u64,
+}
+
+/// A measured sweep point. `wall_ms`/`events_per_sec` are the median of
+/// the repeats; `wall_ms_min`/`events_per_sec_best` the fastest repeat.
+/// On a contended host the minimum is the robust statistic — interference
+/// only ever *adds* wall time — so regression checks compare best-of.
+struct Measured {
+    point: Point,
+    events: u64,
+    repeats: usize,
+    wall_ms: f64,
+    events_per_sec: f64,
+    wall_ms_min: f64,
+    events_per_sec_best: f64,
+}
+
+fn task_set(p: &Point) -> TaskSet {
+    if p.tasks == 1 {
+        paper_task_set(p.np)
+    } else {
+        generate(
+            &TaskGenConfig {
+                tasks: p.tasks,
+                total_utilization: 0.5,
+                period_min: Span::from_millis(10),
+                period_max: Span::from_millis(500),
+                optional_parts: (0, 4),
+                ..TaskGenConfig::default()
+            },
+            p.seed,
+        )
+    }
+}
+
+fn run_once(cfg: &SystemConfig, jobs: u64, seed: u64) -> (u64, f64) {
+    let run = RunConfig {
+        jobs,
+        seed,
+        ..RunConfig::default()
+    };
+    let start = Instant::now();
+    let out = SimExecutor::new(cfg.clone(), run).run();
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    (out.events_processed, wall)
+}
+
+fn measure(point: Point, repeats: usize) -> Measured {
+    let topo = Topology::new(point.cores, point.smt).expect("non-degenerate");
+    let cfg = SystemConfig::build(task_set(&point), topo, AssignmentPolicy::OneByOne)
+        .expect("sweep point is schedulable");
+    // Warmup: populate allocator caches and branch predictors; also pins
+    // down the event count, which must be identical across repeats (the
+    // simulator is deterministic in the seed).
+    let (events, _) = run_once(&cfg, point.jobs, point.seed);
+    let mut walls: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let (e, wall) = run_once(&cfg, point.jobs, point.seed);
+            assert_eq!(e, events, "non-deterministic event count in {}", point.name);
+            wall
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let wall_ms = walls[walls.len() / 2];
+    let wall_ms_min = walls[0];
+    Measured {
+        events,
+        repeats,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        wall_ms_min,
+        events_per_sec_best: events as f64 / (wall_ms_min / 1e3),
+        point,
+    }
+}
+
+/// The sweep: topology size (1×1 → 57×4 → 128×4) at paper-style load,
+/// plus task-set size on the paper's Xeon Phi 3120A.
+fn sweep(quick: bool) -> Vec<Point> {
+    let j = |full: u64, q: u64| if quick { q } else { full };
+    vec![
+        Point { name: "uni_1x1_np1", cores: 1, smt: 1, tasks: 1, np: 1, jobs: j(100, 20), seed: 0 },
+        Point { name: "quad_4x2_np8", cores: 4, smt: 2, tasks: 1, np: 8, jobs: j(100, 20), seed: 0 },
+        Point { name: "phi_57x4_np57", cores: 57, smt: 4, tasks: 1, np: 57, jobs: j(100, 10), seed: 0 },
+        Point { name: "phi_57x4_np228", cores: 57, smt: 4, tasks: 1, np: 228, jobs: j(100, 10), seed: 0 },
+        Point { name: "big_128x4_np512", cores: 128, smt: 4, tasks: 1, np: 512, jobs: j(100, 5), seed: 0 },
+        Point { name: "phi_57x4_tasks8", cores: 57, smt: 4, tasks: 8, np: 0, jobs: j(200, 20), seed: 11 },
+        Point { name: "phi_57x4_tasks32", cores: 57, smt: 4, tasks: 32, np: 0, jobs: j(200, 20), seed: 11 },
+    ]
+}
+
+fn render_json(mode: &str, results: &[Measured]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"simbench\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"points\": [");
+    for (i, m) in results.iter().enumerate() {
+        let p = &m.point;
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"config\": {{\"cores\": {}, \"smt\": {}, \
+             \"tasks\": {}, \"np\": {}, \"jobs\": {}, \"seed\": {}}}, \
+             \"events\": {}, \"repeats\": {}, \"wall_ms\": {:.3}, \
+             \"events_per_sec\": {:.1}, \"wall_ms_min\": {:.3}, \
+             \"events_per_sec_best\": {:.1}}}",
+            p.name, p.cores, p.smt, p.tasks, p.np, p.jobs, p.seed,
+            m.events, m.repeats, m.wall_ms, m.events_per_sec,
+            m.wall_ms_min, m.events_per_sec_best,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < results.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// Extracts the best events/sec for `bench` from a baseline file in this
+/// harness's own schema (a purpose-built scanner, not a general JSON
+/// parser — the workspace is offline and the schema is ours). Prefers
+/// `events_per_sec_best`, falling back to the median field for baselines
+/// written before the best-of statistic existed.
+fn baseline_events_per_sec(baseline: &str, bench: &str) -> Option<f64> {
+    let anchor = format!("\"bench\": \"{bench}\"");
+    let at = baseline.find(&anchor)?;
+    let point = &baseline[at + anchor.len()..];
+    // Bound the scan at the next point's anchor so a missing field is not
+    // satisfied by a neighbour.
+    let point = &point[..point.find("\"bench\": ").unwrap_or(point.len())];
+    let field = |key: &str| {
+        let vs = point.find(key)? + key.len();
+        let rest = &point[vs..];
+        let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+        rest[..end].parse().ok()
+    };
+    field("\"events_per_sec_best\": ").or_else(|| field("\"events_per_sec\": "))
+}
+
+fn check(results: &[Measured], baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let tolerance: f64 = std::env::var("SIMBENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let mut failures = Vec::new();
+    for m in results {
+        let Some(base) = baseline_events_per_sec(&baseline, m.point.name) else {
+            eprintln!("simbench: no baseline for {}, skipping", m.point.name);
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        // Best-of-repeats: robust to CI-host interference, which only ever
+        // slows runs down — a genuine regression slows even the best run.
+        if m.events_per_sec_best < floor {
+            failures.push(format!(
+                "{}: best {:.0} events/sec < {:.0} (baseline {:.0} − {:.0} %)",
+                m.point.name,
+                m.events_per_sec_best,
+                floor,
+                base,
+                tolerance * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_simbench.json");
+    let mut baseline: Option<String> = None;
+    let mut repeats: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => baseline = Some(args.next().expect("--check needs a path")),
+            "--repeats" => {
+                repeats = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--repeats needs a count"),
+                )
+            }
+            other => {
+                eprintln!("simbench: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let repeats = repeats.unwrap_or(if quick { 3 } else { 5 });
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut results = Vec::new();
+    for point in sweep(quick) {
+        let name = point.name;
+        let m = measure(point, repeats);
+        println!(
+            "{name:>18}: {:>9} events, median {:>9.3} ms = {:>12.0} ev/s, \
+             best {:>9.3} ms = {:>12.0} ev/s (n={repeats})",
+            m.events, m.wall_ms, m.events_per_sec, m.wall_ms_min, m.events_per_sec_best
+        );
+        results.push(m);
+    }
+
+    let json = render_json(mode, &results);
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("simbench: wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        if let Err(report) = check(&results, &baseline_path) {
+            eprintln!("simbench: events/sec regression against {baseline_path}:\n{report}");
+            return ExitCode::FAILURE;
+        }
+        println!("simbench: no regression against {baseline_path}");
+    }
+    ExitCode::SUCCESS
+}

@@ -19,7 +19,7 @@
 //! parts are scheduled globally.
 
 use rtseed_model::{
-    HwThreadId, JobId, OptionalOutcome, PartId, Priority, QosRecord, QosSummary, Span, TaskId,
+    HwThreadId, JobId, OptionalOutcome, PartId, Priority, QosSummary, Span, TaskId,
     Time,
 };
 use rtseed_sim::{EventQueue, FaultTarget, FifoReadyQueue, TimerFault};
@@ -145,6 +145,7 @@ impl GlobalExecutor {
             trace: state.rec.finish(),
             metrics: state.metrics,
             faults,
+            events_processed: state.events_processed,
             ..Default::default()
         }
     }
@@ -184,6 +185,7 @@ struct GlobalState<'a> {
     metrics: MetricsRegistry,
     live: usize,
     sup: OverloadSupervisor,
+    events_processed: u64,
 }
 
 impl<'a> GlobalState<'a> {
@@ -243,6 +245,7 @@ impl<'a> GlobalState<'a> {
             metrics: MetricsRegistry::new(),
             live,
             sup,
+            events_processed: 0,
         }
     }
 
@@ -286,6 +289,7 @@ impl<'a> GlobalState<'a> {
                 break;
             };
             self.now = at;
+            self.events_processed += 1;
             match ev {
                 Event::Release { task } => self.on_release(task, jobs),
                 Event::OdExpire { task, seq } => self.on_od(task, seq),
@@ -317,16 +321,18 @@ impl<'a> GlobalState<'a> {
         t.overran = false;
         t.shed = false;
         t.rt_remaining = t.mandatory.mul_f64(mand_factor);
-        t.parts = t
-            .optional
-            .iter()
-            .map(|_| PartState {
+        // Reset part states in place: after the first job this reuses the
+        // Vec's capacity, so releases allocate nothing in steady state.
+        t.parts.clear();
+        t.parts.resize(
+            t.optional.len(),
+            PartState {
                 executed: Span::ZERO,
                 running_since: None,
                 started: false,
                 outcome: None,
-            })
-            .collect();
+            },
+        );
         let seq = t.seq;
         let period = t.period;
         let od_at = t.release + t.od;
@@ -479,12 +485,15 @@ impl<'a> GlobalState<'a> {
 
     fn start(&mut self, cpu: usize, work: Work, prio: Priority) {
         let job = self.job(work.task);
-        self.trace(TraceEvent::Queue {
-            band: QueueBand::of(prio),
-            op: QueueOp::Dispatch,
-            job,
-            hw: Some(HwThreadId(cpu as u32)),
-        });
+        // Hot path: build the queue event only when someone is recording.
+        if self.rec.enabled() {
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::of(prio),
+                op: QueueOp::Dispatch,
+                job,
+                hw: Some(HwThreadId(cpu as u32)),
+            });
+        }
         let remaining = match work.cursor {
             Cursor::Mandatory | Cursor::Windup => {
                 self.dispatches += 1;
@@ -616,12 +625,14 @@ impl<'a> GlobalState<'a> {
             }
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
-                self.trace(TraceEvent::OptionalEnded {
-                    job,
-                    part: PartId(k as u32),
-                    outcome: OptionalOutcome::Discarded,
-                    achieved: Span::ZERO,
-                });
+                if self.rec.enabled() {
+                    self.trace(TraceEvent::OptionalEnded {
+                        job,
+                        part: PartId(k as u32),
+                        outcome: OptionalOutcome::Discarded,
+                        achieved: Span::ZERO,
+                    });
+                }
             }
             self.issue_windup(task);
             return;
@@ -631,12 +642,14 @@ impl<'a> GlobalState<'a> {
         for k in 0..np {
             let hw = self.tasks[task].placements[k];
             let prio = self.tasks[task].opt_prio;
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::of(prio),
-                op: QueueOp::Enqueue,
-                job,
-                hw: Some(HwThreadId(hw as u32)),
-            });
+            if self.rec.enabled() {
+                self.trace(TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Enqueue,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                });
+            }
             self.opt_queues[hw].enqueue(
                 prio,
                 Work {
@@ -730,12 +743,14 @@ impl<'a> GlobalState<'a> {
                 p.outcome = Some(outcome);
                 (p.executed, outcome)
             };
-            self.trace(TraceEvent::OptionalEnded {
-                job: expired_job,
-                part: PartId(k as u32),
-                outcome,
-                achieved,
-            });
+            if self.rec.enabled() {
+                self.trace(TraceEvent::OptionalEnded {
+                    job: expired_job,
+                    part: PartId(k as u32),
+                    outcome,
+                    achieved,
+                });
+            }
         }
         self.issue_windup(task);
         self.dispatch_all();
@@ -802,29 +817,16 @@ impl<'a> GlobalState<'a> {
     }
 
     fn finish(&mut self, task: usize, met: bool) {
-        let rec = {
+        let job = {
             let t = &mut self.tasks[task];
             t.done = true;
-            QosRecord {
-                job: JobId {
-                    task: TaskId(task as u32),
-                    seq: t.seq,
-                },
-                parts: t
-                    .parts
-                    .iter()
-                    .map(|p| {
-                        (
-                            p.executed,
-                            p.outcome.unwrap_or(OptionalOutcome::Discarded),
-                        )
-                    })
-                    .collect(),
-                deadline_met: met,
+            JobId {
+                task: TaskId(task as u32),
+                seq: t.seq,
             }
         };
         self.trace(TraceEvent::WindupCompleted {
-            job: rec.job,
+            job,
             deadline_met: met,
         });
         let requested: Span = self.tasks[task].optional.iter().copied().sum();
@@ -832,9 +834,18 @@ impl<'a> GlobalState<'a> {
             .now
             .saturating_elapsed_since(self.tasks[task].release);
         self.metrics.record_response_time(response);
-        self.metrics.record_qos_level(rec.ratio(requested));
-        self.qos
-            .record_with_mode(&rec, requested, self.tasks[task].shed);
+        // Stream the per-part results straight into the summary — no
+        // per-job QosRecord vector on the hot path.
+        let ratio = self.qos.record_job(
+            self.tasks[task]
+                .parts
+                .iter()
+                .map(|p| (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))),
+            requested,
+            met,
+            self.tasks[task].shed,
+        );
+        self.metrics.record_qos_level(ratio);
         if self.sup.enabled() && !self.tasks[task].overran {
             if met {
                 let resp = self.sup.on_clean_job(task, self.now);
@@ -844,7 +855,7 @@ impl<'a> GlobalState<'a> {
             } else {
                 let resp = self.sup.on_overrun(task, self.now);
                 if resp.quarantined_task {
-                    self.trace(TraceEvent::TaskQuarantined { job: rec.job });
+                    self.trace(TraceEvent::TaskQuarantined { job });
                 }
                 if resp.entered_degraded {
                     self.trace(TraceEvent::DegradedModeEntered);

@@ -26,7 +26,7 @@
 //! serialized FIFO. Everything is deterministic in the run seed.
 
 use rtseed_model::{
-    JobId, JobPhase, OptionalOutcome, PartId, Priority, QosRecord, QosSummary, Span, TaskId,
+    JobId, JobPhase, OptionalOutcome, PartId, Priority, QosSummary, Span, TaskId,
     Time,
 };
 use rtseed_sim::{
@@ -194,6 +194,7 @@ impl SimExecutor {
             trace: sim.rec.finish(),
             metrics: sim.metrics,
             faults,
+            events_processed: sim.events_processed,
             ..Default::default()
         }
     }
@@ -229,6 +230,10 @@ struct SimState<'a> {
     metrics: MetricsRegistry,
     live_tasks: usize,
     sup: OverloadSupervisor,
+    events_processed: u64,
+    /// Reused buffer for per-part signal ready-times (Δb loop): cleared
+    /// and refilled each mandatory completion instead of reallocated.
+    signal_scratch: Vec<Time>,
 }
 
 impl<'a> SimState<'a> {
@@ -288,6 +293,8 @@ impl<'a> SimState<'a> {
             metrics: MetricsRegistry::new(),
             live_tasks,
             sup,
+            events_processed: 0,
+            signal_scratch: Vec::new(),
         }
     }
 
@@ -358,6 +365,7 @@ impl<'a> SimState<'a> {
             };
             debug_assert!(at >= self.now, "event time went backwards");
             self.now = at;
+            self.events_processed += 1;
             match event {
                 Event::Release { task, retried } => self.on_release_inner(task, retried),
                 Event::Ready { work } => self.on_ready(work),
@@ -409,7 +417,10 @@ impl<'a> SimState<'a> {
         t.seq = t.jobs_done;
         t.phase = JobPhase::Released;
         t.rt_remaining = t.mandatory.mul_f64(mand_factor);
-        t.parts = t.optional.iter().map(|_| PartState::fresh()).collect();
+        // Reset part states in place: after the first job this reuses the
+        // Vec's capacity, so releases allocate nothing in steady state.
+        t.parts.clear();
+        t.parts.resize(t.optional.len(), PartState::fresh());
         t.windup_scheduled = false;
         t.in_sq = false;
         t.overran = false;
@@ -494,13 +505,16 @@ impl<'a> SimState<'a> {
             Cursor::Mandatory | Cursor::Windup => (t.mandatory_hw, t.mand_prio),
             Cursor::Optional(k) => (t.placements[k as usize], t.opt_prio),
         };
-        let job = t.job(work.task);
-        self.trace(TraceEvent::Queue {
-            band: QueueBand::of(prio),
-            op: QueueOp::Enqueue,
-            job,
-            hw: Some(rtseed_model::HwThreadId(hw as u32)),
-        });
+        // Hot path: build the queue event only when someone is recording.
+        if self.rec.enabled() {
+            let job = t.job(work.task);
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::of(prio),
+                op: QueueOp::Enqueue,
+                job,
+                hw: Some(rtseed_model::HwThreadId(hw as u32)),
+            });
+        }
         self.cpus[hw].queue.enqueue(prio, work);
         self.resched(hw);
     }
@@ -583,13 +597,15 @@ impl<'a> SimState<'a> {
             // immediately after the mandatory part.
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
-                let job = self.tasks[task].job(task);
-                self.trace(TraceEvent::OptionalEnded {
-                    job,
-                    part: PartId(k as u32),
-                    outcome: OptionalOutcome::Discarded,
-                    achieved: Span::ZERO,
-                });
+                if self.rec.enabled() {
+                    let job = self.tasks[task].job(task);
+                    self.trace(TraceEvent::OptionalEnded {
+                        job,
+                        part: PartId(k as u32),
+                        outcome: OptionalOutcome::Discarded,
+                        achieved: Span::ZERO,
+                    });
+                }
             }
             self.tasks[task].phase = JobPhase::OptionalRunning;
             self.schedule_windup(task, seq, self.now);
@@ -606,13 +622,15 @@ impl<'a> SimState<'a> {
             self.tasks[task].shed = true;
             for k in 0..np {
                 self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
-                let job = self.tasks[task].job(task);
-                self.trace(TraceEvent::OptionalEnded {
-                    job,
-                    part: PartId(k as u32),
-                    outcome: OptionalOutcome::Discarded,
-                    achieved: Span::ZERO,
-                });
+                if self.rec.enabled() {
+                    let job = self.tasks[task].job(task);
+                    self.trace(TraceEvent::OptionalEnded {
+                        job,
+                        part: PartId(k as u32),
+                        outcome: OptionalOutcome::Discarded,
+                        achieved: Span::ZERO,
+                    });
+                }
             }
             self.tasks[task].phase = JobPhase::OptionalRunning;
             self.schedule_windup(task, seq, self.now);
@@ -622,9 +640,13 @@ impl<'a> SimState<'a> {
         self.tasks[task].phase = JobPhase::OptionalRunning;
 
         // Δb: the pthread_cond_signal loop over all parallel optional
-        // threads, executed sequentially by the mandatory thread.
+        // threads, executed sequentially by the mandatory thread. The
+        // ready-time buffer is a reused scratch vector (taken out of self
+        // to keep the borrow checker happy across the model calls), so the
+        // signalling loop allocates nothing after the first job.
+        let mut ready_times = std::mem::take(&mut self.signal_scratch);
+        ready_times.clear();
         let mut cum = Span::ZERO;
-        let mut ready_times = Vec::with_capacity(np);
         for _ in 0..np {
             cum += self.model.signal_one_optional();
             ready_times.push(self.now + cum);
@@ -637,7 +659,7 @@ impl<'a> SimState<'a> {
         self.sample(OverheadKind::SwitchToOptional, ds);
 
         let mandatory_hw = self.tasks[task].mandatory_hw;
-        for (k, base) in ready_times.into_iter().enumerate() {
+        for (k, &base) in ready_times.iter().enumerate() {
             let at = if self.tasks[task].placements[k] == mandatory_hw {
                 base + ds
             } else {
@@ -653,6 +675,7 @@ impl<'a> SimState<'a> {
                 },
             );
         }
+        self.signal_scratch = ready_times;
     }
 
     fn optional_completed(&mut self, task: usize, k: u32) {
@@ -664,18 +687,21 @@ impl<'a> SimState<'a> {
             part.running_since = None;
             part.outcome = Some(OptionalOutcome::Completed);
         }
-        let job = self.tasks[task].job(task);
-        self.trace(TraceEvent::OptionalEnded {
-            job,
-            part: PartId(k),
-            outcome: OptionalOutcome::Completed,
-            achieved: o_k,
-        });
+        if self.rec.enabled() {
+            let job = self.tasks[task].job(task);
+            self.trace(TraceEvent::OptionalEnded {
+                job,
+                part: PartId(k),
+                outcome: OptionalOutcome::Completed,
+                achieved: o_k,
+            });
+        }
 
         if self.tasks[task].parts_all_ended() && !self.tasks[task].windup_scheduled {
             // All parts completed before the optional deadline: the
             // optional-deadline timer is stopped and the task sleeps in the
             // SQ until OD, when the wind-up part is released (§IV-B).
+            let job = self.tasks[task].job(task);
             self.trace(TraceEvent::TimerCancelled { job });
             let at = self.now.max(self.tasks[task].od_time());
             let seq = self.tasks[task].seq;
@@ -776,13 +802,15 @@ impl<'a> SimState<'a> {
                 part.running_since = None;
                 part.outcome = Some(outcome);
             }
-            let job = self.tasks[task].job(task);
-            self.trace(TraceEvent::OptionalEnded {
-                job,
-                part: PartId(k as u32),
-                outcome,
-                achieved,
-            });
+            if self.rec.enabled() {
+                let job = self.tasks[task].job(task);
+                self.trace(TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome,
+                    achieved,
+                });
+            }
         }
 
         self.sample(OverheadKind::EndOptional, handling + max_lag);
@@ -884,39 +912,32 @@ impl<'a> SimState<'a> {
     }
 
     fn finish_job(&mut self, task: usize, deadline_met: bool) {
-        let rec = {
+        let job = {
             let t = &mut self.tasks[task];
             t.phase = JobPhase::Done;
-            QosRecord {
-                job: JobId {
-                    task: TaskId(task as u32),
-                    seq: t.seq,
-                },
-                parts: t
-                    .parts
-                    .iter()
-                    .map(|p| {
-                        (
-                            p.executed,
-                            p.outcome.unwrap_or(OptionalOutcome::Discarded),
-                        )
-                    })
-                    .collect(),
-                deadline_met,
+            JobId {
+                task: TaskId(task as u32),
+                seq: t.seq,
             }
         };
-        self.trace(TraceEvent::WindupCompleted {
-            job: rec.job,
-            deadline_met,
-        });
+        self.trace(TraceEvent::WindupCompleted { job, deadline_met });
         let requested = self.tasks[task].requested_optional();
         let response = self
             .now
             .saturating_elapsed_since(self.tasks[task].release);
         self.metrics.record_response_time(response);
-        self.metrics.record_qos_level(rec.ratio(requested));
-        self.qos
-            .record_with_mode(&rec, requested, self.tasks[task].shed);
+        // Stream the per-part results straight into the summary — no
+        // per-job QosRecord vector on the hot path.
+        let ratio = self.qos.record_job(
+            self.tasks[task]
+                .parts
+                .iter()
+                .map(|p| (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))),
+            requested,
+            deadline_met,
+            self.tasks[task].shed,
+        );
+        self.metrics.record_qos_level(ratio);
         if self.sup.enabled() {
             if self.tasks[task].overran {
                 // Already escalated at budget-cut time.
@@ -931,7 +952,7 @@ impl<'a> SimState<'a> {
                 // overload signal.
                 let resp = self.sup.on_overrun(task, self.now);
                 if resp.quarantined_task {
-                    self.trace(TraceEvent::TaskQuarantined { job: rec.job });
+                    self.trace(TraceEvent::TaskQuarantined { job });
                 }
                 if resp.entered_degraded {
                     self.trace(TraceEvent::DegradedModeEntered);
@@ -991,7 +1012,7 @@ impl<'a> SimState<'a> {
             let ran = self.now.saturating_elapsed_since(r.since);
             self.bank_execution(work, ran);
             self.resched(hw);
-        } else if self.cpus[hw].queue.remove(prio, &work) {
+        } else if self.cpus[hw].queue.remove(prio, &work) && self.rec.enabled() {
             let job = self.tasks[work.task].job(work.task);
             self.trace(TraceEvent::Queue {
                 band: QueueBand::of(prio),
@@ -1045,13 +1066,15 @@ impl<'a> SimState<'a> {
         let Some((prio, work)) = self.cpus[hw].queue.dequeue_highest() else {
             return;
         };
-        let job = self.tasks[work.task].job(work.task);
-        self.trace(TraceEvent::Queue {
-            band: QueueBand::of(prio),
-            op: QueueOp::Dispatch,
-            job,
-            hw: Some(rtseed_model::HwThreadId(hw as u32)),
-        });
+        if self.rec.enabled() {
+            let job = self.tasks[work.task].job(work.task);
+            self.trace(TraceEvent::Queue {
+                band: QueueBand::of(prio),
+                op: QueueOp::Dispatch,
+                job,
+                hw: Some(rtseed_model::HwThreadId(hw as u32)),
+            });
+        }
         let remaining = self.dispatch_bookkeeping(work);
         self.gen_counter += 1;
         let gen = self.gen_counter;
@@ -1111,7 +1134,7 @@ impl<'a> SimState<'a> {
                         false
                     }
                 };
-                if first_start {
+                if first_start && self.rec.enabled() {
                     let job = self.tasks[task_idx].job(task_idx);
                     let hw = self.tasks[task_idx].placements[k as usize];
                     self.trace(TraceEvent::OptionalStarted {

@@ -335,6 +335,11 @@ pub struct Outcome {
     pub migration_overhead: Span,
     /// Real-time dispatches (global backend).
     pub dispatches: u64,
+    /// Discrete events processed by the event loop (sim and global
+    /// backends; 0 for the native backend, which has no event loop). The
+    /// `simbench` harness divides this by wall-clock time to report
+    /// events/sec.
+    pub events_processed: u64,
     /// What the privileged setup calls achieved (native backend).
     pub runtime: RuntimeReport,
 }

@@ -102,20 +102,55 @@ impl QosSummary {
     /// job ran under an overload supervisor's degraded mode or quarantine
     /// (its optional parts were shed rather than scheduled).
     pub fn record_with_mode(&mut self, rec: &QosRecord, requested: Span, degraded: bool) {
+        self.record_job(
+            rec.parts.iter().copied(),
+            requested,
+            rec.deadline_met,
+            degraded,
+        );
+    }
+
+    /// Streaming equivalent of [`record_with_mode`](QosSummary::record_with_mode):
+    /// folds a job's `(achieved, outcome)` parts directly, without an
+    /// intermediate [`QosRecord`]. The simulator executors call this once
+    /// per job on their hot path — an np = 228 job would otherwise build a
+    /// 228-entry vector just to be summed and dropped. Returns the job's
+    /// QoS ratio (1.0 when `requested` is zero).
+    pub fn record_job<I>(
+        &mut self,
+        parts: I,
+        requested: Span,
+        deadline_met: bool,
+        degraded: bool,
+    ) -> f64
+    where
+        I: IntoIterator<Item = (Span, OptionalOutcome)>,
+    {
         if degraded {
             self.degraded_jobs += 1;
         }
         self.jobs += 1;
-        if !rec.deadline_met {
+        if !deadline_met {
             self.deadline_misses += 1;
         }
-        let (c, t, d) = rec.outcome_counts();
-        self.completed += c as u64;
-        self.terminated += t as u64;
-        self.discarded += d as u64;
-        self.achieved_total += rec.achieved();
+        let mut achieved = Span::ZERO;
+        for (span, outcome) in parts {
+            achieved += span;
+            match outcome {
+                OptionalOutcome::Completed => self.completed += 1,
+                OptionalOutcome::Terminated => self.terminated += 1,
+                OptionalOutcome::Discarded => self.discarded += 1,
+            }
+        }
+        self.achieved_total += achieved;
         self.requested_total += requested;
-        self.ratio_sum += rec.ratio(requested);
+        let ratio = if requested.is_zero() {
+            1.0
+        } else {
+            achieved / requested
+        };
+        self.ratio_sum += ratio;
+        ratio
     }
 
     /// Number of jobs recorded.

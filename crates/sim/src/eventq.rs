@@ -1,12 +1,36 @@
 //! Deterministic discrete-event queue.
 //!
-//! A thin wrapper over [`std::collections::BinaryHeap`] that delivers
-//! events in time order, breaking ties by insertion order (FIFO), which is
-//! what makes whole-simulation runs reproducible byte-for-byte across
-//! repeats and platforms.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! An indexed binary min-heap over a payload slab with a freelist. Events
+//! are delivered in time order, breaking ties by insertion order (FIFO),
+//! which is what makes whole-simulation runs reproducible byte-for-byte
+//! across repeats and platforms.
+//!
+//! # Why not `BinaryHeap`?
+//!
+//! The event loop is the simulator's hot path: every push/pop at 228
+//! hardware threads goes through here. The slab layout buys two things the
+//! plain `BinaryHeap<Reverse<(Time, u64, T)>>` it replaced did not have:
+//!
+//! * **Allocation-free steady state.** Payload slots are recycled through
+//!   a freelist and the heap array only grows to the high-water mark of
+//!   *pending* events, so after warm-up a push/pop cycle touches no
+//!   allocator at all.
+//! * **Single-word comparisons.** The heap orders `(Time, seq)` packed
+//!   into one `u128` key (time in the high 64 bits, insertion sequence in
+//!   the low 64), so sift operations compare one integer and move 32-byte
+//!   entries instead of calling a composite comparator over full payloads.
+//!
+//! The ordering contract is unchanged and exact: keys are unique (the
+//! sequence number is), `(time, seq)` is a total order, and a min-heap
+//! pops a total order in sorted order — so pop order is precisely
+//! time-then-FIFO, independent of internal heap layout.
+//!
+//! Fancier pop strategies were measured and rejected on the pop-dominated
+//! simulator workload: a 4-ary heap (shallower, but the min-of-4 child
+//! scan branch-mispredicts) and the bottom-up "Wegener" pop (fewer
+//! comparisons, same memory traffic) both benchmarked at or below the
+//! textbook binary sift, whose two-way compare compiles to branchless
+//! selects.
 
 use rtseed_model::Time;
 
@@ -29,61 +53,88 @@ use rtseed_model::Time;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<T> {
-    heap: BinaryHeap<Reverse<Entry<T>>>,
+    /// Implicit binary min-heap of `(key, slot)`: `key` packs
+    /// `(time.as_nanos() << 64) | seq`, `slot` indexes `slots`.
+    heap: Vec<(u128, u32)>,
+    /// Payload slab; `None` marks a free slot (listed in `free`).
+    slots: Vec<Option<T>>,
+    /// Recycled slab indices, popped before the slab is grown.
+    free: Vec<u32>,
+    /// Monotonic insertion counter: the FIFO tie-breaker.
     seq: u64,
 }
 
-#[derive(Debug, Clone)]
-struct Entry<T> {
-    at: Time,
-    seq: u64,
-    payload: T,
+#[inline]
+fn key(at: Time, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
 }
 
-impl<T> PartialEq for Entry<T> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<T> Eq for Entry<T> {}
-
-impl<T> PartialOrd for Entry<T> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<T> Ord for Entry<T> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
-    }
+#[inline]
+fn key_time(key: u128) -> Time {
+    Time::from_nanos((key >> 64) as u64)
 }
 
 impl<T> EventQueue<T> {
     /// An empty queue.
     pub fn new() -> EventQueue<T> {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             seq: 0,
         }
     }
 
-    /// Schedules `payload` at instant `at`.
+    /// An empty queue with room for `capacity` pending events before any
+    /// heap or slab growth.
+    pub fn with_capacity(capacity: usize) -> EventQueue<T> {
+        EventQueue {
+            heap: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `payload` at instant `at`. Amortized O(log n); allocates
+    /// only when the pending-event count exceeds its previous high-water
+    /// mark.
     pub fn push(&mut self, at: Time, payload: T) {
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Reverse(Entry { at, seq, payload }));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(payload);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("< 2^32 pending events");
+                self.slots.push(Some(payload));
+                slot
+            }
+        };
+        self.heap.push((key(at, seq), slot));
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, FIFO among equals.
+    /// O(log n), allocation-free.
     pub fn pop(&mut self) -> Option<(Time, T)> {
-        self.heap.pop().map(|Reverse(e)| (e.at, e.payload))
+        let &(key, slot) = self.heap.first()?;
+        let last = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let payload = self.slots[slot as usize].take().expect("occupied slot");
+        self.free.push(slot);
+        Some((key_time(key), payload))
     }
 
-    /// The instant of the earliest pending event, if any.
+    /// The instant of the earliest pending event, if any. O(1).
     pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.heap.first().map(|&(key, _)| key_time(key))
     }
 
     /// Number of pending events.
@@ -96,9 +147,50 @@ impl<T> EventQueue<T> {
         self.heap.is_empty()
     }
 
-    /// Removes all pending events.
+    /// Removes all pending events (the insertion counter keeps running,
+    /// so FIFO ordering spans a clear).
     pub fn clear(&mut self) {
         self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+    }
+
+    /// Restores the heap property upward from `pos`.
+    #[inline]
+    fn sift_up(&mut self, mut pos: usize) {
+        let entry = self.heap[pos];
+        while pos > 0 {
+            let parent = (pos - 1) / 2;
+            if self.heap[parent].0 <= entry.0 {
+                break;
+            }
+            self.heap[pos] = self.heap[parent];
+            pos = parent;
+        }
+        self.heap[pos] = entry;
+    }
+
+    /// Restores the heap property downward from `pos`.
+    #[inline]
+    fn sift_down(&mut self, mut pos: usize) {
+        let len = self.heap.len();
+        let entry = self.heap[pos];
+        loop {
+            let mut child = 2 * pos + 1;
+            if child >= len {
+                break;
+            }
+            let right = child + 1;
+            if right < len && self.heap[right].0 < self.heap[child].0 {
+                child = right;
+            }
+            if entry.0 <= self.heap[child].0 {
+                break;
+            }
+            self.heap[pos] = self.heap[child];
+            pos = child;
+        }
+        self.heap[pos] = entry;
     }
 }
 
@@ -162,11 +254,83 @@ mod tests {
         assert_eq!(q.peek_time(), Some(t(7)));
         q.clear();
         assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
     }
 
     #[test]
     fn default_is_empty() {
         let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn steady_state_recycles_capacity() {
+        // After warm-up, a bounded pending-set workload must stay within
+        // the allocated high-water mark: capacities never grow again.
+        let mut q = EventQueue::with_capacity(8);
+        for i in 0..8u64 {
+            q.push(t(i), i);
+        }
+        let heap_cap = q.heap.capacity();
+        let slab_cap = q.slots.capacity();
+        let free_cap = q.free.capacity();
+        for round in 1..1000u64 {
+            for _ in 0..4 {
+                q.pop().unwrap();
+            }
+            for i in 0..4u64 {
+                q.push(t(round * 10 + i), i);
+            }
+            assert_eq!(q.heap.capacity(), heap_cap);
+            assert_eq!(q.slots.capacity(), slab_cap);
+            assert_eq!(q.free.capacity(), free_cap);
+        }
+        assert_eq!(q.len(), 8);
+    }
+
+    #[test]
+    fn fifo_survives_heap_churn() {
+        // Equal-timestamp FIFO must hold even when pushes interleave with
+        // pops that reshuffle the heap (the tie-break bug class the
+        // differential proptest hammers on).
+        let mut q = EventQueue::new();
+        let mut popped = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..50 {
+            q.push(t(100), next);
+            next += 1;
+            q.push(t(50), next);
+            next += 1;
+            popped.push(q.pop().unwrap());
+        }
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        let mut expected = popped.clone();
+        expected.sort_by_key(|&(at, seq)| (at, seq));
+        assert_eq!(popped, expected, "pop order must be (time, insertion) order");
+    }
+
+    #[test]
+    fn large_random_workload_matches_sorted_order() {
+        // Deterministic LCG-driven stress: pop order equals the stable
+        // sort of (time, insertion index).
+        let mut state = 0x1234_5678_u64;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new();
+        for i in 0..2000u64 {
+            let at = rng() % 64; // dense timestamps: many ties
+            q.push(t(at), i);
+            reference.push((at, i));
+        }
+        reference.sort(); // stable on (time, insertion index)
+        for &(at, i) in &reference {
+            assert_eq!(q.pop(), Some((t(at), i)));
+        }
         assert!(q.is_empty());
     }
 }

@@ -6,12 +6,21 @@
 //! a sleep set; this module implements the kernel-side structure exactly:
 //! enqueue at tail, dequeue from head of the highest non-empty level, and
 //! `sched_yield`-style head-to-tail rotation.
+//!
+//! Like the kernel's `rt_rq`, the per-level FIFOs are indexed by an
+//! occupancy bitmap (one `u128` word covers all 99 levels), so finding the
+//! highest non-empty level is a single count-leading-zeros instruction
+//! instead of a linear scan — `dequeue_highest` and `peek_highest_priority`
+//! are O(1), which is what lets the simulator's dispatch loop scale to
+//! 228-hardware-thread topologies (each hardware thread owns one of these
+//! queues, and a scan-based pick made the dispatcher dominate runtime).
 
 use std::collections::VecDeque;
 
 use rtseed_model::Priority;
 
-/// A 99-level FIFO ready queue for values of type `T` (thread identifiers).
+/// A 99-level FIFO ready queue for values of type `T` (thread identifiers)
+/// with a bitmap-indexed O(1) highest-level pick.
 ///
 /// # Examples
 ///
@@ -30,6 +39,9 @@ use rtseed_model::Priority;
 pub struct FifoReadyQueue<T> {
     // Index 0 ⇒ priority level 1 … index 98 ⇒ level 99.
     levels: Vec<VecDeque<T>>,
+    /// Occupancy index: bit `i` is set iff `levels[i]` is non-empty.
+    /// Invariant maintained by every mutating operation.
+    bitmap: u128,
     len: usize,
 }
 
@@ -38,6 +50,7 @@ impl<T> FifoReadyQueue<T> {
     pub fn new() -> FifoReadyQueue<T> {
         FifoReadyQueue {
             levels: (0..99).map(|_| VecDeque::new()).collect(),
+            bitmap: 0,
             len: 0,
         }
     }
@@ -47,39 +60,56 @@ impl<T> FifoReadyQueue<T> {
         (prio.level() - 1) as usize
     }
 
+    /// Index of the highest non-empty level, if any: one `lzcnt`.
+    #[inline]
+    fn top_slot(&self) -> Option<usize> {
+        if self.bitmap == 0 {
+            None
+        } else {
+            Some(127 - self.bitmap.leading_zeros() as usize)
+        }
+    }
+
     /// Appends `value` at the tail of its priority level's FIFO.
+    #[inline]
     pub fn enqueue(&mut self, prio: Priority, value: T) {
-        self.levels[Self::slot(prio)].push_back(value);
+        let slot = Self::slot(prio);
+        self.levels[slot].push_back(value);
+        self.bitmap |= 1 << slot;
         self.len += 1;
     }
 
     /// Pushes `value` at the *head* of its priority level's FIFO — the
     /// SCHED_FIFO rule for a preempted thread: it resumes before any equal-
     /// priority thread that was queued behind it.
+    #[inline]
     pub fn enqueue_front(&mut self, prio: Priority, value: T) {
-        self.levels[Self::slot(prio)].push_front(value);
+        let slot = Self::slot(prio);
+        self.levels[slot].push_front(value);
+        self.bitmap |= 1 << slot;
         self.len += 1;
     }
 
-    /// Pops the head of the highest non-empty priority level.
+    /// Pops the head of the highest non-empty priority level. O(1): the
+    /// level comes from the occupancy bitmap, not a scan.
+    #[inline]
     pub fn dequeue_highest(&mut self) -> Option<(Priority, T)> {
-        for level in (0..99usize).rev() {
-            if let Some(v) = self.levels[level].pop_front() {
-                self.len -= 1;
-                let prio = Priority::new((level + 1) as u8).expect("level in range");
-                return Some((prio, v));
-            }
+        let slot = self.top_slot()?;
+        let v = self.levels[slot].pop_front().expect("bitmap says non-empty");
+        if self.levels[slot].is_empty() {
+            self.bitmap &= !(1 << slot);
         }
-        None
+        self.len -= 1;
+        let prio = Priority::new((slot + 1) as u8).expect("level in range");
+        Some((prio, v))
     }
 
     /// The priority of the highest-priority queued value, without removing
-    /// it.
+    /// it. O(1).
+    #[inline]
     pub fn peek_highest_priority(&self) -> Option<Priority> {
-        (0..99usize)
-            .rev()
-            .find(|&l| !self.levels[l].is_empty())
-            .map(|l| Priority::new((l + 1) as u8).expect("level in range"))
+        self.top_slot()
+            .map(|slot| Priority::new((slot + 1) as u8).expect("level in range"))
     }
 
     /// `sched_yield` semantics: moves the head of `prio`'s FIFO to its
@@ -122,9 +152,13 @@ impl<T: PartialEq> FifoReadyQueue<T> {
     /// Removes the first occurrence of `value` at level `prio`. Returns
     /// `true` if found (the kernel's dequeue-on-block/destroy path).
     pub fn remove(&mut self, prio: Priority, value: &T) -> bool {
-        let q = &mut self.levels[Self::slot(prio)];
+        let slot = Self::slot(prio);
+        let q = &mut self.levels[slot];
         if let Some(pos) = q.iter().position(|v| v == value) {
             q.remove(pos);
+            if q.is_empty() {
+                self.bitmap &= !(1 << slot);
+            }
             self.len -= 1;
             true
         } else {
@@ -237,6 +271,37 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert_eq!(q.dequeue_highest(), Some((p(30), "preempted")));
         assert_eq!(q.dequeue_highest(), Some((p(30), "waiter")));
+    }
+
+    #[test]
+    fn emptied_top_level_falls_through_to_next() {
+        // Exercises the occupancy-bitmap clear paths: once the top level
+        // drains (by dequeue and by remove), the pick must fall through to
+        // the next non-empty level, not a stale bit.
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(90), 'h');
+        q.enqueue(p(40), 'm');
+        q.enqueue(p(2), 'l');
+        assert_eq!(q.dequeue_highest(), Some((p(90), 'h')));
+        assert_eq!(q.peek_highest_priority(), Some(p(40)));
+        assert!(q.remove(p(40), &'m'));
+        assert_eq!(q.peek_highest_priority(), Some(p(2)));
+        assert_eq!(q.dequeue_highest(), Some((p(2), 'l')));
+        assert_eq!(q.peek_highest_priority(), None);
+        assert_eq!(q.dequeue_highest(), None);
+        // Refilling a drained level sets its bit again.
+        q.enqueue_front(p(40), 'x');
+        assert_eq!(q.peek_highest_priority(), Some(p(40)));
+    }
+
+    #[test]
+    fn boundary_levels_1_and_99() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(1), 'a');
+        q.enqueue(p(99), 'z');
+        assert_eq!(q.peek_highest_priority(), Some(p(99)));
+        assert_eq!(q.dequeue_highest(), Some((p(99), 'z')));
+        assert_eq!(q.dequeue_highest(), Some((p(1), 'a')));
     }
 
     #[test]

@@ -33,6 +33,46 @@ fn traced_run(seed: u64) -> RunConfig {
         .unwrap()
 }
 
+/// Golden-trace equivalence across hot-path rewrites: the Xeon Phi 3120A
+/// preset workload's JSONL export must be byte-identical to the checked-in
+/// golden file, which was generated *before* the O(1) ready-queue /
+/// event-queue rewrite. Any change to a scheduling decision — a different
+/// dispatch order, a shifted tie-break, a dropped event — shows up here as
+/// a byte diff. Regenerate deliberately with `RTSEED_REGEN_GOLDEN=1`.
+#[test]
+fn golden_trace_matches_checked_in_file() {
+    let out = SimExecutor::new(overrun_config(8), traced_run(42)).run();
+    let jsonl = export::jsonl(&out.trace);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/sim_trace_phi_np8.jsonl");
+    if std::env::var_os("RTSEED_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &jsonl).expect("write golden trace");
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with RTSEED_REGEN_GOLDEN=1");
+    if jsonl != golden {
+        let diverged = jsonl
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first divergence at line {}:\n  got:    {}\n  golden: {}",
+                    i + 1,
+                    jsonl.lines().nth(i).unwrap_or(""),
+                    golden.lines().nth(i).unwrap_or(""),
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: got {}, golden {}",
+                    jsonl.lines().count(),
+                    golden.lines().count()
+                )
+            });
+        panic!("trace diverged from golden file — a scheduling decision changed.\n{diverged}");
+    }
+}
+
 #[test]
 fn golden_trace_same_seed_byte_identical_exports() {
     let a = SimExecutor::new(overrun_config(8), traced_run(42)).run();
