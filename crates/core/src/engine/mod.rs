@@ -1,0 +1,1209 @@
+//! Backend-independent P-RMWP engine: the single home of the per-task /
+//! per-job part state machine (paper §II–§IV).
+//!
+//! The engine is **sans-IO**: it owns job/part state as pure data and never
+//! touches an event queue, a ready queue, a thread, or a timer. Drivers
+//! (the discrete-event [`SimExecutor`](crate::exec_sim::SimExecutor), the
+//! global-scheduling ablation
+//! [`GlobalExecutor`](crate::exec_global::GlobalExecutor), and the native
+//! POSIX [`runtime`](crate::runtime)) feed it typed inputs — a job released,
+//! a part completed, the optional-deadline timer fired, a wind-up release
+//! arrived, a CPU stalled — and act on the typed commands it returns:
+//! arm a timer at a given instant, stop a part on a given hardware thread,
+//! release the wind-up at a given instant, or nothing because the engine
+//! already finished the job.
+//!
+//! Everything behavioural lives here exactly once:
+//!
+//! * the [`JobPhase`] lifecycle (release → mandatory → parallel optional →
+//!   OD termination → wind-up → done/abort), with the legal transitions
+//!   `debug_assert`-checked against [`JobPhase::can_transition_to`];
+//! * execution banking and supervisor budget cuts;
+//! * OD/wind-up sequencing, including the §IV-B sleep-queue wait and the
+//!   Table I signal-mask defect that breaks later timers;
+//! * QoS streaming ([`QosSummary::record_job`]), response-time/jitter
+//!   metrics, and every [`TraceEvent`] the protocol emits.
+//!
+//! What stays in the driver is *mechanism*: dispatching and preemption
+//! (ready queues, migration), overhead sampling order (the simulator's
+//! [`OverheadModel`](rtseed_sim::OverheadModel) calls happen driver-side so
+//! the RNG stream is untouched by refactors), and the mapping from engine
+//! commands onto events, threads, or timers. Drivers call the fine-grained
+//! methods in the same order the protocol performs the underlying actions,
+//! which keeps traces — including the byte-identical golden trace —
+//! reproducible across backends.
+//!
+//! The engine preserves the allocation-free hot path: per-task state lives
+//! in slabs reused across jobs (`parts` is cleared and resized in place),
+//! and no engine method allocates in steady state.
+
+use rtseed_model::{
+    CoreId, HwThreadId, JobId, JobPhase, OptionalOutcome, PartId, Priority,
+    QosSummary, Span, TaskId, Time, Topology,
+};
+use rtseed_sim::{FaultPlan, FaultTarget, OverheadKind, TimerFault};
+
+use crate::config::SystemConfig;
+use crate::executor::RunConfig;
+use crate::obs::{MetricsRegistry, Trace, TraceEvent, TraceRecorder};
+use crate::obs::{QueueBand, QueueOp};
+use crate::report::{FaultReport, OverheadReport};
+use crate::supervisor::{OverloadSupervisor, SupervisorConfig};
+use crate::termination::TerminationMode;
+
+/// Which part of a job a unit of schedulable work belongs to.
+///
+/// Shared by every driver's work/dispatch bookkeeping so the engine can
+/// identify the part being banked, dispatched, cut, or stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cursor {
+    /// The mandatory part (SCHED_FIFO, pinned).
+    Mandatory,
+    /// Optional part `k` (NRTQ priority, policy-placed).
+    Optional(u32),
+    /// The wind-up part (SCHED_FIFO, pinned).
+    Windup,
+}
+
+/// What [`Engine::release`] established for the new job.
+#[derive(Debug, Clone, Copy)]
+pub struct Release {
+    /// The released job's identity.
+    pub job: JobId,
+    /// The job's sequence number (feed back into
+    /// [`Engine::od_expired`] / [`Engine::windup_ready`] so stale timers
+    /// are detected).
+    pub seq: u64,
+    /// The job has optional parts, so an OD timer should be armed.
+    pub has_parts: bool,
+    /// When the task's next job releases, if any jobs remain.
+    pub next_release: Option<Time>,
+}
+
+/// How the wind-up part of a job is to be released.
+#[derive(Debug, Clone, Copy)]
+pub enum WindupCommand {
+    /// There is no wind-up part; the engine already finished the job with
+    /// the given deadline verdict. Nothing to do.
+    Finished {
+        /// Whether the job met its relative deadline.
+        met: bool,
+    },
+    /// The wind-up was already scheduled earlier in this job; ignore.
+    AlreadyScheduled,
+    /// Release the wind-up part at `at` (now or in the future — the task
+    /// sleeps in the SQ until then). The driver delivers
+    /// [`Engine::windup_ready`] with the same `seq` at that instant.
+    At {
+        /// The wind-up release instant.
+        at: Time,
+        /// The job sequence number to echo back.
+        seq: u64,
+    },
+}
+
+/// What follows the completion of a job's mandatory part.
+#[derive(Debug, Clone, Copy)]
+pub enum AfterMandatory {
+    /// No optional execution happens (no parts, parts discarded at OD
+    /// overrun, or parts shed by the supervisor): proceed per the wind-up
+    /// command.
+    Windup(WindupCommand),
+    /// Signal all `np` optional parts: the driver runs its backend's
+    /// signalling mechanism (Δb/Δs costs, thread wake-ups) and makes each
+    /// part runnable.
+    Signal {
+        /// Number of optional parts to signal.
+        np: usize,
+    },
+}
+
+/// Verdict of delivering an optional-deadline timer expiry to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OdAction {
+    /// The timer was stale (old job, broken timer): nothing happened.
+    Stale,
+    /// The expiry was absorbed without terminations (mandatory part still
+    /// running, or all parts already ended).
+    Handled,
+    /// Terminate the job's still-active optional parts: for each `k` in
+    /// `0..np`, call [`Engine::plan_terminate`] / stop the part /
+    /// [`Engine::commit_terminate`], then [`Engine::finish_termination`].
+    Terminate {
+        /// Number of optional parts (the loop bound; ended parts are
+        /// skipped by [`Engine::plan_terminate`] returning `None`).
+        np: usize,
+    },
+}
+
+/// Where a part to be terminated is running or queued, for the driver to
+/// stop it.
+#[derive(Debug, Clone, Copy)]
+pub struct StopTarget {
+    /// Hardware thread the part was placed on.
+    pub hw: usize,
+    /// The priority level it occupies there.
+    pub prio: Priority,
+    /// The termination handler hopped to a different core than the
+    /// previous part's (drives the simulator's cross-core Δe cost).
+    pub cross_core: bool,
+}
+
+/// Everything the engine measured, surrendered at the end of a run.
+#[derive(Debug)]
+pub struct EngineOutput {
+    /// Per-job QoS accounting (§IV).
+    pub qos: QosSummary,
+    /// Per-kind overhead samples (Δm/Δb/Δs/Δe) the driver fed in.
+    pub overheads: OverheadReport,
+    /// Histogram metrics (overheads, response times, jitter, QoS ppm).
+    pub metrics: MetricsRegistry,
+    /// The recorded trace (empty and free if tracing was disabled).
+    pub trace: Trace,
+    /// Supervisor fault/overload counters.
+    pub faults: FaultReport,
+}
+
+#[derive(Debug, Clone)]
+struct PartState {
+    executed: Span,
+    running_since: Option<Time>,
+    started: Option<Time>,
+    outcome: Option<OptionalOutcome>,
+}
+
+impl PartState {
+    fn fresh() -> PartState {
+        PartState {
+            executed: Span::ZERO,
+            running_since: None,
+            started: None,
+            outcome: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TaskState {
+    // Static configuration.
+    id: TaskId,
+    mandatory_hw: usize,
+    placements: Vec<usize>,
+    mand_prio: Priority,
+    opt_prio: Priority,
+    period: Span,
+    deadline: Span,
+    mandatory: Span,
+    windup: Span,
+    optional: Vec<Span>,
+    od: Span,
+    // Per-job state.
+    seq: u64,
+    release: Time,
+    phase: JobPhase,
+    rt_remaining: Span,
+    /// Supervisor execution budget remaining for the current real-time
+    /// part (only enforced when the supervisor is armed).
+    rt_budget: Span,
+    parts: Vec<PartState>,
+    windup_scheduled: bool,
+    /// The task entered the SQ waiting for its wind-up release (traced so
+    /// the SQ enqueue/remove pair stays balanced).
+    in_sq: bool,
+    /// The current job exceeded a real-time budget (supervisor cut it).
+    overran: bool,
+    /// The current job ran with its optional parts shed (degraded mode or
+    /// quarantine).
+    shed: bool,
+    // Across jobs.
+    timer_broken: bool,
+    jobs_done: u64,
+}
+
+impl TaskState {
+    fn od_time(&self) -> Time {
+        self.release + self.od
+    }
+
+    fn job(&self) -> JobId {
+        JobId {
+            task: self.id,
+            seq: self.seq,
+        }
+    }
+
+    fn parts_all_ended(&self) -> bool {
+        self.parts.iter().all(|p| p.outcome.is_some())
+    }
+
+    fn requested_optional(&self) -> Span {
+        self.optional.iter().copied().sum()
+    }
+}
+
+/// The shared P-RMWP part state machine (see the [module docs](self)).
+///
+/// One `Engine` instance drives either a whole task set (simulation and
+/// global backends, [`Engine::new`]) or a single task (one per native
+/// thread, [`Engine::single_task`]; per-thread outputs are merged by the
+/// native executor).
+#[derive(Debug)]
+pub struct Engine {
+    tasks: Vec<TaskState>,
+    jobs: u64,
+    live: usize,
+    fault_plan: FaultPlan,
+    termination: TerminationMode,
+    topology: Topology,
+    sup: OverloadSupervisor,
+    qos: QosSummary,
+    overheads: OverheadReport,
+    metrics: MetricsRegistry,
+    rec: TraceRecorder,
+    // Termination-loop scratch (reset by `od_expired`, consumed by
+    // `finish_termination`): keeps the O(npᵢ) handling serialization and
+    // the cooperative-mode lag without per-expiry allocation.
+    term_at: Time,
+    term_handling: Span,
+    term_max_lag: Span,
+    term_prev_core: Option<CoreId>,
+    pending_achieved: Span,
+}
+
+fn build_task(cfg: &SystemConfig, id: TaskId, rt_exec_fraction: f64) -> TaskState {
+    let spec = cfg.set().get(id).expect("task id out of range");
+    TaskState {
+        id,
+        mandatory_hw: cfg.mandatory_hw(id).index(),
+        placements: cfg
+            .optional_placements(id)
+            .iter()
+            .map(|h| h.index())
+            .collect(),
+        mand_prio: cfg.priorities().mandatory(id),
+        opt_prio: cfg.priorities().optional(id),
+        period: spec.period(),
+        deadline: spec.deadline(),
+        mandatory: spec.mandatory().mul_f64(rt_exec_fraction),
+        windup: spec.windup().mul_f64(rt_exec_fraction),
+        optional: spec.optional_parts().to_vec(),
+        od: cfg.optional_deadline(id),
+        seq: 0,
+        release: Time::ZERO,
+        phase: JobPhase::Done, // becomes Released at first release
+        rt_remaining: Span::ZERO,
+        rt_budget: Span::ZERO,
+        parts: Vec::new(),
+        windup_scheduled: false,
+        in_sq: false,
+        overran: false,
+        shed: false,
+        timer_broken: false,
+        jobs_done: 0,
+    }
+}
+
+impl Engine {
+    /// Creates an engine for every task of `cfg` with run parameters `run`.
+    pub fn new(cfg: &SystemConfig, run: &RunConfig) -> Engine {
+        assert!(
+            run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
+            "rt_exec_fraction must be within (0, 1]"
+        );
+        let tasks: Vec<TaskState> = cfg
+            .set()
+            .iter()
+            .map(|(id, _)| build_task(cfg, id, run.rt_exec_fraction))
+            .collect();
+        let live = tasks.len();
+        let sup = OverloadSupervisor::new(run.supervisor, tasks.len());
+        Engine {
+            tasks,
+            jobs: run.jobs,
+            live,
+            fault_plan: run.fault_plan.clone(),
+            termination: run.termination,
+            topology: *cfg.topology(),
+            sup,
+            qos: QosSummary::new(),
+            overheads: OverheadReport::new(),
+            metrics: MetricsRegistry::new(),
+            rec: TraceRecorder::new(run.trace_config()),
+            term_at: Time::ZERO,
+            term_handling: Span::ZERO,
+            term_max_lag: Span::ZERO,
+            term_prev_core: None,
+            pending_achieved: Span::ZERO,
+        }
+    }
+
+    /// Creates an engine driving only task `id` of `cfg` (the native
+    /// runtime runs one engine per task thread and merges the outputs).
+    ///
+    /// Fault injection and the overload supervisor are simulation-side
+    /// concerns and stay disabled here.
+    pub fn single_task(cfg: &SystemConfig, id: TaskId, run: &RunConfig) -> Engine {
+        assert!(
+            run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
+            "rt_exec_fraction must be within (0, 1]"
+        );
+        let tasks = vec![build_task(cfg, id, run.rt_exec_fraction)];
+        Engine {
+            tasks,
+            jobs: run.jobs,
+            live: 1,
+            fault_plan: FaultPlan::default(),
+            termination: run.termination,
+            topology: *cfg.topology(),
+            sup: OverloadSupervisor::new(SupervisorConfig::default(), 1),
+            qos: QosSummary::new(),
+            overheads: OverheadReport::new(),
+            metrics: MetricsRegistry::new(),
+            rec: TraceRecorder::new(run.trace_config()),
+            term_at: Time::ZERO,
+            term_handling: Span::ZERO,
+            term_max_lag: Span::ZERO,
+            term_prev_core: None,
+            pending_achieved: Span::ZERO,
+        }
+    }
+
+    // ----- observability --------------------------------------------------
+
+    /// Whether anyone is recording traces (drivers gate the construction
+    /// of queue/dispatch events on this, keeping the hot path free when
+    /// tracing is off).
+    pub fn tracing(&self) -> bool {
+        self.rec.enabled()
+    }
+
+    /// Records a driver-side trace event (queue ops, dispatches,
+    /// migrations) into the engine's recorder at `at`.
+    pub fn trace(&mut self, at: Time, ev: TraceEvent) {
+        self.rec.record(at, ev);
+    }
+
+    /// Records one overhead sample in both the per-kind sample report and
+    /// the histogram metrics.
+    pub fn sample(&mut self, kind: OverheadKind, value: Span) {
+        self.overheads.push(kind, value);
+        self.metrics.record_overhead(kind, value);
+    }
+
+    /// Emits one decision event per task recording where the assignment
+    /// policy placed its optional parts (paper Fig. 8).
+    pub fn trace_policy_decisions(&mut self, cfg: &SystemConfig) {
+        if !self.rec.enabled() {
+            return;
+        }
+        let topology = *cfg.topology();
+        let policy = cfg.policy();
+        for t in &self.tasks {
+            let np = t.optional.len();
+            if np == 0 {
+                continue;
+            }
+            let ev = TraceEvent::PolicyDecision {
+                task: t.id,
+                policy: policy.label(),
+                parts: np as u32,
+                distinct_cores: policy.distinct_cores(&topology, np),
+            };
+            self.rec.record(Time::ZERO, ev);
+        }
+    }
+
+    // ----- accessors ------------------------------------------------------
+
+    /// Number of tasks this engine drives.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Tasks that still have jobs to finish.
+    pub fn has_live_tasks(&self) -> bool {
+        self.live > 0
+    }
+
+    /// The identity of `task`'s current job.
+    pub fn job(&self, task: usize) -> JobId {
+        self.tasks[task].job()
+    }
+
+    /// The current job's sequence number.
+    pub fn seq(&self, task: usize) -> u64 {
+        self.tasks[task].seq
+    }
+
+    /// How many jobs of `task` have finished.
+    pub fn jobs_done(&self, task: usize) -> u64 {
+        self.tasks[task].jobs_done
+    }
+
+    /// A job of `task` is released but not yet done.
+    pub fn job_in_flight(&self, task: usize) -> bool {
+        self.tasks[task].phase != JobPhase::Done
+    }
+
+    /// Number of optional parts of `task`.
+    pub fn part_count(&self, task: usize) -> usize {
+        self.tasks[task].optional.len()
+    }
+
+    /// Part `k` of `task`'s current job already has an outcome.
+    pub fn part_ended(&self, task: usize, k: usize) -> bool {
+        self.tasks[task].parts[k].outcome.is_some()
+    }
+
+    /// Any optional part of the current job ended other than `Completed`
+    /// (the native driver's per-job degradation counter).
+    pub fn parts_degraded(&self, task: usize) -> bool {
+        self.tasks[task]
+            .parts
+            .iter()
+            .any(|p| p.outcome != Some(OptionalOutcome::Completed))
+    }
+
+    /// Hardware thread the task's real-time parts are pinned to.
+    pub fn mandatory_hw(&self, task: usize) -> usize {
+        self.tasks[task].mandatory_hw
+    }
+
+    /// Hardware thread optional part `k` is placed on.
+    pub fn placement(&self, task: usize, k: usize) -> usize {
+        self.tasks[task].placements[k]
+    }
+
+    /// SCHED_FIFO priority of the task's real-time parts.
+    pub fn mand_prio(&self, task: usize) -> Priority {
+        self.tasks[task].mand_prio
+    }
+
+    /// Priority of the task's optional parts.
+    pub fn opt_prio(&self, task: usize) -> Priority {
+        self.tasks[task].opt_prio
+    }
+
+    /// The current job's optional deadline (absolute).
+    pub fn od_time(&self, task: usize) -> Time {
+        self.tasks[task].od_time()
+    }
+
+    // ----- job lifecycle --------------------------------------------------
+
+    /// Releases `task`'s next job at `now`: resets per-job state in place
+    /// (no allocation in steady state), arms the supervisor budget, applies
+    /// any planned mandatory WCET fault, and emits the release trace.
+    ///
+    /// The driver then makes the mandatory part runnable (after its Δm
+    /// wake-up cost), arms the OD timer via [`Engine::arm_timer`] when
+    /// [`Release::has_parts`], and schedules [`Release::next_release`].
+    pub fn release(&mut self, task: usize, now: Time) -> Release {
+        let next_seq = self.tasks[task].jobs_done;
+        let mand_factor = self.fault_plan.wcet_factor(
+            self.tasks[task].id.0,
+            next_seq,
+            FaultTarget::Mandatory,
+        );
+        let t = &mut self.tasks[task];
+        debug_assert_eq!(t.phase, JobPhase::Done, "release over an unfinished job");
+        t.release = now;
+        t.seq = t.jobs_done;
+        t.phase = JobPhase::Released;
+        t.rt_remaining = t.mandatory.mul_f64(mand_factor);
+        // Reset part states in place: after the first job this reuses the
+        // Vec's capacity, so releases allocate nothing in steady state.
+        t.parts.clear();
+        t.parts.resize(t.optional.len(), PartState::fresh());
+        t.windup_scheduled = false;
+        t.in_sq = false;
+        t.overran = false;
+        t.shed = false;
+        let seq = t.seq;
+        let period = t.period;
+        let has_parts = !t.optional.is_empty();
+        let jobs_done = t.jobs_done;
+        let job = t.job();
+        let mandatory = t.mandatory;
+        self.tasks[task].rt_budget = self.sup.budget(mandatory);
+
+        self.rec.record(now, TraceEvent::JobReleased { job });
+        if mand_factor != 1.0 {
+            self.sup.note_wcet_fault();
+            self.rec.record(
+                now,
+                TraceEvent::WcetFaultInjected {
+                    job,
+                    target: FaultTarget::Mandatory,
+                    factor: mand_factor,
+                },
+            );
+        }
+        Release {
+            job,
+            seq,
+            has_parts,
+            next_release: (jobs_done + 1 < self.jobs).then(|| now + period),
+        }
+    }
+
+    /// Arms the current job's one-shot optional-deadline timer, applying
+    /// any planned timer fault. Returns the instant the timer actually
+    /// fires (delayed under a `Delay` fault), or `None` when there is
+    /// nothing to arm (no optional parts, or the one-shot is `Lost`).
+    pub fn arm_timer(&mut self, task: usize, now: Time) -> Option<Time> {
+        let t = &self.tasks[task];
+        if t.optional.is_empty() {
+            return None;
+        }
+        let od_time = t.od_time();
+        let job = t.job();
+        let fault = self.fault_plan.timer_fault(t.id.0, t.seq);
+        match fault {
+            None => {
+                self.rec
+                    .record(now, TraceEvent::TimerArmed { job, at: od_time });
+                Some(od_time)
+            }
+            Some(TimerFault::Delay(d)) => {
+                self.sup.note_timer_fault();
+                self.rec.record(
+                    now,
+                    TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Delay(d),
+                    },
+                );
+                self.rec.record(
+                    now,
+                    TraceEvent::TimerArmed {
+                        job,
+                        at: od_time + d,
+                    },
+                );
+                Some(od_time + d)
+            }
+            Some(TimerFault::Lost) => {
+                self.sup.note_timer_fault();
+                self.rec.record(
+                    now,
+                    TraceEvent::TimerFaultInjected {
+                        job,
+                        fault: TimerFault::Lost,
+                    },
+                );
+                None
+            }
+        }
+    }
+
+    /// Banks `ran` of execution against the given part: real-time parts
+    /// burn down their remaining demand and supervisor budget, optional
+    /// parts accumulate achieved execution and stop running.
+    pub fn bank(&mut self, task: usize, cursor: Cursor, ran: Span) {
+        let t = &mut self.tasks[task];
+        match cursor {
+            Cursor::Mandatory | Cursor::Windup => {
+                t.rt_remaining = t.rt_remaining.saturating_sub(ran);
+                t.rt_budget = t.rt_budget.saturating_sub(ran);
+            }
+            Cursor::Optional(k) => {
+                let part = &mut t.parts[k as usize];
+                part.executed += ran;
+                part.running_since = None;
+            }
+        }
+    }
+
+    /// After a real-time part's dispatched slice elapsed: under an armed
+    /// supervisor the slice was clipped to the remaining budget, so demand
+    /// left over means the part hit its budget — cut it (treat it as
+    /// complete) and escalate, instead of letting the overrun eat into
+    /// lower-priority parts' response times. No-op otherwise.
+    pub fn cut_if_over_budget(&mut self, task: usize, cursor: Cursor, now: Time) {
+        if !self.sup.enabled() || self.tasks[task].rt_remaining.is_zero() {
+            return;
+        }
+        let target = match cursor {
+            Cursor::Windup => FaultTarget::Windup,
+            _ => FaultTarget::Mandatory,
+        };
+        self.tasks[task].rt_remaining = Span::ZERO;
+        self.tasks[task].overran = true;
+        self.sup.note_budget_cut();
+        let job = self.tasks[task].job();
+        self.rec.record(now, TraceEvent::BudgetCut { job, target });
+        let resp = self.sup.on_overrun(task, now);
+        if resp.quarantined_task {
+            self.rec.record(now, TraceEvent::TaskQuarantined { job });
+        }
+        if resp.entered_degraded {
+            self.rec.record(now, TraceEvent::DegradedModeEntered);
+        }
+    }
+
+    /// The driver dispatched the given part onto hardware thread `hw`:
+    /// updates per-part/per-phase state (first mandatory dispatch moves the
+    /// phase forward and records release jitter; first optional dispatch
+    /// stamps the part's start) and returns the remaining execution to run
+    /// — real-time demand clipped to the supervisor budget, or the optional
+    /// part's residual.
+    pub fn on_dispatch(&mut self, task: usize, cursor: Cursor, hw: usize, now: Time) -> Span {
+        match cursor {
+            Cursor::Mandatory => {
+                let first = self.tasks[task].phase == JobPhase::Released;
+                if first {
+                    debug_assert!(self.tasks[task]
+                        .phase
+                        .can_transition_to(JobPhase::MandatoryRunning));
+                    self.tasks[task].phase = JobPhase::MandatoryRunning;
+                    let job = self.tasks[task].job();
+                    let jitter = now.saturating_elapsed_since(self.tasks[task].release);
+                    self.metrics.record_release_jitter(jitter);
+                    self.rec.record(
+                        now,
+                        TraceEvent::MandatoryStarted {
+                            job,
+                            hw: HwThreadId(hw as u32),
+                        },
+                    );
+                }
+                self.rt_slice(task)
+            }
+            Cursor::Windup => self.rt_slice(task),
+            Cursor::Optional(k) => {
+                let o_k = self.tasks[task].optional[k as usize];
+                let first_start = {
+                    let part = &mut self.tasks[task].parts[k as usize];
+                    part.running_since = Some(now);
+                    if part.started.is_none() {
+                        part.started = Some(now);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if first_start && self.rec.enabled() {
+                    let job = self.tasks[task].job();
+                    self.rec.record(
+                        now,
+                        TraceEvent::OptionalStarted {
+                            job,
+                            part: PartId(k),
+                            hw: HwThreadId(hw as u32),
+                        },
+                    );
+                }
+                o_k.saturating_sub(self.tasks[task].parts[k as usize].executed)
+            }
+        }
+    }
+
+    /// Remaining execution to dispatch for a real-time part: the demand,
+    /// clipped to the supervisor budget when the supervisor is armed.
+    fn rt_slice(&self, task: usize) -> Span {
+        let t = &self.tasks[task];
+        if self.sup.enabled() {
+            t.rt_remaining.min(t.rt_budget)
+        } else {
+            t.rt_remaining
+        }
+    }
+
+    /// The mandatory part completed at `now`. Decides what happens next:
+    /// signal the optional parts, or — when there are none, they arrive
+    /// past OD (§II-B discard), or the supervisor sheds them — proceed
+    /// straight to the wind-up command.
+    pub fn mandatory_completed(&mut self, task: usize, now: Time) -> AfterMandatory {
+        let job = self.tasks[task].job();
+        self.rec.record(now, TraceEvent::MandatoryCompleted { job });
+
+        let od_time = self.tasks[task].od_time();
+        let np = self.tasks[task].optional.len();
+
+        if np == 0 {
+            // Degenerate models: no optional parts.
+            if self.tasks[task].windup.is_zero() {
+                // Pure Liu–Layland task: the job is complete.
+                self.finish_job(task, now, true);
+                return AfterMandatory::Windup(WindupCommand::Finished { met: true });
+            }
+            let at = now.max(od_time);
+            self.tasks[task].phase = JobPhase::OptionalRunning;
+            return AfterMandatory::Windup(self.schedule_windup(task, at, now));
+        }
+
+        if now >= od_time {
+            // §II-B: mandatory part overran the optional deadline — every
+            // optional part is discarded and the wind-up part runs
+            // immediately after the mandatory part.
+            self.discard_all_parts(task, now);
+            self.tasks[task].phase = JobPhase::OptionalRunning;
+            return AfterMandatory::Windup(self.schedule_windup(task, now, now));
+        }
+
+        if self.sup.shed_optional(task) {
+            // Overload supervisor: degraded mode or task quarantine —
+            // optional parts are shed (discarded unstarted), the wind-up
+            // part runs right after the mandatory part. No signalling, no
+            // Δb/Δs, no OD-timer interference: minimum service, maximum
+            // headroom.
+            self.sup.note_degraded_job();
+            self.tasks[task].shed = true;
+            self.discard_all_parts(task, now);
+            self.tasks[task].phase = JobPhase::OptionalRunning;
+            return AfterMandatory::Windup(self.schedule_windup(task, now, now));
+        }
+
+        debug_assert!(self.tasks[task]
+            .phase
+            .can_transition_to(JobPhase::OptionalRunning));
+        self.tasks[task].phase = JobPhase::OptionalRunning;
+        AfterMandatory::Signal { np }
+    }
+
+    fn discard_all_parts(&mut self, task: usize, now: Time) {
+        let np = self.tasks[task].optional.len();
+        for k in 0..np {
+            self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
+            if self.rec.enabled() {
+                let job = self.tasks[task].job();
+                self.rec.record(
+                    now,
+                    TraceEvent::OptionalEnded {
+                        job,
+                        part: PartId(k as u32),
+                        outcome: OptionalOutcome::Discarded,
+                        achieved: Span::ZERO,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Optional part `k` ran to completion at `now`. When it was the last
+    /// part to end, the OD timer is (conceptually) cancelled and the
+    /// returned command releases the wind-up at `max(now, OD)` (§IV-B).
+    pub fn optional_completed(
+        &mut self,
+        task: usize,
+        k: u32,
+        now: Time,
+    ) -> Option<WindupCommand> {
+        let ki = k as usize;
+        let o_k = self.tasks[task].optional[ki];
+        {
+            let part = &mut self.tasks[task].parts[ki];
+            part.executed = o_k;
+            part.running_since = None;
+            part.outcome = Some(OptionalOutcome::Completed);
+        }
+        if self.rec.enabled() {
+            let job = self.tasks[task].job();
+            self.rec.record(
+                now,
+                TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k),
+                    outcome: OptionalOutcome::Completed,
+                    achieved: o_k,
+                },
+            );
+        }
+
+        if self.tasks[task].parts_all_ended() && !self.tasks[task].windup_scheduled {
+            // All parts completed before the optional deadline: the
+            // optional-deadline timer is stopped and the task sleeps in the
+            // SQ until OD, when the wind-up part is released (§IV-B).
+            let job = self.tasks[task].job();
+            self.rec.record(now, TraceEvent::TimerCancelled { job });
+            let at = now.max(self.tasks[task].od_time());
+            return Some(self.schedule_windup(task, at, now));
+        }
+        None
+    }
+
+    /// The wind-up part completed at `now`: finishes the job and returns
+    /// whether its relative deadline was met.
+    pub fn windup_completed(&mut self, task: usize, now: Time) -> bool {
+        let deadline = self.tasks[task].release + self.tasks[task].deadline;
+        let met = now <= deadline;
+        self.finish_job(task, now, met);
+        met
+    }
+
+    /// The optional-deadline timer for job `seq` fired at `now`.
+    ///
+    /// Stale timers (finished jobs, the Table I broken timer) are absorbed
+    /// silently; an expiry during the mandatory part or after every part
+    /// already ended is traced but terminates nothing. Otherwise the driver
+    /// runs the termination loop (see [`OdAction::Terminate`]).
+    pub fn od_expired(&mut self, task: usize, seq: u64, now: Time) -> OdAction {
+        if self.tasks[task].seq != seq
+            || self.tasks[task].jobs_done != seq
+            || self.tasks[task].phase == JobPhase::Done
+        {
+            return OdAction::Stale; // stale timer from an already-finished job
+        }
+        if self.tasks[task].timer_broken {
+            // Table I: the try-catch implementation does not restore the
+            // signal mask, so "the timer interrupt of the next job does not
+            // occur" — optional parts now run unchecked.
+            return OdAction::Stale;
+        }
+        let job = self.tasks[task].job();
+        self.rec
+            .record(now, TraceEvent::OptionalDeadlineExpired { job });
+
+        if self.tasks[task].phase != JobPhase::OptionalRunning {
+            // Mandatory part still running: nothing to terminate — the
+            // discard path triggers at mandatory completion.
+            return OdAction::Handled;
+        }
+        if self.tasks[task].parts_all_ended() {
+            return OdAction::Handled; // timer (conceptually) cancelled early
+        }
+        // Termination happens when the timer actually fires: `now` is the
+        // nominal OD normally, later if the fault plan delayed the one-shot
+        // (parts kept running in the meantime).
+        self.term_at = now;
+        self.term_handling = Span::ZERO;
+        self.term_max_lag = Span::ZERO;
+        self.term_prev_core = None;
+        OdAction::Terminate {
+            np: self.tasks[task].optional.len(),
+        }
+    }
+
+    /// Plans the termination of part `k`: computes its achieved execution
+    /// (whatever ran before OD, plus — for cooperative modes — the lag
+    /// until the next checkpoint) and where the driver must stop it.
+    /// Returns `None` for parts that already ended.
+    ///
+    /// The driver stops the part (banking is overwritten by
+    /// [`Engine::commit_terminate`]) and, where its backend charges a
+    /// per-part handling cost, reports it via
+    /// [`Engine::note_termination_cost`].
+    pub fn plan_terminate(&mut self, task: usize, k: usize) -> Option<StopTarget> {
+        if self.tasks[task].parts[k].outcome.is_some() {
+            return None;
+        }
+        let hw = self.tasks[task].placements[k];
+        let core = self.topology.core_of(HwThreadId(hw as u32));
+        let cross_core = self.term_prev_core.is_some_and(|c| c != core);
+        self.term_prev_core = Some(core);
+
+        let o_k = self.tasks[task].optional[k];
+        let term_at = self.term_at;
+        let (achieved, lag) = {
+            let part = &self.tasks[task].parts[k];
+            match part.running_since {
+                Some(since) => {
+                    let lag = self
+                        .termination
+                        .termination_lag(part.started.unwrap_or(since), term_at);
+                    let ran = term_at.saturating_elapsed_since(since) + lag;
+                    ((part.executed + ran).min(o_k), lag)
+                }
+                None => (part.executed, Span::ZERO),
+            }
+        };
+        self.term_max_lag = self.term_max_lag.max(lag);
+        self.pending_achieved = achieved;
+        Some(StopTarget {
+            hw,
+            prio: self.tasks[task].opt_prio,
+            cross_core,
+        })
+    }
+
+    /// Adds one part's termination-handling cost (timer interrupt, stack
+    /// restore, completion signalling) to the serialized Δe total.
+    pub fn note_termination_cost(&mut self, cost: Span) {
+        self.term_handling += cost;
+    }
+
+    /// Finalizes the termination planned by the latest
+    /// [`Engine::plan_terminate`]: fixes the part's achieved execution and
+    /// outcome (`Completed` if it reached its demand, else `Terminated`).
+    pub fn commit_terminate(&mut self, task: usize, k: usize, now: Time) {
+        let achieved = self.pending_achieved;
+        let o_k = self.tasks[task].optional[k];
+        let outcome = if achieved >= o_k {
+            OptionalOutcome::Completed
+        } else {
+            OptionalOutcome::Terminated
+        };
+        {
+            let part = &mut self.tasks[task].parts[k];
+            part.executed = achieved;
+            part.running_since = None;
+            part.outcome = Some(outcome);
+        }
+        if self.rec.enabled() {
+            let job = self.tasks[task].job();
+            self.rec.record(
+                now,
+                TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome,
+                    achieved,
+                },
+            );
+        }
+    }
+
+    /// Ends the termination loop: samples Δe (serialized handling plus the
+    /// worst cooperative lag), applies the Table I signal-mask defect for
+    /// modes that model it, and returns the wind-up command (released after
+    /// the handling completes).
+    pub fn finish_termination(&mut self, task: usize, now: Time) -> WindupCommand {
+        let handling = self.term_handling;
+        let max_lag = self.term_max_lag;
+        self.sample(OverheadKind::EndOptional, handling + max_lag);
+        if self.termination.models_signal_mask_defect() {
+            self.tasks[task].timer_broken = true;
+        }
+        let windup_at = self.term_at + max_lag + handling;
+        self.schedule_windup(task, windup_at, now)
+    }
+
+    /// Decides how the wind-up releases. `at` is the release instant; `now`
+    /// is the current time (a zero-length wind-up finishes the job on the
+    /// spot, and a future `at` parks the task in the SQ, §IV-B).
+    fn schedule_windup(&mut self, task: usize, at: Time, now: Time) -> WindupCommand {
+        if self.tasks[task].windup_scheduled {
+            return WindupCommand::AlreadyScheduled;
+        }
+        self.tasks[task].windup_scheduled = true;
+        if self.tasks[task].windup.is_zero() {
+            // No wind-up part: the job ends once its optional side is done.
+            let deadline = self.tasks[task].release + self.tasks[task].deadline;
+            let met = at <= deadline;
+            self.finish_job(task, now, met);
+            return WindupCommand::Finished { met };
+        }
+        if at > now {
+            // The task sleeps in the SQ until its wind-up release (§IV-B).
+            self.tasks[task].in_sq = true;
+            let job = self.tasks[task].job();
+            self.rec.record(
+                now,
+                TraceEvent::Queue {
+                    band: QueueBand::Sq,
+                    op: QueueOp::Enqueue,
+                    job,
+                    hw: None,
+                },
+            );
+        }
+        WindupCommand::At {
+            at,
+            seq: self.tasks[task].seq,
+        }
+    }
+
+    /// The wind-up release instant for job `seq` arrived at `now`: moves
+    /// the job into the wind-up phase (leaving the SQ, applying any planned
+    /// wind-up WCET fault) and returns `true` when the driver should make
+    /// the wind-up part runnable. Stale or out-of-phase deliveries return
+    /// `false`.
+    pub fn windup_ready(&mut self, task: usize, seq: u64, now: Time) -> bool {
+        if self.tasks[task].seq != seq
+            || self.tasks[task].phase != JobPhase::OptionalRunning
+        {
+            return false;
+        }
+        if self.tasks[task].in_sq {
+            self.tasks[task].in_sq = false;
+            let job = self.tasks[task].job();
+            self.rec.record(
+                now,
+                TraceEvent::Queue {
+                    band: QueueBand::Sq,
+                    op: QueueOp::Remove,
+                    job,
+                    hw: None,
+                },
+            );
+        }
+        let factor =
+            self.fault_plan
+                .wcet_factor(self.tasks[task].id.0, seq, FaultTarget::Windup);
+        debug_assert!(self.tasks[task]
+            .phase
+            .can_transition_to(JobPhase::WindupRunning));
+        self.tasks[task].phase = JobPhase::WindupRunning;
+        self.tasks[task].rt_remaining = self.tasks[task].windup.mul_f64(factor);
+        let windup = self.tasks[task].windup;
+        self.tasks[task].rt_budget = self.sup.budget(windup);
+        let job = self.tasks[task].job();
+        self.rec.record(now, TraceEvent::WindupStarted { job });
+        if factor != 1.0 {
+            self.sup.note_wcet_fault();
+            self.rec.record(
+                now,
+                TraceEvent::WcetFaultInjected {
+                    job,
+                    target: FaultTarget::Windup,
+                    factor,
+                },
+            );
+        }
+        true
+    }
+
+    /// A fault-plan CPU stall window opened on `hw` at `now`: counts the
+    /// fault and traces it. Vacating the hardware thread (banking whatever
+    /// ran, re-queueing at the head of its level) is the driver's job — the
+    /// engine doesn't know what was running where.
+    pub fn stall_started(&mut self, hw: usize, duration: Span, now: Time) {
+        self.sup.note_cpu_stall();
+        self.rec.record(
+            now,
+            TraceEvent::CpuStallStarted {
+                hw: HwThreadId(hw as u32),
+                duration,
+            },
+        );
+    }
+
+    /// Finalizes part `k` of a job being aborted at its next release: any
+    /// residual running time is banked defensively, and the outcome is
+    /// `Terminated` if the part ever started, `Discarded` otherwise.
+    pub fn abort_part(&mut self, task: usize, k: usize, now: Time) {
+        let part = &mut self.tasks[task].parts[k];
+        if part.outcome.is_some() {
+            return;
+        }
+        if let Some(since) = part.running_since.take() {
+            part.executed += now.saturating_elapsed_since(since);
+        }
+        part.outcome = Some(if part.started.is_some() {
+            OptionalOutcome::Terminated
+        } else {
+            OptionalOutcome::Discarded
+        });
+    }
+
+    /// Forcibly finishes a job that is still incomplete at its next release
+    /// (deadline missed hard). The driver has already stopped the job's
+    /// work and finalized its parts via [`Engine::abort_part`].
+    pub fn finish_abort(&mut self, task: usize, now: Time) {
+        self.finish_job(task, now, false);
+    }
+
+    /// Records an optional part's real measured execution (the native
+    /// backend observes parts instead of simulating them): sets its start,
+    /// achieved execution, and outcome, and emits the start/end trace pair
+    /// at the measured instants.
+    pub fn part_observed(
+        &mut self,
+        task: usize,
+        k: usize,
+        started: Time,
+        executed: Span,
+        outcome: OptionalOutcome,
+    ) {
+        {
+            let part = &mut self.tasks[task].parts[k];
+            part.executed = executed;
+            part.running_since = None;
+            part.started = Some(started);
+            part.outcome = Some(outcome);
+        }
+        if self.rec.enabled() {
+            let job = self.tasks[task].job();
+            let hw = self.tasks[task].placements[k];
+            self.rec.record(
+                started,
+                TraceEvent::OptionalStarted {
+                    job,
+                    part: PartId(k as u32),
+                    hw: HwThreadId(hw as u32),
+                },
+            );
+            self.rec.record(
+                started + executed,
+                TraceEvent::OptionalEnded {
+                    job,
+                    part: PartId(k as u32),
+                    outcome,
+                    achieved: executed,
+                },
+            );
+        }
+    }
+
+    /// Credits migration cost to the task's real-time demand and budget
+    /// (the global ablation charges migrations to the migrating part).
+    pub fn add_migration_debt(&mut self, task: usize, cost: Span) {
+        let t = &mut self.tasks[task];
+        t.rt_remaining += cost;
+        t.rt_budget += cost;
+    }
+
+    fn finish_job(&mut self, task: usize, now: Time, deadline_met: bool) {
+        let job = {
+            let t = &mut self.tasks[task];
+            t.phase = JobPhase::Done; // finish/abort may bypass the table
+            t.job()
+        };
+        self.rec
+            .record(now, TraceEvent::WindupCompleted { job, deadline_met });
+        let requested = self.tasks[task].requested_optional();
+        let response = now.saturating_elapsed_since(self.tasks[task].release);
+        self.metrics.record_response_time(response);
+        // Stream the per-part results straight into the summary — no
+        // per-job QosRecord vector on the hot path.
+        let ratio = self.qos.record_job(
+            self.tasks[task]
+                .parts
+                .iter()
+                .map(|p| (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))),
+            requested,
+            deadline_met,
+            self.tasks[task].shed,
+        );
+        self.metrics.record_qos_level(ratio);
+        if self.sup.enabled() {
+            if self.tasks[task].overran {
+                // Already escalated at budget-cut time.
+            } else if deadline_met {
+                let resp = self.sup.on_clean_job(task, now);
+                if resp.recovered {
+                    self.rec.record(now, TraceEvent::DegradedModeExited);
+                }
+            } else {
+                // A miss without a budget overrun (stall-induced, lost
+                // timer, overrun into the next release) is still an
+                // overload signal.
+                let resp = self.sup.on_overrun(task, now);
+                if resp.quarantined_task {
+                    self.rec.record(now, TraceEvent::TaskQuarantined { job });
+                }
+                if resp.entered_degraded {
+                    self.rec.record(now, TraceEvent::DegradedModeEntered);
+                }
+            }
+        }
+        let t = &mut self.tasks[task];
+        t.jobs_done += 1;
+        if t.jobs_done >= self.jobs {
+            self.live -= 1;
+        }
+    }
+
+    /// Ends the run at `now`, surrendering everything the engine measured.
+    pub fn finish(mut self, now: Time) -> EngineOutput {
+        let faults = self.sup.finish(now);
+        EngineOutput {
+            qos: self.qos,
+            overheads: self.overheads,
+            metrics: self.metrics,
+            trace: self.rec.finish(),
+            faults,
+        }
+    }
+}

@@ -24,36 +24,20 @@
 //! exactly per SCHED_FIFO (preempted threads resume at the head of their
 //! level); equal-priority optional parts sharing a hardware thread are
 //! serialized FIFO. Everything is deterministic in the run seed.
+//!
+//! All protocol decisions live in the shared [`Engine`](crate::engine):
+//! this module is a *driver* that owns only the discrete-event mechanism —
+//! the event queue, per-CPU ready queues and preemption, and the
+//! [`OverheadModel`] whose RNG stream is sampled in exactly the order the
+//! protocol performs the underlying actions.
 
-use rtseed_model::{
-    JobId, JobPhase, OptionalOutcome, PartId, Priority, QosSummary, Span, TaskId,
-    Time,
-};
-use rtseed_sim::{
-    EventQueue, FaultTarget, FifoReadyQueue, OverheadKind, OverheadModel, TimerFault,
-};
+use rtseed_model::{HwThreadId, Priority, Span, Time};
+use rtseed_sim::{EventQueue, FifoReadyQueue, OverheadKind, OverheadModel};
 
 use crate::config::SystemConfig;
+use crate::engine::{AfterMandatory, Cursor, Engine, OdAction, WindupCommand};
 use crate::executor::{Backend, ExecError, Executor, Outcome, RunConfig};
-use crate::obs::{MetricsRegistry, QueueBand, QueueOp, TraceEvent, TraceRecorder};
-use crate::report::OverheadReport;
-use crate::supervisor::OverloadSupervisor;
-
-/// Former name of the unified [`RunConfig`]; every field carries over.
-#[deprecated(note = "use `rtseed::executor::RunConfig` (or the prelude)")]
-pub type SimRunConfig = RunConfig;
-
-/// Former name of the unified [`Outcome`]; every field carries over.
-#[deprecated(note = "use `rtseed::executor::Outcome` (or the prelude)")]
-pub type SimOutcome = Outcome;
-
-/// Which part of which task a scheduled unit of work belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Cursor {
-    Mandatory,
-    Optional(u32),
-    Windup,
-}
+use crate::obs::{QueueBand, QueueOp, TraceEvent};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Work {
@@ -89,82 +73,6 @@ struct Cpu {
     stalled: u32,
 }
 
-#[derive(Debug, Clone)]
-struct PartState {
-    executed: Span,
-    running_since: Option<Time>,
-    started: Option<Time>,
-    outcome: Option<OptionalOutcome>,
-}
-
-impl PartState {
-    fn fresh() -> PartState {
-        PartState {
-            executed: Span::ZERO,
-            running_since: None,
-            started: None,
-            outcome: None,
-        }
-    }
-}
-
-#[derive(Debug)]
-struct TaskRun {
-    // Static configuration.
-    mandatory_hw: usize,
-    placements: Vec<usize>,
-    mand_prio: Priority,
-    opt_prio: Priority,
-    period: Span,
-    deadline: Span,
-    mandatory: Span,
-    windup: Span,
-    optional: Vec<Span>,
-    od: Span,
-    // Per-job state.
-    seq: u64,
-    release: Time,
-    phase: JobPhase,
-    rt_remaining: Span,
-    /// Supervisor execution budget remaining for the current real-time
-    /// part (only enforced when the supervisor is armed).
-    rt_budget: Span,
-    parts: Vec<PartState>,
-    windup_scheduled: bool,
-    /// The task entered the SQ waiting for its wind-up release (traced so
-    /// the SQ enqueue/remove pair stays balanced).
-    in_sq: bool,
-    /// The current job exceeded a real-time budget (supervisor cut it).
-    overran: bool,
-    /// The current job ran with its optional parts shed (degraded mode or
-    /// quarantine).
-    shed: bool,
-    // Across jobs.
-    timer_broken: bool,
-    jobs_done: u64,
-}
-
-impl TaskRun {
-    fn od_time(&self) -> Time {
-        self.release + self.od
-    }
-
-    fn job(&self, id: usize) -> JobId {
-        JobId {
-            task: TaskId(id as u32),
-            seq: self.seq,
-        }
-    }
-
-    fn parts_all_ended(&self) -> bool {
-        self.parts.iter().all(|p| p.outcome.is_some())
-    }
-
-    fn requested_optional(&self) -> Span {
-        self.optional.iter().copied().sum()
-    }
-}
-
 /// The simulation executor.
 #[derive(Debug)]
 pub struct SimExecutor {
@@ -187,14 +95,20 @@ impl SimExecutor {
     pub fn run(&self) -> Outcome {
         let mut sim = SimState::new(&self.config, &self.run_cfg);
         sim.run();
-        let faults = sim.sup.finish(sim.now);
+        let SimState {
+            eng,
+            now,
+            events_processed,
+            ..
+        } = sim;
+        let out = eng.finish(now);
         Outcome {
-            overheads: sim.overheads,
-            qos: sim.qos,
-            trace: sim.rec.finish(),
-            metrics: sim.metrics,
-            faults,
-            events_processed: sim.events_processed,
+            overheads: out.overheads,
+            qos: out.qos,
+            trace: out.trace,
+            metrics: out.metrics,
+            faults: out.faults,
+            events_processed,
             ..Default::default()
         }
     }
@@ -216,20 +130,13 @@ impl Executor for SimExecutor {
 }
 
 struct SimState<'a> {
-    cfg: &'a SystemConfig,
     run: &'a RunConfig,
     now: Time,
     events: EventQueue<Event>,
     cpus: Vec<Cpu>,
-    tasks: Vec<TaskRun>,
+    eng: Engine,
     model: OverheadModel,
     gen_counter: u64,
-    overheads: OverheadReport,
-    qos: QosSummary,
-    rec: TraceRecorder,
-    metrics: MetricsRegistry,
-    live_tasks: usize,
-    sup: OverloadSupervisor,
     events_processed: u64,
     /// Reused buffer for per-part signal ready-times (Δb loop): cleared
     /// and refilled each mandatory completion instead of reallocated.
@@ -238,102 +145,32 @@ struct SimState<'a> {
 
 impl<'a> SimState<'a> {
     fn new(cfg: &'a SystemConfig, run: &'a RunConfig) -> SimState<'a> {
-        assert!(
-            run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
-            "rt_exec_fraction must be within (0, 1]"
-        );
         let topology = *cfg.topology();
         let cpus = (0..topology.hw_threads()).map(|_| Cpu::default()).collect();
-        let tasks = cfg
-            .set()
-            .iter()
-            .map(|(id, spec)| TaskRun {
-                mandatory_hw: cfg.mandatory_hw(id).index(),
-                placements: cfg
-                    .optional_placements(id)
-                    .iter()
-                    .map(|h| h.index())
-                    .collect(),
-                mand_prio: cfg.priorities().mandatory(id),
-                opt_prio: cfg.priorities().optional(id),
-                period: spec.period(),
-                deadline: spec.deadline(),
-                mandatory: spec.mandatory().mul_f64(run.rt_exec_fraction),
-                windup: spec.windup().mul_f64(run.rt_exec_fraction),
-                optional: spec.optional_parts().to_vec(),
-                od: cfg.optional_deadline(id),
-                seq: 0,
-                release: Time::ZERO,
-                phase: JobPhase::Done, // becomes Released at first release
-                rt_remaining: Span::ZERO,
-                rt_budget: Span::ZERO,
-                parts: Vec::new(),
-                windup_scheduled: false,
-                in_sq: false,
-                overran: false,
-                shed: false,
-                timer_broken: false,
-                jobs_done: 0,
-            })
-            .collect::<Vec<_>>();
-        let live_tasks = tasks.len();
-        let sup = OverloadSupervisor::new(run.supervisor, tasks.len());
+        let mut eng = Engine::new(cfg, run);
+        if run.jobs > 0 {
+            // One decision event per task records where the assignment
+            // policy placed its optional parts (paper Fig. 8).
+            eng.trace_policy_decisions(cfg);
+        }
         SimState {
-            cfg,
             run,
             now: Time::ZERO,
             events: EventQueue::new(),
             cpus,
-            tasks,
+            eng,
             model: OverheadModel::new(run.calibration, topology, run.load, run.seed),
             gen_counter: 0,
-            overheads: OverheadReport::new(),
-            qos: QosSummary::new(),
-            rec: TraceRecorder::new(run.trace_config()),
-            metrics: MetricsRegistry::new(),
-            live_tasks,
-            sup,
             events_processed: 0,
             signal_scratch: Vec::new(),
         }
-    }
-
-    fn trace(&mut self, ev: TraceEvent) {
-        self.rec.record(self.now, ev);
-    }
-
-    /// Records one overhead sample in both the per-kind sample report and
-    /// the histogram metrics.
-    fn sample(&mut self, kind: OverheadKind, value: Span) {
-        self.overheads.push(kind, value);
-        self.metrics.record_overhead(kind, value);
     }
 
     fn run(&mut self) {
         if self.run.jobs == 0 {
             return;
         }
-        // One decision event per task records where the assignment policy
-        // placed its optional parts (paper Fig. 8). Guarded: the label is a
-        // formatted string, not worth building with tracing off.
-        if self.rec.enabled() {
-            let topology = *self.cfg.topology();
-            let policy = self.cfg.policy();
-            for (idx, t) in self.tasks.iter().enumerate() {
-                let np = t.optional.len();
-                if np == 0 {
-                    continue;
-                }
-                let ev = TraceEvent::PolicyDecision {
-                    task: TaskId(idx as u32),
-                    policy: policy.label(),
-                    parts: np as u32,
-                    distinct_cores: policy.distinct_cores(&topology, np),
-                };
-                self.rec.record(Time::ZERO, ev);
-            }
-        }
-        for t in 0..self.tasks.len() {
+        for t in 0..self.eng.task_count() {
             self.events.push(
                 Time::ZERO,
                 Event::Release {
@@ -359,7 +196,7 @@ impl<'a> SimState<'a> {
             self.events
                 .push(stall.at + stall.duration, Event::StallEnd { hw });
         }
-        while self.live_tasks > 0 {
+        while self.eng.has_live_tasks() {
             let Some((at, event)) = self.events.pop() else {
                 break;
             };
@@ -384,7 +221,7 @@ impl<'a> SimState<'a> {
         // A job may complete at the very instant of the next release; the
         // completion event is already queued ahead of us (FIFO), so requeue
         // the release once to let it land before declaring an overrun.
-        if self.tasks[task].phase != JobPhase::Done && !retried {
+        if self.eng.job_in_flight(task) && !retried {
             self.events.push(
                 self.now,
                 Event::Release {
@@ -396,56 +233,21 @@ impl<'a> SimState<'a> {
         }
         // Abort a job that overran into its next release (deadline missed
         // hard): finalize it so the new job starts clean.
-        if self.tasks[task].jobs_done > 0 || self.tasks[task].phase != JobPhase::Done {
-            if self.tasks[task].phase != JobPhase::Done {
+        if self.eng.jobs_done(task) > 0 || self.eng.job_in_flight(task) {
+            if self.eng.job_in_flight(task) {
                 self.abort_job(task);
             }
-            if self.tasks[task].jobs_done >= self.run.jobs {
+            if self.eng.jobs_done(task) >= self.run.jobs {
                 return;
             }
         }
 
         let release = self.now;
-        let next_seq = self.tasks[task].jobs_done;
-        let mand_factor =
-            self.run
-                .fault_plan
-                .wcet_factor(task as u32, next_seq, FaultTarget::Mandatory);
-        let timer_fault = self.run.fault_plan.timer_fault(task as u32, next_seq);
-        let t = &mut self.tasks[task];
-        t.release = release;
-        t.seq = t.jobs_done;
-        t.phase = JobPhase::Released;
-        t.rt_remaining = t.mandatory.mul_f64(mand_factor);
-        // Reset part states in place: after the first job this reuses the
-        // Vec's capacity, so releases allocate nothing in steady state.
-        t.parts.clear();
-        t.parts.resize(t.optional.len(), PartState::fresh());
-        t.windup_scheduled = false;
-        t.in_sq = false;
-        t.overran = false;
-        t.shed = false;
-        let seq = t.seq;
-        let period = t.period;
-        let od_time = t.od_time();
-        let has_parts = !t.optional.is_empty();
-        let jobs_done = t.jobs_done;
-        let job = t.job(task);
-        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].mandatory);
-
-        self.trace(TraceEvent::JobReleased { job });
-        if mand_factor != 1.0 {
-            self.sup.note_wcet_fault();
-            self.trace(TraceEvent::WcetFaultInjected {
-                job,
-                target: FaultTarget::Mandatory,
-                factor: mand_factor,
-            });
-        }
+        let rel = self.eng.release(task, release);
 
         // Δm: wake-up latency before the mandatory thread is runnable.
         let dm = self.model.begin_mandatory();
-        self.sample(OverheadKind::BeginMandatory, dm);
+        self.eng.sample(OverheadKind::BeginMandatory, dm);
         self.events.push(
             release + dm,
             Event::Ready {
@@ -459,38 +261,16 @@ impl<'a> SimState<'a> {
         // The optional-deadline timer (armed per job; the handler no-ops if
         // the Table I signal-mask defect broke the timer). The fault plan
         // may delay the one-shot or lose it outright.
-        if has_parts {
-            match timer_fault {
-                None => {
-                    self.trace(TraceEvent::TimerArmed { job, at: od_time });
-                    self.events.push(od_time, Event::OdExpire { task, seq });
-                }
-                Some(TimerFault::Delay(d)) => {
-                    self.sup.note_timer_fault();
-                    self.trace(TraceEvent::TimerFaultInjected {
-                        job,
-                        fault: TimerFault::Delay(d),
-                    });
-                    self.trace(TraceEvent::TimerArmed {
-                        job,
-                        at: od_time + d,
-                    });
-                    self.events.push(od_time + d, Event::OdExpire { task, seq });
-                }
-                Some(TimerFault::Lost) => {
-                    self.sup.note_timer_fault();
-                    self.trace(TraceEvent::TimerFaultInjected {
-                        job,
-                        fault: TimerFault::Lost,
-                    });
-                }
+        if rel.has_parts {
+            if let Some(at) = self.eng.arm_timer(task, release) {
+                self.events.push(at, Event::OdExpire { task, seq: rel.seq });
             }
         }
 
         // Periodic releases continue while jobs remain.
-        if jobs_done + 1 < self.run.jobs {
+        if let Some(at) = rel.next_release {
             self.events.push(
-                release + period,
+                at,
                 Event::Release {
                     task,
                     retried: false,
@@ -500,20 +280,27 @@ impl<'a> SimState<'a> {
     }
 
     fn on_ready(&mut self, work: Work) {
-        let t = &self.tasks[work.task];
         let (hw, prio) = match work.cursor {
-            Cursor::Mandatory | Cursor::Windup => (t.mandatory_hw, t.mand_prio),
-            Cursor::Optional(k) => (t.placements[k as usize], t.opt_prio),
+            Cursor::Mandatory | Cursor::Windup => {
+                (self.eng.mandatory_hw(work.task), self.eng.mand_prio(work.task))
+            }
+            Cursor::Optional(k) => (
+                self.eng.placement(work.task, k as usize),
+                self.eng.opt_prio(work.task),
+            ),
         };
         // Hot path: build the queue event only when someone is recording.
-        if self.rec.enabled() {
-            let job = t.job(work.task);
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::of(prio),
-                op: QueueOp::Enqueue,
-                job,
-                hw: Some(rtseed_model::HwThreadId(hw as u32)),
-            });
+        if self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Enqueue,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
         }
         self.cpus[hw].queue.enqueue(prio, work);
         self.resched(hw);
@@ -529,350 +316,136 @@ impl<'a> SimState<'a> {
         self.cpus[hw].running = None;
         let work = running.work;
         if matches!(work.cursor, Cursor::Mandatory | Cursor::Windup) {
-            // Bank what actually ran. Under an armed supervisor the
-            // dispatched slice was clipped to the remaining budget, so
-            // demand left over here means the part hit its budget: cut it
-            // (treat it as complete) instead of letting the overrun eat
-            // into lower-priority parts' response times.
+            // Bank what actually ran; the engine cuts the part at its
+            // supervisor budget if demand remains.
             let ran = self.now.saturating_elapsed_since(running.since);
-            self.bank_execution(work, ran);
-            if self.sup.enabled() && !self.tasks[work.task].rt_remaining.is_zero() {
-                self.budget_cut(work);
-            }
+            self.eng.bank(work.task, work.cursor, ran);
+            self.eng.cut_if_over_budget(work.task, work.cursor, self.now);
         }
         match work.cursor {
-            Cursor::Mandatory => self.mandatory_completed(work.task),
-            Cursor::Optional(k) => self.optional_completed(work.task, k),
-            Cursor::Windup => self.windup_completed(work.task),
+            Cursor::Mandatory => {
+                let after = self.eng.mandatory_completed(work.task, self.now);
+                self.after_mandatory(work.task, after);
+            }
+            Cursor::Optional(k) => {
+                if let Some(cmd) = self.eng.optional_completed(work.task, k, self.now) {
+                    self.apply_windup(work.task, cmd);
+                }
+            }
+            Cursor::Windup => {
+                self.eng.windup_completed(work.task, self.now);
+            }
         }
         self.resched(hw);
     }
 
-    /// A supervised real-time part reached its execution budget with
-    /// demand remaining: shed the excess and escalate.
-    fn budget_cut(&mut self, work: Work) {
-        let task = work.task;
-        let target = match work.cursor {
-            Cursor::Windup => FaultTarget::Windup,
-            _ => FaultTarget::Mandatory,
-        };
-        self.tasks[task].rt_remaining = Span::ZERO;
-        self.tasks[task].overran = true;
-        self.sup.note_budget_cut();
-        let job = self.tasks[task].job(task);
-        self.trace(TraceEvent::BudgetCut { job, target });
-        let resp = self.sup.on_overrun(task, self.now);
-        if resp.quarantined_task {
-            self.trace(TraceEvent::TaskQuarantined { job });
-        }
-        if resp.entered_degraded {
-            self.trace(TraceEvent::DegradedModeEntered);
-        }
-    }
-
-    fn mandatory_completed(&mut self, task: usize) {
-        let job = self.tasks[task].job(task);
-        self.trace(TraceEvent::MandatoryCompleted { job });
-
-        let od_time = self.tasks[task].od_time();
-        let np = self.tasks[task].optional.len();
-        let seq = self.tasks[task].seq;
-
-        if np == 0 {
-            // Degenerate models: no optional parts.
-            if self.tasks[task].windup.is_zero() {
-                // Pure Liu–Layland task: the job is complete.
-                self.finish_job(task, true);
-            } else {
-                let at = self.now.max(od_time);
-                self.tasks[task].phase = JobPhase::OptionalRunning;
-                self.schedule_windup(task, seq, at);
-            }
-            return;
-        }
-
-        if self.now >= od_time {
-            // §II-B: mandatory part overran the optional deadline — every
-            // optional part is discarded and the wind-up part runs
-            // immediately after the mandatory part.
-            for k in 0..np {
-                self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
-                if self.rec.enabled() {
-                    let job = self.tasks[task].job(task);
-                    self.trace(TraceEvent::OptionalEnded {
-                        job,
-                        part: PartId(k as u32),
-                        outcome: OptionalOutcome::Discarded,
-                        achieved: Span::ZERO,
-                    });
+    /// Maps the engine's post-mandatory decision onto the event queue: the
+    /// Δb `pthread_cond_signal` loop and the Δs mandatory→optional switch
+    /// for signalled parts, or the wind-up command otherwise.
+    fn after_mandatory(&mut self, task: usize, after: AfterMandatory) {
+        match after {
+            AfterMandatory::Windup(cmd) => self.apply_windup(task, cmd),
+            AfterMandatory::Signal { np } => {
+                // Δb: the signal loop over all parallel optional threads,
+                // executed sequentially by the mandatory thread. The
+                // ready-time buffer is a reused scratch vector (taken out
+                // of self to keep the borrow checker happy across the model
+                // calls), so the signalling loop allocates nothing after
+                // the first job.
+                let mut ready_times = std::mem::take(&mut self.signal_scratch);
+                ready_times.clear();
+                let mut cum = Span::ZERO;
+                for _ in 0..np {
+                    cum += self.model.signal_one_optional();
+                    ready_times.push(self.now + cum);
                 }
-            }
-            self.tasks[task].phase = JobPhase::OptionalRunning;
-            self.schedule_windup(task, seq, self.now);
-            return;
-        }
+                self.eng.sample(OverheadKind::BeginOptional, cum);
 
-        if self.sup.shed_optional(task) {
-            // Overload supervisor: degraded mode or task quarantine —
-            // optional parts are shed (discarded unstarted), the wind-up
-            // part runs right after the mandatory part. No signalling, no
-            // Δb/Δs, no OD-timer interference: minimum service, maximum
-            // headroom.
-            self.sup.note_degraded_job();
-            self.tasks[task].shed = true;
-            for k in 0..np {
-                self.tasks[task].parts[k].outcome = Some(OptionalOutcome::Discarded);
-                if self.rec.enabled() {
-                    let job = self.tasks[task].job(task);
-                    self.trace(TraceEvent::OptionalEnded {
-                        job,
-                        part: PartId(k as u32),
-                        outcome: OptionalOutcome::Discarded,
-                        achieved: Span::ZERO,
-                    });
+                // Δs: the mandatory→optional context switch; parts placed
+                // on the mandatory thread's own processor additionally wait
+                // for it.
+                let ds = self.model.switch_to_optional(np);
+                self.eng.sample(OverheadKind::SwitchToOptional, ds);
+
+                let mandatory_hw = self.eng.mandatory_hw(task);
+                for (k, &base) in ready_times.iter().enumerate() {
+                    let at = if self.eng.placement(task, k) == mandatory_hw {
+                        base + ds
+                    } else {
+                        base
+                    };
+                    self.events.push(
+                        at,
+                        Event::Ready {
+                            work: Work {
+                                task,
+                                cursor: Cursor::Optional(k as u32),
+                            },
+                        },
+                    );
                 }
+                self.signal_scratch = ready_times;
             }
-            self.tasks[task].phase = JobPhase::OptionalRunning;
-            self.schedule_windup(task, seq, self.now);
-            return;
-        }
-
-        self.tasks[task].phase = JobPhase::OptionalRunning;
-
-        // Δb: the pthread_cond_signal loop over all parallel optional
-        // threads, executed sequentially by the mandatory thread. The
-        // ready-time buffer is a reused scratch vector (taken out of self
-        // to keep the borrow checker happy across the model calls), so the
-        // signalling loop allocates nothing after the first job.
-        let mut ready_times = std::mem::take(&mut self.signal_scratch);
-        ready_times.clear();
-        let mut cum = Span::ZERO;
-        for _ in 0..np {
-            cum += self.model.signal_one_optional();
-            ready_times.push(self.now + cum);
-        }
-        self.sample(OverheadKind::BeginOptional, cum);
-
-        // Δs: the mandatory→optional context switch; parts placed on the
-        // mandatory thread's own processor additionally wait for it.
-        let ds = self.model.switch_to_optional(np);
-        self.sample(OverheadKind::SwitchToOptional, ds);
-
-        let mandatory_hw = self.tasks[task].mandatory_hw;
-        for (k, &base) in ready_times.iter().enumerate() {
-            let at = if self.tasks[task].placements[k] == mandatory_hw {
-                base + ds
-            } else {
-                base
-            };
-            self.events.push(
-                at,
-                Event::Ready {
-                    work: Work {
-                        task,
-                        cursor: Cursor::Optional(k as u32),
-                    },
-                },
-            );
-        }
-        self.signal_scratch = ready_times;
-    }
-
-    fn optional_completed(&mut self, task: usize, k: u32) {
-        let ki = k as usize;
-        let o_k = self.tasks[task].optional[ki];
-        {
-            let part = &mut self.tasks[task].parts[ki];
-            part.executed = o_k;
-            part.running_since = None;
-            part.outcome = Some(OptionalOutcome::Completed);
-        }
-        if self.rec.enabled() {
-            let job = self.tasks[task].job(task);
-            self.trace(TraceEvent::OptionalEnded {
-                job,
-                part: PartId(k),
-                outcome: OptionalOutcome::Completed,
-                achieved: o_k,
-            });
-        }
-
-        if self.tasks[task].parts_all_ended() && !self.tasks[task].windup_scheduled {
-            // All parts completed before the optional deadline: the
-            // optional-deadline timer is stopped and the task sleeps in the
-            // SQ until OD, when the wind-up part is released (§IV-B).
-            let job = self.tasks[task].job(task);
-            self.trace(TraceEvent::TimerCancelled { job });
-            let at = self.now.max(self.tasks[task].od_time());
-            let seq = self.tasks[task].seq;
-            self.schedule_windup(task, seq, at);
         }
     }
 
-    fn windup_completed(&mut self, task: usize) {
-        let deadline = self.tasks[task].release + self.tasks[task].deadline;
-        self.finish_job(task, self.now <= deadline);
+    /// Maps a wind-up command onto the event queue (a `Finished` or
+    /// `AlreadyScheduled` command needs no mechanism).
+    fn apply_windup(&mut self, task: usize, cmd: WindupCommand) {
+        if let WindupCommand::At { at, seq } = cmd {
+            self.events.push(at, Event::WindupReady { task, seq });
+        }
     }
 
     fn on_od_expire(&mut self, task: usize, seq: u64) {
-        if self.tasks[task].seq != seq
-            || self.tasks[task].jobs_done != seq
-            || self.tasks[task].phase == JobPhase::Done
-        {
-            return; // stale timer from an already-finished job
-        }
-        if self.tasks[task].timer_broken {
-            // Table I: the try-catch implementation does not restore the
-            // signal mask, so "the timer interrupt of the next job does not
-            // occur" — optional parts now run unchecked.
-            return;
-        }
-        let job = self.tasks[task].job(task);
-        self.trace(TraceEvent::OptionalDeadlineExpired { job });
-
-        if self.tasks[task].phase != JobPhase::OptionalRunning {
-            // Mandatory part still running: nothing to terminate — the
-            // discard path triggers at mandatory completion.
-            return;
-        }
-        if self.tasks[task].parts_all_ended() {
-            return; // timer was (conceptually) cancelled by early completion
-        }
-
-        // Termination happens when the timer actually fires: `self.now` is
-        // the nominal OD normally, later if the fault plan delayed the
-        // one-shot (parts kept running in the meantime).
-        let term_at = self.now;
-        let topology = *self.cfg.topology();
-        let mode = self.run.termination;
-
-        // Terminate every un-ended part, in part order. Termination
-        // handling (timer interrupt, stack restore, completion signal) is
-        // serialized — the O(npᵢ) mechanism behind Fig. 13 — and hops
-        // between cores cost extra under load.
-        let mut handling = Span::ZERO;
-        let mut max_lag = Span::ZERO;
-        let mut prev_core: Option<rtseed_model::CoreId> = None;
-        let np = self.tasks[task].optional.len();
-        for k in 0..np {
-            if self.tasks[task].parts[k].outcome.is_some() {
-                continue;
-            }
-            let hw = self.tasks[task].placements[k];
-            let core = topology.core_of(rtseed_model::HwThreadId(hw as u32));
-            let cross = prev_core.is_some_and(|c| c != core);
-            prev_core = Some(core);
-            handling += self.model.end_one_part(cross);
-
-            // Achieved execution: whatever ran before OD, plus (for
-            // cooperative modes) the lag until the next checkpoint.
-            let o_k = self.tasks[task].optional[k];
-            let (achieved, lag) = {
-                let part = &self.tasks[task].parts[k];
-                match part.running_since {
-                    Some(since) => {
-                        let lag = mode
-                            .termination_lag(part.started.unwrap_or(since), term_at);
-                        let ran = term_at.saturating_elapsed_since(since) + lag;
-                        ((part.executed + ran).min(o_k), lag)
-                    }
-                    None => (part.executed, Span::ZERO),
+        match self.eng.od_expired(task, seq, self.now) {
+            OdAction::Stale | OdAction::Handled => {}
+            OdAction::Terminate { np } => {
+                // Terminate every un-ended part, in part order. Termination
+                // handling is serialized — the O(npᵢ) mechanism behind
+                // Fig. 13 — and hops between cores cost extra under load.
+                for k in 0..np {
+                    let Some(target) = self.eng.plan_terminate(task, k) else {
+                        continue;
+                    };
+                    let cost = self.model.end_one_part(target.cross_core);
+                    self.eng.note_termination_cost(cost);
+                    // Remove the part from its processor (running or
+                    // queued).
+                    self.stop_work(
+                        target.hw,
+                        Work {
+                            task,
+                            cursor: Cursor::Optional(k as u32),
+                        },
+                        target.prio,
+                    );
+                    self.eng.commit_terminate(task, k, self.now);
                 }
-            };
-            max_lag = max_lag.max(lag);
-
-            // Remove the part from its processor (running or queued).
-            self.stop_work(
-                hw,
-                Work {
-                    task,
-                    cursor: Cursor::Optional(k as u32),
-                },
-                self.tasks[task].opt_prio,
-            );
-
-            let outcome = if achieved >= o_k {
-                OptionalOutcome::Completed
-            } else {
-                OptionalOutcome::Terminated
-            };
-            {
-                let part = &mut self.tasks[task].parts[k];
-                part.executed = achieved;
-                part.running_since = None;
-                part.outcome = Some(outcome);
-            }
-            if self.rec.enabled() {
-                let job = self.tasks[task].job(task);
-                self.trace(TraceEvent::OptionalEnded {
-                    job,
-                    part: PartId(k as u32),
-                    outcome,
-                    achieved,
-                });
+                let cmd = self.eng.finish_termination(task, self.now);
+                self.apply_windup(task, cmd);
             }
         }
-
-        self.sample(OverheadKind::EndOptional, handling + max_lag);
-
-        if mode.models_signal_mask_defect() {
-            self.tasks[task].timer_broken = true;
-        }
-
-        let windup_at = term_at + max_lag + handling;
-        self.schedule_windup(task, seq, windup_at);
     }
 
     fn on_windup_ready(&mut self, task: usize, seq: u64) {
-        if self.tasks[task].seq != seq || self.tasks[task].phase == JobPhase::Done {
-            return;
-        }
-        if self.tasks[task].in_sq {
-            self.tasks[task].in_sq = false;
-            let job = self.tasks[task].job(task);
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::Sq,
-                op: QueueOp::Remove,
-                job,
-                hw: None,
+        if self.eng.windup_ready(task, seq, self.now) {
+            self.on_ready(Work {
+                task,
+                cursor: Cursor::Windup,
             });
         }
-        let factor = self
-            .run
-            .fault_plan
-            .wcet_factor(task as u32, seq, FaultTarget::Windup);
-        self.tasks[task].phase = JobPhase::WindupRunning;
-        self.tasks[task].rt_remaining = self.tasks[task].windup.mul_f64(factor);
-        self.tasks[task].rt_budget = self.sup.budget(self.tasks[task].windup);
-        let job = self.tasks[task].job(task);
-        self.trace(TraceEvent::WindupStarted { job });
-        if factor != 1.0 {
-            self.sup.note_wcet_fault();
-            self.trace(TraceEvent::WcetFaultInjected {
-                job,
-                target: FaultTarget::Windup,
-                factor,
-            });
-        }
-        self.on_ready(Work {
-            task,
-            cursor: Cursor::Windup,
-        });
     }
 
     fn on_stall_start(&mut self, hw: usize, duration: Span) {
-        self.sup.note_cpu_stall();
-        self.trace(TraceEvent::CpuStallStarted {
-            hw: rtseed_model::HwThreadId(hw as u32),
-            duration,
-        });
+        self.eng.stall_started(hw, duration, self.now);
         self.cpus[hw].stalled += 1;
         // Whatever was running loses the processor; its banked progress is
         // kept and it resumes at the head of its priority level when the
         // stall window closes.
         if let Some(r) = self.cpus[hw].running.take() {
             let ran = self.now.saturating_elapsed_since(r.since);
-            self.bank_execution(r.work, ran);
+            self.eng.bank(r.work.task, r.work.cursor, ran);
             self.cpus[hw].queue.enqueue_front(r.prio, r.work);
         }
     }
@@ -886,102 +459,21 @@ impl<'a> SimState<'a> {
 
     // ----- helpers --------------------------------------------------------
 
-    fn schedule_windup(&mut self, task: usize, seq: u64, at: Time) {
-        if self.tasks[task].windup_scheduled {
-            return;
-        }
-        self.tasks[task].windup_scheduled = true;
-        if self.tasks[task].windup.is_zero() {
-            // No wind-up part: the job ends once its optional side is done.
-            let deadline = self.tasks[task].release + self.tasks[task].deadline;
-            self.finish_job(task, at <= deadline);
-            return;
-        }
-        if at > self.now {
-            // The task sleeps in the SQ until its wind-up release (§IV-B).
-            self.tasks[task].in_sq = true;
-            let job = self.tasks[task].job(task);
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::Sq,
-                op: QueueOp::Enqueue,
-                job,
-                hw: None,
-            });
-        }
-        self.events.push(at, Event::WindupReady { task, seq });
-    }
-
-    fn finish_job(&mut self, task: usize, deadline_met: bool) {
-        let job = {
-            let t = &mut self.tasks[task];
-            t.phase = JobPhase::Done;
-            JobId {
-                task: TaskId(task as u32),
-                seq: t.seq,
-            }
-        };
-        self.trace(TraceEvent::WindupCompleted { job, deadline_met });
-        let requested = self.tasks[task].requested_optional();
-        let response = self
-            .now
-            .saturating_elapsed_since(self.tasks[task].release);
-        self.metrics.record_response_time(response);
-        // Stream the per-part results straight into the summary — no
-        // per-job QosRecord vector on the hot path.
-        let ratio = self.qos.record_job(
-            self.tasks[task]
-                .parts
-                .iter()
-                .map(|p| (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))),
-            requested,
-            deadline_met,
-            self.tasks[task].shed,
-        );
-        self.metrics.record_qos_level(ratio);
-        if self.sup.enabled() {
-            if self.tasks[task].overran {
-                // Already escalated at budget-cut time.
-            } else if deadline_met {
-                let resp = self.sup.on_clean_job(task, self.now);
-                if resp.recovered {
-                    self.trace(TraceEvent::DegradedModeExited);
-                }
-            } else {
-                // A miss without a budget overrun (stall-induced, lost
-                // timer, overrun into the next release) is still an
-                // overload signal.
-                let resp = self.sup.on_overrun(task, self.now);
-                if resp.quarantined_task {
-                    self.trace(TraceEvent::TaskQuarantined { job });
-                }
-                if resp.entered_degraded {
-                    self.trace(TraceEvent::DegradedModeEntered);
-                }
-            }
-        }
-        let t = &mut self.tasks[task];
-        t.jobs_done += 1;
-        if t.jobs_done >= self.run.jobs {
-            self.live_tasks -= 1;
-        }
-    }
-
     /// Forcibly ends a job that is still incomplete at its next release.
     fn abort_job(&mut self, task: usize) {
-        let np = self.tasks[task].optional.len();
         // Scrub real-time work.
-        let mand_hw = self.tasks[task].mandatory_hw;
-        let mand_prio = self.tasks[task].mand_prio;
+        let mand_hw = self.eng.mandatory_hw(task);
+        let mand_prio = self.eng.mand_prio(task);
         for cursor in [Cursor::Mandatory, Cursor::Windup] {
             self.stop_work(mand_hw, Work { task, cursor }, mand_prio);
         }
         // Scrub optional work and finalize outcomes.
-        for k in 0..np {
-            if self.tasks[task].parts[k].outcome.is_some() {
+        for k in 0..self.eng.part_count(task) {
+            if self.eng.part_ended(task, k) {
                 continue;
             }
-            let hw = self.tasks[task].placements[k];
-            let opt_prio = self.tasks[task].opt_prio;
+            let hw = self.eng.placement(task, k);
+            let opt_prio = self.eng.opt_prio(task);
             self.stop_work(
                 hw,
                 Work {
@@ -990,17 +482,9 @@ impl<'a> SimState<'a> {
                 },
                 opt_prio,
             );
-            let part = &mut self.tasks[task].parts[k];
-            if let Some(since) = part.running_since.take() {
-                part.executed += self.now.saturating_elapsed_since(since);
-            }
-            part.outcome = Some(if part.started.is_some() {
-                OptionalOutcome::Terminated
-            } else {
-                OptionalOutcome::Discarded
-            });
+            self.eng.abort_part(task, k, self.now);
         }
-        self.finish_job(task, false);
+        self.eng.finish_abort(task, self.now);
     }
 
     /// Stops `work` on `hw` whether it is currently running or queued.
@@ -1010,31 +494,19 @@ impl<'a> SimState<'a> {
             let r = cpu.running.take().expect("checked");
             // Bank the execution it achieved up to now.
             let ran = self.now.saturating_elapsed_since(r.since);
-            self.bank_execution(work, ran);
+            self.eng.bank(work.task, work.cursor, ran);
             self.resched(hw);
-        } else if self.cpus[hw].queue.remove(prio, &work) && self.rec.enabled() {
-            let job = self.tasks[work.task].job(work.task);
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::of(prio),
-                op: QueueOp::Remove,
-                job,
-                hw: Some(rtseed_model::HwThreadId(hw as u32)),
-            });
-        }
-    }
-
-    fn bank_execution(&mut self, work: Work, ran: Span) {
-        let t = &mut self.tasks[work.task];
-        match work.cursor {
-            Cursor::Mandatory | Cursor::Windup => {
-                t.rt_remaining = t.rt_remaining.saturating_sub(ran);
-                t.rt_budget = t.rt_budget.saturating_sub(ran);
-            }
-            Cursor::Optional(k) => {
-                let part = &mut t.parts[k as usize];
-                part.executed += ran;
-                part.running_since = None;
-            }
+        } else if self.cpus[hw].queue.remove(prio, &work) && self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Remove,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
         }
     }
 
@@ -1052,7 +524,7 @@ impl<'a> SimState<'a> {
             if waiting.is_some_and(|p| p > running.prio) {
                 self.cpus[hw].running = None;
                 let ran = self.now.saturating_elapsed_since(running.since);
-                self.bank_execution(running.work, ran);
+                self.eng.bank(running.work.task, running.work.cursor, ran);
                 // Preempted SCHED_FIFO threads resume at the head of their
                 // level.
                 self.cpus[hw]
@@ -1066,16 +538,19 @@ impl<'a> SimState<'a> {
         let Some((prio, work)) = self.cpus[hw].queue.dequeue_highest() else {
             return;
         };
-        if self.rec.enabled() {
-            let job = self.tasks[work.task].job(work.task);
-            self.trace(TraceEvent::Queue {
-                band: QueueBand::of(prio),
-                op: QueueOp::Dispatch,
-                job,
-                hw: Some(rtseed_model::HwThreadId(hw as u32)),
-            });
+        if self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Dispatch,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
         }
-        let remaining = self.dispatch_bookkeeping(work);
+        let remaining = self.eng.on_dispatch(work.task, work.cursor, hw, self.now);
         self.gen_counter += 1;
         let gen = self.gen_counter;
         self.cpus[hw].running = Some(Running {
@@ -1086,67 +561,6 @@ impl<'a> SimState<'a> {
         });
         self.events.push(self.now + remaining, Event::Complete { hw, gen });
     }
-
-    /// Remaining execution to dispatch for a real-time part: the demand,
-    /// clipped to the supervisor budget when the supervisor is armed.
-    fn rt_slice(&self, task: usize) -> Span {
-        let t = &self.tasks[task];
-        if self.sup.enabled() {
-            t.rt_remaining.min(t.rt_budget)
-        } else {
-            t.rt_remaining
-        }
-    }
-
-    /// Updates per-part/per-phase state at dispatch; returns remaining
-    /// execution.
-    fn dispatch_bookkeeping(&mut self, work: Work) -> Span {
-        match work.cursor {
-            Cursor::Mandatory => {
-                let first = self.tasks[work.task].phase == JobPhase::Released;
-                if first {
-                    self.tasks[work.task].phase = JobPhase::MandatoryRunning;
-                    let job = self.tasks[work.task].job(work.task);
-                    let hw = self.tasks[work.task].mandatory_hw;
-                    let jitter = self
-                        .now
-                        .saturating_elapsed_since(self.tasks[work.task].release);
-                    self.metrics.record_release_jitter(jitter);
-                    self.trace(TraceEvent::MandatoryStarted {
-                        job,
-                        hw: rtseed_model::HwThreadId(hw as u32),
-                    });
-                }
-                self.rt_slice(work.task)
-            }
-            Cursor::Windup => self.rt_slice(work.task),
-            Cursor::Optional(k) => {
-                let o_k = self.tasks[work.task].optional[k as usize];
-                let now = self.now;
-                let task_idx = work.task;
-                let first_start = {
-                    let part = &mut self.tasks[task_idx].parts[k as usize];
-                    part.running_since = Some(now);
-                    if part.started.is_none() {
-                        part.started = Some(now);
-                        true
-                    } else {
-                        false
-                    }
-                };
-                if first_start && self.rec.enabled() {
-                    let job = self.tasks[task_idx].job(task_idx);
-                    let hw = self.tasks[task_idx].placements[k as usize];
-                    self.trace(TraceEvent::OptionalStarted {
-                        job,
-                        part: PartId(k),
-                        hw: rtseed_model::HwThreadId(hw as u32),
-                    });
-                }
-                o_k.saturating_sub(self.tasks[task_idx].parts[k as usize].executed)
-            }
-        }
-    }
 }
 
 #[cfg(test)]
@@ -1156,7 +570,7 @@ mod tests {
     use crate::supervisor::SupervisorConfig;
     use crate::termination::TerminationMode;
     use rtseed_model::{TaskId, TaskSet, TaskSpec, Topology};
-    use rtseed_sim::FaultPlan;
+    use rtseed_sim::{FaultPlan, FaultTarget, TimerFault};
 
     fn paper_set(np: usize) -> TaskSet {
         let t = TaskSpec::builder("τ1")

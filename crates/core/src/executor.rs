@@ -98,8 +98,9 @@ impl Backend {
 ///
 /// Each backend reads the subset that applies to it and ignores the rest
 /// (the simulator ignores `attempt_rt`; the native runtime ignores
-/// `calibration`, `load`, `seed`, `migration_cost`; the global ablation
-/// ignores `calibration`, `load`, `termination`). Construct it with
+/// `calibration`, `load`, `seed`, `migration_cost`, `fault_plan`,
+/// `supervisor`; the global ablation ignores `calibration`,
+/// `load`). Construct it with
 /// [`RunConfig::builder`] for validation, or as a struct literal with
 /// `..Default::default()`.
 #[derive(Debug, Clone)]
@@ -313,9 +314,9 @@ impl std::error::Error for RunConfigError {}
 /// Unified results of a run on any backend.
 ///
 /// Fields a backend does not produce hold their empty/zero defaults
-/// (e.g. `migrations` is 0 for the partitioned backends, `overheads` is
-/// empty for the global ablation, `runtime` is all-default off the
-/// native backend).
+/// (e.g. `migrations` is 0 for the partitioned backends, `runtime` is
+/// all-default off the native backend; the global ablation records only
+/// the termination overhead Δe, since its dispatch itself is costless).
 #[derive(Debug, Clone, Default)]
 pub struct Outcome {
     /// QoS summary across all jobs of all tasks.

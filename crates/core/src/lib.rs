@@ -22,6 +22,9 @@
 //!   All by All, paper Fig. 8).
 //! * [`queues`] — the middleware's four logical queues (RTQ, NRTQ, SQ, HPQ)
 //!   over the kernel's per-CPU FIFO priority queues.
+//! * [`engine::Engine`] — the backend-independent P-RMWP part state
+//!   machine (release → mandatory → parallel optional → OD termination →
+//!   wind-up), shared by every executor; backends are thin drivers.
 //! * [`exec_sim::SimExecutor`] — runs the full Fig. 6 protocol on the
 //!   `rtseed-sim` discrete-event many-core substrate, measuring the four
 //!   overheads (Δm, Δb, Δs, Δe) exactly as §V-B does.
@@ -68,6 +71,7 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod config;
+pub mod engine;
 pub mod exec_global;
 pub mod exec_sim;
 pub mod executor;
@@ -84,10 +88,8 @@ pub mod termination;
 
 pub use config::{ConfigError, SystemConfig};
 pub use executor::{Backend, ExecError, Executor, Outcome, RunConfig, RunConfigError};
-#[allow(deprecated)]
-pub use exec_global::{GlobalExecutor, GlobalOutcome, GlobalRunConfig};
-#[allow(deprecated)]
-pub use exec_sim::{SimExecutor, SimOutcome, SimRunConfig};
+pub use exec_global::GlobalExecutor;
+pub use exec_sim::SimExecutor;
 pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;
 pub use report::{FaultReport, OverheadReport};

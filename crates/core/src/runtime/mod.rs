@@ -32,14 +32,13 @@ use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use rtseed_model::{
-    HwThreadId, JobId, OptionalOutcome, PartId, QosRecord, QosSummary, Span, TaskId, Time,
-};
+use rtseed_model::{JobId, OptionalOutcome, PartId, QosSummary, Span, TaskId, Time};
 use rtseed_sim::OverheadKind;
 
 use crate::config::SystemConfig;
+use crate::engine::{AfterMandatory, Cursor, Engine, WindupCommand};
 use crate::executor::{Backend, ExecError, Executor, Outcome, RunConfig};
-use crate::obs::{MetricsRegistry, Trace, TraceConfig, TraceEvent, TraceRecorder};
+use crate::obs::{MetricsRegistry, Trace, TraceEvent};
 use crate::report::{FaultReport, OverheadReport};
 use crate::termination::TerminationMode;
 
@@ -185,13 +184,6 @@ impl TaskBody {
     }
 }
 
-/// Former name of the unified [`RunConfig`]; the native backend reads its
-/// `jobs`, `termination`, `attempt_rt` and `trace` fields. Note the unified
-/// default is `jobs: 100` (the old native default was 10) — set `jobs`
-/// explicitly when migrating.
-#[deprecated(note = "use `rtseed::executor::RunConfig` (or the prelude)")]
-pub type NativeRunConfig = RunConfig;
-
 /// What actually happened with the privileged setup calls.
 #[derive(Debug, Clone, Default)]
 pub struct RuntimeReport {
@@ -230,11 +222,6 @@ impl RuntimeReport {
         self.sigjmp_substituted |= other.sigjmp_substituted;
     }
 }
-
-/// Former name of the unified [`Outcome`]; the `overheads`, `qos`,
-/// `runtime` and `faults` fields carry over unchanged.
-#[deprecated(note = "use `rtseed::executor::Outcome` (or the prelude)")]
-pub type NativeOutcome = Outcome;
 
 /// The native executor: real threads, real time.
 #[derive(Debug)]
@@ -292,7 +279,10 @@ impl NativeExecutor {
         let mut handles = Vec::new();
         for (idx, body) in bodies.into_iter().enumerate() {
             let tcfg = TaskThreadConfig::from_config(&self.config, idx, &self.run_cfg, epoch);
-            handles.push(std::thread::spawn(move || task_main(tcfg, body)));
+            // Each task thread drives its own single-task protocol engine
+            // (fault injection and the supervisor stay sim-only for now).
+            let eng = Engine::single_task(&self.config, TaskId(idx as u32), &self.run_cfg);
+            handles.push(std::thread::spawn(move || task_main(tcfg, body, eng)));
         }
         let mut overheads = OverheadReport::new();
         let mut qos = QosSummary::new();
@@ -364,7 +354,6 @@ impl Executor for NativeExecutor {
 struct TaskThreadConfig {
     task: TaskId,
     period: StdDuration,
-    deadline: StdDuration,
     od: StdDuration,
     optional_spans: Vec<Span>,
     mandatory_hw: usize,
@@ -374,7 +363,6 @@ struct TaskThreadConfig {
     jobs: u64,
     termination: TerminationMode,
     attempt_rt: bool,
-    trace: TraceConfig,
     epoch: Instant,
 }
 
@@ -390,7 +378,6 @@ impl TaskThreadConfig {
         TaskThreadConfig {
             task: id,
             period: StdDuration::from_nanos(spec.period().as_nanos()),
-            deadline: StdDuration::from_nanos(spec.deadline().as_nanos()),
             od: StdDuration::from_nanos(cfg.optional_deadline(id).as_nanos()),
             optional_spans: spec.optional_parts().to_vec(),
             mandatory_hw: cfg.mandatory_hw(id).index(),
@@ -404,7 +391,6 @@ impl TaskThreadConfig {
             jobs: run.jobs,
             termination: run.termination,
             attempt_rt: run.attempt_rt,
-            trace: run.trace_config(),
             epoch,
         }
     }
@@ -581,7 +567,11 @@ struct TaskMainOk {
 }
 
 #[allow(clippy::too_many_lines)]
-fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, RuntimeError> {
+fn task_main(
+    cfg: TaskThreadConfig,
+    body: TaskBody,
+    mut eng: Engine,
+) -> Result<TaskMainOk, RuntimeError> {
     let TaskBody {
         mut mandatory,
         optional,
@@ -626,191 +616,145 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
         })
         .collect();
 
-    let mut overheads = OverheadReport::new();
-    let mut qos = QosSummary::new();
+    // Overruns detected and degraded jobs are driver observations; the
+    // engine's own report (empty here — no fault plan, supervisor off) is
+    // merged in at the end.
     let mut faults = FaultReport::new();
-    let mut rec = TraceRecorder::new(cfg.trace);
-    let mut metrics = MetricsRegistry::new();
-    let requested: Span = cfg.optional_spans.iter().copied().sum();
 
     let anchor = Instant::now();
     let mut aborted = None;
     for seq in 0..cfg.jobs {
-        let job = JobId {
-            task: cfg.task,
-            seq,
-        };
         let release = anchor + cfg.period * u32::try_from(seq).unwrap_or(u32::MAX);
         sleep_until(release);
+        let rel = eng.release(0, cfg.stamp(release));
+        let job = rel.job;
         // Δm: release → beginning of the mandatory part.
         let mand_start = Instant::now();
-        let dm = span(mand_start.saturating_duration_since(release));
-        overheads.push(OverheadKind::BeginMandatory, dm);
-        metrics.record_overhead(OverheadKind::BeginMandatory, dm);
-        metrics.record_release_jitter(dm);
-        rec.record(cfg.stamp(release), TraceEvent::JobReleased { job });
-        rec.record(
-            cfg.stamp(mand_start),
-            TraceEvent::MandatoryStarted {
-                job,
-                hw: HwThreadId(cfg.mandatory_hw as u32),
-            },
+        eng.sample(
+            OverheadKind::BeginMandatory,
+            span(mand_start.saturating_duration_since(release)),
         );
+        eng.on_dispatch(0, Cursor::Mandatory, cfg.mandatory_hw, cfg.stamp(mand_start));
 
         mandatory(job);
         let mandatory_done = Instant::now();
-        rec.record(
-            cfg.stamp(mandatory_done),
-            TraceEvent::MandatoryCompleted { job },
-        );
         let od_instant = release + cfg.od;
+        let mut run_windup = false;
 
-        let mut parts: Vec<(Span, OptionalOutcome)> =
-            vec![(Span::ZERO, OptionalOutcome::Discarded); np];
-
-        if np > 0 && mandatory_done < od_instant {
-            let stop = Arc::new(AtomicBool::new(false));
-            let sync = Arc::new(JobSync {
-                remaining: Mutex::new(np),
-                cv: Condvar::new(),
-                results: Mutex::new(Vec::with_capacity(np)),
-            });
-
-            // Δb: the signal loop waking every optional thread.
-            let signal_start = Instant::now();
-            for slot in &slots {
-                slot.cell.lock().push(Cmd::Run(WorkOrder {
-                    job,
-                    stop: Arc::clone(&stop),
-                    deadline: od_instant,
-                    sync: Arc::clone(&sync),
-                }));
-                slot.cv.notify_one();
-            }
-            let signal_end = Instant::now();
-            let db = span(signal_end - signal_start);
-            overheads.push(OverheadKind::BeginOptional, db);
-            metrics.record_overhead(OverheadKind::BeginOptional, db);
-            rec.record(
-                cfg.stamp(signal_start),
-                TraceEvent::TimerArmed {
-                    job,
-                    at: cfg.stamp(od_instant),
-                },
-            );
-
-            // Wait for completion or the optional deadline, whichever is
-            // first (the paper's pthread_cond_wait / one-shot timer pair).
-            {
-                let mut remaining = sync.remaining.lock();
-                while *remaining > 0 {
-                    let now = Instant::now();
-                    if now >= od_instant {
-                        break;
-                    }
-                    sync.cv.wait_for(&mut remaining, od_instant - now);
-                }
-                if *remaining > 0 {
-                    stop.store(true, Ordering::Relaxed);
-                }
-                while *remaining > 0 {
-                    sync.cv.wait(&mut remaining);
+        match eng.mandatory_completed(0, cfg.stamp(mandatory_done)) {
+            AfterMandatory::Windup(WindupCommand::Finished { met }) => {
+                // No optional parts and no wind-up demand: the engine
+                // closed the job at mandatory completion.
+                if !met {
+                    faults.overruns_detected += 1;
                 }
             }
-            let all_ended = Instant::now();
+            AfterMandatory::Windup(WindupCommand::AlreadyScheduled) => {}
+            AfterMandatory::Windup(WindupCommand::At { .. }) => {
+                // Either np = 0 or the mandatory part overran OD (parts
+                // discarded by the engine). The wind-up is released at the
+                // optional deadline, never before (§IV-B).
+                sleep_until(od_instant);
+                run_windup = true;
+            }
+            AfterMandatory::Signal { np } => {
+                let stop = Arc::new(AtomicBool::new(false));
+                let sync = Arc::new(JobSync {
+                    remaining: Mutex::new(np),
+                    cv: Condvar::new(),
+                    results: Mutex::new(Vec::with_capacity(np)),
+                });
 
-            // Δs: signal end → first optional part actually running.
-            let results = sync.results.lock();
-            // Δe: optional deadline → all parts ended, sampled whenever any
-            // part was actually terminated (whether the mandatory thread
-            // set the stop flag or the worker observed the deadline
-            // itself — both are the paper's timer firing).
-            if results
-                .iter()
-                .any(|r| r.outcome == OptionalOutcome::Terminated)
-            {
-                let de = span(all_ended.saturating_duration_since(od_instant));
-                overheads.push(OverheadKind::EndOptional, de);
-                metrics.record_overhead(OverheadKind::EndOptional, de);
-                rec.record(
-                    cfg.stamp(od_instant),
-                    TraceEvent::OptionalDeadlineExpired { job },
-                );
-            }
-            if let Some(first_start) = results.iter().map(|r| r.started).min() {
-                let ds = span(first_start.saturating_duration_since(signal_end));
-                overheads.push(OverheadKind::SwitchToOptional, ds);
-                metrics.record_overhead(OverheadKind::SwitchToOptional, ds);
-            }
-            for r in results.iter() {
-                parts[r.part.index()] = (span(r.executed), r.outcome);
-                if rec.enabled() {
-                    rec.record(
-                        cfg.stamp(r.started),
-                        TraceEvent::OptionalStarted {
-                            job,
-                            part: r.part,
-                            hw: HwThreadId(cfg.placements[r.part.index()] as u32),
-                        },
-                    );
-                    rec.record(
-                        cfg.stamp(r.started + r.executed),
-                        TraceEvent::OptionalEnded {
-                            job,
-                            part: r.part,
-                            outcome: r.outcome,
-                            achieved: span(r.executed),
-                        },
-                    );
-                }
-            }
-            drop(results);
-
-            // The wind-up part is released at the optional deadline, never
-            // before (§IV-B: early completers sleep in the SQ until OD).
-            sleep_until(od_instant);
-        } else if np > 0 && rec.enabled() {
-            // The mandatory part overran OD: every optional part is
-            // discarded without ever running.
-            for k in 0..np {
-                rec.record(
-                    cfg.stamp(mandatory_done),
-                    TraceEvent::OptionalEnded {
+                // Δb: the signal loop waking every optional thread.
+                let signal_start = Instant::now();
+                for slot in &slots {
+                    slot.cell.lock().push(Cmd::Run(WorkOrder {
                         job,
-                        part: PartId(k as u32),
-                        outcome: OptionalOutcome::Discarded,
-                        achieved: Span::ZERO,
-                    },
-                );
+                        stop: Arc::clone(&stop),
+                        deadline: od_instant,
+                        sync: Arc::clone(&sync),
+                    }));
+                    slot.cv.notify_one();
+                }
+                let signal_end = Instant::now();
+                eng.sample(OverheadKind::BeginOptional, span(signal_end - signal_start));
+                // On this backend the deadline wait below *is* the OD
+                // timer; arming it records the TimerArmed event.
+                let _ = eng.arm_timer(0, cfg.stamp(signal_start));
+
+                // Wait for completion or the optional deadline, whichever
+                // is first (the paper's pthread_cond_wait / one-shot timer
+                // pair).
+                {
+                    let mut remaining = sync.remaining.lock();
+                    while *remaining > 0 {
+                        let now = Instant::now();
+                        if now >= od_instant {
+                            break;
+                        }
+                        sync.cv.wait_for(&mut remaining, od_instant - now);
+                    }
+                    if *remaining > 0 {
+                        stop.store(true, Ordering::Relaxed);
+                    }
+                    while *remaining > 0 {
+                        sync.cv.wait(&mut remaining);
+                    }
+                }
+                let all_ended = Instant::now();
+
+                let results = sync.results.lock();
+                // Δe: optional deadline → all parts ended, sampled whenever
+                // any part was actually terminated (whether the mandatory
+                // thread set the stop flag or the worker observed the
+                // deadline itself — both are the paper's timer firing).
+                if results
+                    .iter()
+                    .any(|r| r.outcome == OptionalOutcome::Terminated)
+                {
+                    eng.sample(
+                        OverheadKind::EndOptional,
+                        span(all_ended.saturating_duration_since(od_instant)),
+                    );
+                    eng.trace(
+                        cfg.stamp(od_instant),
+                        TraceEvent::OptionalDeadlineExpired { job },
+                    );
+                }
+                // Δs: signal end → first optional part actually running.
+                if let Some(first_start) = results.iter().map(|r| r.started).min() {
+                    eng.sample(
+                        OverheadKind::SwitchToOptional,
+                        span(first_start.saturating_duration_since(signal_end)),
+                    );
+                }
+                for r in results.iter() {
+                    eng.part_observed(
+                        0,
+                        r.part.index(),
+                        cfg.stamp(r.started),
+                        span(r.executed),
+                        r.outcome,
+                    );
+                }
+                drop(results);
+
+                // Early completers sleep in the SQ until OD (§IV-B).
+                sleep_until(od_instant);
+                run_windup = true;
             }
         }
 
-        rec.record(cfg.stamp(Instant::now()), TraceEvent::WindupStarted { job });
-        windup(job);
-        let windup_done = Instant::now();
-        let deadline_met = windup_done <= release + cfg.deadline;
-        rec.record(
-            cfg.stamp(windup_done),
-            TraceEvent::WindupCompleted { job, deadline_met },
-        );
-        metrics.record_response_time(span(windup_done.saturating_duration_since(release)));
-        if !deadline_met {
-            faults.overruns_detected += 1;
+        if run_windup && eng.windup_ready(0, rel.seq, cfg.stamp(Instant::now())) {
+            windup(job);
+            let met = eng.windup_completed(0, cfg.stamp(Instant::now()));
+            if !met {
+                faults.overruns_detected += 1;
+            }
         }
-        if np > 0
-            && parts
-                .iter()
-                .any(|(_, o)| *o != OptionalOutcome::Completed)
-        {
+        if np > 0 && eng.parts_degraded(0) {
             faults.jobs_degraded += 1;
         }
-        let record = QosRecord {
-            job,
-            parts,
-            deadline_met,
-        };
-        metrics.record_qos_level(record.ratio(requested));
-        qos.record(&record, requested);
 
         // A user panic in an optional part aborts the run after the job's
         // bookkeeping so the caller sees both the records and the panic.
@@ -848,13 +792,16 @@ fn task_main(cfg: TaskThreadConfig, body: TaskBody) -> Result<TaskMainOk, Runtim
     let report = Arc::try_unwrap(report)
         .map(Mutex::into_inner)
         .unwrap_or_else(|arc| arc.lock().clone());
+    let out = eng.finish(cfg.stamp(Instant::now()));
+    let mut faults_total = out.faults;
+    faults_total.merge(&faults);
     Ok(TaskMainOk {
-        overheads,
-        qos,
+        overheads: out.overheads,
+        qos: out.qos,
         runtime: report,
-        faults,
-        trace: rec.finish(),
-        metrics,
+        faults: faults_total,
+        trace: out.trace,
+        metrics: out.metrics,
     })
 }
 
@@ -1059,7 +1006,7 @@ mod tests {
     fn trace_covers_the_native_protocol() {
         let cfg = quick_config(1);
         let mut run = run_cfg(2);
-        run.trace = TraceConfig::enabled();
+        run.trace = crate::obs::TraceConfig::enabled();
         let out = NativeExecutor::new(cfg, run)
             .run(vec![TaskBody::no_op()])
             .expect("run");

@@ -154,6 +154,58 @@ fn acceptance_same_fault_seed_replays_identical_trace() {
     assert_ne!(a.trace, c.trace, "different seed must diverge");
 }
 
+/// Regression: the global executor used to silently drop FaultPlan CPU
+/// stalls (its event loop never scheduled them), so "faulted" global runs
+/// were actually clean. Stalls now flow through the shared protocol
+/// engine on every backend: the same plan must register on both, and on a
+/// uniprocessor — where global dispatch cannot migrate around the stall —
+/// it must starve the task into a deadline miss.
+#[test]
+fn acceptance_global_backend_models_cpu_stalls() {
+    use rtseed::exec_global::GlobalExecutor;
+    use rtseed::obs::TraceEvent;
+
+    let t = TaskSpec::builder("t")
+        .period(Span::from_millis(100))
+        .mandatory(Span::from_millis(10))
+        .windup(Span::from_millis(10))
+        .build()
+        .unwrap();
+    let cfg = SystemConfig::build(
+        TaskSet::new(vec![t]).unwrap(),
+        Topology::new(1, 1).unwrap(),
+        AssignmentPolicy::OneByOne,
+    )
+    .unwrap();
+    let run_cfg = || RunConfig {
+        jobs: 3,
+        collect_trace: true,
+        fault_plan: FaultPlan::new(0).with_cpu_stall(CpuStall {
+            hw: 0,
+            at: rtseed_model::Time::ZERO,
+            duration: Span::from_millis(95),
+        }),
+        ..Default::default()
+    };
+    let global = GlobalExecutor::from_config(&cfg, run_cfg()).run();
+    let sim = SimExecutor::new(cfg.clone(), run_cfg()).run();
+    for (name, out) in [("global", &global), ("sim", &sim)] {
+        assert_eq!(out.faults.cpu_stalls, 1, "{name}: {}", out.faults);
+        assert_eq!(
+            out.trace
+                .count(|e| matches!(e, TraceEvent::CpuStallStarted { .. })),
+            1,
+            "{name}"
+        );
+        assert_eq!(
+            out.qos.deadline_misses(),
+            1,
+            "{name}: job 0 starves through the 95 ms stall: {}",
+            out.qos
+        );
+    }
+}
+
 #[test]
 fn table1_termination_modes_miss_counts_under_fault_plan() {
     // Every job's optional-deadline timer fires 30 ms late — within the

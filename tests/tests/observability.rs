@@ -244,22 +244,3 @@ fn run_config_validation_is_typed() {
     );
     assert!(matches!(bad.execute(), Err(ExecError::Config(_))));
 }
-
-/// The pre-unification names still compile and behave identically.
-#[test]
-#[allow(deprecated)]
-fn deprecated_aliases_still_compile() {
-    use rtseed::exec_sim::{SimOutcome, SimRunConfig};
-    use rtseed::runtime::NativeRunConfig;
-
-    let run = SimRunConfig {
-        jobs: 3,
-        seed: 9,
-        ..SimRunConfig::default()
-    };
-    let out: SimOutcome = SimExecutor::new(overrun_config(4), run).run();
-    assert_eq!(out.qos.jobs(), 3);
-    // The aliases are the same type, not lookalikes.
-    let _unified: &RunConfig = &NativeRunConfig::default();
-    let _outcome: &Outcome = &out;
-}
