@@ -1,0 +1,493 @@
+//! Incremental online admission control for P-RMWP serving.
+//!
+//! [`crate::partition`] answers the *offline* question — "does this whole
+//! task set fit on this machine?" — in one shot. A serving middleware
+//! (YASMIN-style, see PAPERS.md) instead faces a *stream* of tenant
+//! submissions and departures and must answer each one against the tasks
+//! already running. [`AdmissionController`] keeps the per-hardware-thread
+//! bins alive between decisions and exposes admit/evict **deltas**:
+//!
+//! * [`AdmissionController::try_admit`] places a batch of tasks with the
+//!   same decreasing-utilization bin-packing heuristics and the same exact
+//!   RMWP response-time test as the offline partitioner — all-or-nothing,
+//!   so a partially admissible tenant leaves no residue;
+//! * [`AdmissionController::evict`] removes tasks and reports how the
+//!   optional deadlines of the survivors *grow* (less interference);
+//! * admitting returns [`OdUpdate`]s for pre-existing tasks whose optional
+//!   deadlines *shrink* because a new neighbour landed on their thread.
+//!
+//! Within a bin, priorities are plain Rate Monotonic over whole tasks
+//! (shorter period ⇒ higher priority, ties broken by admission order),
+//! matching the RTQ level assignment the serving layer deploys — so the
+//! admission test analyzes exactly the priority order that will run.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtseed_analysis::{AdmissionController, PartitionHeuristic};
+//! use rtseed_model::{Span, TaskSpec};
+//!
+//! let task = TaskSpec::builder("t")
+//!     .period(Span::from_millis(100))
+//!     .mandatory(Span::from_millis(30))
+//!     .windup(Span::from_millis(30))
+//!     .build()?;
+//! // Two hardware threads: two 0.6-utilization tasks fit, a third cannot.
+//! let mut ctl = AdmissionController::new(2, PartitionHeuristic::WorstFitDecreasing);
+//! let a = ctl.try_admit(std::slice::from_ref(&task))?;
+//! let b = ctl.try_admit(std::slice::from_ref(&task))?;
+//! assert!(ctl.try_admit(std::slice::from_ref(&task)).is_err());
+//! // Evicting the first frees its thread for a newcomer.
+//! ctl.evict(&[a.tasks[0].key]);
+//! assert!(ctl.try_admit(std::slice::from_ref(&task)).is_ok());
+//! # drop(b);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use core::fmt;
+
+use rtseed_model::{HwThreadId, Span, TaskId, TaskSet, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::partition::PartitionHeuristic;
+use crate::rmwp::RmwpAnalysis;
+
+/// Opaque handle to one task admitted by an [`AdmissionController`].
+///
+/// Keys are assigned monotonically and never reused, so a stale key from
+/// an evicted task can never alias a live one.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TaskKey(pub u64);
+
+impl fmt::Display for TaskKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// One admitted task: where it was bound and the optional deadline the
+/// per-thread RMWP analysis granted it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmittedTask {
+    /// Handle for later eviction.
+    pub key: TaskKey,
+    /// Hardware thread the mandatory/wind-up parts are pinned to.
+    pub hw_thread: HwThreadId,
+    /// Relative optional deadline under the thread's current population.
+    pub optional_deadline: Span,
+}
+
+/// A changed optional deadline for a task that was *already* admitted:
+/// admission shrinks neighbours' ODs, eviction grows them. The serving
+/// layer forwards these to the running engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OdUpdate {
+    /// The affected pre-existing task.
+    pub key: TaskKey,
+    /// Its new relative optional deadline.
+    pub optional_deadline: Span,
+}
+
+/// Result of a successful [`AdmissionController::try_admit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admission {
+    /// Placements for the submitted tasks, in submission order.
+    pub tasks: Vec<AdmittedTask>,
+    /// New optional deadlines for pre-existing tasks on the touched
+    /// threads (only entries whose OD actually changed).
+    pub od_updates: Vec<OdUpdate>,
+}
+
+/// Error from [`AdmissionController::try_admit`]. The controller's state
+/// is unchanged on error (all-or-nothing admission).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AdmissionError {
+    /// The `index`-th submitted task could not be admitted on any
+    /// hardware thread without breaking RMWP schedulability.
+    Unschedulable {
+        /// Index into the submitted slice.
+        index: usize,
+    },
+    /// The submission was empty.
+    EmptySubmission,
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::Unschedulable { index } => write!(
+                f,
+                "submitted task #{index} is not RMWP-schedulable on any hardware thread"
+            ),
+            AdmissionError::EmptySubmission => write!(f, "submission contains no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// One resident task: its stable key and spec, in admission order.
+#[derive(Debug, Clone)]
+struct Entry {
+    key: TaskKey,
+    spec: TaskSpec,
+}
+
+/// Online admission controller: the per-hardware-thread bins of the
+/// offline [`crate::Partition`], kept alive between decisions.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    bins: Vec<Vec<Entry>>,
+    bin_util: Vec<f64>,
+    heuristic: PartitionHeuristic,
+    next_key: u64,
+}
+
+impl AdmissionController {
+    /// Creates an empty controller for a machine with `hw_threads`
+    /// hardware threads, placing with `heuristic`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw_threads` is zero.
+    pub fn new(hw_threads: usize, heuristic: PartitionHeuristic) -> AdmissionController {
+        assert!(hw_threads > 0, "need at least one hardware thread");
+        AdmissionController {
+            bins: vec![Vec::new(); hw_threads],
+            bin_util: vec![0.0; hw_threads],
+            heuristic,
+            next_key: 0,
+        }
+    }
+
+    /// Number of hardware threads the controller packs onto.
+    #[inline]
+    pub fn hw_threads(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Number of currently resident tasks.
+    pub fn resident_tasks(&self) -> usize {
+        self.bins.iter().map(Vec::len).sum()
+    }
+
+    /// Total utilization of resident tasks (sum over threads).
+    pub fn total_utilization(&self) -> f64 {
+        self.bin_util.iter().sum()
+    }
+
+    /// Utilization currently packed onto `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    #[inline]
+    pub fn thread_utilization(&self, thread: HwThreadId) -> f64 {
+        self.bin_util[thread.index()]
+    }
+
+    /// Tries to admit `tasks` as one atomic batch.
+    ///
+    /// Tasks are placed in decreasing-utilization order (ties by
+    /// submission index); each placement runs the exact RMWP
+    /// response-time test on the candidate thread's population plus the
+    /// newcomer. If *any* task fails on every thread the whole batch is
+    /// rejected and the controller is left exactly as before.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Unschedulable`] naming the first task that fits
+    /// nowhere, or [`AdmissionError::EmptySubmission`].
+    pub fn try_admit(&mut self, tasks: &[TaskSpec]) -> Result<Admission, AdmissionError> {
+        if tasks.is_empty() {
+            return Err(AdmissionError::EmptySubmission);
+        }
+        let m = self.bins.len();
+
+        // Tentative state: committed only if every task places.
+        let mut bins = self.bins.clone();
+        let mut bin_util = self.bin_util.clone();
+
+        let mut order: Vec<usize> = (0..tasks.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ua = tasks[a].utilization();
+            let ub = tasks[b].utilization();
+            ub.partial_cmp(&ua)
+                .expect("utilizations are finite")
+                .then(a.cmp(&b))
+        });
+
+        let mut placement = vec![HwThreadId(0); tasks.len()];
+        for &i in &order {
+            let spec = &tasks[i];
+            let mut candidates: Vec<usize> = (0..m).collect();
+            match self.heuristic {
+                PartitionHeuristic::FirstFitDecreasing => {}
+                PartitionHeuristic::BestFitDecreasing => {
+                    candidates.sort_by(|&a, &b| {
+                        bin_util[b]
+                            .partial_cmp(&bin_util[a])
+                            .expect("finite utilization")
+                            .then(a.cmp(&b))
+                    });
+                }
+                PartitionHeuristic::WorstFitDecreasing => {
+                    candidates.sort_by(|&a, &b| {
+                        bin_util[a]
+                            .partial_cmp(&bin_util[b])
+                            .expect("finite utilization")
+                            .then(a.cmp(&b))
+                    });
+                }
+            }
+
+            let key = TaskKey(self.next_key + i as u64);
+            let mut placed = false;
+            for &bin in &candidates {
+                if bin_schedulable(&bins[bin], Some((key, spec))).is_some() {
+                    bins[bin].push(Entry {
+                        key,
+                        spec: spec.clone(),
+                    });
+                    bin_util[bin] += spec.utilization();
+                    placement[i] = HwThreadId(bin as u32);
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                return Err(AdmissionError::Unschedulable { index: i });
+            }
+        }
+
+        // Commit and extract deltas: new ODs for the admitted tasks, OD
+        // updates for pre-existing residents on touched threads.
+        let old_ods = self.current_ods();
+        self.bins = bins;
+        self.bin_util = bin_util;
+        self.next_key += tasks.len() as u64;
+
+        let new_ods = self.current_ods();
+        let admitted: Vec<AdmittedTask> = (0..tasks.len())
+            .map(|i| {
+                let key = TaskKey(self.next_key - tasks.len() as u64 + i as u64);
+                AdmittedTask {
+                    key,
+                    hw_thread: placement[i],
+                    optional_deadline: lookup(&new_ods, key)
+                        .expect("admitted task has an analyzed OD"),
+                }
+            })
+            .collect();
+        let od_updates = od_deltas(&old_ods, &new_ods);
+        Ok(Admission {
+            tasks: admitted,
+            od_updates,
+        })
+    }
+
+    /// Evicts `keys` (unknown keys are ignored) and returns the optional
+    /// deadlines that grew for the remaining residents of the vacated
+    /// threads.
+    pub fn evict(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
+        let old_ods = self.current_ods();
+        for bin in 0..self.bins.len() {
+            let before = self.bins[bin].len();
+            self.bins[bin].retain(|e| !keys.contains(&e.key));
+            if self.bins[bin].len() != before {
+                self.bin_util[bin] = self.bins[bin]
+                    .iter()
+                    .map(|e| e.spec.utilization())
+                    .sum();
+            }
+        }
+        let new_ods = self.current_ods();
+        od_deltas(&old_ods, &new_ods)
+    }
+
+    /// Per-resident optional deadlines under the current population, as
+    /// `(key, od)` pairs in bin/admission order.
+    fn current_ods(&self) -> Vec<(TaskKey, Span)> {
+        let mut out = Vec::with_capacity(self.resident_tasks());
+        for bin in self.bins.iter().filter(|b| !b.is_empty()) {
+            let ods = bin_schedulable(bin, None)
+                .expect("resident bins were admitted incrementally");
+            out.extend(bin.iter().map(|e| e.key).zip(ods));
+        }
+        out
+    }
+}
+
+/// RMWP-analyzes `bin` (+ optional `candidate`) under within-bin Rate
+/// Monotonic order (period, then key/candidate-last). Returns the optional
+/// deadlines in `bin` member order (candidate's OD last, if present), or
+/// `None` if unschedulable.
+fn bin_schedulable(
+    bin: &[Entry],
+    candidate: Option<(TaskKey, &TaskSpec)>,
+) -> Option<Vec<Span>> {
+    let n = bin.len() + usize::from(candidate.is_some());
+    // (period, key) sort: the candidate's key is larger than every
+    // resident's, so ties put it last — matching its admission order once
+    // committed.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let spec_of = |i: usize| -> &TaskSpec {
+        if i < bin.len() {
+            &bin[i].spec
+        } else {
+            candidate.expect("index beyond bin implies candidate").1
+        }
+    };
+    let key_of = |i: usize| -> TaskKey {
+        if i < bin.len() {
+            bin[i].key
+        } else {
+            candidate.expect("index beyond bin implies candidate").0
+        }
+    };
+    idx.sort_by(|&a, &b| {
+        spec_of(a)
+            .period()
+            .cmp(&spec_of(b).period())
+            .then(key_of(a).cmp(&key_of(b)))
+    });
+    let specs: Vec<TaskSpec> = idx.iter().map(|&i| spec_of(i).clone()).collect();
+    let sub = TaskSet::new(specs).expect("at least one task");
+    let induced: Vec<TaskId> = (0..n as u32).map(TaskId).collect();
+    let analysis = RmwpAnalysis::analyze_with_order(&sub, induced).ok()?;
+    let mut ods = vec![Span::ZERO; n];
+    for (local, &orig) in idx.iter().enumerate() {
+        ods[orig] = analysis.optional_deadline(TaskId(local as u32));
+    }
+    ods.truncate(bin.len() + usize::from(candidate.is_some()));
+    Some(ods)
+}
+
+fn lookup(ods: &[(TaskKey, Span)], key: TaskKey) -> Option<Span> {
+    ods.iter().find(|(k, _)| *k == key).map(|(_, od)| *od)
+}
+
+/// ODs present in both snapshots whose value changed.
+fn od_deltas(old: &[(TaskKey, Span)], new: &[(TaskKey, Span)]) -> Vec<OdUpdate> {
+    new.iter()
+        .filter_map(|&(key, od)| match lookup(old, key) {
+            Some(prev) if prev != od => Some(OdUpdate {
+                key,
+                optional_deadline: od,
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::Span;
+
+    fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64) -> TaskSpec {
+        let mut b = TaskSpec::builder(name);
+        b.period(Span::from_millis(period_ms))
+            .mandatory(Span::from_millis(m_ms))
+            .windup(Span::from_millis(w_ms));
+        b.build().unwrap()
+    }
+
+    /// Utilization 0.6 — at most one per thread.
+    fn heavy(name: &str) -> TaskSpec {
+        task(name, 100, 30, 30)
+    }
+
+    #[test]
+    fn fills_threads_then_rejects() {
+        let mut ctl = AdmissionController::new(4, PartitionHeuristic::WorstFitDecreasing);
+        for i in 0..4 {
+            let a = ctl.try_admit(&[heavy(&format!("t{i}"))]).unwrap();
+            assert_eq!(a.tasks.len(), 1);
+            assert!(a.od_updates.is_empty(), "one heavy task per thread");
+        }
+        assert_eq!(ctl.resident_tasks(), 4);
+        let err = ctl.try_admit(&[heavy("t4")]).unwrap_err();
+        assert_eq!(err, AdmissionError::Unschedulable { index: 0 });
+        // Rejection left no residue.
+        assert_eq!(ctl.resident_tasks(), 4);
+        assert!((ctl.total_utilization() - 2.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_frees_capacity_and_grows_ods() {
+        let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        // Co-located: the low-priority task's OD shrinks vs running alone
+        // (860 ms with interference, 900 ms alone — same numbers as the
+        // partition tests).
+        let a = ctl.try_admit(&[task("lo", 1000, 100, 100)]).unwrap();
+        assert_eq!(a.tasks[0].optional_deadline, Span::from_millis(900));
+        let b = ctl.try_admit(&[task("hi", 100, 10, 10)]).unwrap();
+        assert_eq!(b.od_updates.len(), 1);
+        assert_eq!(b.od_updates[0].key, a.tasks[0].key);
+        assert_eq!(b.od_updates[0].optional_deadline, Span::from_millis(860));
+        // Evicting the interferer restores the lone-task OD.
+        let ups = ctl.evict(&[b.tasks[0].key]);
+        assert_eq!(
+            ups,
+            vec![OdUpdate {
+                key: a.tasks[0].key,
+                optional_deadline: Span::from_millis(900)
+            }]
+        );
+        assert_eq!(ctl.resident_tasks(), 1);
+    }
+
+    #[test]
+    fn batch_is_all_or_nothing() {
+        let mut ctl = AdmissionController::new(2, PartitionHeuristic::WorstFitDecreasing);
+        ctl.try_admit(&[heavy("a")]).unwrap();
+        // Batch of two heavies: only one thread is free, so the batch
+        // must be rejected wholesale.
+        let err = ctl.try_admit(&[heavy("b"), heavy("c")]).unwrap_err();
+        assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+        assert_eq!(ctl.resident_tasks(), 1);
+        // A single heavy still fits afterwards.
+        assert!(ctl.try_admit(&[heavy("d")]).is_ok());
+    }
+
+    #[test]
+    fn keys_are_never_reused() {
+        let mut ctl = AdmissionController::new(2, PartitionHeuristic::FirstFitDecreasing);
+        let a = ctl.try_admit(&[task("a", 100, 5, 5)]).unwrap();
+        ctl.evict(&[a.tasks[0].key]);
+        let b = ctl.try_admit(&[task("b", 100, 5, 5)]).unwrap();
+        assert_ne!(a.tasks[0].key, b.tasks[0].key);
+    }
+
+    #[test]
+    fn empty_submission_rejected() {
+        let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        assert_eq!(
+            ctl.try_admit(&[]).unwrap_err(),
+            AdmissionError::EmptySubmission
+        );
+        assert!(ctl.try_admit(&[]).unwrap_err().to_string().contains("no tasks"));
+    }
+
+    #[test]
+    fn evicting_unknown_key_is_a_noop() {
+        let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        ctl.try_admit(&[task("a", 100, 5, 5)]).unwrap();
+        assert!(ctl.evict(&[TaskKey(999)]).is_empty());
+        assert_eq!(ctl.resident_tasks(), 1);
+    }
+
+    #[test]
+    fn agrees_with_offline_partition_on_rejection() {
+        // Mirror of partition.rs's `overload_reported`: five 0.6-U tasks
+        // on 4 threads fail identically through the incremental path.
+        let mut ctl = AdmissionController::new(4, PartitionHeuristic::FirstFitDecreasing);
+        let batch: Vec<TaskSpec> = (0..5).map(|i| heavy(&format!("t{i}"))).collect();
+        assert!(ctl.try_admit(&batch).is_err());
+        assert!(ctl.try_admit(&batch[..4]).is_ok());
+    }
+}

@@ -9,6 +9,9 @@
 //!   ([`rmwp`]) — the offline analysis that makes semi-fixed-priority
 //!   scheduling possible (paper §III and Theorems 1–2 of §IV-A),
 //! * **partitioned task assignment** for P-RMWP ([`partition`]),
+//! * incremental **online admission control** over the same bins and the
+//!   same RMWP test ([`admission`]) — what the serving layer consults on
+//!   every tenant arrival/departure,
 //! * synthetic **task-set generators** ([`taskgen`]).
 //!
 //! The parallel-extended model analysis is identical to the extended-model
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod admission;
 pub mod bounds;
 pub mod partition;
 pub mod practical;
@@ -45,6 +49,9 @@ pub mod rmwp;
 pub mod rta;
 pub mod taskgen;
 
+pub use admission::{
+    Admission, AdmissionController, AdmissionError, AdmittedTask, OdUpdate, TaskKey,
+};
 pub use partition::{Partition, PartitionError, PartitionHeuristic};
 pub use rmwp::{RmwpAnalysis, RmwpError};
 pub use rta::{response_time, RtaError};

@@ -1,0 +1,346 @@
+//! `churnbench` — serving-layer benchmark: online admission throughput,
+//! admission-decision latency, and QoS under tenant churn.
+//!
+//! A multi-tenant middleware's control plane must keep up with tenant
+//! arrivals: every submission runs the full RMWP response-time analysis
+//! against the resident population, so admission cost grows with
+//! residency. This harness measures
+//!
+//! * **admission throughput** — tenants admitted per second when filling
+//!   an empty machine to its first rejection (the admission test's cost
+//!   on a *growing* resident set), and
+//! * **churn replay** — wall-clock and scheduling events/sec of a full
+//!   [`SessionManager`] run under a scripted arrive/depart plan, with the
+//!   end-to-end QoS the admitted tenants achieved.
+//!
+//! Output is `BENCH_churnbench.json` in the same stable `{"schema": 1}`
+//! shape `simbench` uses, so future PRs can diff the serving layer's perf
+//! trajectory:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "churnbench",
+//!   "mode": "full",
+//!   "admission": [
+//!     {"bench": "admit_quad_4x2", "config": {"cores": 4, "smt": 2},
+//!      "admitted": 12, "repeats": 5, "wall_ms": 1.2,
+//!      "admissions_per_sec": 10000.0, "wall_ms_min": 1.0,
+//!      "admissions_per_sec_best": 12000.0}
+//!   ],
+//!   "churn": [
+//!     {"bench": "churn_quad_4x2", "config": {"cores": 4, "smt": 2,
+//!      "tenants": 12, "jobs": 20, "seed": 0}, "events": 12345,
+//!      "jobs": 200, "misses": 0, "repeats": 5, "wall_ms": 9.8,
+//!      "events_per_sec": 1000000.0, "wall_ms_min": 9.0,
+//!      "events_per_sec_best": 1100000.0}
+//!   ]
+//! }
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! churnbench [--quick] [--out PATH] [--repeats N]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rtseed::policy::AssignmentPolicy;
+use rtseed::serve::SessionManager;
+use rtseed::RunConfig;
+use rtseed_analysis::{AdmissionController, PartitionHeuristic};
+use rtseed_model::{Span, TaskSpec, Time, Topology};
+use rtseed_sim::ChurnPlan;
+
+/// The task set every benchmark tenant submits: one pipeline task, 8 %
+/// mandatory+wind-up utilization, two optional parts.
+fn tenant_tasks(i: usize) -> Vec<TaskSpec> {
+    vec![TaskSpec::builder(format!("t{i}"))
+        .period(Span::from_millis(50))
+        .mandatory(Span::from_millis(2))
+        .windup(Span::from_millis(2))
+        .optional_parts(2, Span::from_millis(10))
+        .build()
+        .expect("benchmark spec is valid")]
+}
+
+struct AdmissionPoint {
+    name: &'static str,
+    cores: u32,
+    smt: u32,
+}
+
+struct AdmissionMeasured {
+    point: AdmissionPoint,
+    admitted: usize,
+    repeats: usize,
+    wall_ms: f64,
+    admissions_per_sec: f64,
+    wall_ms_min: f64,
+    admissions_per_sec_best: f64,
+}
+
+/// Fills an empty controller with single-task tenants until the first
+/// rejection; returns (admitted, wall seconds). Cost grows with residency
+/// — exactly the control-plane path a serving process pays per submission.
+fn fill_to_rejection(cores: u32, smt: u32) -> (usize, f64) {
+    let topo = Topology::new(cores, smt).expect("non-degenerate");
+    let mut ctl = AdmissionController::new(
+        topo.hw_threads() as usize,
+        PartitionHeuristic::WorstFitDecreasing,
+    );
+    let start = Instant::now();
+    let mut admitted = 0;
+    loop {
+        if ctl.try_admit(&tenant_tasks(admitted)).is_err() {
+            break;
+        }
+        admitted += 1;
+    }
+    (admitted, start.elapsed().as_secs_f64())
+}
+
+fn measure_admission(point: AdmissionPoint, repeats: usize) -> AdmissionMeasured {
+    let (admitted, _) = fill_to_rejection(point.cores, point.smt); // warmup
+    let mut walls: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let (a, wall) = fill_to_rejection(point.cores, point.smt);
+            assert_eq!(a, admitted, "non-deterministic admission in {}", point.name);
+            wall * 1e3
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let wall_ms = walls[walls.len() / 2];
+    let wall_ms_min = walls[0];
+    AdmissionMeasured {
+        admitted,
+        repeats,
+        wall_ms,
+        admissions_per_sec: admitted as f64 / (wall_ms / 1e3),
+        wall_ms_min,
+        admissions_per_sec_best: admitted as f64 / (wall_ms_min / 1e3),
+        point,
+    }
+}
+
+struct ChurnPoint {
+    name: &'static str,
+    cores: u32,
+    smt: u32,
+    tenants: usize,
+    jobs: u64,
+    seed: u64,
+}
+
+struct ChurnMeasured {
+    point: ChurnPoint,
+    events: u64,
+    jobs: u64,
+    misses: u64,
+    repeats: usize,
+    wall_ms: f64,
+    events_per_sec: f64,
+    wall_ms_min: f64,
+    events_per_sec_best: f64,
+}
+
+/// A deterministic plan: `tenants` staggered arrivals 10 ms apart, the
+/// first half departing mid-run (so the survivors' optional deadlines are
+/// recomputed under load).
+fn churn_plan(tenants: usize) -> ChurnPlan {
+    let mut plan = ChurnPlan::new();
+    for i in 0..tenants {
+        plan = plan.arrive(
+            Time::from_nanos(i as u64 * 10_000_000),
+            format!("t{i}"),
+            tenant_tasks(i),
+        );
+    }
+    for i in 0..tenants / 2 {
+        plan = plan.depart(
+            Time::from_nanos(400_000_000 + i as u64 * 10_000_000),
+            format!("t{i}"),
+        );
+    }
+    plan
+}
+
+fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, f64) {
+    let topo = Topology::new(p.cores, p.smt).expect("non-degenerate");
+    let run = RunConfig {
+        jobs: p.jobs,
+        seed: p.seed,
+        ..RunConfig::default()
+    };
+    let mgr = SessionManager::new(
+        topo,
+        PartitionHeuristic::WorstFitDecreasing,
+        AssignmentPolicy::OneByOne,
+        run,
+    );
+    let plan = churn_plan(p.tenants);
+    let start = Instant::now();
+    let out = mgr.run_with_churn(&plan);
+    let wall = start.elapsed().as_secs_f64() * 1e3;
+    (
+        out.outcome.events_processed,
+        out.outcome.qos.jobs(),
+        out.outcome.qos.deadline_misses(),
+        wall,
+    )
+}
+
+fn measure_churn(point: ChurnPoint, repeats: usize) -> ChurnMeasured {
+    let (events, jobs, misses, _) = run_churn(&point); // warmup
+    let mut walls: Vec<f64> = (0..repeats)
+        .map(|_| {
+            let (e, j, m, wall) = run_churn(&point);
+            assert_eq!(
+                (e, j, m),
+                (events, jobs, misses),
+                "non-deterministic churn replay in {}",
+                point.name
+            );
+            wall
+        })
+        .collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let wall_ms = walls[walls.len() / 2];
+    let wall_ms_min = walls[0];
+    ChurnMeasured {
+        events,
+        jobs,
+        misses,
+        repeats,
+        wall_ms,
+        events_per_sec: events as f64 / (wall_ms / 1e3),
+        wall_ms_min,
+        events_per_sec_best: events as f64 / (wall_ms_min / 1e3),
+        point,
+    }
+}
+
+fn render_json(mode: &str, adm: &[AdmissionMeasured], churn: &[ChurnMeasured]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"churnbench\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"admission\": [");
+    for (i, m) in adm.iter().enumerate() {
+        let p = &m.point;
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"config\": {{\"cores\": {}, \"smt\": {}}}, \
+             \"admitted\": {}, \"repeats\": {}, \"wall_ms\": {:.3}, \
+             \"admissions_per_sec\": {:.1}, \"wall_ms_min\": {:.3}, \
+             \"admissions_per_sec_best\": {:.1}}}",
+            p.name, p.cores, p.smt, m.admitted, m.repeats, m.wall_ms,
+            m.admissions_per_sec, m.wall_ms_min, m.admissions_per_sec_best,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < adm.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"churn\": [");
+    for (i, m) in churn.iter().enumerate() {
+        let p = &m.point;
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"config\": {{\"cores\": {}, \"smt\": {}, \
+             \"tenants\": {}, \"jobs\": {}, \"seed\": {}}}, \
+             \"events\": {}, \"jobs\": {}, \"misses\": {}, \"repeats\": {}, \
+             \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}, \
+             \"wall_ms_min\": {:.3}, \"events_per_sec_best\": {:.1}}}",
+            p.name, p.cores, p.smt, p.tenants, p.jobs, p.seed,
+            m.events, m.jobs, m.misses, m.repeats, m.wall_ms,
+            m.events_per_sec, m.wall_ms_min, m.events_per_sec_best,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < churn.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_churnbench.json");
+    let mut repeats: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--repeats" => {
+                repeats = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--repeats needs a count"),
+                )
+            }
+            other => {
+                eprintln!("churnbench: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let repeats = repeats.unwrap_or(if quick { 3 } else { 5 });
+    let mode = if quick { "quick" } else { "full" };
+    let j = |full: u64, q: u64| if quick { q } else { full };
+
+    let admission_points = vec![
+        AdmissionPoint { name: "admit_quad_4x2", cores: 4, smt: 2 },
+        AdmissionPoint { name: "admit_phi_57x4", cores: 57, smt: 4 },
+    ];
+    let mut adm = Vec::new();
+    for point in admission_points {
+        let name = point.name;
+        let m = measure_admission(point, repeats);
+        println!(
+            "{name:>16}: {:>5} admitted, median {:>8.3} ms = {:>10.0} adm/s, \
+             best {:>8.3} ms = {:>10.0} adm/s (n={repeats})",
+            m.admitted, m.wall_ms, m.admissions_per_sec, m.wall_ms_min,
+            m.admissions_per_sec_best
+        );
+        adm.push(m);
+    }
+
+    let churn_points = vec![
+        ChurnPoint {
+            name: "churn_quad_4x2",
+            cores: 4,
+            smt: 2,
+            tenants: 12,
+            jobs: j(40, 10),
+            seed: 0,
+        },
+        ChurnPoint {
+            name: "churn_phi_57x4",
+            cores: 57,
+            smt: 4,
+            tenants: 64,
+            jobs: j(40, 10),
+            seed: 0,
+        },
+    ];
+    let mut churn = Vec::new();
+    for point in churn_points {
+        let name = point.name;
+        let m = measure_churn(point, repeats);
+        println!(
+            "{name:>16}: {:>8} events, {:>5} jobs, {} misses, median {:>8.3} ms = \
+             {:>10.0} ev/s, best {:>8.3} ms = {:>10.0} ev/s (n={repeats})",
+            m.events, m.jobs, m.misses, m.wall_ms, m.events_per_sec,
+            m.wall_ms_min, m.events_per_sec_best
+        );
+        churn.push(m);
+    }
+
+    let json = render_json(mode, &adm, &churn);
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("churnbench: wrote {out_path}");
+    ExitCode::SUCCESS
+}

@@ -39,7 +39,7 @@
 
 use rtseed_model::{
     CoreId, HwThreadId, JobId, JobPhase, OptionalOutcome, PartId, Priority,
-    QosSummary, Span, TaskId, Time, Topology,
+    QosSummary, Span, TaskId, TenantId, Time, Topology,
 };
 use rtseed_sim::{FaultPlan, FaultTarget, OverheadKind, TimerFault};
 
@@ -162,6 +162,44 @@ pub struct EngineOutput {
     pub trace: Trace,
     /// Supervisor fault/overload counters.
     pub faults: FaultReport,
+    /// Per-tenant QoS accounting, in first-admission order. Empty unless
+    /// tasks were added with a tenant via [`Engine::add_task`] (the
+    /// one-shot executors never tag tasks, so their outputs carry none).
+    pub tenant_qos: Vec<(TenantId, QosSummary)>,
+}
+
+/// Static description of one task for dynamic addition to a running
+/// engine ([`Engine::add_task`]): everything the offline construction path
+/// reads from a
+/// [`SystemConfig`], but owned, so the serving layer can construct it from
+/// an admission decision at runtime.
+#[derive(Debug, Clone)]
+pub struct TaskParams {
+    /// The task's identity (unique within this engine).
+    pub id: TaskId,
+    /// Owning tenant, if the task was admitted by the serving layer.
+    pub tenant: Option<TenantId>,
+    /// Hardware thread the mandatory/wind-up parts are pinned to.
+    pub mandatory_hw: usize,
+    /// Hardware thread each optional part is placed on.
+    pub placements: Vec<usize>,
+    /// SCHED_FIFO priority of the real-time parts.
+    pub mand_prio: Priority,
+    /// SCHED_FIFO priority of the optional parts.
+    pub opt_prio: Priority,
+    /// Period `Tᵢ`.
+    pub period: Span,
+    /// Relative deadline `Dᵢ`.
+    pub deadline: Span,
+    /// Mandatory WCET `mᵢ` (as declared; the engine applies the run's
+    /// `rt_exec_fraction`, matching [`Engine::new`]).
+    pub mandatory: Span,
+    /// Wind-up WCET `wᵢ` (as declared, see `mandatory`).
+    pub windup: Span,
+    /// Optional part demands `oᵢ,ₖ`.
+    pub optional: Vec<Span>,
+    /// Relative optional deadline from the admission analysis.
+    pub od: Span,
 }
 
 #[derive(Debug, Clone)]
@@ -187,6 +225,7 @@ impl PartState {
 struct TaskState {
     // Static configuration.
     id: TaskId,
+    tenant: Option<TenantId>,
     mandatory_hw: usize,
     placements: Vec<usize>,
     mand_prio: Priority,
@@ -252,11 +291,15 @@ pub struct Engine {
     tasks: Vec<TaskState>,
     jobs: u64,
     live: usize,
+    rt_exec_fraction: f64,
     fault_plan: FaultPlan,
     termination: TerminationMode,
     topology: Topology,
     sup: OverloadSupervisor,
     qos: QosSummary,
+    /// Per-tenant QoS summaries in first-admission order; empty (and
+    /// untouched on the hot path) when no task carries a tenant tag.
+    tenant_qos: Vec<(TenantId, QosSummary)>,
     overheads: OverheadReport,
     metrics: MetricsRegistry,
     rec: TraceRecorder,
@@ -274,6 +317,7 @@ fn build_task(cfg: &SystemConfig, id: TaskId, rt_exec_fraction: f64) -> TaskStat
     let spec = cfg.set().get(id).expect("task id out of range");
     TaskState {
         id,
+        tenant: None,
         mandatory_hw: cfg.mandatory_hw(id).index(),
         placements: cfg
             .optional_placements(id)
@@ -321,11 +365,13 @@ impl Engine {
             tasks,
             jobs: run.jobs,
             live,
+            rt_exec_fraction: run.rt_exec_fraction,
             fault_plan: run.fault_plan.clone(),
             termination: run.termination,
             topology: *cfg.topology(),
             sup,
             qos: QosSummary::new(),
+            tenant_qos: Vec::new(),
             overheads: OverheadReport::new(),
             metrics: MetricsRegistry::new(),
             rec: TraceRecorder::new(run.trace_config()),
@@ -352,11 +398,13 @@ impl Engine {
             tasks,
             jobs: run.jobs,
             live: 1,
+            rt_exec_fraction: run.rt_exec_fraction,
             fault_plan: FaultPlan::default(),
             termination: run.termination,
             topology: *cfg.topology(),
             sup: OverloadSupervisor::new(SupervisorConfig::default(), 1),
             qos: QosSummary::new(),
+            tenant_qos: Vec::new(),
             overheads: OverheadReport::new(),
             metrics: MetricsRegistry::new(),
             rec: TraceRecorder::new(run.trace_config()),
@@ -366,6 +414,139 @@ impl Engine {
             term_prev_core: None,
             pending_achieved: Span::ZERO,
         }
+    }
+
+    /// Creates an engine with **no tasks** on `topology`: the serving
+    /// layer's starting point. Tasks arrive later through
+    /// [`Engine::add_task`] as tenants are admitted, and leave through
+    /// [`Engine::remove_task`] as they depart.
+    ///
+    /// `run` supplies everything run-scoped: the per-task job quota, the
+    /// `rt_exec_fraction`, the termination mode, fault plan, supervisor
+    /// config, and trace sink.
+    pub fn empty(topology: Topology, run: &RunConfig) -> Engine {
+        assert!(
+            run.rt_exec_fraction > 0.0 && run.rt_exec_fraction <= 1.0,
+            "rt_exec_fraction must be within (0, 1]"
+        );
+        Engine {
+            tasks: Vec::new(),
+            jobs: run.jobs,
+            live: 0,
+            rt_exec_fraction: run.rt_exec_fraction,
+            fault_plan: run.fault_plan.clone(),
+            termination: run.termination,
+            topology,
+            sup: OverloadSupervisor::new(run.supervisor, 0),
+            qos: QosSummary::new(),
+            tenant_qos: Vec::new(),
+            overheads: OverheadReport::new(),
+            metrics: MetricsRegistry::new(),
+            rec: TraceRecorder::new(run.trace_config()),
+            term_at: Time::ZERO,
+            term_handling: Span::ZERO,
+            term_max_lag: Span::ZERO,
+            term_prev_core: None,
+            pending_achieved: Span::ZERO,
+        }
+    }
+
+    // ----- dynamic task arrival / departure -------------------------------
+
+    /// Adds a task mid-run and returns its engine index (dense, stable for
+    /// the engine's lifetime — departed tasks keep their slot so indices
+    /// in the driver's in-flight events never dangle).
+    ///
+    /// The new task starts with zero jobs done and its phase `Done`; the
+    /// driver schedules its first release. Its job quota is the engine's
+    /// `run.jobs`, counted from arrival.
+    pub fn add_task(&mut self, params: TaskParams) -> usize {
+        let idx = self.tasks.len();
+        if let Some(tenant) = params.tenant {
+            if !self.tenant_qos.iter().any(|(t, _)| *t == tenant) {
+                self.tenant_qos.push((tenant, QosSummary::new()));
+            }
+        }
+        self.tasks.push(TaskState {
+            id: params.id,
+            tenant: params.tenant,
+            mandatory_hw: params.mandatory_hw,
+            placements: params.placements,
+            mand_prio: params.mand_prio,
+            opt_prio: params.opt_prio,
+            period: params.period,
+            deadline: params.deadline,
+            mandatory: params.mandatory.mul_f64(self.rt_exec_fraction),
+            windup: params.windup.mul_f64(self.rt_exec_fraction),
+            optional: params.optional,
+            od: params.od,
+            seq: 0,
+            release: Time::ZERO,
+            phase: JobPhase::Done,
+            rt_remaining: Span::ZERO,
+            rt_budget: Span::ZERO,
+            parts: Vec::new(),
+            windup_scheduled: false,
+            in_sq: false,
+            overran: false,
+            shed: false,
+            timer_broken: false,
+            jobs_done: 0,
+        });
+        self.sup.add_task();
+        // A zero-job quota means the task retires immediately: it must not
+        // hold the live count (and the run loop) open.
+        if self.jobs > 0 {
+            self.live += 1;
+        }
+        idx
+    }
+
+    /// Removes `task` from scheduling: no further jobs release, and any
+    /// in-flight timer or wind-up event is absorbed by the stale-sequence
+    /// guards. The driver must abort a job still in flight first (the
+    /// [`Engine::abort_part`]/[`Engine::finish_abort`] path, exactly as at
+    /// a hard deadline miss).
+    ///
+    /// The slot is retained so existing engine indices stay valid; the
+    /// task simply counts as having exhausted its job quota.
+    pub fn remove_task(&mut self, task: usize) {
+        debug_assert_eq!(
+            self.tasks[task].phase,
+            JobPhase::Done,
+            "abort the in-flight job before removing a task"
+        );
+        let t = &mut self.tasks[task];
+        if t.jobs_done < self.jobs {
+            t.jobs_done = self.jobs;
+            self.live -= 1;
+        }
+    }
+
+    /// `task` has no more jobs to run (its quota is exhausted or it was
+    /// removed).
+    pub fn task_retired(&self, task: usize) -> bool {
+        self.tasks[task].jobs_done >= self.jobs
+    }
+
+    /// Replaces `task`'s relative optional deadline. The serving layer
+    /// applies admission/eviction [`OdUpdate`](rtseed_analysis::OdUpdate)s
+    /// here: a newly admitted neighbour shrinks co-located ODs, a
+    /// departure grows them.
+    ///
+    /// Takes effect at the *next* release: the current job's OD timer (if
+    /// armed) already carries the old absolute instant, which remains a
+    /// sound termination point for that job — for a shrink, the analysis
+    /// window that justified the old OD still covers the job in flight,
+    /// because admission analyzed the new neighbour's interference only
+    /// from its own (later) release on.
+    pub fn set_od(&mut self, task: usize, od: Span) {
+        self.tasks[task].od = od;
+    }
+
+    /// The tenant owning `task`, if it was added by the serving layer.
+    pub fn tenant_of(&self, task: usize) -> Option<TenantId> {
+        self.tasks[task].tenant
     }
 
     // ----- observability --------------------------------------------------
@@ -608,8 +789,13 @@ impl Engine {
                 t.rt_budget = t.rt_budget.saturating_sub(ran);
             }
             Cursor::Optional(k) => {
+                // Achieved execution is capped at the part's demand: a
+                // driver may bank an inflated slice (fault injection,
+                // coarse clocks), but a part can never achieve more QoS
+                // than it requested.
+                let o_k = t.optional[k as usize];
                 let part = &mut t.parts[k as usize];
-                part.executed += ran;
+                part.executed = (part.executed + ran).min(o_k);
                 part.running_since = None;
             }
         }
@@ -1167,6 +1353,22 @@ impl Engine {
             self.tasks[task].shed,
         );
         self.metrics.record_qos_level(ratio);
+        if let Some(tenant) = self.tasks[task].tenant {
+            // Linear scan: tenant counts are small and this branch is
+            // never taken by the one-shot executors (tenant is None).
+            if let Some((_, summary)) =
+                self.tenant_qos.iter_mut().find(|(t, _)| *t == tenant)
+            {
+                summary.record_job(
+                    self.tasks[task].parts.iter().map(|p| {
+                        (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))
+                    }),
+                    requested,
+                    deadline_met,
+                    self.tasks[task].shed,
+                );
+            }
+        }
         if self.sup.enabled() {
             if self.tasks[task].overran {
                 // Already escalated at budget-cut time.
@@ -1204,6 +1406,7 @@ impl Engine {
             metrics: self.metrics,
             trace: self.rec.finish(),
             faults,
+            tenant_qos: self.tenant_qos,
         }
     }
 }

@@ -39,6 +39,11 @@
 //! * [`obs`] — structured tracing ([`obs::TraceEvent`]) and histogram
 //!   metrics ([`obs::MetricsRegistry`]), with JSONL and Chrome-trace
 //!   exporters.
+//! * [`serve`] — the multi-tenant serving layer: a
+//!   [`serve::SessionManager`] admits tenant task sets at runtime via the
+//!   online RMWP admission test and drives the admitted population through
+//!   the shared engine, with per-tenant QoS accounting and deterministic
+//!   churn replay.
 //!
 //! ## Quickstart
 //!
@@ -83,6 +88,7 @@ pub mod profile;
 pub mod queues;
 pub mod report;
 pub mod runtime;
+pub mod serve;
 pub mod supervisor;
 pub mod termination;
 
@@ -93,5 +99,6 @@ pub use exec_sim::SimExecutor;
 pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;
 pub use report::{FaultReport, OverheadReport};
+pub use serve::{ServeCounters, ServeOutcome, SessionManager, TenantOutcome};
 pub use supervisor::{OverloadMode, OverloadSupervisor, SupervisorConfig};
 pub use termination::TerminationMode;

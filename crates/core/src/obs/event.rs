@@ -258,6 +258,28 @@ pub enum TraceEvent {
         /// The strategy slot, for `Analysis` stages.
         part: Option<PartId>,
     },
+
+    // ── serving layer (multi-tenant sessions) ─────────────────────────
+    /// A tenant's task-set submission passed the online admission test
+    /// and its tasks were bound to hardware threads.
+    TenantAdmitted {
+        /// The admitted tenant.
+        tenant: rtseed_model::TenantId,
+        /// How many tasks the tenant's set contributes.
+        tasks: u32,
+    },
+    /// A tenant's submission failed the admission test (RMWP found no
+    /// feasible placement) and was turned away without running.
+    TenantRejected {
+        /// The rejected tenant.
+        tenant: rtseed_model::TenantId,
+    },
+    /// An admitted tenant left (voluntary departure or eviction); its
+    /// tasks were removed from scheduling.
+    TenantDeparted {
+        /// The departing tenant.
+        tenant: rtseed_model::TenantId,
+    },
 }
 
 impl TraceEvent {
@@ -285,6 +307,9 @@ impl TraceEvent {
             TraceEvent::DegradedModeEntered => "degraded_entered",
             TraceEvent::DegradedModeExited => "degraded_exited",
             TraceEvent::PipelineStage { .. } => "pipeline_stage",
+            TraceEvent::TenantAdmitted { .. } => "tenant_admitted",
+            TraceEvent::TenantRejected { .. } => "tenant_rejected",
+            TraceEvent::TenantDeparted { .. } => "tenant_departed",
         }
     }
 
@@ -311,7 +336,10 @@ impl TraceEvent {
             | TraceEvent::CpuStallStarted { .. }
             | TraceEvent::DegradedModeEntered
             | TraceEvent::DegradedModeExited
-            | TraceEvent::PipelineStage { .. } => None,
+            | TraceEvent::PipelineStage { .. }
+            | TraceEvent::TenantAdmitted { .. }
+            | TraceEvent::TenantRejected { .. }
+            | TraceEvent::TenantDeparted { .. } => None,
         }
     }
 }

@@ -149,6 +149,12 @@ fn push_fields(out: &mut String, event: &TraceEvent) {
                 let _ = write!(out, ",\"part\":{}", part.0);
             }
         }
+        TraceEvent::TenantAdmitted { tenant, tasks } => {
+            let _ = write!(out, "\"tenant\":{},\"tasks\":{tasks}", tenant.0);
+        }
+        TraceEvent::TenantRejected { tenant } | TraceEvent::TenantDeparted { tenant } => {
+            let _ = write!(out, "\"tenant\":{}", tenant.0);
+        }
     }
 }
 

@@ -1,0 +1,1138 @@
+//! Multi-tenant serving layer: admission-controlled sessions over the
+//! shared P-RMWP [`Engine`].
+//!
+//! The one-shot executors answer "run this fixed task set to completion".
+//! A serving middleware instead stays up while **tenants** come and go:
+//! each tenant submits a task set at runtime, the [`SessionManager`] runs
+//! the online RMWP admission test
+//! ([`AdmissionController`] — the
+//! same response-time analysis and bin-packing heuristics as the offline
+//! partitioner), and either
+//!
+//! * **admits** the tenant — binding its mandatory/wind-up threads to the
+//!   hardware threads the admission chose, granting the optional deadlines
+//!   the per-thread analysis computed, and shrinking co-located residents'
+//!   ODs per the returned [`OdUpdate`]s — or
+//! * **rejects** it outright, leaving the running system untouched: an
+//!   overload submission is turned away by analysis, not discovered as a
+//!   deadline miss.
+//!
+//! Departures evict the tenant's tasks (aborting any job in flight exactly
+//! as a hard deadline miss would), free its utilization, and *grow* the
+//! survivors' optional deadlines. The run-scoped
+//! [`OverloadSupervisor`](crate::supervisor::OverloadSupervisor) keeps
+//! working across tenants, so a misbehaving tenant degrades into
+//! optional-part shedding rather than taking down its neighbours.
+//!
+//! The scheduling substrate is the *same* discrete-event mechanism as
+//! [`SimExecutor`](crate::exec_sim::SimExecutor) — per-CPU SCHED_FIFO
+//! ready queues, the deterministic event queue, and the calibrated
+//! [`OverheadModel`] sampled in protocol order — driving the shared
+//! sans-IO [`Engine`] with dynamic task arrival
+//! ([`Engine::add_task`]) and departure ([`Engine::remove_task`]).
+//!
+//! ## Priorities across tenants
+//!
+//! The offline [`PriorityMap`](crate::PriorityMap) ranks a *closed* task
+//! set. Tenants arrive one at a time, so the serving layer instead maps
+//! each task's period onto a stable RTQ level by period magnitude
+//! ([`mandatory_priority_for_period`]): shorter periods get strictly
+//! higher levels, which agrees with the Rate Monotonic order the
+//! admission test analyzes. Tasks whose periods fall into the same
+//! power-of-two bucket share a level and serialize FIFO there — bounded
+//! level inversion the test does not model, mirroring RT-Seed's own
+//! finite RTQ band.
+//!
+//! ## Determinism
+//!
+//! A run is a pure function of the submissions (or the
+//! [`ChurnPlan`]) and the [`RunConfig`]: same seed, same plan, same
+//! trace — byte for byte. When a churn event and a scheduling event fall
+//! on the same instant, the churn event applies first.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtseed::serve::SessionManager;
+//! use rtseed::{AssignmentPolicy, RunConfig};
+//! use rtseed_analysis::PartitionHeuristic;
+//! use rtseed_model::{Span, TaskSpec, Topology};
+//!
+//! let tenant_set = |name: &str| {
+//!     vec![TaskSpec::builder(name)
+//!         .period(Span::from_millis(100))
+//!         .mandatory(Span::from_millis(10))
+//!         .windup(Span::from_millis(10))
+//!         .optional_parts(2, Span::from_millis(20))
+//!         .build()
+//!         .unwrap()]
+//! };
+//! let run = RunConfig::builder().jobs(3).build()?;
+//! let mut mgr = SessionManager::new(
+//!     Topology::quad_core_smt2(),
+//!     PartitionHeuristic::WorstFitDecreasing,
+//!     AssignmentPolicy::OneByOne,
+//!     run,
+//! );
+//! mgr.submit("alpha", &tenant_set("α"))?;
+//! mgr.submit("beta", &tenant_set("β"))?;
+//! let out = mgr.run();
+//! assert_eq!(out.tenants.len(), 2);
+//! assert_eq!(out.outcome.qos.jobs(), 6);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use rtseed_analysis::{AdmissionController, AdmissionError, OdUpdate, PartitionHeuristic, TaskKey};
+use rtseed_model::{
+    HwThreadId, Priority, QosSummary, SessionId, Span, TaskId, TaskSpec, TenantId, TenantState,
+    Time, Topology,
+};
+use rtseed_sim::{ChurnAction, ChurnPlan, EventQueue, FifoReadyQueue, OverheadKind, OverheadModel};
+
+use crate::engine::{AfterMandatory, Cursor, Engine, OdAction, TaskParams, WindupCommand};
+use crate::executor::{Outcome, RunConfig};
+use crate::obs::{QueueBand, QueueOp, Trace, TraceEvent};
+use crate::policy::AssignmentPolicy;
+
+/// The stable RTQ level for a task of the given period.
+///
+/// Levels are bucketed by the period's power-of-two magnitude, anchored so
+/// that periods at or below ~0.5 ms reach [`Priority::RTQ_MAX`] and each
+/// doubling of the period drops one level (floored at
+/// [`Priority::RTQ_MIN`]). The mapping is monotone — a strictly shorter
+/// period never gets a lower level — so runtime preemption agrees with the
+/// within-thread Rate Monotonic order the admission test analyzes,
+/// without ever re-ranking tasks that are already running.
+pub fn mandatory_priority_for_period(period: Span) -> Priority {
+    let ns = period.as_nanos().max(1);
+    let log2 = 63 - u64::leading_zeros(ns) as i64;
+    // 2^19 ns ≈ 0.5 ms maps to RTQ_MAX; each doubling costs one level.
+    let level = (98 - (log2 - 19)).clamp(50, 98) as u8;
+    Priority::new(level).expect("level was clamped into the RTQ band")
+}
+
+// ----- discrete-event mechanism (mirrors exec_sim) ------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Work {
+    task: usize,
+    cursor: Cursor,
+}
+
+#[derive(Debug)]
+enum Event {
+    Release { task: usize, retried: bool },
+    Ready { work: Work },
+    Complete { hw: usize, gen: u64 },
+    OdExpire { task: usize, seq: u64 },
+    WindupReady { task: usize, seq: u64 },
+    StallStart { hw: usize, duration: Span },
+    StallEnd { hw: usize },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    work: Work,
+    prio: Priority,
+    since: Time,
+    gen: u64,
+}
+
+#[derive(Debug, Default)]
+struct Cpu {
+    queue: FifoReadyQueue<Work>,
+    running: Option<Running>,
+    stalled: u32,
+}
+
+/// One admitted task: the admission controller's handle and the engine
+/// slot it was bound to.
+#[derive(Debug, Clone, Copy)]
+struct Binding {
+    key: TaskKey,
+    engine_idx: usize,
+}
+
+#[derive(Debug)]
+struct Tenant {
+    id: TenantId,
+    session: SessionId,
+    name: String,
+    state: TenantState,
+    tasks: Vec<Binding>,
+}
+
+/// Counters of serving-layer decisions over a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeCounters {
+    /// Tenant submissions received ([`SessionManager::submit`] calls plus
+    /// churn arrivals).
+    pub submissions: u64,
+    /// Submissions that passed the admission test.
+    pub admissions: u64,
+    /// Submissions turned away by the admission test.
+    pub rejections: u64,
+    /// Admitted tenants that departed (voluntarily or via churn).
+    pub departures: u64,
+    /// Optional-deadline updates applied to running tasks (shrinks on
+    /// admission, growths on departure).
+    pub od_updates_applied: u64,
+    /// Churn-plan events replayed.
+    pub churn_events: u64,
+}
+
+/// Per-tenant results of a serving run.
+#[derive(Debug, Clone)]
+pub struct TenantOutcome {
+    /// The tenant's identity (submission order).
+    pub tenant: TenantId,
+    /// The session under which it was served.
+    pub session: SessionId,
+    /// The name it submitted under.
+    pub name: String,
+    /// Terminal lifecycle state (`Rejected`, `Departed`, or — for tenants
+    /// still resident at the end of the run — `Admitted`).
+    pub state: TenantState,
+    /// Engine task ids bound to this tenant (empty if rejected); keys for
+    /// scoping the shared trace via [`ServeOutcome::tenant_trace`].
+    pub tasks: Vec<TaskId>,
+    /// QoS accounting over this tenant's jobs only.
+    pub qos: QosSummary,
+}
+
+/// Everything a serving run produced: the aggregate [`Outcome`] (same
+/// shape as the one-shot executors), per-tenant outcomes, and the
+/// admission/churn counters.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// Aggregate measurements across all tenants.
+    pub outcome: Outcome,
+    /// Per-tenant outcomes in submission order (including rejected
+    /// tenants, with empty QoS).
+    pub tenants: Vec<TenantOutcome>,
+    /// Serving-layer decision counters.
+    pub counters: ServeCounters,
+}
+
+impl ServeOutcome {
+    /// The outcome of the most recent tenant submitted under `name`.
+    pub fn tenant(&self, name: &str) -> Option<&TenantOutcome> {
+        self.tenants.iter().rev().find(|t| t.name == name)
+    }
+
+    /// The slice of the shared trace concerning `tenant`: its lifecycle
+    /// events plus every event of its tasks' jobs. Empty when tracing was
+    /// disabled for the run.
+    pub fn tenant_trace(&self, tenant: TenantId) -> Trace {
+        let tasks: &[TaskId] = self
+            .tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map(|t| t.tasks.as_slice())
+            .unwrap_or(&[]);
+        let mut out = Trace::new();
+        for (at, ev) in self.outcome.trace.events() {
+            let ours = match ev {
+                TraceEvent::TenantAdmitted { tenant: t, .. }
+                | TraceEvent::TenantRejected { tenant: t }
+                | TraceEvent::TenantDeparted { tenant: t } => *t == tenant,
+                TraceEvent::PolicyDecision { task, .. } => tasks.contains(task),
+                _ => ev.job().is_some_and(|j| tasks.contains(&j.task)),
+            };
+            if ours {
+                out.record(*at, ev.clone());
+            }
+        }
+        out
+    }
+}
+
+/// The serving layer: accepts tenant task-set submissions at runtime,
+/// admission-tests them, and drives the admitted population through the
+/// shared P-RMWP engine on the discrete-event substrate (see the
+/// [module docs](self)).
+#[derive(Debug)]
+pub struct SessionManager {
+    topology: Topology,
+    policy: AssignmentPolicy,
+    run: RunConfig,
+    now: Time,
+    events: EventQueue<Event>,
+    cpus: Vec<Cpu>,
+    eng: Engine,
+    model: OverheadModel,
+    ctl: AdmissionController,
+    gen_counter: u64,
+    events_processed: u64,
+    signal_scratch: Vec<Time>,
+    tenants: Vec<Tenant>,
+    /// Live (admitted, not departed) task bindings: admission key →
+    /// engine slot, for applying OD deltas.
+    bindings: Vec<Binding>,
+    counters: ServeCounters,
+}
+
+impl SessionManager {
+    /// Creates an empty serving session on `topology`: no tenants, no
+    /// tasks. Admission packs mandatory threads with `heuristic`; optional
+    /// parts are placed by `policy`; `run` supplies the run-scoped knobs
+    /// (per-task job quota, seed, calibration, fault plan, supervisor,
+    /// trace sink).
+    pub fn new(
+        topology: Topology,
+        heuristic: PartitionHeuristic,
+        policy: AssignmentPolicy,
+        run: RunConfig,
+    ) -> SessionManager {
+        let cpus = (0..topology.hw_threads()).map(|_| Cpu::default()).collect();
+        let eng = Engine::empty(topology, &run);
+        let model = OverheadModel::new(run.calibration, topology, run.load, run.seed);
+        let mut events = EventQueue::new();
+        // Planned CPU stall windows enter the queue up front, exactly as in
+        // the one-shot simulator.
+        for stall in run.fault_plan.stalls() {
+            let hw = stall.hw as usize;
+            if hw >= topology.hw_threads() as usize {
+                continue;
+            }
+            events.push(
+                stall.at,
+                Event::StallStart {
+                    hw,
+                    duration: stall.duration,
+                },
+            );
+            events.push(stall.at + stall.duration, Event::StallEnd { hw });
+        }
+        SessionManager {
+            topology,
+            policy,
+            ctl: AdmissionController::new(topology.hw_threads() as usize, heuristic),
+            run,
+            now: Time::ZERO,
+            events,
+            cpus,
+            eng,
+            model,
+            gen_counter: 0,
+            events_processed: 0,
+            signal_scratch: Vec::new(),
+            tenants: Vec::new(),
+            bindings: Vec::new(),
+            counters: ServeCounters::default(),
+        }
+    }
+
+    /// The current simulated time (advances during [`SessionManager::run`]).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of tenants currently admitted (not departed).
+    pub fn admitted_tenants(&self) -> usize {
+        self.tenants
+            .iter()
+            .filter(|t| t.state == TenantState::Admitted)
+            .count()
+    }
+
+    /// Total mandatory+wind-up utilization of the resident tasks.
+    pub fn total_utilization(&self) -> f64 {
+        self.ctl.total_utilization()
+    }
+
+    /// The lifecycle state of the most recent tenant submitted under
+    /// `name`, if any.
+    pub fn state_of(&self, name: &str) -> Option<TenantState> {
+        self.tenants
+            .iter()
+            .rev()
+            .find(|t| t.name == name)
+            .map(|t| t.state)
+    }
+
+    /// The decision counters so far.
+    pub fn counters(&self) -> ServeCounters {
+        self.counters
+    }
+
+    /// Submits a tenant task set for admission at the current instant.
+    ///
+    /// On admission the tenant's tasks release their first jobs
+    /// immediately; co-located residents' optional deadlines shrink per
+    /// the analysis (taking effect at their next release). On rejection
+    /// the running system is untouched — the tenant is recorded as
+    /// [`TenantState::Rejected`] and appears in the final
+    /// [`ServeOutcome::tenants`] with empty QoS.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::Unschedulable`] when some submitted task fits on
+    /// no hardware thread under the exact RMWP test;
+    /// [`AdmissionError::EmptySubmission`] for an empty slice.
+    pub fn submit(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+    ) -> Result<TenantId, AdmissionError> {
+        let name = name.into();
+        self.counters.submissions += 1;
+        let tenant = TenantId(self.tenants.len() as u32);
+        let session = SessionId(tenant.0 as u64);
+        let admission = match self.ctl.try_admit(tasks) {
+            Err(e) => {
+                self.counters.rejections += 1;
+                self.eng.trace(self.now, TraceEvent::TenantRejected { tenant });
+                self.tenants.push(Tenant {
+                    id: tenant,
+                    session,
+                    name,
+                    state: TenantState::Rejected,
+                    tasks: Vec::new(),
+                });
+                return Err(e);
+            }
+            Ok(a) => a,
+        };
+        self.counters.admissions += 1;
+        self.eng.trace(
+            self.now,
+            TraceEvent::TenantAdmitted {
+                tenant,
+                tasks: tasks.len() as u32,
+            },
+        );
+        let mut bound = Vec::with_capacity(tasks.len());
+        for (spec, admitted) in tasks.iter().zip(&admission.tasks) {
+            let mand_prio = mandatory_priority_for_period(spec.period());
+            let opt_prio = mand_prio
+                .optional_counterpart()
+                .expect("every RTQ level has an NRTQ counterpart");
+            let np = spec.optional_count();
+            let placements: Vec<usize> = self
+                .policy
+                .placements(&self.topology, np)
+                .iter()
+                .map(|h| h.index())
+                .collect();
+            let id = TaskId(self.eng.task_count() as u32);
+            let idx = self.eng.add_task(TaskParams {
+                id,
+                tenant: Some(tenant),
+                mandatory_hw: admitted.hw_thread.index(),
+                placements,
+                mand_prio,
+                opt_prio,
+                period: spec.period(),
+                deadline: spec.deadline(),
+                mandatory: spec.mandatory(),
+                windup: spec.windup(),
+                optional: spec.optional_parts().to_vec(),
+                od: admitted.optional_deadline,
+            });
+            if np > 0 && self.eng.tracing() {
+                self.eng.trace(
+                    self.now,
+                    TraceEvent::PolicyDecision {
+                        task: id,
+                        policy: self.policy.label(),
+                        parts: np as u32,
+                        distinct_cores: self.policy.distinct_cores(&self.topology, np),
+                    },
+                );
+            }
+            bound.push(Binding {
+                key: admitted.key,
+                engine_idx: idx,
+            });
+            if self.run.jobs > 0 {
+                self.events.push(
+                    self.now,
+                    Event::Release {
+                        task: idx,
+                        retried: false,
+                    },
+                );
+            }
+        }
+        self.apply_od_updates(&admission.od_updates);
+        self.bindings.extend(bound.iter().copied());
+        self.tenants.push(Tenant {
+            id: tenant,
+            session,
+            name,
+            state: TenantState::Admitted,
+            tasks: bound,
+        });
+        Ok(tenant)
+    }
+
+    /// Departs the most recent admitted tenant named `name`: aborts its
+    /// in-flight jobs (exactly as a hard deadline miss would), removes its
+    /// tasks from scheduling, frees its utilization, and grows the
+    /// survivors' optional deadlines. Returns `false` when no admitted
+    /// tenant has that name.
+    pub fn depart(&mut self, name: &str) -> bool {
+        let Some(pos) = self
+            .tenants
+            .iter()
+            .rposition(|t| t.name == name && t.state == TenantState::Admitted)
+        else {
+            return false;
+        };
+        let bound = self.tenants[pos].tasks.clone();
+        let tenant = self.tenants[pos].id;
+        for b in &bound {
+            if self.eng.job_in_flight(b.engine_idx) {
+                self.abort_job(b.engine_idx);
+            }
+            self.eng.remove_task(b.engine_idx);
+        }
+        let keys: Vec<TaskKey> = bound.iter().map(|b| b.key).collect();
+        let updates = self.ctl.evict(&keys);
+        self.bindings.retain(|b| !keys.contains(&b.key));
+        self.apply_od_updates(&updates);
+        self.eng.trace(self.now, TraceEvent::TenantDeparted { tenant });
+        self.tenants[pos].state = TenantState::Departed;
+        self.counters.departures += 1;
+        true
+    }
+
+    fn apply_od_updates(&mut self, updates: &[OdUpdate]) {
+        for u in updates {
+            if let Some(b) = self.bindings.iter().find(|b| b.key == u.key) {
+                self.eng.set_od(b.engine_idx, u.optional_deadline);
+                self.counters.od_updates_applied += 1;
+            }
+        }
+    }
+
+    /// Runs the already-submitted tenants to completion (each admitted
+    /// task executes the run's per-task job quota) and returns the
+    /// per-tenant and aggregate measurements.
+    pub fn run(self) -> ServeOutcome {
+        self.run_with_churn(&ChurnPlan::new())
+    }
+
+    /// Runs to completion while replaying `plan`: scripted tenant
+    /// arrivals are submitted (and possibly rejected) and departures
+    /// applied at their scripted instants, interleaved deterministically
+    /// with scheduling — a churn event at time `t` applies before
+    /// scheduling events at `t`.
+    pub fn run_with_churn(mut self, plan: &ChurnPlan) -> ServeOutcome {
+        let mut next_churn = 0;
+        while next_churn < plan.len() || self.eng.has_live_tasks() {
+            let churn_at = plan.events().get(next_churn).map(|e| e.at);
+            let take_churn = match (churn_at, self.events.peek_time()) {
+                (Some(c), Some(s)) => c <= s,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if take_churn {
+                let ev = plan.events()[next_churn].clone();
+                next_churn += 1;
+                self.counters.churn_events += 1;
+                if ev.at > self.now {
+                    self.now = ev.at;
+                }
+                match ev.action {
+                    ChurnAction::Arrive { name, tasks } => {
+                        // A rejection is a recorded outcome, not a run
+                        // failure.
+                        let _ = self.submit(name, &tasks);
+                    }
+                    ChurnAction::Depart { name } => {
+                        let _ = self.depart(&name);
+                    }
+                }
+                continue;
+            }
+            let Some((at, event)) = self.events.pop() else {
+                break;
+            };
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            match event {
+                Event::Release { task, retried } => self.on_release(task, retried),
+                Event::Ready { work } => self.on_ready(work),
+                Event::Complete { hw, gen } => self.on_complete(hw, gen),
+                Event::OdExpire { task, seq } => self.on_od_expire(task, seq),
+                Event::WindupReady { task, seq } => self.on_windup_ready(task, seq),
+                Event::StallStart { hw, duration } => self.on_stall_start(hw, duration),
+                Event::StallEnd { hw } => self.on_stall_end(hw),
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> ServeOutcome {
+        let SessionManager {
+            eng,
+            now,
+            events_processed,
+            tenants,
+            counters,
+            ..
+        } = self;
+        let out = eng.finish(now);
+        let tenant_outcomes = tenants
+            .into_iter()
+            .map(|t| TenantOutcome {
+                tenant: t.id,
+                session: t.session,
+                name: t.name,
+                state: t.state,
+                tasks: t
+                    .tasks
+                    .iter()
+                    .map(|b| TaskId(b.engine_idx as u32))
+                    .collect(),
+                qos: out
+                    .tenant_qos
+                    .iter()
+                    .find(|(id, _)| *id == t.id)
+                    .map(|(_, q)| q.clone())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        ServeOutcome {
+            outcome: Outcome {
+                qos: out.qos,
+                overheads: out.overheads,
+                faults: out.faults,
+                metrics: out.metrics,
+                trace: out.trace,
+                events_processed,
+                ..Default::default()
+            },
+            tenants: tenant_outcomes,
+            counters,
+        }
+    }
+
+    // ----- event handlers (the exec_sim mechanism, verbatim) --------------
+
+    fn on_release(&mut self, task: usize, retried: bool) {
+        if self.eng.job_in_flight(task) && !retried {
+            self.events.push(
+                self.now,
+                Event::Release {
+                    task,
+                    retried: true,
+                },
+            );
+            return;
+        }
+        if self.eng.jobs_done(task) > 0 || self.eng.job_in_flight(task) {
+            if self.eng.job_in_flight(task) {
+                self.abort_job(task);
+            }
+            if self.eng.task_retired(task) {
+                return; // quota exhausted or the tenant departed
+            }
+        }
+
+        let release = self.now;
+        let rel = self.eng.release(task, release);
+
+        let dm = self.model.begin_mandatory();
+        self.eng.sample(OverheadKind::BeginMandatory, dm);
+        self.events.push(
+            release + dm,
+            Event::Ready {
+                work: Work {
+                    task,
+                    cursor: Cursor::Mandatory,
+                },
+            },
+        );
+
+        if rel.has_parts {
+            if let Some(at) = self.eng.arm_timer(task, release) {
+                self.events.push(at, Event::OdExpire { task, seq: rel.seq });
+            }
+        }
+
+        if let Some(at) = rel.next_release {
+            self.events.push(
+                at,
+                Event::Release {
+                    task,
+                    retried: false,
+                },
+            );
+        }
+    }
+
+    fn on_ready(&mut self, work: Work) {
+        // The tenant may have departed between signalling and readiness.
+        if self.eng.task_retired(work.task) && !self.eng.job_in_flight(work.task) {
+            return;
+        }
+        let (hw, prio) = match work.cursor {
+            Cursor::Mandatory | Cursor::Windup => (
+                self.eng.mandatory_hw(work.task),
+                self.eng.mand_prio(work.task),
+            ),
+            Cursor::Optional(k) => (
+                self.eng.placement(work.task, k as usize),
+                self.eng.opt_prio(work.task),
+            ),
+        };
+        if self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Enqueue,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
+        }
+        self.cpus[hw].queue.enqueue(prio, work);
+        self.resched(hw);
+    }
+
+    fn on_complete(&mut self, hw: usize, gen: u64) {
+        let Some(running) = self.cpus[hw].running else {
+            return;
+        };
+        if running.gen != gen {
+            return; // stale completion (preempted or terminated meanwhile)
+        }
+        self.cpus[hw].running = None;
+        let work = running.work;
+        if matches!(work.cursor, Cursor::Mandatory | Cursor::Windup) {
+            let ran = self.now.saturating_elapsed_since(running.since);
+            self.eng.bank(work.task, work.cursor, ran);
+            self.eng.cut_if_over_budget(work.task, work.cursor, self.now);
+        }
+        match work.cursor {
+            Cursor::Mandatory => {
+                let after = self.eng.mandatory_completed(work.task, self.now);
+                self.after_mandatory(work.task, after);
+            }
+            Cursor::Optional(k) => {
+                if let Some(cmd) = self.eng.optional_completed(work.task, k, self.now) {
+                    self.apply_windup(work.task, cmd);
+                }
+            }
+            Cursor::Windup => {
+                self.eng.windup_completed(work.task, self.now);
+            }
+        }
+        self.resched(hw);
+    }
+
+    fn after_mandatory(&mut self, task: usize, after: AfterMandatory) {
+        match after {
+            AfterMandatory::Windup(cmd) => self.apply_windup(task, cmd),
+            AfterMandatory::Signal { np } => {
+                let mut ready_times = std::mem::take(&mut self.signal_scratch);
+                ready_times.clear();
+                let mut cum = Span::ZERO;
+                for _ in 0..np {
+                    cum += self.model.signal_one_optional();
+                    ready_times.push(self.now + cum);
+                }
+                self.eng.sample(OverheadKind::BeginOptional, cum);
+
+                let ds = self.model.switch_to_optional(np);
+                self.eng.sample(OverheadKind::SwitchToOptional, ds);
+
+                let mandatory_hw = self.eng.mandatory_hw(task);
+                for (k, &base) in ready_times.iter().enumerate() {
+                    let at = if self.eng.placement(task, k) == mandatory_hw {
+                        base + ds
+                    } else {
+                        base
+                    };
+                    self.events.push(
+                        at,
+                        Event::Ready {
+                            work: Work {
+                                task,
+                                cursor: Cursor::Optional(k as u32),
+                            },
+                        },
+                    );
+                }
+                self.signal_scratch = ready_times;
+            }
+        }
+    }
+
+    fn apply_windup(&mut self, task: usize, cmd: WindupCommand) {
+        if let WindupCommand::At { at, seq } = cmd {
+            self.events.push(at, Event::WindupReady { task, seq });
+        }
+    }
+
+    fn on_od_expire(&mut self, task: usize, seq: u64) {
+        match self.eng.od_expired(task, seq, self.now) {
+            OdAction::Stale | OdAction::Handled => {}
+            OdAction::Terminate { np } => {
+                for k in 0..np {
+                    let Some(target) = self.eng.plan_terminate(task, k) else {
+                        continue;
+                    };
+                    let cost = self.model.end_one_part(target.cross_core);
+                    self.eng.note_termination_cost(cost);
+                    self.stop_work(
+                        target.hw,
+                        Work {
+                            task,
+                            cursor: Cursor::Optional(k as u32),
+                        },
+                        target.prio,
+                    );
+                    self.eng.commit_terminate(task, k, self.now);
+                }
+                let cmd = self.eng.finish_termination(task, self.now);
+                self.apply_windup(task, cmd);
+            }
+        }
+    }
+
+    fn on_windup_ready(&mut self, task: usize, seq: u64) {
+        if self.eng.windup_ready(task, seq, self.now) {
+            self.on_ready(Work {
+                task,
+                cursor: Cursor::Windup,
+            });
+        }
+    }
+
+    fn on_stall_start(&mut self, hw: usize, duration: Span) {
+        self.eng.stall_started(hw, duration, self.now);
+        self.cpus[hw].stalled += 1;
+        if let Some(r) = self.cpus[hw].running.take() {
+            let ran = self.now.saturating_elapsed_since(r.since);
+            self.eng.bank(r.work.task, r.work.cursor, ran);
+            self.cpus[hw].queue.enqueue_front(r.prio, r.work);
+        }
+    }
+
+    fn on_stall_end(&mut self, hw: usize) {
+        self.cpus[hw].stalled = self.cpus[hw].stalled.saturating_sub(1);
+        if self.cpus[hw].stalled == 0 {
+            self.resched(hw);
+        }
+    }
+
+    fn abort_job(&mut self, task: usize) {
+        let mand_hw = self.eng.mandatory_hw(task);
+        let mand_prio = self.eng.mand_prio(task);
+        for cursor in [Cursor::Mandatory, Cursor::Windup] {
+            self.stop_work(mand_hw, Work { task, cursor }, mand_prio);
+        }
+        for k in 0..self.eng.part_count(task) {
+            if self.eng.part_ended(task, k) {
+                continue;
+            }
+            let hw = self.eng.placement(task, k);
+            let opt_prio = self.eng.opt_prio(task);
+            self.stop_work(
+                hw,
+                Work {
+                    task,
+                    cursor: Cursor::Optional(k as u32),
+                },
+                opt_prio,
+            );
+            self.eng.abort_part(task, k, self.now);
+        }
+        self.eng.finish_abort(task, self.now);
+    }
+
+    fn stop_work(&mut self, hw: usize, work: Work, prio: Priority) {
+        let cpu = &mut self.cpus[hw];
+        if cpu.running.is_some_and(|r| r.work == work) {
+            let r = cpu.running.take().expect("checked");
+            let ran = self.now.saturating_elapsed_since(r.since);
+            self.eng.bank(work.task, work.cursor, ran);
+            self.resched(hw);
+        } else if self.cpus[hw].queue.remove(prio, &work) && self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Remove,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
+        }
+    }
+
+    fn resched(&mut self, hw: usize) {
+        if self.cpus[hw].stalled > 0 {
+            return;
+        }
+        if let Some(running) = self.cpus[hw].running {
+            let waiting = self.cpus[hw].queue.peek_highest_priority();
+            if waiting.is_some_and(|p| p > running.prio) {
+                self.cpus[hw].running = None;
+                let ran = self.now.saturating_elapsed_since(running.since);
+                self.eng.bank(running.work.task, running.work.cursor, ran);
+                self.cpus[hw]
+                    .queue
+                    .enqueue_front(running.prio, running.work);
+            } else {
+                return;
+            }
+        }
+        let Some((prio, work)) = self.cpus[hw].queue.dequeue_highest() else {
+            return;
+        };
+        if self.eng.tracing() {
+            let job = self.eng.job(work.task);
+            self.eng.trace(
+                self.now,
+                TraceEvent::Queue {
+                    band: QueueBand::of(prio),
+                    op: QueueOp::Dispatch,
+                    job,
+                    hw: Some(HwThreadId(hw as u32)),
+                },
+            );
+        }
+        let remaining = self.eng.on_dispatch(work.task, work.cursor, hw, self.now);
+        self.gen_counter += 1;
+        let gen = self.gen_counter;
+        self.cpus[hw].running = Some(Running {
+            work,
+            prio,
+            since: self.now,
+            gen,
+        });
+        self.events.push(self.now + remaining, Event::Complete { hw, gen });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::TraceConfig;
+
+    fn light(name: &str) -> Vec<TaskSpec> {
+        vec![TaskSpec::builder(name)
+            .period(Span::from_millis(100))
+            .mandatory(Span::from_millis(10))
+            .windup(Span::from_millis(10))
+            .optional_parts(2, Span::from_millis(20))
+            .build()
+            .unwrap()]
+    }
+
+    /// Utilization 0.6 — at most one per hardware thread.
+    fn heavy(name: &str) -> Vec<TaskSpec> {
+        vec![TaskSpec::builder(name)
+            .period(Span::from_millis(100))
+            .mandatory(Span::from_millis(30))
+            .windup(Span::from_millis(30))
+            .optional_parts(1, Span::from_millis(10))
+            .build()
+            .unwrap()]
+    }
+
+    fn manager(jobs: u64) -> SessionManager {
+        SessionManager::new(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs,
+                trace: TraceConfig::enabled(),
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn priority_mapping_is_monotone_and_in_band() {
+        let mut last = Priority::RTQ_MAX.level();
+        for exp in 0..12 {
+            let p = mandatory_priority_for_period(Span::from_micros(100 << exp));
+            assert!(p.is_mandatory_band() && !p.is_hpq(), "{p:?}");
+            assert!(p.level() <= last, "longer period may not gain priority");
+            last = p.level();
+        }
+        assert_eq!(
+            mandatory_priority_for_period(Span::from_nanos(1)),
+            Priority::RTQ_MAX
+        );
+        // Even an absurdly long period stays inside the RTQ band.
+        let floor = mandatory_priority_for_period(Span::from_nanos(u64::MAX));
+        assert!(floor.is_mandatory_band() && !floor.is_hpq(), "{floor:?}");
+    }
+
+    #[test]
+    fn eight_tenants_served_concurrently_with_per_tenant_qos() {
+        let mut mgr = manager(4);
+        for i in 0..8 {
+            mgr.submit(format!("tenant{i}"), &light(&format!("τ{i}")))
+                .unwrap();
+        }
+        assert_eq!(mgr.admitted_tenants(), 8);
+        let out = mgr.run();
+        assert_eq!(out.counters.admissions, 8);
+        assert_eq!(out.outcome.qos.jobs(), 8 * 4);
+        assert_eq!(out.outcome.qos.deadline_misses(), 0);
+        for i in 0..8 {
+            let t = out.tenant(&format!("tenant{i}")).unwrap();
+            assert_eq!(t.state, TenantState::Admitted);
+            assert_eq!(t.qos.jobs(), 4, "tenant{i}");
+            assert_eq!(t.qos.deadline_misses(), 0);
+            // The scoped trace sees this tenant's lifecycle and jobs only.
+            let tr = out.tenant_trace(t.tenant);
+            assert_eq!(
+                tr.count(|e| matches!(e, TraceEvent::TenantAdmitted { .. })),
+                1
+            );
+            assert_eq!(
+                tr.count(|e| matches!(e, TraceEvent::JobReleased { .. })),
+                4
+            );
+        }
+    }
+
+    #[test]
+    fn overload_is_rejected_by_admission_not_by_misses() {
+        let mut mgr = manager(3);
+        for i in 0..8 {
+            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+        }
+        // The 9th heavy tenant fits on no thread: rejected up front.
+        let err = mgr.submit("straw", &heavy("h8")).unwrap_err();
+        assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+        assert_eq!(mgr.state_of("straw"), Some(TenantState::Rejected));
+        assert_eq!(mgr.admitted_tenants(), 8);
+        let out = mgr.run();
+        assert_eq!(out.counters.rejections, 1);
+        // The admitted population still runs clean: the overload never
+        // reached the schedule.
+        assert_eq!(out.outcome.qos.deadline_misses(), 0);
+        let straw = out.tenant("straw").unwrap();
+        assert_eq!(straw.state, TenantState::Rejected);
+        assert_eq!(straw.qos.jobs(), 0);
+        assert_eq!(
+            out.tenant_trace(straw.tenant)
+                .count(|e| matches!(e, TraceEvent::TenantRejected { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn departure_frees_capacity_for_the_next_tenant() {
+        let mut mgr = manager(2);
+        for i in 0..8 {
+            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+        }
+        assert!(mgr.submit("late", &heavy("h8")).is_err());
+        assert!(mgr.depart("t3"));
+        assert_eq!(mgr.state_of("t3"), Some(TenantState::Departed));
+        assert!(mgr.submit("late", &heavy("h8")).is_ok());
+        assert_eq!(mgr.admitted_tenants(), 8);
+        let out = mgr.run();
+        assert_eq!(out.counters.departures, 1);
+        // "late" appears twice: first rejected, then admitted — the name
+        // lookup returns the latest.
+        assert_eq!(out.tenant("late").unwrap().state, TenantState::Admitted);
+        assert_eq!(out.tenant("late").unwrap().qos.jobs(), 2);
+        // The departed tenant ran no jobs (departed before the run).
+        assert_eq!(out.tenant("t3").unwrap().qos.jobs(), 0);
+    }
+
+    #[test]
+    fn admission_od_deltas_reach_the_running_engine() {
+        // Uniprocessor: "lo" alone gets OD 900 ms; admitting "hi" shrinks
+        // it to 860 ms, and hi's departure restores it (same numbers as
+        // the rtseed-analysis admission tests).
+        let lo = vec![TaskSpec::builder("lo")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(100))
+            .windup(Span::from_millis(100))
+            .optional_parts(1, Span::from_millis(50))
+            .build()
+            .unwrap()];
+        let hi = vec![TaskSpec::builder("hi")
+            .period(Span::from_millis(100))
+            .mandatory(Span::from_millis(10))
+            .windup(Span::from_millis(10))
+            .build()
+            .unwrap()];
+        let mut mgr = SessionManager::new(
+            Topology::uniprocessor(),
+            PartitionHeuristic::FirstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs: 2,
+                ..Default::default()
+            },
+        );
+        mgr.submit("lo", &lo).unwrap();
+        assert_eq!(mgr.counters().od_updates_applied, 0);
+        mgr.submit("hi", &hi).unwrap();
+        assert_eq!(mgr.counters().od_updates_applied, 1, "lo's OD shrank");
+        assert!(mgr.depart("hi"));
+        assert_eq!(mgr.counters().od_updates_applied, 2, "lo's OD grew back");
+        let out = mgr.run();
+        assert_eq!(out.outcome.qos.deadline_misses(), 0);
+    }
+
+    #[test]
+    fn churn_replay_is_deterministic() {
+        let plan = || {
+            ChurnPlan::new()
+                .arrive(Time::ZERO, "a", light("a"))
+                .arrive(Time::from_nanos(50_000_000), "b", heavy("b"))
+                .depart(Time::from_nanos(250_000_000), "a")
+                .arrive(Time::from_nanos(300_000_000), "c", light("c"))
+        };
+        let run = || manager(4).run_with_churn(&plan());
+        let x = run();
+        let y = run();
+        assert_eq!(x.outcome.trace, y.outcome.trace);
+        assert_eq!(x.outcome.qos, y.outcome.qos);
+        assert_eq!(x.counters, y.counters);
+        assert_eq!(x.counters.churn_events, 4);
+        assert_eq!(x.counters.admissions, 3);
+        assert_eq!(x.counters.departures, 1);
+        // "a" departed mid-run: it ran fewer jobs than its quota.
+        let a = x.tenant("a").unwrap();
+        assert_eq!(a.state, TenantState::Departed);
+        assert!(a.qos.jobs() < 4, "departed early: {}", a.qos.jobs());
+    }
+
+    #[test]
+    fn empty_session_with_no_churn_finishes_immediately() {
+        let out = manager(5).run();
+        assert_eq!(out.outcome.qos.jobs(), 0);
+        assert!(out.tenants.is_empty());
+        assert_eq!(out.counters, ServeCounters::default());
+    }
+
+    #[test]
+    fn mid_run_arrival_starts_fresh_job_stream() {
+        // "b" arrives at 150 ms into "a"'s run; both finish their quotas.
+        let plan = ChurnPlan::new()
+            .arrive(Time::ZERO, "a", light("a"))
+            .arrive(Time::from_nanos(150_000_000), "b", light("b"));
+        let out = manager(3).run_with_churn(&plan);
+        assert_eq!(out.tenant("a").unwrap().qos.jobs(), 3);
+        assert_eq!(out.tenant("b").unwrap().qos.jobs(), 3);
+        assert_eq!(out.outcome.qos.deadline_misses(), 0);
+        // b's first release is at its arrival instant.
+        let b = out.tenant("b").unwrap();
+        let tr = out.tenant_trace(b.tenant);
+        let first = tr
+            .first_time(|e| matches!(e, TraceEvent::JobReleased { .. }))
+            .unwrap();
+        assert_eq!(first, Time::from_nanos(150_000_000));
+    }
+}

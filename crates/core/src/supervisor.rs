@@ -154,6 +154,15 @@ impl OverloadSupervisor {
         self.quarantined[task]
     }
 
+    /// Grows the per-task state by one freshly-admitted task (clean
+    /// streaks, not quarantined). Supports the serving layer's dynamic
+    /// task arrival; global overload state is unaffected.
+    pub fn add_task(&mut self) {
+        self.overrun_streak.push(0);
+        self.clean_streak.push(0);
+        self.quarantined.push(false);
+    }
+
     /// The execution budget for a real-time part with the given declared
     /// WCET.
     pub fn budget(&self, declared: Span) -> Span {

@@ -105,6 +105,43 @@ impl fmt::Display for HwThreadId {
     }
 }
 
+/// A tenant: one client of the serving layer, owning a submitted task set.
+///
+/// Tenant ids are assigned by the `SessionManager` in submission order and
+/// never reused within a session, so a rejected submission still gets a
+/// distinct id for audit trails.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant{}", self.0)
+    }
+}
+
+/// A serving session: one admission-controlled lifetime of a
+/// `SessionManager`, spanning many tenants. Monotonically assigned.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session{}", self.0)
+    }
+}
+
 /// A SCHED_FIFO priority level in `1..=99` (larger is higher, paper §IV-B).
 ///
 /// RT-Seed partitions the range into bands:

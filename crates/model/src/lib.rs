@@ -49,9 +49,9 @@ pub mod task;
 pub mod time;
 pub mod topology;
 
-pub use ids::{CoreId, HwThreadId, JobId, PartId, Priority, TaskId};
+pub use ids::{CoreId, HwThreadId, JobId, PartId, Priority, SessionId, TaskId, TenantId};
 pub use qos::{QosRecord, QosSummary};
-pub use state::{JobPhase, OptionalOutcome, PartKind};
+pub use state::{JobPhase, OptionalOutcome, PartKind, TenantState};
 pub use task::{TaskSet, TaskSetError, TaskSpec, TaskSpecBuilder};
 pub use time::{Span, Time};
 pub use topology::{Topology, TopologyError};

@@ -136,6 +136,75 @@ impl fmt::Display for JobPhase {
     }
 }
 
+/// Lifecycle state of one tenant in the serving layer.
+///
+/// Legal transitions (enforced by [`TenantState::can_transition_to`]):
+///
+/// ```text
+/// Pending ─► Admitted ─► Departed
+///    │            └────► Evicted
+///    └────► Rejected
+/// ```
+///
+/// `Rejected` and `Departed`/`Evicted` are terminal: a tenant that wants
+/// back in submits again under a fresh id, so admission decisions stay an
+/// append-only audit trail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TenantState {
+    /// Submitted, admission test not yet run.
+    Pending,
+    /// Passed the admission test; its tasks are bound to CPUs and running.
+    Admitted,
+    /// Failed the admission test; none of its tasks ever ran.
+    Rejected,
+    /// Left voluntarily (or its churn plan departed it); tasks removed.
+    Departed,
+    /// Removed by the serving layer (operator eviction) to free capacity.
+    Evicted,
+}
+
+impl TenantState {
+    /// Whether the transition `self → next` is legal in the tenant
+    /// lifecycle.
+    pub const fn can_transition_to(self, next: TenantState) -> bool {
+        matches!(
+            (self, next),
+            (TenantState::Pending, TenantState::Admitted)
+                | (TenantState::Pending, TenantState::Rejected)
+                | (TenantState::Admitted, TenantState::Departed)
+                | (TenantState::Admitted, TenantState::Evicted)
+        )
+    }
+
+    /// `true` while the tenant's tasks are scheduled (only `Admitted`).
+    #[inline]
+    pub const fn is_active(self) -> bool {
+        matches!(self, TenantState::Admitted)
+    }
+
+    /// `true` once no further transition is possible.
+    #[inline]
+    pub const fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            TenantState::Rejected | TenantState::Departed | TenantState::Evicted
+        )
+    }
+}
+
+impl fmt::Display for TenantState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TenantState::Pending => "pending",
+            TenantState::Admitted => "admitted",
+            TenantState::Rejected => "rejected",
+            TenantState::Departed => "departed",
+            TenantState::Evicted => "evicted",
+        };
+        f.write_str(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,5 +265,25 @@ mod tests {
         assert_eq!(PartKind::Windup.to_string(), "wind-up");
         assert_eq!(OptionalOutcome::Discarded.to_string(), "discarded");
         assert_eq!(JobPhase::OptionalRunning.to_string(), "optional-running");
+        assert_eq!(TenantState::Admitted.to_string(), "admitted");
+    }
+
+    #[test]
+    fn tenant_lifecycle_transitions() {
+        use TenantState::*;
+        assert!(Pending.can_transition_to(Admitted));
+        assert!(Pending.can_transition_to(Rejected));
+        assert!(Admitted.can_transition_to(Departed));
+        assert!(Admitted.can_transition_to(Evicted));
+        // Terminal states go nowhere; re-admission needs a new tenant id.
+        for terminal in [Rejected, Departed, Evicted] {
+            assert!(terminal.is_terminal());
+            for next in [Pending, Admitted, Rejected, Departed, Evicted] {
+                assert!(!terminal.can_transition_to(next));
+            }
+        }
+        assert!(!Pending.is_terminal() && !Admitted.is_terminal());
+        assert!(Admitted.is_active());
+        assert!(!Pending.is_active() && !Rejected.is_active());
     }
 }

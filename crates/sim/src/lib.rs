@@ -21,7 +21,10 @@
 //!   occupancy, cache pollution), and
 //! * a deterministic **fault plan** ([`fault`]): seeded, replayable WCET
 //!   overruns, optional-deadline timer faults and CPU stall windows that
-//!   the executors inject through the event queue.
+//!   the executors inject through the event queue, and
+//! * a deterministic **tenant-churn plan** ([`churn`]): scripted tenant
+//!   arrivals and departures the serving layer replays against its online
+//!   admission test.
 //!
 //! The middleware crate (`rtseed`) drives this machine with the *same*
 //! scheduler state machine it uses on real Linux; only the clock and the
@@ -30,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod churn;
 pub mod eventq;
 pub mod fault;
 pub mod load;
@@ -37,6 +41,7 @@ pub mod overhead;
 pub mod readyq;
 pub mod timer;
 
+pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
 pub use eventq::EventQueue;
 pub use fault::{
     CpuStall, FaultPlan, FaultTarget, JobWindow, RandomOverruns, TimerFault, TimerFaultSpec,

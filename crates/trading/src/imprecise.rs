@@ -19,7 +19,7 @@ use std::time::Instant;
 
 use rtseed::obs::{PipelineStage, Trace, TraceConfig, TraceEvent, TraceRecorder};
 use rtseed::runtime::{OptionalControl, TaskBody};
-use rtseed_model::{JobId, PartId, Time};
+use rtseed_model::{JobId, PartId, Span, TaskSetError, TaskSpec, Time};
 
 use crate::execution::{Order, PaperVenue, Side};
 use crate::market::{Tick, TickSource};
@@ -42,9 +42,24 @@ pub struct PipelineTracer {
 
 impl PipelineTracer {
     /// Creates a tracer; timestamps are nanoseconds since this call.
+    ///
+    /// When the pipeline trace will be merged with other traces (the
+    /// native executor's scheduling trace, or other tracers of the same
+    /// run), use [`PipelineTracer::with_epoch`] instead so all timestamps
+    /// share one time base.
     pub fn new(config: TraceConfig) -> PipelineTracer {
+        PipelineTracer::with_epoch(config, Instant::now())
+    }
+
+    /// Creates a tracer whose timestamps are nanoseconds since `epoch`.
+    ///
+    /// This mirrors the native executor's per-thread recorder idiom: one
+    /// `Instant` captured before the run is shared by every recorder, so
+    /// merged traces line up on a single time axis instead of each tracer
+    /// starting its own clock at construction.
+    pub fn with_epoch(config: TraceConfig, epoch: Instant) -> PipelineTracer {
         PipelineTracer {
-            epoch: Instant::now(),
+            epoch,
             cycle: AtomicU64::new(0),
             rec: Mutex::new(TraceRecorder::new(config)),
         }
@@ -75,6 +90,41 @@ impl PipelineTracer {
     pub fn snapshot(&self) -> Trace {
         self.rec.lock().expect("tracer lock").clone().finish()
     }
+}
+
+/// Builds the task set a trading-desk tenant submits to the serving layer
+/// ([`rtseed::serve`]): one imprecise pipeline task per symbol, named
+/// `"<desk>/<symbol>"`, each with `analyses` parallel optional parts.
+///
+/// The per-task budget derives from the pipeline cadence `period`:
+/// mandatory (ingest) and wind-up (decide) each get 4 % of the period —
+/// generous against the real stages, which are microseconds — and every
+/// analysis part requests 20 %, so a desk with several analyses *relies*
+/// on the imprecise model: under contention the admission test grants a
+/// shorter optional deadline and late analyses are terminated, they do not
+/// delay the decision.
+///
+/// # Errors
+///
+/// Propagates [`TaskSetError`] from the spec builder (zero period and the
+/// like).
+pub fn desk_task_set(
+    desk: &str,
+    symbols: &[&str],
+    analyses: usize,
+    period: Span,
+) -> Result<Vec<TaskSpec>, TaskSetError> {
+    symbols
+        .iter()
+        .map(|sym| {
+            TaskSpec::builder(format!("{desk}/{sym}"))
+                .period(period)
+                .mandatory(period.mul_f64(0.04))
+                .windup(period.mul_f64(0.04))
+                .optional_parts(analyses, period.mul_f64(0.2))
+                .build()
+        })
+        .collect()
 }
 
 /// Shared state of one imprecise trading task.
@@ -492,6 +542,68 @@ mod tests {
         assert_eq!(stage_count(PipelineStage::Ingest), 5);
         assert_eq!(stage_count(PipelineStage::Analysis), 15);
         assert_eq!(stage_count(PipelineStage::Decide), 5);
+    }
+
+    #[test]
+    fn desk_task_set_names_and_sizes_tasks_per_symbol() {
+        let set = desk_task_set(
+            "alpha",
+            &["EURUSD", "GBPUSD", "USDJPY"],
+            3,
+            Span::from_millis(50),
+        )
+        .unwrap();
+        assert_eq!(set.len(), 3);
+        assert_eq!(set[0].name(), "alpha/EURUSD");
+        assert_eq!(set[2].name(), "alpha/USDJPY");
+        for spec in &set {
+            assert_eq!(spec.optional_count(), 3);
+            assert_eq!(spec.mandatory(), Span::from_millis(2));
+            assert_eq!(spec.windup(), Span::from_millis(2));
+            // Mandatory + wind-up utilization stays well under one CPU.
+            assert!(spec.utilization() < 0.1, "{}", spec.utilization());
+        }
+    }
+
+    #[test]
+    fn desk_task_set_is_admissible_by_the_serving_layer() {
+        use rtseed::serve::SessionManager;
+        use rtseed::{AssignmentPolicy, RunConfig};
+        use rtseed_analysis::PartitionHeuristic;
+        use rtseed_model::Topology;
+
+        let mut mgr = SessionManager::new(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs: 2,
+                ..Default::default()
+            },
+        );
+        let desk = desk_task_set("desk", &["EURUSD", "GBPUSD"], 2, Span::from_millis(50))
+            .unwrap();
+        mgr.submit("desk", &desk).expect("a light desk is admissible");
+        let out = mgr.run();
+        assert_eq!(out.tenant("desk").unwrap().qos.jobs(), 4);
+    }
+
+    #[test]
+    fn shared_epoch_puts_tracers_on_one_time_axis() {
+        let epoch = Instant::now();
+        let a = Arc::new(PipelineTracer::with_epoch(TraceConfig::enabled(), epoch));
+        let b = Arc::new(PipelineTracer::with_epoch(TraceConfig::enabled(), epoch));
+        let ta = trader(1);
+        let tb = trader(1);
+        ta.attach_tracer(Arc::clone(&a));
+        tb.attach_tracer(Arc::clone(&b));
+        ta.run_cycle_synchronous();
+        tb.run_cycle_synchronous();
+        // b's cycle ran strictly after a's; with a shared epoch its
+        // timestamps are comparable and never earlier.
+        let last_a = a.snapshot().events().last().map(|(t, _)| *t).unwrap();
+        let first_b = b.snapshot().events().first().map(|(t, _)| *t).unwrap();
+        assert!(first_b >= last_a, "{first_b:?} < {last_a:?}");
     }
 
     #[test]

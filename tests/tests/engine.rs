@@ -111,6 +111,134 @@ proptest! {
         prop_assert_eq!(global.migrations, 0, "one CPU cannot migrate");
     }
 
+    /// QoS is counted exactly once per job and banking never exceeds
+    /// demand, whatever seq-plausible order the driver feeds the engine.
+    /// Drives one task through its whole job quota with a chaos stream
+    /// deciding, per stage: stale/duplicate pokes, wildly inflated banked
+    /// slices (far beyond any declared WCET), parts that complete early,
+    /// parts preempted with banked time, and parts left to OD
+    /// termination. Invariants at the end:
+    ///
+    /// * `qos.jobs()` equals the quota — no job is recorded twice, none
+    ///   is lost;
+    /// * every job accounts for exactly `np` part outcomes;
+    /// * total achieved optional execution never exceeds total requested,
+    ///   even though the banked slices did.
+    #[test]
+    fn engine_counts_qos_once_and_caps_banking_at_demand(
+        (period, m, w, np, o) in task_strategy(),
+        jobs in 1u64..4,
+        chaos in proptest::collection::vec(any::<u8>(), 1..32),
+        overbank_ms in 1u64..1_000,
+    ) {
+        let Some(cfg) = build_config(&[(period, m, w, np, o)], Topology::uniprocessor())
+        else {
+            return Ok(());
+        };
+        let run = RunConfig { jobs, ..RunConfig::default() };
+        let mut eng = Engine::new(&cfg, &run);
+        let overbank = Span::from_millis(overbank_ms);
+        let mut chaos = chaos.into_iter().cycle();
+        let mut release_at = Time::ZERO;
+        let mut last = Time::ZERO;
+
+        for done_jobs in 0..jobs {
+            let rel = eng.release(0, release_at);
+            let stale = rel.seq + 5;
+            prop_assert!(matches!(eng.od_expired(0, stale, release_at), OdAction::Stale));
+            prop_assert!(!eng.windup_ready(0, stale, release_at));
+
+            eng.on_dispatch(0, Cursor::Mandatory, eng.mandatory_hw(0), release_at);
+            if chaos.next().unwrap_or(0) & 1 == 1 {
+                // Preempt with an absurd banked slice, then resume: the
+                // supervisor may cut the budget, never corrupt the count.
+                eng.bank(0, Cursor::Mandatory, overbank);
+                eng.cut_if_over_budget(0, Cursor::Mandatory, release_at);
+                eng.on_dispatch(0, Cursor::Mandatory, eng.mandatory_hw(0), release_at);
+            }
+            let done = (release_at + Span::from_millis(1)).min(eng.od_time(0));
+
+            let wind = match eng.mandatory_completed(0, done) {
+                AfterMandatory::Signal { np: signalled } => {
+                    let mut wind = None;
+                    for k in 0..signalled {
+                        eng.on_dispatch(0, Cursor::Optional(k as u32), eng.placement(0, k), done);
+                        match chaos.next().unwrap_or(0) % 3 {
+                            0 => {
+                                // Runs to completion before the OD.
+                                if let Some(cmd) = eng.optional_completed(0, k as u32, done) {
+                                    wind = Some(cmd);
+                                }
+                            }
+                            1 => {
+                                // Preempted; the banked slice dwarfs o_k.
+                                eng.bank(0, Cursor::Optional(k as u32), overbank);
+                            }
+                            _ => {} // left running until the OD fires
+                        }
+                    }
+                    if wind.is_none() {
+                        let od = eng.od_time(0);
+                        match eng.od_expired(0, rel.seq, od) {
+                            OdAction::Terminate { np: to_stop } => {
+                                for k in 0..to_stop {
+                                    if eng.plan_terminate(0, k).is_some() {
+                                        eng.commit_terminate(0, k, od);
+                                    }
+                                }
+                                wind = Some(eng.finish_termination(0, od));
+                            }
+                            OdAction::Stale | OdAction::Handled => {}
+                        }
+                    }
+                    wind
+                }
+                AfterMandatory::Windup(cmd) => Some(cmd),
+            };
+
+            match wind {
+                Some(WindupCommand::At { at, seq }) => {
+                    prop_assert_eq!(seq, rel.seq);
+                    prop_assert!(!eng.windup_ready(0, stale, at));
+                    prop_assert!(eng.windup_ready(0, seq, at));
+                    prop_assert!(!eng.windup_ready(0, seq, at), "duplicate wake-up absorbed");
+                    eng.on_dispatch(0, Cursor::Windup, eng.mandatory_hw(0), at);
+                    if chaos.next().unwrap_or(0) & 1 == 1 {
+                        eng.bank(0, Cursor::Windup, overbank);
+                        eng.cut_if_over_budget(0, Cursor::Windup, at);
+                    }
+                    last = at + Span::from_millis(w);
+                    eng.windup_completed(0, last);
+                }
+                Some(WindupCommand::Finished { .. }) | None => last = done,
+                Some(WindupCommand::AlreadyScheduled) => {
+                    prop_assert!(false, "manual driving never leaves a wind-up scheduled");
+                }
+            }
+
+            prop_assert!(!eng.job_in_flight(0));
+            prop_assert_eq!(eng.jobs_done(0), done_jobs + 1);
+            // Everything after the job closes bounces off the guards.
+            prop_assert!(matches!(eng.od_expired(0, rel.seq, last), OdAction::Stale));
+            prop_assert!(!eng.windup_ready(0, rel.seq, last));
+
+            let Some(next) = rel.next_release else { break };
+            release_at = next;
+        }
+
+        prop_assert!(!eng.has_live_tasks());
+        let out = eng.finish(last.max(release_at));
+        prop_assert_eq!(out.qos.jobs(), jobs, "each job recorded exactly once");
+        let (c, t, d) = out.qos.outcome_totals();
+        prop_assert_eq!(c + t + d, jobs * np as u64, "every part has exactly one outcome");
+        prop_assert!(
+            out.qos.achieved_total() <= out.qos.requested_total(),
+            "achieved {:?} must not exceed requested {:?}",
+            out.qos.achieved_total(),
+            out.qos.requested_total()
+        );
+    }
+
     /// The engine's guard conditions reject everything stale: OD expiries
     /// and wind-up wake-ups carrying an old job's sequence number, and
     /// duplicates of events already handled. Drives the engine directly

@@ -69,7 +69,12 @@ fn golden_trace_matches_checked_in_file() {
                     golden.lines().count()
                 )
             });
-        panic!("trace diverged from golden file — a scheduling decision changed.\n{diverged}");
+        panic!(
+            "trace diverged from golden file — a scheduling decision changed.\n{diverged}\n\
+             If the change is intentional, regenerate the golden file with\n\
+             `RTSEED_REGEN_GOLDEN=1 cargo test -p integration-tests --test observability`\n\
+             and commit the diff (see tests/golden/README.md)."
+        );
     }
 }
 

@@ -1,0 +1,210 @@
+//! Integration tests for the multi-tenant serving layer: admission
+//! decisions cross-checked against the offline RMWP analysis, eviction
+//! freeing capacity, concurrent tenants with per-tenant accounting, and
+//! deterministic churn replay.
+
+use rtseed::obs::{export, TraceConfig};
+use rtseed::serve::SessionManager;
+use rtseed::{AssignmentPolicy, RunConfig};
+use rtseed_analysis::rmwp::RmwpAnalysis;
+use rtseed_analysis::{AdmissionError, PartitionHeuristic};
+use rtseed_model::{Span, TaskSet, TaskSpec, TenantState, Time, Topology};
+use rtseed_sim::ChurnPlan;
+use rtseed_trading::imprecise::desk_task_set;
+
+fn brick(name: &str) -> TaskSpec {
+    TaskSpec::builder(name)
+        .period(Span::from_millis(100))
+        .mandatory(Span::from_millis(15))
+        .windup(Span::from_millis(15))
+        .optional_parts(1, Span::from_millis(10))
+        .build()
+        .unwrap()
+}
+
+fn uni_manager(jobs: u64) -> SessionManager {
+    SessionManager::new(
+        Topology::uniprocessor(),
+        PartitionHeuristic::FirstFitDecreasing,
+        AssignmentPolicy::OneByOne,
+        RunConfig {
+            jobs,
+            ..RunConfig::default()
+        },
+    )
+}
+
+/// The online admission decision agrees with the offline RMWP analysis
+/// *exactly*: on a uniprocessor, tenant k+1 is admitted iff the offline
+/// analysis finds the (k+1)-task set schedulable — the serving layer
+/// rejects at precisely the k where `RmwpAnalysis` first fails, not one
+/// tenant earlier (too conservative) or later (unsafe).
+#[test]
+fn rejection_happens_exactly_where_offline_rmwp_fails() {
+    let mut mgr = uni_manager(1);
+    let mut resident: Vec<TaskSpec> = Vec::new();
+    let mut first_rejected = None;
+    for k in 0..16 {
+        let spec = brick(&format!("t{k}"));
+        let offline = {
+            let mut candidate = resident.clone();
+            candidate.push(spec.clone());
+            RmwpAnalysis::analyze(&TaskSet::new(candidate).unwrap())
+        };
+        let online = mgr.submit(format!("tenant{k}"), std::slice::from_ref(&spec));
+        assert_eq!(
+            online.is_ok(),
+            offline.is_ok(),
+            "tenant {k}: online admission and offline RMWP analysis disagree"
+        );
+        if online.is_ok() {
+            resident.push(spec);
+        } else if first_rejected.is_none() {
+            first_rejected = Some(k);
+        }
+    }
+    // 30 ms of mandatory+wind-up per 100 ms period: the RMWP test (which
+    // charges wind-up interference on the optional deadline) fits exactly
+    // two bricks on one CPU.
+    assert_eq!(first_rejected, Some(2));
+    assert_eq!(mgr.admitted_tenants(), 2);
+    let out = mgr.run();
+    assert_eq!(out.outcome.qos.deadline_misses(), 0);
+}
+
+/// Departure frees exactly the evicted utilization: a tenant rejected at
+/// full occupancy is admitted after one resident leaves, and the freed
+/// residents' optional deadlines grow back.
+#[test]
+fn eviction_frees_utilization_for_readmission() {
+    let mut mgr = uni_manager(2);
+    for k in 0..2 {
+        mgr.submit(format!("tenant{k}"), &[brick(&format!("t{k}"))])
+            .unwrap();
+    }
+    let full = mgr.total_utilization();
+    let err = mgr.submit("third", &[brick("t2")]).unwrap_err();
+    assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+    assert_eq!(mgr.state_of("third"), Some(TenantState::Rejected));
+
+    assert!(mgr.depart("tenant1"));
+    assert!(mgr.total_utilization() < full);
+    mgr.submit("third", &[brick("t2")])
+        .expect("eviction freed exactly one brick of utilization");
+    assert_eq!(mgr.state_of("third"), Some(TenantState::Admitted));
+    assert_eq!(mgr.admitted_tenants(), 2);
+
+    let out = mgr.run();
+    assert_eq!(out.counters.rejections, 1);
+    assert_eq!(out.counters.departures, 1);
+    assert_eq!(out.outcome.qos.deadline_misses(), 0);
+    assert_eq!(out.tenant("third").unwrap().qos.jobs(), 2);
+}
+
+/// One process serves eight concurrently admitted trading-desk tenants,
+/// each with its own QoS outcome and a trace slice containing only its
+/// jobs; an over-subscribed ninth desk is rejected by admission, never
+/// reaching the schedule (zero deadline misses across the run).
+#[test]
+fn eight_trading_desks_one_process() {
+    let mut mgr = SessionManager::new(
+        Topology::quad_core_smt2(),
+        PartitionHeuristic::WorstFitDecreasing,
+        AssignmentPolicy::OneByOne,
+        RunConfig {
+            jobs: 5,
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        },
+    );
+    for i in 0..8 {
+        let desk = desk_task_set(
+            &format!("desk{i}"),
+            &["EURUSD", "USDJPY"],
+            2,
+            Span::from_millis(50),
+        )
+        .unwrap();
+        mgr.submit(format!("desk{i}"), &desk).unwrap();
+    }
+    assert_eq!(mgr.admitted_tenants(), 8);
+
+    // A desk that over-subscribes any single CPU is turned away up front.
+    let greedy = vec![TaskSpec::builder("greedy")
+        .period(Span::from_millis(100))
+        .mandatory(Span::from_millis(60))
+        .windup(Span::from_millis(35))
+        .build()
+        .unwrap()];
+    assert!(mgr.submit("greedy", &greedy).is_err());
+
+    let out = mgr.run();
+    assert_eq!(out.counters.admissions, 8);
+    assert_eq!(out.counters.rejections, 1);
+    assert_eq!(out.outcome.qos.deadline_misses(), 0);
+    assert_eq!(out.outcome.qos.jobs(), 8 * 2 * 5);
+    for i in 0..8 {
+        let t = out.tenant(&format!("desk{i}")).unwrap();
+        assert_eq!(t.state, TenantState::Admitted);
+        assert_eq!(t.qos.jobs(), 2 * 5, "desk{i} runs both symbols to quota");
+        assert_eq!(t.qos.deadline_misses(), 0);
+        assert_eq!(t.tasks.len(), 2);
+        // The tenant-scoped trace covers this desk's jobs and nothing else.
+        let tr = out.tenant_trace(t.tenant);
+        assert!(!tr.is_empty());
+        for (_, ev) in tr.events() {
+            if let Some(job) = ev.job() {
+                assert!(t.tasks.contains(&job.task), "foreign job in desk{i}'s trace");
+            }
+        }
+    }
+}
+
+/// Replaying the same churn plan twice produces byte-identical JSONL
+/// traces — admissions, rejections, evictions and the full schedule are a
+/// pure function of (plan, seed).
+#[test]
+fn churn_replay_is_byte_deterministic() {
+    let plan = || {
+        ChurnPlan::new()
+            .arrive(
+                Time::ZERO,
+                "a",
+                desk_task_set("a", &["EURUSD"], 2, Span::from_millis(50)).unwrap(),
+            )
+            .arrive(
+                Time::from_nanos(70_000_000),
+                "b",
+                desk_task_set("b", &["USDJPY"], 3, Span::from_millis(50)).unwrap(),
+            )
+            .depart(Time::from_nanos(200_000_000), "a")
+            .arrive(
+                Time::from_nanos(260_000_000),
+                "c",
+                desk_task_set("c", &["GBPUSD"], 2, Span::from_millis(50)).unwrap(),
+            )
+    };
+    let run = || {
+        SessionManager::new(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs: 6,
+                trace: TraceConfig::enabled(),
+                ..RunConfig::default()
+            },
+        )
+        .run_with_churn(&plan())
+    };
+    let x = run();
+    let y = run();
+    assert_eq!(export::jsonl(&x.outcome.trace), export::jsonl(&y.outcome.trace));
+    assert_eq!(x.outcome.qos, y.outcome.qos);
+    assert_eq!(x.counters, y.counters);
+    assert_eq!(x.counters.churn_events, 4);
+    // The mid-run departure really cut tenant a's job stream short.
+    assert!(x.tenant("a").unwrap().qos.jobs() < 6);
+    assert_eq!(x.tenant("b").unwrap().qos.jobs(), 6);
+    assert_eq!(x.tenant("c").unwrap().qos.jobs(), 6);
+}
