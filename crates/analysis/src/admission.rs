@@ -16,10 +16,13 @@
 //! * admitting returns [`OdUpdate`]s for pre-existing tasks whose optional
 //!   deadlines *shrink* because a new neighbour landed on their thread.
 //!
-//! Within a bin, priorities are plain Rate Monotonic over whole tasks
-//! (shorter period ⇒ higher priority, ties broken by admission order),
-//! matching the RTQ level assignment the serving layer deploys — so the
-//! admission test analyzes exactly the priority order that will run.
+//! Within a bin, the analysis runs against the *deployed* RTQ levels
+//! ([`rtseed_model::Priority::for_period`]): shorter-period buckets get
+//! higher levels, and tasks that share a level — the mapping is
+//! many-to-one — are charged with each other's interference both ways,
+//! because SCHED_FIFO cannot order tasks within a level under the
+//! arbitrary release phasing online admission creates. The admission test
+//! therefore never assumes an ordering the kernel will not enforce.
 //!
 //! # Examples
 //!
@@ -46,7 +49,7 @@
 
 use core::fmt;
 
-use rtseed_model::{HwThreadId, Span, TaskId, TaskSet, TaskSpec};
+use rtseed_model::{HwThreadId, Priority, QosFloor, Span, TaskId, TaskSet, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::partition::PartitionHeuristic;
@@ -129,11 +132,14 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
-/// One resident task: its stable key and spec, in admission order.
+/// One resident task: its stable key and spec, in admission order, plus
+/// the absolute QoS floor its tenant contracted at admission (the lowest
+/// optional deadline any later decision may impose on it).
 #[derive(Debug, Clone)]
 struct Entry {
     key: TaskKey,
     spec: TaskSpec,
+    min_od: Span,
 }
 
 /// Online admission controller: the per-hardware-thread bins of the
@@ -202,6 +208,34 @@ impl AdmissionController {
     /// [`AdmissionError::Unschedulable`] naming the first task that fits
     /// nowhere, or [`AdmissionError::EmptySubmission`].
     pub fn try_admit(&mut self, tasks: &[TaskSpec]) -> Result<Admission, AdmissionError> {
+        self.try_admit_bounded(tasks, &[], &[])
+    }
+
+    /// [`AdmissionController::try_admit`] with explicit QoS constraints —
+    /// the serving layer's shedding-ladder entry point.
+    ///
+    /// `floors` gives the submitted tasks' QoS floors in submission order
+    /// (missing entries default to [`QosFloor::none`]); each admitted
+    /// task's absolute floor is anchored at the optional deadline it is
+    /// granted here and enforced against every later decision. `od_bounds`
+    /// tightens, for this decision only, the lowest new optional deadline
+    /// the placement may impose on specific residents (bounds for unknown
+    /// keys are ignored; residents without a bound keep their contracted
+    /// floor). A placement that would push any resident below its
+    /// applicable bound is treated as infeasible, exactly like an RTA
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionController::try_admit`]; a submission that fails only
+    /// because of floors/bounds reports the same
+    /// [`AdmissionError::Unschedulable`].
+    pub fn try_admit_bounded(
+        &mut self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        od_bounds: &[(TaskKey, Span)],
+    ) -> Result<Admission, AdmissionError> {
         if tasks.is_empty() {
             return Err(AdmissionError::EmptySubmission);
         }
@@ -245,18 +279,35 @@ impl AdmissionController {
             }
 
             let key = TaskKey(self.next_key + i as u64);
+            let floor = floors.get(i).copied().unwrap_or_default();
             let mut placed = false;
             for &bin in &candidates {
-                if bin_schedulable(&bins[bin], Some((key, spec))).is_some() {
-                    bins[bin].push(Entry {
-                        key,
-                        spec: spec.clone(),
-                    });
-                    bin_util[bin] += spec.utilization();
-                    placement[i] = HwThreadId(bin as u32);
-                    placed = true;
-                    break;
+                let Some(ods) = bin_schedulable(&bins[bin], Some((key, spec))) else {
+                    continue;
+                };
+                // The placement must respect every resident's applicable
+                // OD bound: the caller's per-decision bound when given,
+                // the resident's contracted floor otherwise.
+                let respects = bins[bin].iter().zip(&ods).all(|(e, &od)| {
+                    od >= lookup(od_bounds, e.key).unwrap_or(e.min_od)
+                });
+                if !respects {
+                    continue;
                 }
+                // The candidate's OD is last in bin order; anchor its
+                // floor there (re-anchored at commit to the batch-final
+                // OD, which later batch-mates may have shrunk — under the
+                // provisional, never-lower floor enforced above).
+                let granted = ods.last().copied().unwrap_or(Span::ZERO);
+                bins[bin].push(Entry {
+                    key,
+                    spec: spec.clone(),
+                    min_od: floor.floor_od(granted),
+                });
+                bin_util[bin] += spec.utilization();
+                placement[i] = HwThreadId(bin as u32);
+                placed = true;
+                break;
             }
             if !placed {
                 return Err(AdmissionError::Unschedulable { index: i });
@@ -282,6 +333,20 @@ impl AdmissionController {
                 }
             })
             .collect();
+        // Re-anchor each newcomer's floor to the OD it actually ends the
+        // batch with (later batch-mates on the same thread may have shrunk
+        // the placement-time OD the provisional floor used).
+        for (i, a) in admitted.iter().enumerate() {
+            let floor = floors.get(i).copied().unwrap_or_default();
+            if let Some(e) = self
+                .bins
+                .iter_mut()
+                .flatten()
+                .find(|e| e.key == a.key)
+            {
+                e.min_od = floor.floor_od(a.optional_deadline);
+            }
+        }
         let od_updates = od_deltas(&old_ods, &new_ods);
         Ok(Admission {
             tasks: admitted,
@@ -308,6 +373,32 @@ impl AdmissionController {
         od_deltas(&old_ods, &new_ods)
     }
 
+    /// Whether `tasks` would be admitted on an otherwise *empty* machine
+    /// of the same geometry and heuristic. The serving layer uses this to
+    /// type a rejection: a submission that fits nowhere even alone is
+    /// permanently unschedulable, while one that fails only against the
+    /// current residents may fit after departures (retryable).
+    pub fn fits_empty(&self, tasks: &[TaskSpec]) -> bool {
+        let mut probe = AdmissionController::new(self.bins.len(), self.heuristic);
+        probe.try_admit(tasks).is_ok()
+    }
+
+    /// The analysis-maximal optional deadline of every resident under the
+    /// current population, as `(key, od)` pairs in bin/admission order.
+    pub fn resident_ods(&self) -> Vec<(TaskKey, Span)> {
+        self.current_ods()
+    }
+
+    /// The contracted QoS floor (absolute minimum optional deadline) of
+    /// resident `key`, or `None` for unknown/evicted keys.
+    pub fn floor_of(&self, key: TaskKey) -> Option<Span> {
+        self.bins
+            .iter()
+            .flatten()
+            .find(|e| e.key == key)
+            .map(|e| e.min_od)
+    }
+
     /// Per-resident optional deadlines under the current population, as
     /// `(key, od)` pairs in bin/admission order.
     fn current_ods(&self) -> Vec<(TaskKey, Span)> {
@@ -321,10 +412,13 @@ impl AdmissionController {
     }
 }
 
-/// RMWP-analyzes `bin` (+ optional `candidate`) under within-bin Rate
-/// Monotonic order (period, then key/candidate-last). Returns the optional
-/// deadlines in `bin` member order (candidate's OD last, if present), or
-/// `None` if unschedulable.
+/// RMWP-analyzes `bin` (+ optional `candidate`) against the *deployed*
+/// SCHED_FIFO levels ([`Priority::for_period`]): strictly shorter-period
+/// buckets interfere from above, and tasks sharing a level charge each
+/// other both ways, because the kernel FIFO cannot order within a level
+/// under the arbitrary phasing online admission creates. Returns the
+/// optional deadlines in `bin` member order (candidate's OD last, if
+/// present), or `None` if unschedulable.
 fn bin_schedulable(
     bin: &[Entry],
     candidate: Option<(TaskKey, &TaskSpec)>,
@@ -355,9 +449,9 @@ fn bin_schedulable(
             .then(key_of(a).cmp(&key_of(b)))
     });
     let specs: Vec<TaskSpec> = idx.iter().map(|&i| spec_of(i).clone()).collect();
+    let levels: Vec<Priority> = specs.iter().map(|s| Priority::for_period(s.period())).collect();
     let sub = TaskSet::new(specs).expect("at least one task");
-    let induced: Vec<TaskId> = (0..n as u32).map(TaskId).collect();
-    let analysis = RmwpAnalysis::analyze_with_order(&sub, induced).ok()?;
+    let analysis = RmwpAnalysis::analyze_with_levels(&sub, &levels).ok()?;
     let mut ods = vec![Span::ZERO; n];
     for (local, &orig) in idx.iter().enumerate() {
         ods[orig] = analysis.optional_deadline(TaskId(local as u32));
@@ -478,6 +572,60 @@ mod tests {
         let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
         ctl.try_admit(&[task("a", 100, 5, 5)]).unwrap();
         assert!(ctl.evict(&[TaskKey(999)]).is_empty());
+        assert_eq!(ctl.resident_tasks(), 1);
+    }
+
+    #[test]
+    fn floors_constrain_later_admissions() {
+        // Same numbers as `eviction_frees_capacity_and_grows_ods`: "hi"
+        // next to "lo" shrinks lo's OD from 900 ms to 860 ms. A floor at
+        // 0.99 · 900 ms = 891 ms forbids that shrink; 0.9 · 900 = 810 ms
+        // allows it.
+        let mut strict = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        strict
+            .try_admit_bounded(&[task("lo", 1000, 100, 100)], &[QosFloor::fraction(0.99)], &[])
+            .unwrap();
+        let err = strict.try_admit(&[task("hi", 100, 10, 10)]).unwrap_err();
+        assert!(matches!(err, AdmissionError::Unschedulable { index: 0 }));
+        assert_eq!(strict.resident_tasks(), 1);
+
+        let mut lax = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        let a = lax
+            .try_admit_bounded(&[task("lo", 1000, 100, 100)], &[QosFloor::fraction(0.9)], &[])
+            .unwrap();
+        assert_eq!(lax.floor_of(a.tasks[0].key), Some(Span::from_millis(810)));
+        assert!(lax.try_admit(&[task("hi", 100, 10, 10)]).is_ok());
+    }
+
+    #[test]
+    fn od_bounds_tighten_one_decision_only() {
+        let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        let a = ctl.try_admit(&[task("lo", 1000, 100, 100)]).unwrap();
+        let key = a.tasks[0].key;
+        // A per-decision bound above the post-admission OD (860 ms) blocks
+        // the same newcomer a contracted zero-floor would admit…
+        let hi = [task("hi", 100, 10, 10)];
+        let err = ctl
+            .try_admit_bounded(&hi, &[], &[(key, Span::from_millis(880))])
+            .unwrap_err();
+        assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+        // …and evaporates on the next call: the stored floor is still 0.
+        assert!(ctl.try_admit(&hi).is_ok());
+    }
+
+    #[test]
+    fn fits_empty_types_the_rejection() {
+        let mut ctl = AdmissionController::new(1, PartitionHeuristic::FirstFitDecreasing);
+        ctl.try_admit(&[task("resident", 100, 30, 30)]).unwrap();
+        // Retryable: fails only against the resident.
+        let contingent = [task("big", 100, 30, 30)];
+        assert!(ctl.try_admit(&contingent).is_err());
+        assert!(ctl.fits_empty(&contingent));
+        // Permanent: the batch jointly over-utilizes even an empty
+        // machine (1.2 total on one thread).
+        let impossible = [task("h1", 100, 30, 30), task("h2", 100, 30, 30)];
+        assert!(!ctl.fits_empty(&impossible));
+        // Probing leaves the controller untouched.
         assert_eq!(ctl.resident_tasks(), 1);
     }
 

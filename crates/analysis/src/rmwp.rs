@@ -28,7 +28,7 @@
 
 use core::fmt;
 
-use rtseed_model::{Span, TaskId, TaskSet};
+use rtseed_model::{Priority, Span, TaskId, TaskSet};
 use serde::{Deserialize, Serialize};
 
 use crate::rta::{response_time, Interferer, RtaError};
@@ -77,6 +77,44 @@ impl RmwpAnalysis {
         set: &TaskSet,
         order: Vec<TaskId>,
     ) -> Result<RmwpAnalysis, RmwpError> {
+        Self::analyze_inner(set, order, None)
+    }
+
+    /// Like [`RmwpAnalysis::analyze_with_order`], but analyzed against the
+    /// *deployed* SCHED_FIFO levels instead of a strict order. The level
+    /// mapping ([`Priority::for_period`]) is many-to-one: tasks sharing a
+    /// level are FIFO-ordered by the kernel under whatever phasing the
+    /// run produces, so no strict priority order between them can be
+    /// assumed. Each task is therefore charged interference from every
+    /// *other* task at the same level as well as from all strictly higher
+    /// levels — sound for arbitrary release phasing, which is exactly the
+    /// situation online admission creates (`levels[i]` is task `i`'s
+    /// level in the set's id order).
+    ///
+    /// # Errors
+    ///
+    /// [`RmwpError::Unschedulable`] as for [`RmwpAnalysis::analyze`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` does not have one entry per task.
+    pub fn analyze_with_levels(
+        set: &TaskSet,
+        levels: &[Priority],
+    ) -> Result<RmwpAnalysis, RmwpError> {
+        assert_eq!(levels.len(), set.len(), "one level per task");
+        // Report rm_order as (level desc, id) — a representative of the
+        // orders the kernel may produce.
+        let mut order: Vec<TaskId> = set.ids().collect();
+        order.sort_by(|&a, &b| levels[b.index()].cmp(&levels[a.index()]).then(a.cmp(&b)));
+        Self::analyze_inner(set, order, Some(levels))
+    }
+
+    fn analyze_inner(
+        set: &TaskSet,
+        order: Vec<TaskId>,
+        levels: Option<&[Priority]>,
+    ) -> Result<RmwpAnalysis, RmwpError> {
         assert_eq!(order.len(), set.len(), "order must cover every task");
         let rm_order = order;
         let n = set.len();
@@ -86,9 +124,17 @@ impl RmwpAnalysis {
 
         for (rank, &id) in rm_order.iter().enumerate() {
             let spec = set.task(id);
-            let hp: Vec<Interferer> = rm_order[..rank]
-                .iter()
-                .map(|&j| {
+            let interferes = |j: TaskId| match levels {
+                // Strict order: exactly the higher-ranked tasks.
+                None => rm_order[..rank].contains(&j),
+                // Deployed levels: strictly higher levels always, and
+                // same-level peers both ways (FIFO within a level).
+                Some(levels) => j != id && levels[j.index()] >= levels[id.index()],
+            };
+            let hp: Vec<Interferer> = set
+                .ids()
+                .filter(|&j| interferes(j))
+                .map(|j| {
                     let s = set.task(j);
                     Interferer {
                         period: s.period(),

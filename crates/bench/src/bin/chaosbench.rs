@@ -1,0 +1,203 @@
+//! `chaosbench` — seeded chaos harness for the serving layer's graceful
+//! degradation: churn × WCET fault storms × submission bursts.
+//!
+//! Each seed generates a deterministic scenario
+//! ([`rtseed_sim::chaos_plan`]): tenants submitting in same-instant
+//! bursts through the bounded submit queue, scripted mid-run departures,
+//! and WCET storms turning some tenants rogue. The scenario replays on a
+//! [`SessionManager`](rtseed::serve::SessionManager) with the overload
+//! supervisor armed and tenant health enforcement on, then three
+//! invariants are checked (see [`rtseed_bench::chaos`]):
+//!
+//! 1. compliant tenants never miss a mandatory deadline;
+//! 2. shed QoS never goes below the tenant's SLA floor;
+//! 3. every submission reaches a terminal state.
+//!
+//! Every seed is replayed **twice** and the two JSONL traces must be
+//! byte-identical — graceful degradation stays a pure function of
+//! `(plan, seed)`.
+//!
+//! The process exits non-zero if any invariant (or the byte-identity
+//! check) fails, so CI can gate on it. Output is
+//! `BENCH_chaosbench.json` in the same stable `{"schema": 1}` shape the
+//! other harnesses use:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "bench": "chaosbench",
+//!   "mode": "full",
+//!   "seeds": 16,
+//!   "violations": 0,
+//!   "runs": [
+//!     {"seed": 0, "tenants": 24, "admitted": 20, "expired": 1,
+//!      "evictions": 1, "rogues": 2, "qos_sheds": 3, "qos_restores": 5,
+//!      "misses": 4, "compliant_misses": 0, "deterministic": true,
+//!      "violations": []}
+//!   ]
+//! }
+//! ```
+//!
+//! Usage:
+//!
+//! ```text
+//! chaosbench [--quick] [--seeds N] [--jobs N] [--out PATH]
+//! ```
+
+use std::process::ExitCode;
+
+use rtseed_bench::chaos::{check_invariants, run_chaos, ChaosRun};
+use rtseed_sim::ChaosConfig;
+
+struct SeedReport {
+    run: ChaosRun,
+    deterministic: bool,
+    violations: Vec<String>,
+}
+
+fn compliant_misses(run: &ChaosRun) -> u64 {
+    run.out
+        .tenants
+        .iter()
+        .filter(|t| !run.rogues.contains(&t.tenant))
+        .map(|t| t.qos.deadline_misses())
+        .sum()
+}
+
+fn render_json(mode: &str, tenants: usize, reports: &[SeedReport]) -> String {
+    use std::fmt::Write as _;
+    let total: usize = reports
+        .iter()
+        .map(|r| r.violations.len() + usize::from(!r.deterministic))
+        .sum();
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"chaosbench\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(out, "  \"seeds\": {},", reports.len());
+    let _ = writeln!(out, "  \"violations\": {total},");
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let c = r.run.out.counters;
+        let _ = write!(
+            out,
+            "    {{\"seed\": {}, \"tenants\": {}, \"admitted\": {}, \
+             \"expired\": {}, \"evictions\": {}, \"rogues\": {}, \
+             \"qos_sheds\": {}, \"qos_restores\": {}, \"misses\": {}, \
+             \"compliant_misses\": {}, \"deterministic\": {}, \
+             \"violations\": [",
+            r.run.seed,
+            tenants,
+            c.admissions,
+            c.expired,
+            c.evictions,
+            r.run.rogues.len(),
+            c.qos_sheds,
+            c.qos_restores,
+            r.run.out.outcome.qos.deadline_misses(),
+            compliant_misses(&r.run),
+            r.deterministic,
+        );
+        for (j, v) in r.violations.iter().enumerate() {
+            let sep = if j + 1 < r.violations.len() { ", " } else { "" };
+            let _ = write!(out, "\"{}\"{sep}", v.replace('"', "'"));
+        }
+        let _ = write!(out, "]}}");
+        let _ = writeln!(out, "{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut quick = false;
+    let mut seeds: Option<u64> = None;
+    let mut jobs: Option<u64> = None;
+    let mut out_path = String::from("BENCH_chaosbench.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seeds" => {
+                seeds = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seeds needs a count"),
+                )
+            }
+            "--jobs" => {
+                jobs = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--jobs needs a count"),
+                )
+            }
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("chaosbench: unknown argument {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let cfg = if quick {
+        ChaosConfig::quick()
+    } else {
+        ChaosConfig::default()
+    };
+    let seeds = seeds.unwrap_or(if quick { 8 } else { 16 });
+    let jobs = jobs.unwrap_or(if quick { 8 } else { 16 });
+    let mode = if quick { "quick" } else { "full" };
+
+    let mut reports = Vec::new();
+    for seed in 0..seeds {
+        let run = run_chaos(&cfg, seed, jobs);
+        let replay = run_chaos(&cfg, seed, jobs);
+        let deterministic = run.trace_jsonl == replay.trace_jsonl
+            && run.out.counters == replay.out.counters;
+        let mut violations = check_invariants(&run);
+        if !deterministic {
+            violations.push(format!("seed {seed}: replay was not byte-identical"));
+        }
+        let c = run.out.counters;
+        println!(
+            "seed {seed:>3}: {} admitted, {} expired, {} evicted, {} rogue(s), \
+             {} sheds, {} restores, {} misses ({} compliant) — {}",
+            c.admissions,
+            c.expired,
+            c.evictions,
+            run.rogues.len(),
+            c.qos_sheds,
+            c.qos_restores,
+            run.out.outcome.qos.deadline_misses(),
+            compliant_misses(&run),
+            if violations.is_empty() {
+                "ok".to_string()
+            } else {
+                format!("{} VIOLATION(S)", violations.len())
+            },
+        );
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        reports.push(SeedReport {
+            run,
+            deterministic,
+            violations,
+        });
+    }
+
+    let failed: usize = reports
+        .iter()
+        .map(|r| r.violations.len())
+        .sum();
+    let json = render_json(mode, cfg.tenants, &reports);
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("chaosbench: wrote {out_path}");
+    if failed > 0 {
+        eprintln!("chaosbench: {failed} violation(s) across {seeds} seed(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -11,7 +11,12 @@
 //!   on a *growing* resident set), and
 //! * **churn replay** — wall-clock and scheduling events/sec of a full
 //!   [`SessionManager`] run under a scripted arrive/depart plan, with the
-//!   end-to-end QoS the admitted tenants achieved.
+//!   end-to-end QoS the admitted tenants achieved, and
+//! * **burst arrivals** — the same replay metric when tenants arrive in
+//!   same-instant bursts through the bounded submit queue (admission
+//!   backpressure): whole bursts are decided in batched admission rounds,
+//!   blocked requests retry with backoff, and the JSON records how many
+//!   submissions were queued, retried and expired.
 //!
 //! Output is `BENCH_churnbench.json` in the same stable `{"schema": 1}`
 //! shape `simbench` uses, so future PRs can diff the serving layer's perf
@@ -30,8 +35,9 @@
 //!   ],
 //!   "churn": [
 //!     {"bench": "churn_quad_4x2", "config": {"cores": 4, "smt": 2,
-//!      "tenants": 12, "jobs": 20, "seed": 0}, "events": 12345,
-//!      "jobs": 200, "misses": 0, "repeats": 5, "wall_ms": 9.8,
+//!      "tenants": 12, "jobs": 20, "seed": 0, "burst": false},
+//!      "events": 12345, "jobs": 200, "misses": 0, "enqueued": 0,
+//!      "retries": 0, "expired": 0, "repeats": 5, "wall_ms": 9.8,
 //!      "events_per_sec": 1000000.0, "wall_ms_min": 9.0,
 //!      "events_per_sec_best": 1100000.0}
 //!   ]
@@ -51,7 +57,7 @@ use rtseed::policy::AssignmentPolicy;
 use rtseed::serve::SessionManager;
 use rtseed::RunConfig;
 use rtseed_analysis::{AdmissionController, PartitionHeuristic};
-use rtseed_model::{Span, TaskSpec, Time, Topology};
+use rtseed_model::{QosFloor, Span, TaskSpec, Time, Topology};
 use rtseed_sim::ChurnPlan;
 
 /// The task set every benchmark tenant submits: one pipeline task, 8 %
@@ -132,6 +138,7 @@ struct ChurnPoint {
     tenants: usize,
     jobs: u64,
     seed: u64,
+    burst: bool,
 }
 
 struct ChurnMeasured {
@@ -139,6 +146,9 @@ struct ChurnMeasured {
     events: u64,
     jobs: u64,
     misses: u64,
+    enqueued: u64,
+    retries: u64,
+    expired: u64,
     repeats: usize,
     wall_ms: f64,
     events_per_sec: f64,
@@ -167,7 +177,35 @@ fn churn_plan(tenants: usize) -> ChurnPlan {
     plan
 }
 
-fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, f64) {
+/// Burst-arrival variant: tenants arrive through the bounded submit
+/// queue in same-instant bursts of four, 40 ms apart, each with a 50 %
+/// QoS floor and a 600 ms queue deadline; the first half departs mid-run
+/// so retrying requests see freed capacity. The whole schedule of
+/// rounds, retries and expiries is a pure function of the plan.
+fn burst_plan(tenants: usize) -> ChurnPlan {
+    let mut plan = ChurnPlan::new();
+    let floor = QosFloor::fraction(0.5);
+    for i in 0..tenants {
+        plan = plan.submit(
+            Time::from_nanos((i as u64 / 4) * 40_000_000),
+            format!("t{i}"),
+            tenant_tasks(i),
+            floor,
+            Span::from_millis(600),
+        );
+    }
+    for i in 0..tenants / 2 {
+        plan = plan.depart(
+            Time::from_nanos(400_000_000 + i as u64 * 10_000_000),
+            format!("t{i}"),
+        );
+    }
+    plan
+}
+
+/// One churn replay: (events, jobs, misses, enqueued, retries, expired,
+/// wall-ms).
+fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, u64, u64, u64, f64) {
     let topo = Topology::new(p.cores, p.smt).expect("non-degenerate");
     let run = RunConfig {
         jobs: p.jobs,
@@ -180,7 +218,11 @@ fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, f64) {
         AssignmentPolicy::OneByOne,
         run,
     );
-    let plan = churn_plan(p.tenants);
+    let plan = if p.burst {
+        burst_plan(p.tenants)
+    } else {
+        churn_plan(p.tenants)
+    };
     let start = Instant::now();
     let out = mgr.run_with_churn(&plan);
     let wall = start.elapsed().as_secs_f64() * 1e3;
@@ -188,18 +230,21 @@ fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, f64) {
         out.outcome.events_processed,
         out.outcome.qos.jobs(),
         out.outcome.qos.deadline_misses(),
+        out.counters.enqueued,
+        out.counters.retries,
+        out.counters.expired,
         wall,
     )
 }
 
 fn measure_churn(point: ChurnPoint, repeats: usize) -> ChurnMeasured {
-    let (events, jobs, misses, _) = run_churn(&point); // warmup
+    let (events, jobs, misses, enqueued, retries, expired, _) = run_churn(&point); // warmup
     let mut walls: Vec<f64> = (0..repeats)
         .map(|_| {
-            let (e, j, m, wall) = run_churn(&point);
+            let (e, j, m, q, r, x, wall) = run_churn(&point);
             assert_eq!(
-                (e, j, m),
-                (events, jobs, misses),
+                (e, j, m, q, r, x),
+                (events, jobs, misses, enqueued, retries, expired),
                 "non-deterministic churn replay in {}",
                 point.name
             );
@@ -213,6 +258,9 @@ fn measure_churn(point: ChurnPoint, repeats: usize) -> ChurnMeasured {
         events,
         jobs,
         misses,
+        enqueued,
+        retries,
+        expired,
         repeats,
         wall_ms,
         events_per_sec: events as f64 / (wall_ms / 1e3),
@@ -250,12 +298,14 @@ fn render_json(mode: &str, adm: &[AdmissionMeasured], churn: &[ChurnMeasured]) -
         let _ = write!(
             out,
             "    {{\"bench\": \"{}\", \"config\": {{\"cores\": {}, \"smt\": {}, \
-             \"tenants\": {}, \"jobs\": {}, \"seed\": {}}}, \
-             \"events\": {}, \"jobs\": {}, \"misses\": {}, \"repeats\": {}, \
+             \"tenants\": {}, \"jobs\": {}, \"seed\": {}, \"burst\": {}}}, \
+             \"events\": {}, \"jobs\": {}, \"misses\": {}, \
+             \"enqueued\": {}, \"retries\": {}, \"expired\": {}, \"repeats\": {}, \
              \"wall_ms\": {:.3}, \"events_per_sec\": {:.1}, \
              \"wall_ms_min\": {:.3}, \"events_per_sec_best\": {:.1}}}",
-            p.name, p.cores, p.smt, p.tenants, p.jobs, p.seed,
-            m.events, m.jobs, m.misses, m.repeats, m.wall_ms,
+            p.name, p.cores, p.smt, p.tenants, p.jobs, p.seed, p.burst,
+            m.events, m.jobs, m.misses, m.enqueued, m.retries, m.expired,
+            m.repeats, m.wall_ms,
             m.events_per_sec, m.wall_ms_min, m.events_per_sec_best,
         );
         let _ = writeln!(out, "{}", if i + 1 < churn.len() { "," } else { "" });
@@ -316,6 +366,7 @@ fn main() -> ExitCode {
             tenants: 12,
             jobs: j(40, 10),
             seed: 0,
+            burst: false,
         },
         ChurnPoint {
             name: "churn_phi_57x4",
@@ -324,6 +375,25 @@ fn main() -> ExitCode {
             tenants: 64,
             jobs: j(40, 10),
             seed: 0,
+            burst: false,
+        },
+        ChurnPoint {
+            name: "burst_quad_4x2",
+            cores: 4,
+            smt: 2,
+            tenants: 12,
+            jobs: j(40, 10),
+            seed: 0,
+            burst: true,
+        },
+        ChurnPoint {
+            name: "burst_phi_57x4",
+            cores: 57,
+            smt: 4,
+            tenants: 64,
+            jobs: j(40, 10),
+            seed: 0,
+            burst: true,
         },
     ];
     let mut churn = Vec::new();
@@ -331,10 +401,11 @@ fn main() -> ExitCode {
         let name = point.name;
         let m = measure_churn(point, repeats);
         println!(
-            "{name:>16}: {:>8} events, {:>5} jobs, {} misses, median {:>8.3} ms = \
+            "{name:>16}: {:>8} events, {:>5} jobs, {} misses, {} queued, \
+             {} retries, {} expired, median {:>8.3} ms = \
              {:>10.0} ev/s, best {:>8.3} ms = {:>10.0} ev/s (n={repeats})",
-            m.events, m.jobs, m.misses, m.wall_ms, m.events_per_sec,
-            m.wall_ms_min, m.events_per_sec_best
+            m.events, m.jobs, m.misses, m.enqueued, m.retries, m.expired,
+            m.wall_ms, m.events_per_sec, m.wall_ms_min, m.events_per_sec_best
         );
         churn.push(m);
     }

@@ -1,0 +1,170 @@
+//! Chaos harness for the serving layer: replay a seeded
+//! [`ChaosPlan`](rtseed_sim::ChaosPlan) (churn × fault storm ×
+//! submission burst) through a [`SessionManager`] and check the
+//! graceful-degradation invariants.
+//!
+//! Shared by the `chaosbench` binary and the serving-layer chaos
+//! proptests, so both enforce exactly the same properties:
+//!
+//! 1. **Compliant tenants never miss a mandatory deadline.** A tenant is
+//!    *rogue* iff a WCET storm actually fired on one of its tasks (read
+//!    back from the `wcet_fault` trace events, not predicted from the
+//!    plan); everyone else keeps the admission-time guarantee even while
+//!    rogues overrun, tenants churn, and the ladder sheds QoS. The
+//!    overload supervisor is armed, so rogue demand is budget-cut at the
+//!    analysed WCET and health enforcement quarantines/evicts repeat
+//!    offenders.
+//! 2. **Shed QoS never goes below the SLA floor**: every `qos_shed`
+//!    trace event deploys an optional deadline at or above the tenant's
+//!    floor.
+//! 3. **Every submission reaches a terminal state** — no tenant is left
+//!    `Pending` once the run drains.
+//!
+//! Byte-determinism (same seed ⇒ identical JSONL trace) is the caller's
+//! third check: run [`run_chaos`] twice and compare
+//! [`ChaosRun::trace_jsonl`].
+
+use rtseed::obs::{export, TraceConfig, TraceEvent};
+use rtseed::serve::{GracefulConfig, HealthPolicy, SessionManager, ServeOutcome};
+use rtseed::supervisor::SupervisorConfig;
+use rtseed::{AssignmentPolicy, RunConfig};
+use rtseed_analysis::PartitionHeuristic;
+use rtseed_model::{Span, TenantId, TenantState, Topology};
+use rtseed_sim::{chaos_plan, ChaosConfig};
+
+/// One replay of a chaos scenario, with everything the invariant checks
+/// need.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The seed the scenario was generated from.
+    pub seed: u64,
+    /// The serving-layer outcome (tenants, counters, trace, QoS).
+    pub out: ServeOutcome,
+    /// The full trace exported as JSONL — the byte-determinism witness.
+    pub trace_jsonl: String,
+    /// Tenants on whose tasks a WCET storm actually fired.
+    pub rogues: Vec<TenantId>,
+}
+
+/// Replays the chaos scenario for `(cfg, seed)` on the eight-thread
+/// quad-core topology with the supervisor armed and tenant health
+/// enforcement on.
+pub fn run_chaos(cfg: &ChaosConfig, seed: u64, jobs: u64) -> ChaosRun {
+    let plan = chaos_plan(cfg, seed);
+    let run = RunConfig {
+        jobs,
+        seed,
+        trace: TraceConfig::enabled(),
+        fault_plan: plan.faults.clone(),
+        supervisor: SupervisorConfig::armed(),
+        ..RunConfig::default()
+    };
+    let graceful = GracefulConfig {
+        restore_hysteresis: Span::from_millis(50),
+        health: HealthPolicy {
+            enabled: true,
+            ..HealthPolicy::default()
+        },
+        ..GracefulConfig::default()
+    };
+    let mgr = SessionManager::with_graceful(
+        Topology::quad_core_smt2(),
+        PartitionHeuristic::WorstFitDecreasing,
+        AssignmentPolicy::OneByOne,
+        run,
+        graceful,
+    );
+    let out = mgr.run_with_churn(&plan.churn);
+    let trace_jsonl = export::jsonl(&out.outcome.trace);
+
+    // Rogue classification from the trace: a storm that never fired (its
+    // slot was rejected or departed first) makes nobody rogue.
+    let mut rogues: Vec<TenantId> = Vec::new();
+    for (_, ev) in out.outcome.trace.events() {
+        if let TraceEvent::WcetFaultInjected { job, .. } = ev {
+            let hit = out
+                .tenants
+                .iter()
+                .find(|t| t.tasks.contains(&job.task))
+                .map(|t| t.tenant);
+            if let Some(tenant) = hit {
+                if !rogues.contains(&tenant) {
+                    rogues.push(tenant);
+                }
+            }
+        }
+    }
+
+    ChaosRun {
+        seed,
+        out,
+        trace_jsonl,
+        rogues,
+    }
+}
+
+/// Checks the graceful-degradation invariants over one replay. Returns
+/// human-readable violations; an empty vector is a green run.
+pub fn check_invariants(run: &ChaosRun) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // 1. Compliant tenants keep the admission-time guarantee.
+    for t in &run.out.tenants {
+        if run.rogues.contains(&t.tenant) {
+            continue;
+        }
+        let misses = t.qos.deadline_misses();
+        if misses > 0 {
+            violations.push(format!(
+                "seed {}: compliant tenant {} ({:?}) missed {} mandatory deadline(s)",
+                run.seed, t.name, t.state, misses
+            ));
+        }
+    }
+
+    // 2. The shedding ladder never deploys below the SLA floor.
+    for (at, ev) in run.out.outcome.trace.events() {
+        if let TraceEvent::QosShed {
+            tenant, od, floor, ..
+        } = ev
+        {
+            if od < floor {
+                violations.push(format!(
+                    "seed {}: tenant {} shed to {} ns, below its floor {} ns at {} ns",
+                    run.seed,
+                    tenant.0,
+                    od.as_nanos(),
+                    floor.as_nanos(),
+                    at.as_nanos()
+                ));
+            }
+        }
+    }
+
+    // 3. Backpressure resolves every submission: nobody stays Pending.
+    for t in &run.out.tenants {
+        if t.state == TenantState::Pending {
+            violations.push(format!(
+                "seed {}: tenant {} left pending after the run drained",
+                run.seed, t.name
+            ));
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_quick_chaos_run_is_green_and_deterministic() {
+        let cfg = ChaosConfig::quick();
+        let a = run_chaos(&cfg, 3, 8);
+        let b = run_chaos(&cfg, 3, 8);
+        assert_eq!(check_invariants(&a), Vec::<String>::new());
+        assert_eq!(a.trace_jsonl, b.trace_jsonl, "same seed, different bytes");
+        assert_eq!(a.out.counters, b.out.counters);
+    }
+}

@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
+
 use rtseed::config::SystemConfig;
 use rtseed::exec_sim::SimExecutor;
 use rtseed::executor::{Outcome, RunConfig};

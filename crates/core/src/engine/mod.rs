@@ -254,6 +254,9 @@ struct TaskState {
     /// The current job ran with its optional parts shed (degraded mode or
     /// quarantine).
     shed: bool,
+    /// Serving-layer health quarantine: shed this task's optional parts
+    /// on every job until cleared, regardless of supervisor state.
+    force_shed: bool,
     // Across jobs.
     timer_broken: bool,
     jobs_done: u64,
@@ -311,6 +314,30 @@ pub struct Engine {
     term_max_lag: Span,
     term_prev_core: Option<CoreId>,
     pending_achieved: Span,
+    /// When set (serving layer with health enforcement), every finished
+    /// job of a tenant-owned task appends a [`JobSignal`] for the driver
+    /// to drain. Off by default: the one-shot executors never pay for it.
+    collect_signals: bool,
+    signals: Vec<JobSignal>,
+}
+
+/// One finished job of a tenant-owned task, as observed by the engine —
+/// the raw material for serving-layer tenant health accounting. Emitted
+/// only after [`Engine::collect_job_signals`] opted in; drained with
+/// [`Engine::drain_job_signals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobSignal {
+    /// Engine slot of the task whose job finished.
+    pub task: usize,
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// Whether the job met its relative deadline.
+    pub met: bool,
+    /// Whether a real-time part of the job overran its supervisor budget.
+    pub overran: bool,
+    /// Whether the job ran with its optional parts shed (degraded mode,
+    /// supervisor quarantine, or serving-layer health quarantine).
+    pub shed: bool,
 }
 
 fn build_task(cfg: &SystemConfig, id: TaskId, rt_exec_fraction: f64) -> TaskState {
@@ -342,6 +369,7 @@ fn build_task(cfg: &SystemConfig, id: TaskId, rt_exec_fraction: f64) -> TaskStat
         in_sq: false,
         overran: false,
         shed: false,
+        force_shed: false,
         timer_broken: false,
         jobs_done: 0,
     }
@@ -380,6 +408,8 @@ impl Engine {
             term_max_lag: Span::ZERO,
             term_prev_core: None,
             pending_achieved: Span::ZERO,
+            collect_signals: false,
+            signals: Vec::new(),
         }
     }
 
@@ -413,6 +443,8 @@ impl Engine {
             term_max_lag: Span::ZERO,
             term_prev_core: None,
             pending_achieved: Span::ZERO,
+            collect_signals: false,
+            signals: Vec::new(),
         }
     }
 
@@ -448,6 +480,8 @@ impl Engine {
             term_max_lag: Span::ZERO,
             term_prev_core: None,
             pending_achieved: Span::ZERO,
+            collect_signals: false,
+            signals: Vec::new(),
         }
     }
 
@@ -490,6 +524,7 @@ impl Engine {
             in_sq: false,
             overran: false,
             shed: false,
+            force_shed: false,
             timer_broken: false,
             jobs_done: 0,
         });
@@ -547,6 +582,37 @@ impl Engine {
     /// The tenant owning `task`, if it was added by the serving layer.
     pub fn tenant_of(&self, task: usize) -> Option<TenantId> {
         self.tasks[task].tenant
+    }
+
+    /// Opts in (or out of) per-job [`JobSignal`] collection. The serving
+    /// layer enables this when tenant health enforcement is armed; the
+    /// one-shot executors leave it off and pay nothing.
+    pub fn collect_job_signals(&mut self, on: bool) {
+        self.collect_signals = on;
+        if !on {
+            self.signals.clear();
+        }
+    }
+
+    /// Moves every pending [`JobSignal`] into `into` (in completion
+    /// order), leaving the internal buffer empty but with its capacity.
+    pub fn drain_job_signals(&mut self, into: &mut Vec<JobSignal>) {
+        into.append(&mut self.signals);
+    }
+
+    /// Sets or clears the serving-layer health quarantine on `task`: while
+    /// set, every job's optional parts are shed (discarded unstarted, the
+    /// wind-up running right after the mandatory part) regardless of
+    /// supervisor state — minimum service from a tenant that has broken
+    /// its health budget, with its mandatory correctness untouched.
+    pub fn set_forced_shed(&mut self, task: usize, on: bool) {
+        self.tasks[task].force_shed = on;
+    }
+
+    /// Whether `task` is currently under a serving-layer health
+    /// quarantine ([`Engine::set_forced_shed`]).
+    pub fn forced_shed(&self, task: usize) -> bool {
+        self.tasks[task].force_shed
     }
 
     // ----- observability --------------------------------------------------
@@ -624,6 +690,14 @@ impl Engine {
     /// A job of `task` is released but not yet done.
     pub fn job_in_flight(&self, task: usize) -> bool {
         self.tasks[task].phase != JobPhase::Done
+    }
+
+    /// Absolute deadline of `task`'s most recently released job.
+    ///
+    /// Meaningful while [`Self::job_in_flight`] holds; before the first
+    /// release it reports the deadline relative to time zero.
+    pub fn current_deadline(&self, task: usize) -> Time {
+        self.tasks[task].release + self.tasks[task].deadline
     }
 
     /// Number of optional parts of `task`.
@@ -928,12 +1002,12 @@ impl Engine {
             return AfterMandatory::Windup(self.schedule_windup(task, now, now));
         }
 
-        if self.sup.shed_optional(task) {
-            // Overload supervisor: degraded mode or task quarantine —
-            // optional parts are shed (discarded unstarted), the wind-up
-            // part runs right after the mandatory part. No signalling, no
-            // Δb/Δs, no OD-timer interference: minimum service, maximum
-            // headroom.
+        if self.tasks[task].force_shed || self.sup.shed_optional(task) {
+            // Overload supervisor (degraded mode or task quarantine) or a
+            // serving-layer health quarantine — optional parts are shed
+            // (discarded unstarted), the wind-up part runs right after
+            // the mandatory part. No signalling, no Δb/Δs, no OD-timer
+            // interference: minimum service, maximum headroom.
             self.sup.note_degraded_job();
             self.tasks[task].shed = true;
             self.discard_all_parts(task, now);
@@ -1280,6 +1354,54 @@ impl Engine {
         self.finish_job(task, now, false);
     }
 
+    /// Finishes an in-flight job whose tenant is departing or being
+    /// evicted. The driver has already stopped the job's work and
+    /// finalized its parts via [`Engine::abort_part`]. Unlike
+    /// [`Engine::finish_abort`], the partial job is *not* charged a
+    /// deadline miss — its deadline never elapsed while the task was
+    /// scheduled; the tenant withdrew it. The achieved optional service
+    /// is still recorded, the trace shows [`TraceEvent::JobCancelled`],
+    /// and no [`JobSignal`] is emitted (cancellation says nothing about
+    /// the tenant's health).
+    pub fn finish_cancel(&mut self, task: usize, now: Time) {
+        let job = {
+            let t = &mut self.tasks[task];
+            t.phase = JobPhase::Done;
+            t.job()
+        };
+        self.rec.record(now, TraceEvent::JobCancelled { job });
+        let requested = self.tasks[task].requested_optional();
+        let ratio = self.qos.record_job(
+            self.tasks[task]
+                .parts
+                .iter()
+                .map(|p| (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))),
+            requested,
+            true,
+            self.tasks[task].shed,
+        );
+        self.metrics.record_qos_level(ratio);
+        if let Some(tenant) = self.tasks[task].tenant {
+            if let Some((_, summary)) =
+                self.tenant_qos.iter_mut().find(|(t, _)| *t == tenant)
+            {
+                summary.record_job(
+                    self.tasks[task].parts.iter().map(|p| {
+                        (p.executed, p.outcome.unwrap_or(OptionalOutcome::Discarded))
+                    }),
+                    requested,
+                    true,
+                    self.tasks[task].shed,
+                );
+            }
+        }
+        let t = &mut self.tasks[task];
+        t.jobs_done += 1;
+        if t.jobs_done >= self.jobs {
+            self.live -= 1;
+        }
+    }
+
     /// Records an optional part's real measured execution (the native
     /// backend observes parts instead of simulating them): sets its start,
     /// achieved execution, and outcome, and emits the start/end trace pair
@@ -1367,6 +1489,17 @@ impl Engine {
                     deadline_met,
                     self.tasks[task].shed,
                 );
+            }
+        }
+        if self.collect_signals {
+            if let Some(tenant) = self.tasks[task].tenant {
+                self.signals.push(JobSignal {
+                    task,
+                    tenant,
+                    met: deadline_met,
+                    overran: self.tasks[task].overran,
+                    shed: self.tasks[task].shed,
+                });
             }
         }
         if self.sup.enabled() {

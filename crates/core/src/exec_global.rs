@@ -297,7 +297,9 @@ impl<'a> GlobalState<'a> {
             let Some(cpu) = self.pick_cpu(best) else {
                 break;
             };
-            let (prio, work) = self.rt_queue.dequeue_highest().expect("peeked");
+            let Some((prio, work)) = self.rt_queue.dequeue_highest() else {
+                break;
+            };
             self.preempt(cpu);
             self.start(cpu, work, prio);
         }
@@ -328,10 +330,13 @@ impl<'a> GlobalState<'a> {
         {
             return Some(idle);
         }
-        let weakest = (0..self.cpus.len())
+        // No idle processor: every available one is busy, so the weakest
+        // running priority decides. Stalled or (defensively) empty slots
+        // simply drop out of the scan instead of panicking.
+        let (weakest_prio, weakest) = (0..self.cpus.len())
             .filter(|&c| avail(c))
-            .min_by_key(|&c| self.cpus[c].map(|r| r.prio).expect("all busy"))?;
-        let weakest_prio = self.cpus[weakest].map(|r| r.prio).expect("busy");
+            .filter_map(|c| self.cpus[c].map(|r| (r.prio, c)))
+            .min_by_key(|&(prio, _)| prio)?;
         (best > weakest_prio).then_some(weakest)
     }
 
@@ -583,8 +588,8 @@ impl<'a> GlobalState<'a> {
             let work = Work { task, cursor };
             self.rt_queue.remove(mand_prio, &work);
             for c in 0..self.cpus.len() {
-                if self.cpus[c].is_some_and(|r| r.work == work) {
-                    let r = self.cpus[c].take().expect("checked");
+                if let Some(r) = self.cpus[c].filter(|r| r.work == work) {
+                    self.cpus[c] = None;
                     let ran = self.now.saturating_elapsed_since(r.since);
                     self.eng.bank(task, cursor, ran);
                 }
@@ -601,8 +606,8 @@ impl<'a> GlobalState<'a> {
             let hw = self.eng.placement(task, k);
             let prio = self.eng.opt_prio(task);
             self.opt_queues[hw].remove(prio, &work);
-            if self.cpus[hw].is_some_and(|r| r.work == work) {
-                let r = self.cpus[hw].take().expect("checked");
+            if let Some(r) = self.cpus[hw].filter(|r| r.work == work) {
+                self.cpus[hw] = None;
                 let ran = self.now.saturating_elapsed_since(r.since);
                 self.eng.bank(task, work.cursor, ran);
             }

@@ -99,6 +99,9 @@ pub use exec_sim::SimExecutor;
 pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;
 pub use report::{FaultReport, OverheadReport};
-pub use serve::{ServeCounters, ServeOutcome, SessionManager, TenantOutcome};
+pub use serve::{
+    GracefulConfig, HealthPolicy, QueueConfig, Rejected, ServeCounters, ServeError, ServeOutcome,
+    SessionManager, TenantOutcome,
+};
 pub use supervisor::{OverloadMode, OverloadSupervisor, SupervisorConfig};
 pub use termination::TerminationMode;

@@ -148,6 +148,14 @@ pub enum TraceEvent {
         /// Whether the deadline was met.
         deadline_met: bool,
     },
+    /// An in-flight job was cancelled because its tenant departed or was
+    /// evicted: remaining parts were terminated/discarded and the job is
+    /// finished without charging a deadline miss — the deadline never
+    /// elapsed while the task was scheduled.
+    JobCancelled {
+        /// The cancelled job.
+        job: JobId,
+    },
 
     // ── queue operations ──────────────────────────────────────────────
     /// Work moved through one of the four scheduling queues.
@@ -280,6 +288,78 @@ pub enum TraceEvent {
         /// The departing tenant.
         tenant: rtseed_model::TenantId,
     },
+    /// A departure request named a tenant that is unknown or already
+    /// gone; nothing was removed. Recorded so that operator tooling can
+    /// distinguish a no-op from a real departure.
+    TenantDepartIgnored {
+        /// The tenant the request named.
+        tenant: rtseed_model::TenantId,
+    },
+
+    // ── graceful degradation ──────────────────────────────────────────
+    /// The QoS shedding ladder shrank a resident task's deployed
+    /// optional deadline to make room for a newcomer.
+    QosShed {
+        /// The tenant whose task was shed.
+        tenant: rtseed_model::TenantId,
+        /// The shed task (serving-layer task index).
+        task: rtseed_model::TaskId,
+        /// The new (smaller) deployed optional deadline.
+        od: Span,
+        /// The tenant's contractual floor for this task; `od >= floor`
+        /// always holds.
+        floor: Span,
+    },
+    /// A previously shed task's optional deadline was restored (after
+    /// the hysteresis window) once departures freed capacity.
+    QosRestored {
+        /// The tenant whose task was restored.
+        tenant: rtseed_model::TenantId,
+        /// The restored task (serving-layer task index).
+        task: rtseed_model::TaskId,
+        /// The new (larger) deployed optional deadline.
+        od: Span,
+    },
+    /// Health enforcement moved a tenant between rungs of the
+    /// [`rtseed_model::TenantHealth`] ladder.
+    TenantHealthChanged {
+        /// The tenant.
+        tenant: rtseed_model::TenantId,
+        /// The rung it was on.
+        from: rtseed_model::TenantHealth,
+        /// The rung it is on now.
+        to: rtseed_model::TenantHealth,
+    },
+    /// Health enforcement evicted a tenant (budget exhausted at the
+    /// last rung); its tasks were removed from scheduling.
+    TenantEvicted {
+        /// The evicted tenant.
+        tenant: rtseed_model::TenantId,
+    },
+
+    // ── submission queue (admission backpressure) ─────────────────────
+    /// A submission entered the bounded submit queue to await the next
+    /// batched admission round.
+    SubmissionQueued {
+        /// The submitting tenant.
+        tenant: rtseed_model::TenantId,
+    },
+    /// A queued submission failed admission against the current
+    /// residents and was re-queued with exponential backoff.
+    SubmissionRetried {
+        /// The submitting tenant.
+        tenant: rtseed_model::TenantId,
+        /// How many admission attempts the request has now consumed.
+        attempt: u32,
+        /// Backoff until the next attempt.
+        after: Span,
+    },
+    /// A queued submission ran out of time (deadline passed) or
+    /// retries, and was dropped from the queue.
+    SubmissionExpired {
+        /// The submitting tenant.
+        tenant: rtseed_model::TenantId,
+    },
 }
 
 impl TraceEvent {
@@ -293,6 +373,7 @@ impl TraceEvent {
             TraceEvent::OptionalEnded { .. } => "optional_ended",
             TraceEvent::WindupStarted { .. } => "windup_started",
             TraceEvent::WindupCompleted { .. } => "windup_completed",
+            TraceEvent::JobCancelled { .. } => "job_cancelled",
             TraceEvent::Queue { .. } => "queue",
             TraceEvent::TimerArmed { .. } => "timer_armed",
             TraceEvent::OptionalDeadlineExpired { .. } => "timer_fired",
@@ -310,6 +391,14 @@ impl TraceEvent {
             TraceEvent::TenantAdmitted { .. } => "tenant_admitted",
             TraceEvent::TenantRejected { .. } => "tenant_rejected",
             TraceEvent::TenantDeparted { .. } => "tenant_departed",
+            TraceEvent::TenantDepartIgnored { .. } => "tenant_depart_ignored",
+            TraceEvent::QosShed { .. } => "qos_shed",
+            TraceEvent::QosRestored { .. } => "qos_restored",
+            TraceEvent::TenantHealthChanged { .. } => "tenant_health_changed",
+            TraceEvent::TenantEvicted { .. } => "tenant_evicted",
+            TraceEvent::SubmissionQueued { .. } => "submission_queued",
+            TraceEvent::SubmissionRetried { .. } => "submission_retried",
+            TraceEvent::SubmissionExpired { .. } => "submission_expired",
         }
     }
 
@@ -323,6 +412,7 @@ impl TraceEvent {
             | TraceEvent::OptionalEnded { job, .. }
             | TraceEvent::WindupStarted { job }
             | TraceEvent::WindupCompleted { job, .. }
+            | TraceEvent::JobCancelled { job }
             | TraceEvent::Queue { job, .. }
             | TraceEvent::TimerArmed { job, .. }
             | TraceEvent::OptionalDeadlineExpired { job }
@@ -339,7 +429,15 @@ impl TraceEvent {
             | TraceEvent::PipelineStage { .. }
             | TraceEvent::TenantAdmitted { .. }
             | TraceEvent::TenantRejected { .. }
-            | TraceEvent::TenantDeparted { .. } => None,
+            | TraceEvent::TenantDeparted { .. }
+            | TraceEvent::TenantDepartIgnored { .. }
+            | TraceEvent::QosShed { .. }
+            | TraceEvent::QosRestored { .. }
+            | TraceEvent::TenantHealthChanged { .. }
+            | TraceEvent::TenantEvicted { .. }
+            | TraceEvent::SubmissionQueued { .. }
+            | TraceEvent::SubmissionRetried { .. }
+            | TraceEvent::SubmissionExpired { .. } => None,
         }
     }
 }

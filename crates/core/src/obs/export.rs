@@ -53,6 +53,7 @@ fn push_fields(out: &mut String, event: &TraceEvent) {
         | TraceEvent::WindupStarted { job }
         | TraceEvent::OptionalDeadlineExpired { job }
         | TraceEvent::TimerCancelled { job }
+        | TraceEvent::JobCancelled { job }
         | TraceEvent::TaskQuarantined { job } => push_job(out, *job),
         TraceEvent::MandatoryStarted { job, hw } => {
             push_job(out, *job);
@@ -152,8 +153,56 @@ fn push_fields(out: &mut String, event: &TraceEvent) {
         TraceEvent::TenantAdmitted { tenant, tasks } => {
             let _ = write!(out, "\"tenant\":{},\"tasks\":{tasks}", tenant.0);
         }
-        TraceEvent::TenantRejected { tenant } | TraceEvent::TenantDeparted { tenant } => {
+        TraceEvent::TenantRejected { tenant }
+        | TraceEvent::TenantDeparted { tenant }
+        | TraceEvent::TenantDepartIgnored { tenant }
+        | TraceEvent::TenantEvicted { tenant }
+        | TraceEvent::SubmissionQueued { tenant }
+        | TraceEvent::SubmissionExpired { tenant } => {
             let _ = write!(out, "\"tenant\":{}", tenant.0);
+        }
+        TraceEvent::QosShed {
+            tenant,
+            task,
+            od,
+            floor,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\":{},\"task\":{},\"od_ns\":{},\"floor_ns\":{}",
+                tenant.0,
+                task.0,
+                od.as_nanos(),
+                floor.as_nanos()
+            );
+        }
+        TraceEvent::QosRestored { tenant, task, od } => {
+            let _ = write!(
+                out,
+                "\"tenant\":{},\"task\":{},\"od_ns\":{}",
+                tenant.0,
+                task.0,
+                od.as_nanos()
+            );
+        }
+        TraceEvent::TenantHealthChanged { tenant, from, to } => {
+            let _ = write!(
+                out,
+                "\"tenant\":{},\"from\":\"{from}\",\"to\":\"{to}\"",
+                tenant.0
+            );
+        }
+        TraceEvent::SubmissionRetried {
+            tenant,
+            attempt,
+            after,
+        } => {
+            let _ = write!(
+                out,
+                "\"tenant\":{},\"attempt\":{attempt},\"after_ns\":{}",
+                tenant.0,
+                after.as_nanos()
+            );
         }
     }
 }

@@ -43,6 +43,31 @@
 //! level inversion the test does not model, mirroring RT-Seed's own
 //! finite RTQ band.
 //!
+//! ## Graceful degradation
+//!
+//! Overload is handled by *policy*, never by panic, in three layers
+//! (each in its own submodule):
+//!
+//! * **Admission backpressure** ([`queue`]) — submissions can enter a
+//!   bounded queue ([`SessionManager::enqueue`]) instead of being
+//!   admission-tested on the spot; batched admission rounds retry
+//!   blocked requests with exponential backoff until a per-request
+//!   deadline, and distinguish *permanent* rejections (the set fits no
+//!   thread even on an idle system) from *retryable* ones.
+//! * **QoS shedding ladder** ([`ladder`]) — each tenant may declare a
+//!   [`QosFloor`]; admission then searches placements in increasing
+//!   shed severity, never deploying an optional deadline below any
+//!   resident's floor, and restores shed QoS (with hysteresis) when
+//!   departures free capacity.
+//! * **Tenant health enforcement** ([`health`]) — per-tenant
+//!   miss/overrun budgets walk a `Healthy → Degraded → Quarantined →
+//!   Evicted` ladder fed by the engine's per-job signals; quarantine
+//!   forcibly sheds the tenant's optional parts, eviction removes it.
+//!
+//! All three are configured by [`GracefulConfig`] and are off (or
+//! no-ops) by default: a [`SessionManager::new`] session behaves
+//! exactly as before.
+//!
 //! ## Determinism
 //!
 //! A run is a pure function of the submissions (or the
@@ -82,33 +107,142 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod health;
+pub mod ladder;
+pub mod queue;
+
+use std::fmt;
+
 use rtseed_analysis::{AdmissionController, AdmissionError, OdUpdate, PartitionHeuristic, TaskKey};
 use rtseed_model::{
-    HwThreadId, Priority, QosSummary, SessionId, Span, TaskId, TaskSpec, TenantId, TenantState,
-    Time, Topology,
+    HwThreadId, Priority, QosFloor, QosSummary, SessionId, Span, TaskId, TaskSpec, TenantHealth,
+    TenantId, TenantState, Time, Topology,
 };
 use rtseed_sim::{ChurnAction, ChurnPlan, EventQueue, FifoReadyQueue, OverheadKind, OverheadModel};
 
-use crate::engine::{AfterMandatory, Cursor, Engine, OdAction, TaskParams, WindupCommand};
+use crate::engine::{AfterMandatory, Cursor, Engine, JobSignal, OdAction, TaskParams, WindupCommand};
 use crate::executor::{Outcome, RunConfig};
 use crate::obs::{QueueBand, QueueOp, Trace, TraceEvent};
 use crate::policy::AssignmentPolicy;
 
-/// The stable RTQ level for a task of the given period.
+pub use health::HealthPolicy;
+pub use queue::{QueueConfig, Rejected};
+
+use health::HealthTracker;
+use ladder::{LadderEntry, PendingRestore};
+use queue::{QueuedRequest, SubmitQueue};
+
+/// Why a serving-layer request failed. Every failure the serving layer
+/// can reach from user input is a typed variant here — none of them
+/// panic the middleware.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The online RMWP admission test rejected the task set (at every
+    /// ladder stage the tenant's floors allow).
+    Admission(AdmissionError),
+    /// The bounded submit queue is at capacity; the submission was
+    /// refused without creating a tenant record.
+    QueueFull {
+        /// The configured [`QueueConfig::capacity`].
+        capacity: usize,
+    },
+    /// A task's period maps to an RTQ level with no NRTQ counterpart,
+    /// so its optional parts could not be given a priority. (The level
+    /// mapping clamps into the RTQ band, so this is unreachable for
+    /// any [`TaskSpec`] the builder accepts — kept as a typed error
+    /// rather than a panic path.)
+    NoOptionalBand {
+        /// The offending RTQ level.
+        level: u8,
+    },
+    /// [`SessionManager::depart`] named a tenant that was never
+    /// submitted under that name.
+    UnknownTenant,
+    /// [`SessionManager::depart`] named a tenant that exists but is not
+    /// currently admitted (already departed, evicted, rejected, or
+    /// still queued).
+    NotResident {
+        /// The tenant's actual lifecycle state.
+        state: TenantState,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Admission(e) => write!(f, "admission failed: {e}"),
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submit queue full (capacity {capacity})")
+            }
+            ServeError::NoOptionalBand { level } => {
+                write!(f, "RTQ level {level} has no NRTQ counterpart")
+            }
+            ServeError::UnknownTenant => write!(f, "no tenant with that name was ever submitted"),
+            ServeError::NotResident { state } => {
+                write!(f, "tenant is not currently admitted (state: {state})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> ServeError {
+        ServeError::Admission(e)
+    }
+}
+
+/// Configuration of the graceful-degradation machinery. The default is
+/// fully benign: an unbounded-feeling queue that is never used unless
+/// [`SessionManager::enqueue`] is called, no floors (the ladder
+/// converges to plain admission), immediate restores, and health
+/// enforcement off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GracefulConfig {
+    /// Bounded submit-queue tuning (admission backpressure).
+    pub queue: QueueConfig,
+    /// Number of shedding stages the admission ladder searches between
+    /// "no shed" and "down to the floors" (≥ 1; default 4).
+    pub ladder_stages: u32,
+    /// How long a capacity-freeing departure must "stick" before shed
+    /// QoS is restored. `Span::ZERO` (the default) restores
+    /// immediately, preserving the pre-ladder behaviour.
+    pub restore_hysteresis: Span,
+    /// Tenant health enforcement budgets (disabled by default).
+    pub health: HealthPolicy,
+}
+
+impl Default for GracefulConfig {
+    fn default() -> GracefulConfig {
+        GracefulConfig {
+            queue: QueueConfig::default(),
+            ladder_stages: 4,
+            restore_hysteresis: Span::ZERO,
+            health: HealthPolicy::default(),
+        }
+    }
+}
+
+/// The stable RTQ level for a task of the given period
+/// ([`Priority::for_period`]).
 ///
-/// Levels are bucketed by the period's power-of-two magnitude, anchored so
-/// that periods at or below ~0.5 ms reach [`Priority::RTQ_MAX`] and each
-/// doubling of the period drops one level (floored at
-/// [`Priority::RTQ_MIN`]). The mapping is monotone — a strictly shorter
-/// period never gets a lower level — so runtime preemption agrees with the
-/// within-thread Rate Monotonic order the admission test analyzes,
-/// without ever re-ranking tasks that are already running.
+/// The mapping is monotone but many-to-one: distinct periods inside the
+/// same power-of-two bucket share a level, and SCHED_FIFO cannot order
+/// tasks within a level. The admission test analyzes against these
+/// *deployed* levels (charging same-level tasks with each other's
+/// interference), so runtime dispatch never sees interference the
+/// analysis did not account for.
 pub fn mandatory_priority_for_period(period: Span) -> Priority {
-    let ns = period.as_nanos().max(1);
-    let log2 = 63 - u64::leading_zeros(ns) as i64;
-    // 2^19 ns ≈ 0.5 ms maps to RTQ_MAX; each doubling costs one level.
-    let level = (98 - (log2 - 19)).clamp(50, 98) as u8;
-    Priority::new(level).expect("level was clamped into the RTQ band")
+    Priority::for_period(period)
 }
 
 // ----- discrete-event mechanism (mirrors exec_sim) ------------------------
@@ -128,6 +262,10 @@ enum Event {
     WindupReady { task: usize, seq: u64 },
     StallStart { hw: usize, duration: Span },
     StallEnd { hw: usize },
+    /// Batched admission sweep over the submit queue.
+    AdmissionRound,
+    /// Hysteresis check: deploy any pending OD restores that came due.
+    RestoreCheck,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -145,12 +283,21 @@ struct Cpu {
     stalled: u32,
 }
 
-/// One admitted task: the admission controller's handle and the engine
-/// slot it was bound to.
+/// One admitted task: the admission controller's handle, the engine
+/// slot it was bound to, and its QoS-ladder bookkeeping.
 #[derive(Debug, Clone, Copy)]
 struct Binding {
     key: TaskKey,
     engine_idx: usize,
+    tenant: TenantId,
+    /// Contractual floor (absolute OD) fixed at admission.
+    floor: Span,
+    /// The OD currently programmed into the engine. Invariant:
+    /// `floor <= deployed <= analyzed` (shrinks apply immediately,
+    /// growths wait out the restore hysteresis).
+    deployed: Span,
+    /// The OD the latest analysis grants this task.
+    analyzed: Span,
 }
 
 #[derive(Debug)]
@@ -179,6 +326,21 @@ pub struct ServeCounters {
     pub od_updates_applied: u64,
     /// Churn-plan events replayed.
     pub churn_events: u64,
+    /// Submissions accepted into the bounded submit queue.
+    pub enqueued: u64,
+    /// Submissions refused because the queue was at capacity.
+    pub queue_rejected_full: u64,
+    /// Retryable admission failures that re-queued with backoff.
+    pub retries: u64,
+    /// Queued submissions dropped (deadline passed or retries
+    /// exhausted).
+    pub expired: u64,
+    /// Tenants removed by health enforcement.
+    pub evictions: u64,
+    /// Resident optional deadlines shrunk by the shedding ladder.
+    pub qos_sheds: u64,
+    /// Shed optional deadlines restored after departures.
+    pub qos_restores: u64,
 }
 
 /// Per-tenant results of a serving run.
@@ -235,7 +397,15 @@ impl ServeOutcome {
             let ours = match ev {
                 TraceEvent::TenantAdmitted { tenant: t, .. }
                 | TraceEvent::TenantRejected { tenant: t }
-                | TraceEvent::TenantDeparted { tenant: t } => *t == tenant,
+                | TraceEvent::TenantDeparted { tenant: t }
+                | TraceEvent::TenantDepartIgnored { tenant: t }
+                | TraceEvent::TenantEvicted { tenant: t }
+                | TraceEvent::TenantHealthChanged { tenant: t, .. }
+                | TraceEvent::QosShed { tenant: t, .. }
+                | TraceEvent::QosRestored { tenant: t, .. }
+                | TraceEvent::SubmissionQueued { tenant: t }
+                | TraceEvent::SubmissionRetried { tenant: t, .. }
+                | TraceEvent::SubmissionExpired { tenant: t } => *t == tenant,
                 TraceEvent::PolicyDecision { task, .. } => tasks.contains(task),
                 _ => ev.job().is_some_and(|j| tasks.contains(&j.task)),
             };
@@ -270,6 +440,11 @@ pub struct SessionManager {
     /// engine slot, for applying OD deltas.
     bindings: Vec<Binding>,
     counters: ServeCounters,
+    graceful: GracefulConfig,
+    queue: SubmitQueue,
+    health: HealthTracker,
+    pending_restores: Vec<PendingRestore>,
+    health_scratch: Vec<JobSignal>,
 }
 
 impl SessionManager {
@@ -284,8 +459,22 @@ impl SessionManager {
         policy: AssignmentPolicy,
         run: RunConfig,
     ) -> SessionManager {
+        SessionManager::with_graceful(topology, heuristic, policy, run, GracefulConfig::default())
+    }
+
+    /// Like [`SessionManager::new`] with explicit graceful-degradation
+    /// configuration: submit-queue tuning, shedding-ladder depth,
+    /// restore hysteresis, and tenant health enforcement.
+    pub fn with_graceful(
+        topology: Topology,
+        heuristic: PartitionHeuristic,
+        policy: AssignmentPolicy,
+        run: RunConfig,
+        graceful: GracefulConfig,
+    ) -> SessionManager {
         let cpus = (0..topology.hw_threads()).map(|_| Cpu::default()).collect();
-        let eng = Engine::empty(topology, &run);
+        let mut eng = Engine::empty(topology, &run);
+        eng.collect_job_signals(graceful.health.enabled);
         let model = OverheadModel::new(run.calibration, topology, run.load, run.seed);
         let mut events = EventQueue::new();
         // Planned CPU stall windows enter the queue up front, exactly as in
@@ -320,6 +509,11 @@ impl SessionManager {
             tenants: Vec::new(),
             bindings: Vec::new(),
             counters: ServeCounters::default(),
+            graceful,
+            queue: SubmitQueue::default(),
+            health: HealthTracker::default(),
+            pending_restores: Vec::new(),
+            health_scratch: Vec::new(),
         }
     }
 
@@ -356,6 +550,42 @@ impl SessionManager {
         self.counters
     }
 
+    /// Number of submissions waiting in the submit queue.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The health rung of the most recent tenant submitted under
+    /// `name` (always `Healthy` when enforcement is disabled).
+    pub fn health_of(&self, name: &str) -> Option<TenantHealth> {
+        self.tenants
+            .iter()
+            .rev()
+            .find(|t| t.name == name)
+            .map(|t| self.health.health_of(t.id))
+    }
+
+    /// The deployed (currently programmed) optional deadlines of the
+    /// most recent tenant submitted under `name`, in task order. Empty
+    /// when the tenant is not resident.
+    pub fn deployed_ods(&self, name: &str) -> Vec<Span> {
+        let Some(t) = self.tenants.iter().rev().find(|t| t.name == name) else {
+            return Vec::new();
+        };
+        if t.state != TenantState::Admitted {
+            return Vec::new();
+        }
+        t.tasks
+            .iter()
+            .filter_map(|b| {
+                self.bindings
+                    .iter()
+                    .find(|live| live.key == b.key)
+                    .map(|live| live.deployed)
+            })
+            .collect()
+    }
+
     /// Submits a tenant task set for admission at the current instant.
     ///
     /// On admission the tenant's tasks release their first jobs
@@ -367,33 +597,176 @@ impl SessionManager {
     ///
     /// # Errors
     ///
-    /// [`AdmissionError::Unschedulable`] when some submitted task fits on
-    /// no hardware thread under the exact RMWP test;
-    /// [`AdmissionError::EmptySubmission`] for an empty slice.
+    /// [`ServeError::Admission`] wrapping
+    /// [`AdmissionError::Unschedulable`] when some submitted task fits
+    /// on no hardware thread under the exact RMWP test (at any ladder
+    /// stage), or [`AdmissionError::EmptySubmission`] for an empty
+    /// slice.
     pub fn submit(
         &mut self,
         name: impl Into<String>,
         tasks: &[TaskSpec],
-    ) -> Result<TenantId, AdmissionError> {
+    ) -> Result<TenantId, ServeError> {
+        self.submit_with_floor(name, tasks, QosFloor::none())
+    }
+
+    /// [`SessionManager::submit`] with a per-tenant SLA floor: the
+    /// shedding ladder may later shrink this tenant's optional
+    /// deadlines to admit newcomers, but never below `floor` of the
+    /// admission-time grant (see [`ladder`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SessionManager::submit`].
+    pub fn submit_with_floor(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+    ) -> Result<TenantId, ServeError> {
         let name = name.into();
         self.counters.submissions += 1;
         let tenant = TenantId(self.tenants.len() as u32);
         let session = SessionId(tenant.0 as u64);
-        let admission = match self.ctl.try_admit(tasks) {
+        self.tenants.push(Tenant {
+            id: tenant,
+            session,
+            name,
+            state: TenantState::Pending,
+            tasks: Vec::new(),
+        });
+        match self.admit_tenant(tenant, tasks, floor) {
+            Ok(()) => Ok(tenant),
             Err(e) => {
-                self.counters.rejections += 1;
-                self.eng.trace(self.now, TraceEvent::TenantRejected { tenant });
-                self.tenants.push(Tenant {
-                    id: tenant,
-                    session,
-                    name,
-                    state: TenantState::Rejected,
-                    tasks: Vec::new(),
-                });
-                return Err(e);
+                self.reject_tenant(tenant);
+                Err(e)
             }
-            Ok(a) => a,
+        }
+    }
+
+    /// Submits a tenant task set into the bounded submit queue instead
+    /// of admission-testing it synchronously. The request is decided in
+    /// batched admission rounds during the run: a *retryable* failure
+    /// (blocked only by current residents) backs off exponentially and
+    /// retries until `timeout` (measured from now) expires or
+    /// [`QueueConfig::max_retries`] attempts are spent; a *permanent*
+    /// failure (the set fits no thread even on an idle system) rejects
+    /// immediately. See [`queue`].
+    ///
+    /// Returns the tenant id; the tenant stays
+    /// [`TenantState::Pending`] until a round admits or rejects it.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::QueueFull`] when the queue is at capacity — no
+    /// tenant record is created.
+    pub fn enqueue(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+        timeout: Span,
+    ) -> Result<TenantId, ServeError> {
+        if self.queue.len() >= self.graceful.queue.capacity {
+            self.counters.queue_rejected_full += 1;
+            return Err(ServeError::QueueFull {
+                capacity: self.graceful.queue.capacity,
+            });
+        }
+        let name = name.into();
+        self.counters.submissions += 1;
+        self.counters.enqueued += 1;
+        let tenant = TenantId(self.tenants.len() as u32);
+        let session = SessionId(tenant.0 as u64);
+        self.tenants.push(Tenant {
+            id: tenant,
+            session,
+            name,
+            state: TenantState::Pending,
+            tasks: Vec::new(),
+        });
+        let req = QueuedRequest {
+            tenant,
+            tasks: tasks.to_vec(),
+            floor,
+            deadline: self.now.checked_add(timeout).unwrap_or(Time::MAX),
+            attempts: 0,
+            not_before: self.now,
         };
+        self.queue.push(&self.graceful.queue, req);
+        self.eng.trace(self.now, TraceEvent::SubmissionQueued { tenant });
+        self.events.push(self.now, Event::AdmissionRound);
+        Ok(tenant)
+    }
+
+    /// Runs the staged-ladder admission for `tenant` and, on success,
+    /// commits: binds tasks to the engine, applies OD updates (shedding
+    /// residents no further than their floors), and marks the tenant
+    /// admitted. On failure the running system is untouched.
+    fn admit_tenant(
+        &mut self,
+        tenant: TenantId,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+    ) -> Result<(), ServeError> {
+        // Validate priorities up front so the commit below cannot hit a
+        // panic path halfway through.
+        let mut prios = Vec::with_capacity(tasks.len());
+        for spec in tasks {
+            let mand_prio = mandatory_priority_for_period(spec.period());
+            let opt_prio =
+                mand_prio
+                    .optional_counterpart()
+                    .map_err(|_| ServeError::NoOptionalBand {
+                        level: mand_prio.level(),
+                    })?;
+            prios.push((mand_prio, opt_prio));
+        }
+        // Staged placement search: stage 0 forbids shedding any
+        // resident below its deployed OD; the final stage allows
+        // shedding down to the floors. First feasible stage wins, so
+        // admission sheds the least it can.
+        let floors = vec![floor; tasks.len()];
+        let stages = self.graceful.ladder_stages.max(1);
+        let entries: Vec<LadderEntry> = self
+            .bindings
+            .iter()
+            .map(|b| LadderEntry {
+                key: b.key,
+                deployed: b.deployed,
+                floor: b.floor,
+            })
+            .collect();
+        let mut admission = None;
+        let mut last_err = AdmissionError::EmptySubmission;
+        for stage in 0..=stages {
+            let bounds = ladder::stage_bounds(&entries, stage, stages);
+            match self.ctl.try_admit_bounded(tasks, &floors, &bounds) {
+                Ok(a) => {
+                    admission = Some(a);
+                    break;
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let Some(admission) = admission else {
+            return Err(ServeError::Admission(last_err));
+        };
+        // Transient soundness: a resident whose OD shrinks keeps the old
+        // (longer) OD until its next release, and that old bound was
+        // analysed *without* the newcomer's interference. Defer the
+        // newcomer's first releases past every such in-flight job's
+        // absolute deadline, so no old-OD wind-up window ever faces
+        // demand it was not analysed against.
+        let mut start_at = self.now;
+        for u in &admission.od_updates {
+            let Some(b) = self.bindings.iter().find(|b| b.key == u.key) else {
+                continue;
+            };
+            if u.optional_deadline < b.deployed && self.eng.job_in_flight(b.engine_idx) {
+                start_at = start_at.max(self.eng.current_deadline(b.engine_idx));
+            }
+        }
         self.counters.admissions += 1;
         self.eng.trace(
             self.now,
@@ -403,11 +776,9 @@ impl SessionManager {
             },
         );
         let mut bound = Vec::with_capacity(tasks.len());
-        for (spec, admitted) in tasks.iter().zip(&admission.tasks) {
-            let mand_prio = mandatory_priority_for_period(spec.period());
-            let opt_prio = mand_prio
-                .optional_counterpart()
-                .expect("every RTQ level has an NRTQ counterpart");
+        for ((spec, admitted), &(mand_prio, opt_prio)) in
+            tasks.iter().zip(&admission.tasks).zip(&prios)
+        {
             let np = spec.optional_count();
             let placements: Vec<usize> = self
                 .policy
@@ -444,10 +815,14 @@ impl SessionManager {
             bound.push(Binding {
                 key: admitted.key,
                 engine_idx: idx,
+                tenant,
+                floor: floor.floor_od(admitted.optional_deadline),
+                deployed: admitted.optional_deadline,
+                analyzed: admitted.optional_deadline,
             });
             if self.run.jobs > 0 {
                 self.events.push(
-                    self.now,
+                    start_at,
                     Event::Release {
                         task: idx,
                         retried: false,
@@ -457,54 +832,297 @@ impl SessionManager {
         }
         self.apply_od_updates(&admission.od_updates);
         self.bindings.extend(bound.iter().copied());
-        self.tenants.push(Tenant {
-            id: tenant,
-            session,
-            name,
-            state: TenantState::Admitted,
-            tasks: bound,
-        });
-        Ok(tenant)
+        let t = &mut self.tenants[tenant.0 as usize];
+        t.state = TenantState::Admitted;
+        t.tasks = bound;
+        Ok(())
+    }
+
+    /// Records a failed submission: rejection counter, trace event,
+    /// terminal `Rejected` state.
+    fn reject_tenant(&mut self, tenant: TenantId) {
+        self.counters.rejections += 1;
+        self.eng.trace(self.now, TraceEvent::TenantRejected { tenant });
+        self.tenants[tenant.0 as usize].state = TenantState::Rejected;
     }
 
     /// Departs the most recent admitted tenant named `name`: aborts its
     /// in-flight jobs (exactly as a hard deadline miss would), removes its
     /// tasks from scheduling, frees its utilization, and grows the
-    /// survivors' optional deadlines. Returns `false` when no admitted
-    /// tenant has that name.
-    pub fn depart(&mut self, name: &str) -> bool {
-        let Some(pos) = self
+    /// survivors' optional deadlines (possibly deferred by the restore
+    /// hysteresis).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] when no tenant was ever submitted
+    /// under `name`; [`ServeError::NotResident`] when the name is known
+    /// but its most recent tenant is not currently admitted (already
+    /// departed, evicted, rejected, or still queued). The latter also
+    /// records a [`TraceEvent::TenantDepartIgnored`] no-op event so
+    /// operator tooling can audit the attempt.
+    pub fn depart(&mut self, name: &str) -> Result<TenantId, ServeError> {
+        if let Some(pos) = self
             .tenants
             .iter()
             .rposition(|t| t.name == name && t.state == TenantState::Admitted)
-        else {
-            return false;
+        {
+            let tenant = self.tenants[pos].id;
+            self.remove_tenant(pos, TenantState::Departed);
+            self.counters.departures += 1;
+            return Ok(tenant);
+        }
+        let Some(pos) = self.tenants.iter().rposition(|t| t.name == name) else {
+            return Err(ServeError::UnknownTenant);
         };
+        let tenant = self.tenants[pos].id;
+        let state = self.tenants[pos].state;
+        self.eng
+            .trace(self.now, TraceEvent::TenantDepartIgnored { tenant });
+        Err(ServeError::NotResident { state })
+    }
+
+    /// Unbinds a tenant's tasks (aborting in-flight jobs), frees its
+    /// admission slots, applies the survivors' OD growth (through the
+    /// restore hysteresis), and wakes the submit queue.
+    fn remove_tenant(&mut self, pos: usize, state: TenantState) {
         let bound = self.tenants[pos].tasks.clone();
         let tenant = self.tenants[pos].id;
         for b in &bound {
             if self.eng.job_in_flight(b.engine_idx) {
-                self.abort_job(b.engine_idx);
+                // Withdrawn, not missed: the tenant is leaving, so the
+                // partial job is cancelled without charging a miss.
+                self.abort_job_with(b.engine_idx, true);
             }
             self.eng.remove_task(b.engine_idx);
         }
         let keys: Vec<TaskKey> = bound.iter().map(|b| b.key).collect();
         let updates = self.ctl.evict(&keys);
         self.bindings.retain(|b| !keys.contains(&b.key));
+        self.pending_restores.retain(|p| !keys.contains(&p.key));
         self.apply_od_updates(&updates);
-        self.eng.trace(self.now, TraceEvent::TenantDeparted { tenant });
-        self.tenants[pos].state = TenantState::Departed;
-        self.counters.departures += 1;
-        true
+        let ev = if state == TenantState::Evicted {
+            TraceEvent::TenantEvicted { tenant }
+        } else {
+            TraceEvent::TenantDeparted { tenant }
+        };
+        self.eng.trace(self.now, ev);
+        self.tenants[pos].state = state;
+        // Freed capacity is new information for queued requests: lift
+        // their backoff gates and sweep immediately.
+        if !self.queue.is_empty() {
+            self.queue.wake(self.now);
+            self.events.push(self.now, Event::AdmissionRound);
+        }
     }
 
+    /// Applies analysis OD updates to the running engine through the
+    /// ladder bookkeeping: shrinks deploy immediately (tracing
+    /// [`TraceEvent::QosShed`] when the tenant loses deployed QoS),
+    /// growths deploy after [`GracefulConfig::restore_hysteresis`].
     fn apply_od_updates(&mut self, updates: &[OdUpdate]) {
+        let now = self.now;
+        let hysteresis = self.graceful.restore_hysteresis;
+        let mut restores_due = false;
         for u in updates {
-            if let Some(b) = self.bindings.iter().find(|b| b.key == u.key) {
-                self.eng.set_od(b.engine_idx, u.optional_deadline);
+            let Some(b) = self.bindings.iter_mut().find(|b| b.key == u.key) else {
+                continue;
+            };
+            b.analyzed = u.optional_deadline;
+            if u.optional_deadline < b.deployed {
+                debug_assert!(
+                    u.optional_deadline >= b.floor,
+                    "ladder admitted a placement below a resident's floor"
+                );
+                b.deployed = u.optional_deadline;
+                let (idx, tenant, floor) = (b.engine_idx, b.tenant, b.floor);
+                self.eng.set_od(idx, u.optional_deadline);
                 self.counters.od_updates_applied += 1;
+                self.counters.qos_sheds += 1;
+                self.eng.trace(
+                    now,
+                    TraceEvent::QosShed {
+                        tenant,
+                        task: TaskId(idx as u32),
+                        od: u.optional_deadline,
+                        floor,
+                    },
+                );
+            } else if u.optional_deadline > b.deployed {
+                if hysteresis == Span::ZERO {
+                    b.deployed = u.optional_deadline;
+                    let (idx, tenant) = (b.engine_idx, b.tenant);
+                    self.eng.set_od(idx, u.optional_deadline);
+                    self.counters.od_updates_applied += 1;
+                    self.counters.qos_restores += 1;
+                    self.eng.trace(
+                        now,
+                        TraceEvent::QosRestored {
+                            tenant,
+                            task: TaskId(idx as u32),
+                            od: u.optional_deadline,
+                        },
+                    );
+                } else {
+                    let due = now.checked_add(hysteresis).unwrap_or(Time::MAX);
+                    let key = b.key;
+                    if !self.pending_restores.iter().any(|p| p.key == key) {
+                        self.pending_restores.push(PendingRestore { key, due });
+                        restores_due = true;
+                    }
+                }
             }
         }
+        if restores_due {
+            let due = now.checked_add(hysteresis).unwrap_or(Time::MAX);
+            self.events.push(due, Event::RestoreCheck);
+        }
+    }
+
+    /// One batched sweep over the submit queue: every request whose
+    /// backoff gate has passed is admission-tested; failures are
+    /// classified into permanent rejections, expiries, and backoff
+    /// retries.
+    fn on_admission_round(&mut self) {
+        let ready = self.queue.take_ready(self.now);
+        for mut req in ready {
+            if req.deadline < self.now {
+                self.expire_request(&req);
+                continue;
+            }
+            match self.admit_tenant(req.tenant, &req.tasks, req.floor) {
+                Ok(()) => {}
+                Err(ServeError::Admission(_)) if self.ctl.fits_empty(&req.tasks) => {
+                    // Retryable: blocked only by the current residents.
+                    req.attempts += 1;
+                    let after = self.graceful.queue.backoff(req.attempts);
+                    let next = self.now.checked_add(after).unwrap_or(Time::MAX);
+                    if req.attempts >= self.graceful.queue.max_retries || next > req.deadline {
+                        self.expire_request(&req);
+                    } else {
+                        req.not_before = next;
+                        self.counters.retries += 1;
+                        self.eng.trace(
+                            self.now,
+                            TraceEvent::SubmissionRetried {
+                                tenant: req.tenant,
+                                attempt: req.attempts,
+                                after,
+                            },
+                        );
+                        self.queue.requeue(req);
+                        self.events.push(next, Event::AdmissionRound);
+                    }
+                }
+                Err(_) => {
+                    // Permanent: the set fits no thread even on an idle
+                    // system (or is malformed) — waiting cannot help.
+                    self.reject_tenant(req.tenant);
+                }
+            }
+        }
+    }
+
+    /// Drops a queued request whose deadline or retry budget ran out.
+    fn expire_request(&mut self, req: &QueuedRequest) {
+        self.counters.expired += 1;
+        self.eng.trace(
+            self.now,
+            TraceEvent::SubmissionExpired { tenant: req.tenant },
+        );
+        self.tenants[req.tenant.0 as usize].state = TenantState::Rejected;
+    }
+
+    /// Deploys pending OD restores that have aged past the hysteresis
+    /// window (unless a later shrink superseded them).
+    fn on_restore_check(&mut self) {
+        let now = self.now;
+        let mut due: Vec<TaskKey> = Vec::new();
+        self.pending_restores.retain(|p| {
+            if p.due <= now {
+                due.push(p.key);
+                false
+            } else {
+                true
+            }
+        });
+        for key in due {
+            let Some(b) = self.bindings.iter_mut().find(|b| b.key == key) else {
+                continue;
+            };
+            if b.analyzed > b.deployed {
+                b.deployed = b.analyzed;
+                let (idx, tenant, od) = (b.engine_idx, b.tenant, b.analyzed);
+                self.eng.set_od(idx, od);
+                self.counters.od_updates_applied += 1;
+                self.counters.qos_restores += 1;
+                self.eng.trace(
+                    now,
+                    TraceEvent::QosRestored {
+                        tenant,
+                        task: TaskId(idx as u32),
+                        od,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Folds freshly drained engine job signals into tenant health,
+    /// applying quarantine (forced optional shedding) and eviction.
+    fn drain_health_signals(&mut self) {
+        let mut sigs = std::mem::take(&mut self.health_scratch);
+        self.eng.drain_job_signals(&mut sigs);
+        for sig in sigs.drain(..) {
+            let violation = !sig.met || sig.overran;
+            let Some((from, to)) =
+                self.health
+                    .note_job(&self.graceful.health, sig.tenant, violation)
+            else {
+                continue;
+            };
+            self.eng.trace(
+                self.now,
+                TraceEvent::TenantHealthChanged {
+                    tenant: sig.tenant,
+                    from,
+                    to,
+                },
+            );
+            match to {
+                TenantHealth::Quarantined => self.set_tenant_forced_shed(sig.tenant, true),
+                TenantHealth::Evicted => self.evict_tenant(sig.tenant),
+                _ => {
+                    if from == TenantHealth::Quarantined {
+                        self.set_tenant_forced_shed(sig.tenant, false);
+                    }
+                }
+            }
+        }
+        self.health_scratch = sigs;
+    }
+
+    fn set_tenant_forced_shed(&mut self, tenant: TenantId, on: bool) {
+        for b in &self.bindings {
+            if b.tenant == tenant {
+                self.eng.set_forced_shed(b.engine_idx, on);
+            }
+        }
+    }
+
+    /// Removes a tenant for health reasons: like a departure, but the
+    /// terminal state is [`TenantState::Evicted`] and the trace records
+    /// [`TraceEvent::TenantEvicted`].
+    fn evict_tenant(&mut self, tenant: TenantId) {
+        let Some(pos) = self
+            .tenants
+            .iter()
+            .position(|t| t.id == tenant && t.state == TenantState::Admitted)
+        else {
+            return;
+        };
+        self.health.mark_evicted(tenant);
+        self.remove_tenant(pos, TenantState::Evicted);
+        self.counters.evictions += 1;
     }
 
     /// Runs the already-submitted tenants to completion (each admitted
@@ -521,7 +1139,7 @@ impl SessionManager {
     /// scheduling events at `t`.
     pub fn run_with_churn(mut self, plan: &ChurnPlan) -> ServeOutcome {
         let mut next_churn = 0;
-        while next_churn < plan.len() || self.eng.has_live_tasks() {
+        while next_churn < plan.len() || self.eng.has_live_tasks() || !self.queue.is_empty() {
             let churn_at = plan.events().get(next_churn).map(|e| e.at);
             let take_churn = match (churn_at, self.events.peek_time()) {
                 (Some(c), Some(s)) => c <= s,
@@ -544,10 +1162,27 @@ impl SessionManager {
                     ChurnAction::Depart { name } => {
                         let _ = self.depart(&name);
                     }
+                    ChurnAction::Submit {
+                        name,
+                        tasks,
+                        floor,
+                        timeout,
+                    } => {
+                        // A full queue sheds the submission; recorded in
+                        // the counters, not a run failure.
+                        let _ = self.enqueue(name, &tasks, floor, timeout);
+                    }
                 }
                 continue;
             }
             let Some((at, event)) = self.events.pop() else {
+                // No scheduled events but queued submissions remain:
+                // sweep them at the earliest backoff gate so the queue
+                // always drains (admit, reject, or expire).
+                if let Some(at) = self.queue.next_eligible() {
+                    self.events.push(at.max(self.now), Event::AdmissionRound);
+                    continue;
+                }
                 break;
             };
             debug_assert!(at >= self.now, "event time went backwards");
@@ -561,6 +1196,11 @@ impl SessionManager {
                 Event::WindupReady { task, seq } => self.on_windup_ready(task, seq),
                 Event::StallStart { hw, duration } => self.on_stall_start(hw, duration),
                 Event::StallEnd { hw } => self.on_stall_end(hw),
+                Event::AdmissionRound => self.on_admission_round(),
+                Event::RestoreCheck => self.on_restore_check(),
+            }
+            if self.graceful.health.enabled {
+                self.drain_health_signals();
             }
         }
         self.finish()
@@ -823,7 +1463,11 @@ impl SessionManager {
         }
     }
 
-    fn abort_job(&mut self, task: usize) {
+    /// Stops an in-flight job's work and finalizes its parts. `cancel`
+    /// distinguishes a tenant withdrawing the job (departure/eviction —
+    /// no deadline miss is charged) from a hard deadline abort at the
+    /// next release.
+    fn abort_job_with(&mut self, task: usize, cancel: bool) {
         let mand_hw = self.eng.mandatory_hw(task);
         let mand_prio = self.eng.mand_prio(task);
         for cursor in [Cursor::Mandatory, Cursor::Windup] {
@@ -845,13 +1489,21 @@ impl SessionManager {
             );
             self.eng.abort_part(task, k, self.now);
         }
-        self.eng.finish_abort(task, self.now);
+        if cancel {
+            self.eng.finish_cancel(task, self.now);
+        } else {
+            self.eng.finish_abort(task, self.now);
+        }
+    }
+
+    fn abort_job(&mut self, task: usize) {
+        self.abort_job_with(task, false);
     }
 
     fn stop_work(&mut self, hw: usize, work: Work, prio: Priority) {
         let cpu = &mut self.cpus[hw];
-        if cpu.running.is_some_and(|r| r.work == work) {
-            let r = cpu.running.take().expect("checked");
+        if let Some(r) = cpu.running.filter(|r| r.work == work) {
+            cpu.running = None;
             let ran = self.now.saturating_elapsed_since(r.since);
             self.eng.bank(work.task, work.cursor, ran);
             self.resched(hw);
@@ -1009,7 +1661,10 @@ mod tests {
         }
         // The 9th heavy tenant fits on no thread: rejected up front.
         let err = mgr.submit("straw", &heavy("h8")).unwrap_err();
-        assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+        assert!(matches!(
+            err,
+            ServeError::Admission(AdmissionError::Unschedulable { .. })
+        ));
         assert_eq!(mgr.state_of("straw"), Some(TenantState::Rejected));
         assert_eq!(mgr.admitted_tenants(), 8);
         let out = mgr.run();
@@ -1034,7 +1689,7 @@ mod tests {
             mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
         }
         assert!(mgr.submit("late", &heavy("h8")).is_err());
-        assert!(mgr.depart("t3"));
+        assert!(mgr.depart("t3").is_ok());
         assert_eq!(mgr.state_of("t3"), Some(TenantState::Departed));
         assert!(mgr.submit("late", &heavy("h8")).is_ok());
         assert_eq!(mgr.admitted_tenants(), 8);
@@ -1079,7 +1734,7 @@ mod tests {
         assert_eq!(mgr.counters().od_updates_applied, 0);
         mgr.submit("hi", &hi).unwrap();
         assert_eq!(mgr.counters().od_updates_applied, 1, "lo's OD shrank");
-        assert!(mgr.depart("hi"));
+        assert!(mgr.depart("hi").is_ok());
         assert_eq!(mgr.counters().od_updates_applied, 2, "lo's OD grew back");
         let out = mgr.run();
         assert_eq!(out.outcome.qos.deadline_misses(), 0);
@@ -1115,6 +1770,313 @@ mod tests {
         assert_eq!(out.outcome.qos.jobs(), 0);
         assert!(out.tenants.is_empty());
         assert_eq!(out.counters, ServeCounters::default());
+    }
+
+    #[test]
+    fn depart_reports_why_it_did_nothing() {
+        let mut mgr = manager(2);
+        mgr.submit("t0", &light("a")).unwrap();
+        assert_eq!(mgr.depart("nobody"), Err(ServeError::UnknownTenant));
+        assert!(mgr.depart("t0").is_ok());
+        assert_eq!(
+            mgr.depart("t0"),
+            Err(ServeError::NotResident {
+                state: TenantState::Departed
+            })
+        );
+        assert_eq!(mgr.counters().departures, 1);
+        let out = mgr.run();
+        assert_eq!(
+            out.tenant_trace(TenantId(0))
+                .count(|e| matches!(e, TraceEvent::TenantDepartIgnored { .. })),
+            1
+        );
+    }
+
+    fn graceful_manager(jobs: u64, graceful: GracefulConfig) -> SessionManager {
+        SessionManager::with_graceful(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs,
+                trace: TraceConfig::enabled(),
+                ..Default::default()
+            },
+            graceful,
+        )
+    }
+
+    #[test]
+    fn queued_burst_is_decided_in_one_round() {
+        let mut mgr = graceful_manager(3, GracefulConfig::default());
+        mgr.enqueue("qa", &light("a"), QosFloor::none(), Span::from_secs(10))
+            .unwrap();
+        mgr.enqueue("qb", &light("b"), QosFloor::none(), Span::from_secs(10))
+            .unwrap();
+        assert_eq!(mgr.queued(), 2);
+        assert_eq!(mgr.state_of("qa"), Some(TenantState::Pending));
+        let out = mgr.run();
+        assert_eq!(out.counters.enqueued, 2);
+        assert_eq!(out.counters.admissions, 2);
+        assert_eq!(out.counters.retries, 0);
+        assert_eq!(out.tenant("qa").unwrap().state, TenantState::Admitted);
+        assert_eq!(out.tenant("qb").unwrap().qos.jobs(), 3);
+        assert_eq!(
+            out.tenant_trace(TenantId(0))
+                .count(|e| matches!(e, TraceEvent::SubmissionQueued { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn queue_capacity_is_enforced() {
+        let graceful = GracefulConfig {
+            queue: QueueConfig {
+                capacity: 1,
+                ..QueueConfig::default()
+            },
+            ..GracefulConfig::default()
+        };
+        let mut mgr = graceful_manager(2, graceful);
+        mgr.enqueue("first", &light("a"), QosFloor::none(), Span::from_secs(1))
+            .unwrap();
+        let err = mgr
+            .enqueue("second", &light("b"), QosFloor::none(), Span::from_secs(1))
+            .unwrap_err();
+        assert_eq!(err, ServeError::QueueFull { capacity: 1 });
+        assert_eq!(mgr.counters().queue_rejected_full, 1);
+        // The refused submission created no tenant record.
+        assert_eq!(mgr.state_of("second"), None);
+    }
+
+    #[test]
+    fn blocked_request_retries_and_admits_when_capacity_frees() {
+        let mut mgr = graceful_manager(4, GracefulConfig::default());
+        for i in 0..8 {
+            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+        }
+        mgr.enqueue("late", &heavy("h8"), QosFloor::none(), Span::from_secs(10))
+            .unwrap();
+        let plan = ChurnPlan::new().depart(Time::from_nanos(150_000_000), "t0");
+        let out = mgr.run_with_churn(&plan);
+        assert!(out.counters.retries >= 1, "blocked rounds backed off");
+        assert_eq!(out.counters.expired, 0);
+        assert_eq!(out.tenant("late").unwrap().state, TenantState::Admitted);
+        assert!(out.tenant("late").unwrap().qos.jobs() > 0);
+        let tr = out.tenant_trace(out.tenant("late").unwrap().tenant);
+        assert!(tr.count(|e| matches!(e, TraceEvent::SubmissionRetried { .. })) >= 1);
+    }
+
+    #[test]
+    fn blocked_request_expires_at_its_deadline() {
+        let mut mgr = graceful_manager(2, GracefulConfig::default());
+        for i in 0..8 {
+            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+        }
+        mgr.enqueue("doomed", &heavy("h8"), QosFloor::none(), Span::from_millis(120))
+            .unwrap();
+        let out = mgr.run();
+        assert_eq!(out.counters.expired, 1);
+        assert_eq!(out.tenant("doomed").unwrap().state, TenantState::Rejected);
+        assert_eq!(
+            out.tenant_trace(out.tenant("doomed").unwrap().tenant)
+                .count(|e| matches!(e, TraceEvent::SubmissionExpired { .. })),
+            1
+        );
+    }
+
+    #[test]
+    fn infeasible_queued_set_is_rejected_permanently() {
+        // Two heavies in one submission jointly over-utilize any single
+        // thread; on a uniprocessor the set fits nowhere even alone.
+        let mut mgr = SessionManager::with_graceful(
+            Topology::uniprocessor(),
+            PartitionHeuristic::FirstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig::default(),
+            GracefulConfig::default(),
+        );
+        let set: Vec<TaskSpec> = heavy("h0").into_iter().chain(heavy("h1")).collect();
+        mgr.enqueue("hopeless", &set, QosFloor::none(), Span::from_secs(10))
+            .unwrap();
+        let out = mgr.run();
+        assert_eq!(out.counters.rejections, 1);
+        assert_eq!(out.counters.retries, 0, "permanent, not retried");
+        assert_eq!(out.counters.expired, 0);
+        assert_eq!(out.tenant("hopeless").unwrap().state, TenantState::Rejected);
+    }
+
+    /// Uniprocessor pair from the analysis admission tests: "lo" alone
+    /// gets OD 900 ms; admitting "hi" shrinks it to 860 ms.
+    fn lo_set() -> Vec<TaskSpec> {
+        vec![TaskSpec::builder("lo")
+            .period(Span::from_secs(1))
+            .mandatory(Span::from_millis(100))
+            .windup(Span::from_millis(100))
+            .optional_parts(1, Span::from_millis(50))
+            .build()
+            .unwrap()]
+    }
+
+    fn hi_set() -> Vec<TaskSpec> {
+        vec![TaskSpec::builder("hi")
+            .period(Span::from_millis(100))
+            .mandatory(Span::from_millis(10))
+            .windup(Span::from_millis(10))
+            .build()
+            .unwrap()]
+    }
+
+    fn uni_manager(graceful: GracefulConfig) -> SessionManager {
+        SessionManager::with_graceful(
+            Topology::uniprocessor(),
+            PartitionHeuristic::FirstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs: 2,
+                trace: TraceConfig::enabled(),
+                ..Default::default()
+            },
+            graceful,
+        )
+    }
+
+    #[test]
+    fn floor_blocks_admissions_that_would_shed_too_deep() {
+        // Floor at 99% of the 900 ms grant (891 ms): "hi" would need
+        // lo's OD down at 860 ms, below the floor — every ladder stage
+        // fails and the newcomer is rejected, the resident untouched.
+        let mut mgr = uni_manager(GracefulConfig::default());
+        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.99))
+            .unwrap();
+        let err = mgr.submit("hi", &hi_set()).unwrap_err();
+        assert!(matches!(err, ServeError::Admission(_)));
+        assert_eq!(mgr.counters().qos_sheds, 0);
+        assert_eq!(mgr.deployed_ods("lo"), vec![Span::from_millis(900)]);
+    }
+
+    #[test]
+    fn shedding_ladder_admits_down_to_the_floor_and_traces_it() {
+        // Floor at 50% (450 ms): the 860 ms placement is allowed; the
+        // shed is applied, counted, and traced — and stays above floor.
+        let mut mgr = uni_manager(GracefulConfig::default());
+        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.5))
+            .unwrap();
+        mgr.submit("hi", &hi_set()).unwrap();
+        assert_eq!(mgr.counters().qos_sheds, 1);
+        assert_eq!(mgr.deployed_ods("lo"), vec![Span::from_millis(860)]);
+        let out = mgr.run();
+        let tr = out.tenant_trace(TenantId(0));
+        assert_eq!(tr.count(|e| matches!(e, TraceEvent::QosShed { .. })), 1);
+        assert_eq!(
+            tr.first_time(|e| matches!(
+                e,
+                TraceEvent::QosShed { od, floor, .. }
+                    if *od == Span::from_millis(860) && *floor == Span::from_millis(450)
+            )),
+            Some(Time::ZERO)
+        );
+    }
+
+    #[test]
+    fn restores_wait_out_the_hysteresis_window() {
+        let graceful = GracefulConfig {
+            restore_hysteresis: Span::from_millis(500),
+            ..GracefulConfig::default()
+        };
+        let mut mgr = uni_manager(graceful);
+        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.5))
+            .unwrap();
+        mgr.submit("hi", &hi_set()).unwrap();
+        assert_eq!(mgr.counters().od_updates_applied, 1, "shed applied");
+        assert!(mgr.depart("hi").is_ok());
+        // The growth is pending, not applied: lo still runs at 860 ms.
+        assert_eq!(mgr.counters().od_updates_applied, 1);
+        assert_eq!(mgr.deployed_ods("lo"), vec![Span::from_millis(860)]);
+        let out = mgr.run();
+        assert_eq!(out.counters.od_updates_applied, 2, "restored after 500 ms");
+        assert_eq!(out.counters.qos_restores, 1);
+        let tr = out.tenant_trace(TenantId(0));
+        assert_eq!(
+            tr.first_time(|e| matches!(e, TraceEvent::QosRestored { .. })),
+            Some(Time::from_nanos(500_000_000))
+        );
+    }
+
+    #[test]
+    fn health_enforcement_quarantines_then_evicts_a_rogue_tenant() {
+        use rtseed_sim::{FaultPlan, FaultTarget, JobWindow, WcetFault};
+        // The rogue's mandatory part overruns 30× on every job: every
+        // deadline misses. Aggressive budgets (1 violation per rung)
+        // walk it Healthy → Degraded → Quarantined → Evicted in three
+        // jobs. The healthy neighbour on its own hardware thread is
+        // untouched.
+        let graceful = GracefulConfig {
+            health: HealthPolicy {
+                enabled: true,
+                degrade_after: 1,
+                quarantine_after: 1,
+                evict_after: 1,
+                recover_after: 4,
+            },
+            ..GracefulConfig::default()
+        };
+        let mut mgr = SessionManager::with_graceful(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            RunConfig {
+                jobs: 8,
+                trace: TraceConfig::enabled(),
+                fault_plan: FaultPlan::new(7).with_wcet_fault(WcetFault {
+                    task: Some(0),
+                    jobs: JobWindow::new(0, u64::MAX),
+                    target: FaultTarget::Mandatory,
+                    factor: 30.0,
+                }),
+                ..Default::default()
+            },
+            graceful,
+        );
+        mgr.submit("rogue", &heavy("r")).unwrap();
+        mgr.submit("steady", &light("s")).unwrap();
+        let out = mgr.run();
+        assert_eq!(out.counters.evictions, 1);
+        assert_eq!(out.tenant("rogue").unwrap().state, TenantState::Evicted);
+        assert_eq!(out.tenant("steady").unwrap().state, TenantState::Admitted);
+        assert_eq!(out.tenant("steady").unwrap().qos.jobs(), 8);
+        assert_eq!(out.tenant("steady").unwrap().qos.deadline_misses(), 0);
+        let tr = out.tenant_trace(TenantId(0));
+        assert_eq!(
+            tr.count(|e| matches!(e, TraceEvent::TenantHealthChanged { .. })),
+            3,
+            "one transition per rung"
+        );
+        assert_eq!(
+            tr.count(|e| matches!(e, TraceEvent::TenantEvicted { .. })),
+            1
+        );
+        assert_eq!(
+            tr.count(|e| matches!(e, TraceEvent::TenantDeparted { .. })),
+            0,
+            "eviction is not a departure"
+        );
+    }
+
+    #[test]
+    fn graceful_defaults_do_not_change_a_plain_run() {
+        let plan = || {
+            ChurnPlan::new()
+                .arrive(Time::ZERO, "a", light("a"))
+                .arrive(Time::from_nanos(50_000_000), "b", heavy("b"))
+                .depart(Time::from_nanos(250_000_000), "a")
+        };
+        let x = manager(4).run_with_churn(&plan());
+        let y = graceful_manager(4, GracefulConfig::default()).run_with_churn(&plan());
+        assert_eq!(x.outcome.trace, y.outcome.trace);
+        assert_eq!(x.outcome.qos, y.outcome.qos);
+        assert_eq!(x.counters, y.counters);
     }
 
     #[test]

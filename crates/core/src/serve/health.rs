@@ -1,0 +1,227 @@
+//! Tenant health enforcement: per-tenant violation budgets.
+//!
+//! The engine reports every job completion of every tenant task as a
+//! [`JobSignal`](crate::engine::JobSignal) (deadline met? real-time part
+//! overran?). The `HealthTracker` folds that stream into a per-tenant
+//! state machine over [`TenantHealth`]:
+//!
+//! ```text
+//! Healthy ─▶ Degraded ─▶ Quarantined ─▶ Evicted
+//!    ◀──────────  ◀──────────              (terminal)
+//! ```
+//!
+//! Each **consecutive-violation** budget steps the tenant one rung
+//! down; a run of clean jobs ([`HealthPolicy::recover_after`]) steps it
+//! one rung up. Quarantine forcibly sheds the tenant's optional parts
+//! (its jobs run mandatory + wind-up only, so a misbehaving tenant
+//! stops stealing optional bandwidth while keeping its real-time
+//! contract); eviction removes the tenant entirely. Every transition is
+//! traced as
+//! [`TenantHealthChanged`](crate::obs::TraceEvent::TenantHealthChanged).
+//!
+//! Enforcement is **off by default** ([`HealthPolicy::enabled`]) — a
+//! plain serving run behaves exactly as before.
+
+use rtseed_model::{TenantHealth, TenantId};
+
+/// Violation budgets for tenant health enforcement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthPolicy {
+    /// Master switch; `false` (the default) disables the tracker and
+    /// the engine's signal collection entirely.
+    pub enabled: bool,
+    /// Consecutive violations that move `Healthy → Degraded`.
+    pub degrade_after: u32,
+    /// Further consecutive violations that move `Degraded → Quarantined`.
+    pub quarantine_after: u32,
+    /// Further consecutive violations that move `Quarantined → Evicted`.
+    pub evict_after: u32,
+    /// Consecutive clean jobs that move one rung back up
+    /// (`Quarantined → Degraded → Healthy`).
+    pub recover_after: u32,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> HealthPolicy {
+        HealthPolicy {
+            enabled: false,
+            degrade_after: 3,
+            quarantine_after: 3,
+            evict_after: 3,
+            recover_after: 4,
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// An enabled policy with the default budgets.
+    pub fn enforcing() -> HealthPolicy {
+        HealthPolicy {
+            enabled: true,
+            ..HealthPolicy::default()
+        }
+    }
+
+    /// The consecutive-violation budget at `rung` (how many more
+    /// violations demote from there).
+    fn budget(&self, rung: TenantHealth) -> u32 {
+        match rung {
+            TenantHealth::Healthy => self.degrade_after,
+            TenantHealth::Degraded => self.quarantine_after,
+            TenantHealth::Quarantined => self.evict_after,
+            TenantHealth::Evicted => u32::MAX,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TenantHealthState {
+    health: TenantHealth,
+    bad_streak: u32,
+    clean_streak: u32,
+}
+
+impl Default for TenantHealthState {
+    fn default() -> TenantHealthState {
+        TenantHealthState {
+            health: TenantHealth::Healthy,
+            bad_streak: 0,
+            clean_streak: 0,
+        }
+    }
+}
+
+/// Folds the engine's per-job signals into per-tenant health rungs.
+#[derive(Debug, Default)]
+pub(crate) struct HealthTracker {
+    states: Vec<TenantHealthState>,
+}
+
+impl HealthTracker {
+    fn state(&mut self, tenant: TenantId) -> &mut TenantHealthState {
+        let idx = tenant.0 as usize;
+        if idx >= self.states.len() {
+            self.states.resize_with(idx + 1, TenantHealthState::default);
+        }
+        &mut self.states[idx]
+    }
+
+    /// The tenant's current rung (`Healthy` if never observed).
+    pub(crate) fn health_of(&self, tenant: TenantId) -> TenantHealth {
+        self.states
+            .get(tenant.0 as usize)
+            .map_or(TenantHealth::Healthy, |s| s.health)
+    }
+
+    /// Accounts one job completion; returns the `(from, to)` transition
+    /// when a budget was crossed. A violation is a missed deadline or a
+    /// real-time-part overrun.
+    pub(crate) fn note_job(
+        &mut self,
+        policy: &HealthPolicy,
+        tenant: TenantId,
+        violation: bool,
+    ) -> Option<(TenantHealth, TenantHealth)> {
+        let budget = policy.budget(self.health_of(tenant));
+        let recover = policy.recover_after.max(1);
+        let s = self.state(tenant);
+        if s.health.is_terminal() {
+            return None;
+        }
+        if violation {
+            s.clean_streak = 0;
+            s.bad_streak += 1;
+            if s.bad_streak >= budget.max(1) {
+                let from = s.health;
+                s.health = from.worse();
+                s.bad_streak = 0;
+                return Some((from, s.health));
+            }
+        } else {
+            s.bad_streak = 0;
+            s.clean_streak += 1;
+            if s.clean_streak >= recover && s.health != TenantHealth::Healthy {
+                let from = s.health;
+                s.health = from.better();
+                s.clean_streak = 0;
+                return Some((from, s.health));
+            }
+        }
+        None
+    }
+
+    /// Marks the tenant evicted without a transition report (used when
+    /// the serving layer evicts for a non-health reason).
+    pub(crate) fn mark_evicted(&mut self, tenant: TenantId) {
+        self.state(tenant).health = TenantHealth::Evicted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_down_the_ladder_on_consecutive_violations() {
+        let policy = HealthPolicy::enforcing();
+        let mut hx = HealthTracker::default();
+        let t = TenantId(0);
+        let mut transitions = Vec::new();
+        for _ in 0..9 {
+            if let Some(tr) = hx.note_job(&policy, t, true) {
+                transitions.push(tr);
+            }
+        }
+        assert_eq!(
+            transitions,
+            vec![
+                (TenantHealth::Healthy, TenantHealth::Degraded),
+                (TenantHealth::Degraded, TenantHealth::Quarantined),
+                (TenantHealth::Quarantined, TenantHealth::Evicted),
+            ]
+        );
+        assert_eq!(hx.health_of(t), TenantHealth::Evicted);
+        // Terminal: further signals change nothing.
+        assert_eq!(hx.note_job(&policy, t, true), None);
+        assert_eq!(hx.note_job(&policy, t, false), None);
+    }
+
+    #[test]
+    fn clean_jobs_recover_one_rung_at_a_time() {
+        let policy = HealthPolicy::enforcing();
+        let mut hx = HealthTracker::default();
+        let t = TenantId(1);
+        for _ in 0..6 {
+            hx.note_job(&policy, t, true);
+        }
+        assert_eq!(hx.health_of(t), TenantHealth::Quarantined);
+        let mut ups = Vec::new();
+        for _ in 0..8 {
+            if let Some(tr) = hx.note_job(&policy, t, false) {
+                ups.push(tr);
+            }
+        }
+        assert_eq!(
+            ups,
+            vec![
+                (TenantHealth::Quarantined, TenantHealth::Degraded),
+                (TenantHealth::Degraded, TenantHealth::Healthy),
+            ]
+        );
+    }
+
+    #[test]
+    fn a_clean_job_resets_the_violation_streak() {
+        let policy = HealthPolicy::enforcing();
+        let mut hx = HealthTracker::default();
+        let t = TenantId(2);
+        for _ in 0..2 {
+            hx.note_job(&policy, t, true);
+        }
+        hx.note_job(&policy, t, false);
+        for _ in 0..2 {
+            assert_eq!(hx.note_job(&policy, t, true), None);
+        }
+        assert_eq!(hx.health_of(t), TenantHealth::Healthy, "streak was reset");
+    }
+}

@@ -1,0 +1,110 @@
+//! The QoS shedding ladder: staged admission against per-tenant floors.
+//!
+//! Under RMWP the optional deadline is an *output* of the response-time
+//! analysis (`OD = D − R^w`), so "shedding a resident's QoS" cannot make
+//! an infeasible newcomer feasible by itself — feasibility depends only
+//! on mandatory/wind-up interference. What shedding *can* do is widen
+//! the placement search: a bin whose residents' analyzed ODs would
+//! shrink is normally unattractive, and the serving layer refuses any
+//! placement that would push a resident below its contractual
+//! [`QosFloor`](rtseed_model::QosFloor).
+//!
+//! The ladder stages that refusal. Stage `0` of `S` demands that no
+//! resident's analyzed OD drop below its currently **deployed** OD (no
+//! shedding at all); the final stage `S` relaxes each resident's bound
+//! all the way to its **floor**; intermediate stages interpolate
+//! linearly. Admission tries stage 0 first and walks down, so the first
+//! feasible stage is the one that sheds the *least* — and by
+//! construction no resident is ever pushed below its floor.
+//!
+//! Restores ride the same bookkeeping in the opposite direction: a
+//! departure grows survivors' analyzed ODs, and the ladder re-deploys
+//! the larger OD only after a hysteresis window (see
+//! `PendingRestore`), so an arrive/depart flap does not thrash the
+//! engine's timers.
+
+use rtseed_analysis::TaskKey;
+use rtseed_model::{Span, Time};
+
+/// A resident's OD bookkeeping as the ladder sees it.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LadderEntry {
+    /// Admission-controller handle of the resident task.
+    pub key: TaskKey,
+    /// The OD currently programmed into the engine.
+    pub deployed: Span,
+    /// The tenant's contractual floor for this task (absolute OD).
+    pub floor: Span,
+}
+
+/// The per-resident OD lower bounds for ladder stage `stage` of
+/// `stages`: stage 0 bounds each resident at its deployed OD (no shed),
+/// the final stage bounds it at its floor, intermediate stages
+/// interpolate. `deployed < floor` never arises (deployed ODs are
+/// floor-checked at shed time) but is clamped defensively.
+pub(crate) fn stage_bounds(
+    entries: &[LadderEntry],
+    stage: u32,
+    stages: u32,
+) -> Vec<(TaskKey, Span)> {
+    let stages = stages.max(1);
+    let stage = stage.min(stages);
+    entries
+        .iter()
+        .map(|e| {
+            let headroom = e.deployed.saturating_sub(e.floor);
+            let give = headroom.mul_f64(stage as f64 / stages as f64);
+            let bound = e.deployed.saturating_sub(give).max(e.floor);
+            (e.key, bound)
+        })
+        .collect()
+}
+
+/// A deferred OD growth: the analysis granted a resident a larger OD
+/// (after a departure), to be deployed once the hysteresis window
+/// passes — unless a later shrink supersedes it first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct PendingRestore {
+    /// The resident to restore.
+    pub key: TaskKey,
+    /// When the restore becomes applicable.
+    pub due: Time,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> TaskKey {
+        TaskKey(i)
+    }
+
+    #[test]
+    fn stage_zero_bounds_at_deployed_final_at_floor() {
+        let entries = [LadderEntry {
+            key: key(0),
+            deployed: Span::from_millis(900),
+            floor: Span::from_millis(500),
+        }];
+        let s0 = stage_bounds(&entries, 0, 4);
+        assert_eq!(s0[0].1, Span::from_millis(900));
+        let s4 = stage_bounds(&entries, 4, 4);
+        assert_eq!(s4[0].1, Span::from_millis(500));
+        // Linear in between: stage 2 of 4 gives half the headroom.
+        let s2 = stage_bounds(&entries, 2, 4);
+        assert_eq!(s2[0].1, Span::from_millis(700));
+    }
+
+    #[test]
+    fn bounds_never_cross_the_floor() {
+        let entries = [LadderEntry {
+            key: key(1),
+            deployed: Span::from_millis(400),
+            floor: Span::from_millis(600), // pathological: deployed < floor
+        }];
+        for stage in 0..=4 {
+            let b = stage_bounds(&entries, stage, 4);
+            assert!(b[0].1 >= Span::from_millis(600), "stage {stage}");
+        }
+    }
+}

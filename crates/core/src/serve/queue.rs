@@ -1,0 +1,198 @@
+//! Admission backpressure: the bounded submit queue.
+//!
+//! Direct [`SessionManager::submit`](super::SessionManager::submit) is
+//! synchronous — an infeasible submission is rejected on the spot. Under
+//! churn that wastes arrivals: a submission that fails *now* may fit a
+//! few hundred milliseconds later once a resident departs. The
+//! `SubmitQueue` decouples arrival from admission:
+//!
+//! * submissions enter a **bounded** FIFO queue (over capacity ⇒
+//!   [`ServeError::QueueFull`](super::ServeError::QueueFull) — the
+//!   caller sheds load, the queue never grows without bound);
+//! * the serving layer drains the queue in **batched admission rounds**
+//!   at discrete instants, so same-instant bursts are admitted in one
+//!   deterministic sweep;
+//! * each request carries an absolute **deadline**; a request that
+//!   cannot be admitted in time is dropped, never admitted late;
+//! * a failed attempt gets a typed verdict ([`Rejected`]):
+//!   `Permanent` failures (the set fits no thread even on an idle
+//!   system) are rejected immediately, `Retryable` failures (blocked
+//!   only by current residents) re-queue with exponential backoff.
+
+use rtseed_model::{QosFloor, Span, TaskSpec, TenantId, Time};
+
+/// Why an admission attempt for a queued request failed, and what the
+/// queue does about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The task set fits no hardware thread even on an otherwise idle
+    /// system — waiting cannot help, the request is rejected now.
+    Permanent,
+    /// The set is feasible in isolation but not against the current
+    /// residents; the request retries after the backoff delay.
+    Retryable {
+        /// How long the request backs off before its next attempt.
+        after: Span,
+    },
+}
+
+/// Tuning for the bounded submit queue (admission backpressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueConfig {
+    /// Maximum queued requests; submissions over this are refused with
+    /// [`ServeError::QueueFull`](super::ServeError::QueueFull).
+    pub capacity: usize,
+    /// Backoff after the first failed attempt; attempt `n` waits
+    /// `retry_base × 2^(n−1)`, capped at [`QueueConfig::retry_cap`].
+    pub retry_base: Span,
+    /// Upper bound on the exponential backoff.
+    pub retry_cap: Span,
+    /// Attempts after which a still-blocked request expires.
+    pub max_retries: u32,
+}
+
+impl Default for QueueConfig {
+    fn default() -> QueueConfig {
+        QueueConfig {
+            capacity: 64,
+            retry_base: Span::from_millis(50),
+            retry_cap: Span::from_millis(800),
+            max_retries: 8,
+        }
+    }
+}
+
+impl QueueConfig {
+    /// The backoff before attempt `attempts + 1`, i.e. after `attempts`
+    /// failed attempts: `retry_base × 2^(attempts−1)` capped at
+    /// `retry_cap`.
+    pub fn backoff(&self, attempts: u32) -> Span {
+        let shift = attempts.saturating_sub(1).min(20);
+        self.retry_base
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.retry_cap)
+            .min(self.retry_cap)
+    }
+}
+
+/// One queued submission awaiting an admission round.
+#[derive(Debug, Clone)]
+pub(crate) struct QueuedRequest {
+    /// The tenant record created at enqueue time (state `Pending`).
+    pub tenant: TenantId,
+    /// The submitted task set.
+    pub tasks: Vec<TaskSpec>,
+    /// The tenant's SLA floor, applied to every task in the set.
+    pub floor: QosFloor,
+    /// Absolute expiry: past this instant the request is dropped.
+    pub deadline: Time,
+    /// Admission attempts consumed so far.
+    pub attempts: u32,
+    /// Backoff gate: the request is not retried before this instant.
+    pub not_before: Time,
+}
+
+/// The bounded FIFO of pending submissions.
+#[derive(Debug, Default)]
+pub(crate) struct SubmitQueue {
+    items: Vec<QueuedRequest>,
+}
+
+impl SubmitQueue {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends a request; `false` when the queue is at `capacity`.
+    pub(crate) fn push(&mut self, cfg: &QueueConfig, req: QueuedRequest) -> bool {
+        if self.items.len() >= cfg.capacity {
+            return false;
+        }
+        self.items.push(req);
+        true
+    }
+
+    /// Removes and returns the requests eligible at `now` (backoff gate
+    /// passed), preserving FIFO order. Ineligible requests stay queued.
+    pub(crate) fn take_ready(&mut self, now: Time) -> Vec<QueuedRequest> {
+        let mut ready = Vec::new();
+        self.items.retain(|r| {
+            if r.not_before <= now {
+                ready.push(r.clone());
+                false
+            } else {
+                true
+            }
+        });
+        ready
+    }
+
+    /// Re-queues a retryable request (attempt count and backoff gate
+    /// already updated by the caller).
+    pub(crate) fn requeue(&mut self, req: QueuedRequest) {
+        self.items.push(req);
+    }
+
+    /// The earliest backoff gate among queued requests, if any.
+    pub(crate) fn next_eligible(&self) -> Option<Time> {
+        self.items.iter().map(|r| r.not_before).min()
+    }
+
+    /// Lifts every backoff gate to `now` — used when a departure frees
+    /// capacity, which is new information worth retrying for
+    /// immediately.
+    pub(crate) fn wake(&mut self, now: Time) {
+        for r in &mut self.items {
+            r.not_before = r.not_before.min(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let cfg = QueueConfig::default();
+        assert_eq!(cfg.backoff(1), Span::from_millis(50));
+        assert_eq!(cfg.backoff(2), Span::from_millis(100));
+        assert_eq!(cfg.backoff(3), Span::from_millis(200));
+        assert_eq!(cfg.backoff(4), Span::from_millis(400));
+        assert_eq!(cfg.backoff(5), Span::from_millis(800));
+        assert_eq!(cfg.backoff(6), Span::from_millis(800), "capped");
+        assert_eq!(cfg.backoff(60), Span::from_millis(800), "shift clamped");
+    }
+
+    #[test]
+    fn queue_is_bounded_and_fifo() {
+        let cfg = QueueConfig {
+            capacity: 2,
+            ..QueueConfig::default()
+        };
+        let req = |tenant: u32, not_before: u64| QueuedRequest {
+            tenant: TenantId(tenant),
+            tasks: Vec::new(),
+            floor: QosFloor::none(),
+            deadline: Time::MAX,
+            attempts: 0,
+            not_before: Time::from_nanos(not_before),
+        };
+        let mut q = SubmitQueue::default();
+        assert!(q.push(&cfg, req(0, 0)));
+        assert!(q.push(&cfg, req(1, 500)));
+        assert!(!q.push(&cfg, req(2, 0)), "over capacity");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.next_eligible(), Some(Time::ZERO));
+
+        let ready = q.take_ready(Time::from_nanos(100));
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].tenant, TenantId(0));
+        assert_eq!(q.len(), 1, "backoff-gated request stays queued");
+        assert_eq!(q.next_eligible(), Some(Time::from_nanos(500)));
+    }
+}

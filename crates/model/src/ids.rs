@@ -259,6 +259,30 @@ impl Priority {
             Err(PriorityError { level: self.0 })
         }
     }
+
+    /// The stable RTQ level for the mandatory/wind-up thread of a task
+    /// with the given period.
+    ///
+    /// Levels are bucketed by the period's power-of-two magnitude,
+    /// anchored so that periods at or below ~0.5 ms reach
+    /// [`Priority::RTQ_MAX`] and each doubling of the period drops one
+    /// level (floored at [`Priority::RTQ_MIN`]). The mapping is monotone —
+    /// a strictly shorter period never gets a lower level — but it is
+    /// *many-to-one*: distinct periods inside the same power-of-two bucket
+    /// share a level, and SCHED_FIFO cannot order tasks within a level.
+    /// Any analysis run against deployed levels must therefore charge
+    /// same-level tasks with each other's interference (see
+    /// `RmwpAnalysis::analyze_with_levels`).
+    pub fn for_period(period: crate::Span) -> Priority {
+        let ns = period.as_nanos().max(1);
+        let log2 = 63 - u64::leading_zeros(ns) as i64;
+        // 2^19 ns ≈ 0.5 ms maps to RTQ_MAX; each doubling costs one level.
+        let level = (98 - (log2 - 19)).clamp(50, 98) as u8;
+        // The clamp keeps `level` inside the RTQ band, so construction can
+        // only fail if the band constants themselves change; fall back to
+        // the band floor rather than panicking.
+        Priority::new(level).unwrap_or(Priority::RTQ_MIN)
+    }
 }
 
 impl fmt::Display for Priority {

@@ -50,8 +50,8 @@ pub mod time;
 pub mod topology;
 
 pub use ids::{CoreId, HwThreadId, JobId, PartId, Priority, SessionId, TaskId, TenantId};
-pub use qos::{QosRecord, QosSummary};
-pub use state::{JobPhase, OptionalOutcome, PartKind, TenantState};
+pub use qos::{QosFloor, QosRecord, QosSummary};
+pub use state::{JobPhase, OptionalOutcome, PartKind, TenantHealth, TenantState};
 pub use task::{TaskSet, TaskSetError, TaskSpec, TaskSpecBuilder};
 pub use time::{Span, Time};
 pub use topology::{Topology, TopologyError};

@@ -13,6 +13,67 @@ use crate::ids::JobId;
 use crate::state::OptionalOutcome;
 use crate::time::Span;
 
+/// A tenant's QoS floor: the fraction of its admission-time optional
+/// deadline the serving layer's shedding ladder must preserve.
+///
+/// When a later submission fails the admission test, the serving layer may
+/// *shed* resident tenants' quality — deploy optional deadlines shorter
+/// than the analysis-maximal ones — to prefer placements that keep the
+/// residents' QoS high. The floor bounds that shedding: a tenant admitted
+/// with optional deadline `OD` and floor fraction `f` is never deployed an
+/// optional deadline below `f · OD`. The floor is part of the tenant's
+/// contract, fixed at admission; [`QosFloor::none`] (fraction 0) tolerates
+/// arbitrary shedding, fraction 1 forbids it entirely.
+///
+/// # Examples
+///
+/// ```
+/// use rtseed_model::{QosFloor, Span};
+///
+/// let floor = QosFloor::fraction(0.5);
+/// assert_eq!(floor.floor_od(Span::from_millis(900)), Span::from_millis(450));
+/// assert_eq!(QosFloor::none().floor_od(Span::from_millis(900)), Span::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosFloor {
+    fraction: f64,
+}
+
+impl QosFloor {
+    /// No floor: the ladder may shed this tenant's QoS arbitrarily far.
+    pub const fn none() -> QosFloor {
+        QosFloor { fraction: 0.0 }
+    }
+
+    /// A floor at `fraction` of the admission-time optional deadline,
+    /// clamped into `[0, 1]` (NaN maps to 0).
+    pub fn fraction(fraction: f64) -> QosFloor {
+        let fraction = if fraction.is_nan() {
+            0.0
+        } else {
+            fraction.clamp(0.0, 1.0)
+        };
+        QosFloor { fraction }
+    }
+
+    /// The configured fraction.
+    pub const fn value(self) -> f64 {
+        self.fraction
+    }
+
+    /// The lowest optional deadline the ladder may deploy for a tenant
+    /// that was granted `granted` at admission.
+    pub fn floor_od(self, granted: Span) -> Span {
+        granted.mul_f64(self.fraction)
+    }
+}
+
+impl Default for QosFloor {
+    fn default() -> QosFloor {
+        QosFloor::none()
+    }
+}
+
 /// Per-job QoS record: one entry per parallel optional part.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QosRecord {

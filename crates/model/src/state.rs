@@ -205,6 +205,71 @@ impl fmt::Display for TenantState {
     }
 }
 
+/// Health classification of an *admitted* tenant, maintained by the
+/// serving layer from the engine's per-job deadline/overrun signals.
+///
+/// Orthogonal to [`TenantState`]: a tenant is `Admitted` for its whole
+/// residency while its health walks this ladder. Repeated violations
+/// (deadline misses or real-time overruns) step the tenant **down** one
+/// rung at a time; sustained clean jobs step it back **up**. `Evicted`
+/// is terminal and coincides with the [`TenantState::Evicted`]
+/// lifecycle transition.
+///
+/// The variants are ordered from best to worst, so `a < b` means "`a`
+/// is healthier than `b`".
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum TenantHealth {
+    /// Meeting deadlines; full service (mandatory + optional + wind-up).
+    Healthy,
+    /// Accumulating violations; still fully served but on notice.
+    Degraded,
+    /// Optional parts forcibly shed until the tenant proves clean again.
+    Quarantined,
+    /// Removed by health enforcement; tasks unbound. Terminal.
+    Evicted,
+}
+
+impl TenantHealth {
+    /// One rung worse, saturating at [`TenantHealth::Evicted`].
+    pub const fn worse(self) -> TenantHealth {
+        match self {
+            TenantHealth::Healthy => TenantHealth::Degraded,
+            TenantHealth::Degraded => TenantHealth::Quarantined,
+            TenantHealth::Quarantined | TenantHealth::Evicted => TenantHealth::Evicted,
+        }
+    }
+
+    /// One rung better, saturating at [`TenantHealth::Healthy`]. An
+    /// evicted tenant never recovers (`Evicted` is terminal).
+    pub const fn better(self) -> TenantHealth {
+        match self {
+            TenantHealth::Healthy | TenantHealth::Degraded => TenantHealth::Healthy,
+            TenantHealth::Quarantined => TenantHealth::Degraded,
+            TenantHealth::Evicted => TenantHealth::Evicted,
+        }
+    }
+
+    /// `true` once no further transition is possible.
+    #[inline]
+    pub const fn is_terminal(self) -> bool {
+        matches!(self, TenantHealth::Evicted)
+    }
+}
+
+impl fmt::Display for TenantHealth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TenantHealth::Healthy => "healthy",
+            TenantHealth::Degraded => "degraded",
+            TenantHealth::Quarantined => "quarantined",
+            TenantHealth::Evicted => "evicted",
+        };
+        f.write_str(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,255 @@
+//! Seeded chaos scenarios for the serving layer: churn × fault storms ×
+//! submission bursts, all derived from one seed.
+//!
+//! A [`ChaosPlan`] is pure data — a [`ChurnPlan`] of queued submission
+//! bursts and departures plus a [`FaultPlan`] of WCET storms — generated
+//! deterministically from a `(config, seed)` pair by [`chaos_plan`]. The
+//! serving layer replays it like any other churn plan, so the same seed
+//! always produces the same admissions, sheds, health transitions, and
+//! trace bytes. The chaos harness (`chaosbench` and the serving-layer
+//! chaos proptests) asserts its graceful-degradation invariants over many
+//! seeds without ever hand-writing a scenario.
+//!
+//! Which tenants are "rogue" is not scripted here: WCET storms target
+//! engine task slots, and the harness classifies tenants *post hoc* from
+//! the `wcet_fault` events in the trace — a tenant is compliant iff no
+//! fault ever fired on one of its tasks.
+
+use rtseed_model::{QosFloor, Span, TaskSpec, Time};
+
+use crate::churn::ChurnPlan;
+use crate::fault::{FaultPlan, FaultTarget, JobWindow, WcetFault};
+
+/// Shape of a generated chaos scenario ([`chaos_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Queued tenant submissions scattered over the churn window.
+    pub tenants: usize,
+    /// Largest same-instant submission burst the generator may emit.
+    pub burst_max: usize,
+    /// Scripted departures in the second half of the window.
+    pub departures: usize,
+    /// WCET fault storms aimed at engine task slots (rogue tenants).
+    pub storms: usize,
+    /// Largest demand multiplier a storm may draw (≥ 2).
+    pub storm_factor_max: f64,
+    /// Window over which submissions are scattered.
+    pub window: Span,
+    /// Queue deadline for every submission (from its submit instant).
+    pub timeout: Span,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig {
+            tenants: 24,
+            burst_max: 4,
+            departures: 8,
+            storms: 3,
+            storm_factor_max: 30.0,
+            window: Span::from_millis(600),
+            timeout: Span::from_millis(400),
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// A smaller scenario for smoke runs (`chaosbench --quick`).
+    pub fn quick() -> ChaosConfig {
+        ChaosConfig {
+            tenants: 10,
+            departures: 3,
+            storms: 2,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// A generated scenario: churn script plus fault schedule, replayable
+/// byte-for-byte from `(config, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// The seed everything was derived from.
+    pub seed: u64,
+    /// Submission bursts and departures.
+    pub churn: ChurnPlan,
+    /// The WCET storms (and the executor's jitter seed).
+    pub faults: FaultPlan,
+}
+
+/// A splitmix64 stream: the standard 64-bit mixer, good enough for
+/// scenario generation and fully portable (no `rand` dependency on this
+/// path).
+#[derive(Debug, Clone)]
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `0` when `n == 0`.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next() % n
+        }
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The task set tenant `i` submits: one or two pipeline tasks with
+/// periods, demands, and optional-part counts drawn from the stream.
+fn tenant_tasks(rng: &mut Mix, i: usize) -> Vec<TaskSpec> {
+    let count = 1 + rng.below(2) as usize;
+    (0..count)
+        .map(|k| {
+            let period_ms = [40u64, 50, 80, 100][rng.below(4) as usize];
+            let mandatory_ms = 3 + rng.below(6);
+            let windup_ms = 2 + rng.below(4);
+            let parts = rng.below(4) as usize;
+            let part_ms = 5 + rng.below(11);
+            TaskSpec::builder(format!("c{i}/{k}"))
+                .period(Span::from_millis(period_ms))
+                .mandatory(Span::from_millis(mandatory_ms))
+                .windup(Span::from_millis(windup_ms))
+                .optional_parts(parts, Span::from_millis(part_ms))
+                .build()
+                .expect("generated demands stay far below the period")
+        })
+        .collect()
+}
+
+/// Generates the deterministic chaos scenario for `(cfg, seed)`.
+///
+/// Submissions go through the bounded submit queue in bursts of up to
+/// [`ChaosConfig::burst_max`] same-instant requests; each draws a QoS
+/// floor (none, or 30–90 % of its granted OD). Departures hit distinct
+/// tenants in the second half of the window. Storms are mandatory or
+/// wind-up WCET faults over a bounded job window, aimed at engine task
+/// slots — slots that never materialize (the submission was rejected)
+/// simply never fire.
+pub fn chaos_plan(cfg: &ChaosConfig, seed: u64) -> ChaosPlan {
+    let mut rng = Mix(seed ^ 0xC4A0_5C4A_05C4_A05C);
+    let mut churn = ChurnPlan::new();
+
+    // Submission bursts: the time cursor advances between bursts, and up
+    // to `burst_max` tenants share each instant.
+    let mut at = Time::ZERO;
+    let mut in_burst = 0usize;
+    for i in 0..cfg.tenants {
+        if in_burst > rng.below(cfg.burst_max.max(1) as u64) as usize {
+            let step_ns = 10_000_000 + rng.below(50_000_000);
+            at += Span::from_nanos(step_ns.min(cfg.window.as_nanos()));
+            in_burst = 0;
+        }
+        let floor = if rng.below(3) == 0 {
+            QosFloor::none()
+        } else {
+            QosFloor::fraction(0.3 + 0.6 * rng.unit())
+        };
+        churn = churn.submit(at, format!("c{i}"), tenant_tasks(&mut rng, i), floor, cfg.timeout);
+        in_burst += 1;
+    }
+
+    // Departures: distinct tenants, second half of the window.
+    let half = cfg.window.as_nanos() / 2;
+    let mut departed = Vec::new();
+    while departed.len() < cfg.departures.min(cfg.tenants) {
+        let who = rng.below(cfg.tenants as u64);
+        if departed.contains(&who) {
+            continue;
+        }
+        departed.push(who);
+        let when = Time::from_nanos(half + rng.below(half.max(1)));
+        churn = churn.depart(when, format!("c{who}"));
+    }
+
+    // Fault storms: each picks an engine slot, a job window, a real-time
+    // part, and a demand multiplier.
+    let mut faults = FaultPlan::new(seed);
+    for _ in 0..cfg.storms {
+        let slot = rng.below(cfg.tenants as u64) as u32;
+        let from = rng.below(6);
+        // Long enough that a storm on a single-task tenant can walk the
+        // whole health ladder (Degraded → Quarantined → Evicted).
+        let len = 1 + rng.below(14);
+        let target = if rng.below(4) == 0 {
+            FaultTarget::Windup
+        } else {
+            FaultTarget::Mandatory
+        };
+        let factor = 2.0 + (cfg.storm_factor_max - 2.0).max(0.0) * rng.unit();
+        faults = faults.with_wcet_fault(WcetFault {
+            task: Some(slot),
+            jobs: JobWindow::new(from, from + len),
+            target,
+            factor,
+        });
+    }
+
+    ChaosPlan { seed, churn, faults }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::ChurnAction;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ChaosConfig::default();
+        assert_eq!(chaos_plan(&cfg, 42), chaos_plan(&cfg, 42));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = ChaosConfig::default();
+        assert_ne!(chaos_plan(&cfg, 1), chaos_plan(&cfg, 2));
+    }
+
+    #[test]
+    fn plan_has_the_configured_shape() {
+        let cfg = ChaosConfig::default();
+        let plan = chaos_plan(&cfg, 7);
+        let submits = plan
+            .churn
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, ChurnAction::Submit { .. }))
+            .count();
+        let departs = plan
+            .churn
+            .events()
+            .iter()
+            .filter(|e| matches!(e.action, ChurnAction::Depart { .. }))
+            .count();
+        assert_eq!(submits, cfg.tenants);
+        assert_eq!(departs, cfg.departures);
+        // Bursts exist: at least two submissions share an instant across
+        // a handful of seeds.
+        let bursty = (0..8).any(|seed| {
+            let p = chaos_plan(&cfg, seed);
+            let mut times: Vec<u64> = p
+                .churn
+                .events()
+                .iter()
+                .filter(|e| matches!(e.action, ChurnAction::Submit { .. }))
+                .map(|e| e.at.as_nanos())
+                .collect();
+            let before = times.len();
+            times.dedup();
+            times.len() < before
+        });
+        assert!(bursty, "no seed produced a same-instant burst");
+    }
+}

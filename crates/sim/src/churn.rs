@@ -12,7 +12,7 @@
 //! admitted. That decision belongs to the online RMWP admission test in
 //! `rtseed-analysis`, consulted by the serving layer at replay time.
 
-use rtseed_model::{TaskSpec, Time};
+use rtseed_model::{QosFloor, Span, TaskSpec, Time};
 use serde::{Deserialize, Serialize};
 
 /// What a tenant does at a churn instant.
@@ -29,6 +29,24 @@ pub enum ChurnAction {
         name: String,
         /// The task set the tenant wants scheduled.
         tasks: Vec<TaskSpec>,
+    },
+    /// A tenant named `name` submits `tasks` through the serving
+    /// layer's bounded submit queue (admission backpressure): the
+    /// request is decided in batched admission rounds, retrying blocked
+    /// submissions with backoff until `timeout` expires. Several
+    /// `Submit` events at the same instant form one burst decided in a
+    /// single deterministic round.
+    Submit {
+        /// Tenant name; also the key a later [`ChurnAction::Depart`]
+        /// refers to.
+        name: String,
+        /// The task set the tenant wants scheduled.
+        tasks: Vec<TaskSpec>,
+        /// The tenant's QoS floor (SLA), applied to every task.
+        floor: QosFloor,
+        /// How long the request may wait in the queue before it is
+        /// dropped (measured from the submit instant).
+        timeout: Span,
     },
     /// The admitted tenant named `name` departs, releasing its tasks and
     /// the utilization they held. Departures of unknown or rejected
@@ -90,6 +108,31 @@ impl ChurnPlan {
             action: ChurnAction::Arrive {
                 name: name.into(),
                 tasks,
+            },
+        });
+        self
+    }
+
+    /// Adds a queued submission of tenant `name` with `tasks` at time
+    /// `at`: the serving layer decides it in batched admission rounds
+    /// under backpressure, honouring `floor` and expiring after
+    /// `timeout`.
+    #[must_use]
+    pub fn submit(
+        mut self,
+        at: Time,
+        name: impl Into<String>,
+        tasks: Vec<TaskSpec>,
+        floor: QosFloor,
+        timeout: Span,
+    ) -> ChurnPlan {
+        self.push(ChurnEvent {
+            at,
+            action: ChurnAction::Submit {
+                name: name.into(),
+                tasks,
+                floor,
+                timeout,
             },
         });
         self
@@ -164,7 +207,9 @@ mod tests {
             .events()
             .iter()
             .map(|e| match &e.action {
-                ChurnAction::Arrive { name, .. } | ChurnAction::Depart { name } => name.as_str(),
+                ChurnAction::Arrive { name, .. }
+                | ChurnAction::Submit { name, .. }
+                | ChurnAction::Depart { name } => name.as_str(),
             })
             .collect();
         assert_eq!(names, vec!["first", "second", "first"]);

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+pub mod chaos;
 pub mod churn;
 pub mod eventq;
 pub mod fault;
@@ -41,6 +42,7 @@ pub mod overhead;
 pub mod readyq;
 pub mod timer;
 
+pub use chaos::{chaos_plan, ChaosConfig, ChaosPlan};
 pub use churn::{ChurnAction, ChurnEvent, ChurnPlan};
 pub use eventq::EventQueue;
 pub use fault::{

@@ -1,0 +1,166 @@
+//! Chaos and graceful-degradation property tests for the serving layer.
+//!
+//! Two families:
+//!
+//! * **Seeded chaos scenarios** (`rtseed_sim::chaos_plan` replayed through
+//!   `rtseed_bench::chaos`): churn × WCET fault storms × submission
+//!   bursts, asserting the three graceful-degradation invariants —
+//!   compliant tenants never miss a mandatory deadline, shed QoS never
+//!   goes below the SLA floor, every submission reaches a terminal
+//!   state — plus byte-identical same-seed replay.
+//! * **Restore hysteresis**: after every interferer departs, a shed
+//!   survivor's optional deadline is restored to its full requested QoS,
+//!   never before the hysteresis window elapses, and never below its
+//!   floor on the way down.
+
+use proptest::prelude::*;
+use rtseed::obs::{TraceConfig, TraceEvent};
+use rtseed::serve::{GracefulConfig, SessionManager};
+use rtseed::{AssignmentPolicy, RunConfig};
+use rtseed_analysis::PartitionHeuristic;
+use rtseed_bench::chaos::{check_invariants, run_chaos};
+use rtseed_model::{QosFloor, Span, TaskSpec, Time, Topology};
+use rtseed_sim::{ChaosConfig, ChurnPlan};
+
+/// The seeds CI gates on: small, fast, and exercising every mechanism
+/// (sheds, restores, storms, expiry, eviction) across the set.
+#[test]
+fn chaos_fixed_seeds_are_green_and_deterministic() {
+    let cfg = ChaosConfig::quick();
+    for seed in 0..4 {
+        let a = run_chaos(&cfg, seed, 8);
+        let violations = check_invariants(&a);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let b = run_chaos(&cfg, seed, 8);
+        assert_eq!(
+            a.trace_jsonl, b.trace_jsonl,
+            "seed {seed}: replay produced different trace bytes"
+        );
+        assert_eq!(a.out.counters, b.out.counters);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The graceful-degradation invariants hold for *any* chaos seed, and
+    /// every scenario replays byte-identically.
+    #[test]
+    fn chaos_invariants_hold_for_any_seed(seed in 0u64..256) {
+        let cfg = ChaosConfig::quick();
+        let a = run_chaos(&cfg, seed, 8);
+        let violations = check_invariants(&a);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        let b = run_chaos(&cfg, seed, 8);
+        prop_assert_eq!(&a.trace_jsonl, &b.trace_jsonl);
+    }
+}
+
+fn rt_task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64) -> TaskSpec {
+    TaskSpec::builder(name)
+        .period(Span::from_millis(period_ms))
+        .mandatory(Span::from_millis(m_ms))
+        .windup(Span::from_millis(w_ms))
+        .optional_parts(2, Span::from_millis(8))
+        .build()
+        .expect("demands stay far below the period")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shed → restore round trip: a survivor admitted alone gets its
+    /// analysis-maximal optional deadline `D − w`. Interferers may shed
+    /// it (never below its floor); once they all depart, the survivor is
+    /// restored to the full `D − w` — and with a hysteresis window
+    /// configured, never before the window elapses.
+    #[test]
+    fn restores_converge_to_requested_qos_after_departures(
+        period_ms in prop_oneof![Just(40u64), Just(50u64), Just(80u64), Just(100u64)],
+        m_ms in 3u64..8,
+        w_ms in 2u64..6,
+        floor_frac in 0.3f64..0.9,
+        interferers in 4usize..8,
+        h_ms in prop_oneof![Just(0u64), Just(25u64), Just(75u64)],
+    ) {
+        let depart_at = Time::from_nanos(300_000_000);
+        let hysteresis = Span::from_millis(h_ms);
+
+        let mut plan = ChurnPlan::new().submit(
+            Time::ZERO,
+            "s",
+            vec![rt_task("s/0", period_ms, m_ms, w_ms)],
+            QosFloor::fraction(floor_frac),
+            Span::from_millis(200),
+        );
+        for k in 0..interferers {
+            plan = plan.submit(
+                Time::from_nanos(10_000_000),
+                format!("i{k}"),
+                vec![
+                    rt_task(&format!("i{k}/0"), 40, 6, 4),
+                    rt_task(&format!("i{k}/1"), 50, 6, 4),
+                ],
+                QosFloor::none(),
+                Span::from_millis(200),
+            );
+        }
+        for k in 0..interferers {
+            plan = plan.depart(depart_at, format!("i{k}"));
+        }
+
+        let run = RunConfig {
+            jobs: 12,
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        };
+        let graceful = GracefulConfig {
+            restore_hysteresis: hysteresis,
+            ..GracefulConfig::default()
+        };
+        let out = SessionManager::with_graceful(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            run,
+            graceful,
+        )
+        .run_with_churn(&plan);
+
+        let survivor = out.tenant("s").expect("survivor was submitted");
+        prop_assert_eq!(
+            survivor.qos.deadline_misses(), 0,
+            "survivor missed mandatory deadlines"
+        );
+        let task = survivor.tasks[0];
+
+        // Admitted first on an empty machine, the survivor's granted OD
+        // is the lone-task analysis maximum D − w; departures must bring
+        // it back there.
+        let requested = Span::from_millis(period_ms - w_ms);
+
+        let mut last: Option<(Time, Span, bool)> = None; // (at, od, is_restore)
+        for (at, ev) in out.outcome.trace.events() {
+            match ev {
+                TraceEvent::QosShed { task: t, od, floor, .. } if *t == task => {
+                    prop_assert!(od >= floor, "shed below floor at {at}");
+                    last = Some((*at, *od, false));
+                }
+                TraceEvent::QosRestored { task: t, od, .. } if *t == task => {
+                    prop_assert!(
+                        *at >= depart_at + hysteresis,
+                        "restore at {at} deployed inside the hysteresis window"
+                    );
+                    last = Some((*at, *od, true));
+                }
+                _ => {}
+            }
+        }
+        // If the ladder ever shed the survivor, the departures must have
+        // restored it all the way back to its requested QoS.
+        if let Some((at, od, is_restore)) = last {
+            prop_assert!(is_restore, "last QoS change at {at} was a shed");
+            prop_assert_eq!(od, requested, "restored OD short of requested");
+        }
+    }
+}

@@ -84,10 +84,13 @@ fn eviction_frees_utilization_for_readmission() {
     }
     let full = mgr.total_utilization();
     let err = mgr.submit("third", &[brick("t2")]).unwrap_err();
-    assert!(matches!(err, AdmissionError::Unschedulable { .. }));
+    assert!(matches!(
+        err,
+        rtseed::ServeError::Admission(AdmissionError::Unschedulable { .. })
+    ));
     assert_eq!(mgr.state_of("third"), Some(TenantState::Rejected));
 
-    assert!(mgr.depart("tenant1"));
+    assert!(mgr.depart("tenant1").is_ok());
     assert!(mgr.total_utilization() < full);
     mgr.submit("third", &[brick("t2")])
         .expect("eviction freed exactly one brick of utilization");
