@@ -24,6 +24,36 @@
 //! arbitrary release phasing online admission creates. The admission test
 //! therefore never assumes an ordering the kernel will not enforce.
 //!
+//! # Incremental response-time analysis
+//!
+//! The P-RMWP test is **per-CPU by construction**: a bin's response-time
+//! fixpoints depend only on that bin's population, so a placement only
+//! perturbs the candidate CPU(s) it touches. The controller exploits
+//! that in two ways:
+//!
+//! * **plan/commit split** — [`AdmissionController::plan_admit_bounded`]
+//!   runs the placement search against the live bins plus a per-bin
+//!   *overlay* of already-placed batch-mates (no clone of the resident
+//!   state), producing an [`AdmissionPlan`];
+//!   [`AdmissionController::commit_admission`] applies a plan and
+//!   derives the OD deltas from the **touched bins only**. Residents on
+//!   untouched threads cannot change OD (their bin population did not
+//!   change), so the deltas are identical — value for value, in the same
+//!   order — to a full before/after scan.
+//! * **per-bin OD cache** — the analyzed optional deadlines of each bin
+//!   are memoized and invalidated exactly when the bin's population
+//!   changes (admit commit, evict). Because the cached value is a pure
+//!   function of the bin population, decisions are bit-identical to the
+//!   monolithic path; [`AdmissionController::cache_stats`] reports the
+//!   hit/miss counters.
+//!
+//! [`AdmissionController::with_mode`] can instead pin the controller to
+//! the original **full-RTA** cost profile (every decision re-analyzes
+//! every non-empty bin, nothing is cached). Decisions are identical by
+//! construction — both modes share one search implementation — which
+//! makes full mode the differential-testing oracle and the benchmark
+//! baseline.
+//!
 //! # Examples
 //!
 //! ```
@@ -48,6 +78,7 @@
 //! ```
 
 use core::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rtseed_model::{HwThreadId, Priority, QosFloor, Span, TaskId, TaskSet, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -132,6 +163,33 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Hit/miss counters of the per-bin response-time cache
+/// ([`AdmissionController::cache_stats`]).
+///
+/// A **miss** is one full per-bin RMWP fixpoint computation (during a
+/// placement search or a snapshot); a **hit** is a per-bin OD read served
+/// from the memoized value. In full-RTA mode every read is a miss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionCacheStats {
+    /// Per-bin OD reads served from the cache.
+    pub hits: u64,
+    /// Per-bin RMWP fixpoint computations performed.
+    pub misses: u64,
+}
+
+impl AdmissionCacheStats {
+    /// Fraction of per-bin OD reads served from the cache (`0.0` when no
+    /// reads happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 /// One resident task: its stable key and spec, in admission order, plus
 /// the absolute QoS floor its tenant contracted at admission (the lowest
 /// optional deadline any later decision may impose on it).
@@ -142,30 +200,125 @@ struct Entry {
     min_od: Span,
 }
 
+/// A validated placement for one submission batch, produced by
+/// [`AdmissionController::plan_admit_bounded`] against an immutable
+/// controller and applied by [`AdmissionController::commit_admission`].
+///
+/// The split lets callers compute plans for *several* batches
+/// concurrently (planning takes `&self`) and commit them one by one —
+/// the serving layer's parallel admission rounds do exactly that,
+/// validating each speculative plan's [`AdmissionPlan::examined_bins`]
+/// against the bins earlier commits touched.
+#[derive(Debug, Clone)]
+pub struct AdmissionPlan {
+    /// `next_key` at plan time. Commit re-mints keys from the live
+    /// counter; the uniform upward shift preserves every `(period, key)`
+    /// tie-break the search relied on, so the plan stays valid.
+    base_key: u64,
+    /// Submission index → chosen bin.
+    placements: Vec<usize>,
+    /// Submission index → the OD granted at placement time (used for the
+    /// provisional floor anchors while batch-mates place).
+    granted: Vec<Span>,
+    /// Submission indices in placement (decreasing-utilization) order.
+    order: Vec<usize>,
+    /// Every bin the search ran the RMWP test on, in first-examined
+    /// order, deduplicated. Placed bins are always a subset.
+    examined: Vec<usize>,
+}
+
+impl AdmissionPlan {
+    /// Every bin the placement search analyzed (placed or rejected), in
+    /// first-examined order. A commit that only touches bins outside
+    /// this set cannot change what this plan would decide.
+    pub fn examined_bins(&self) -> &[usize] {
+        &self.examined
+    }
+
+    /// The bin chosen for each submitted task, in submission order.
+    pub fn placed_bins(&self) -> &[usize] {
+        &self.placements
+    }
+}
+
 /// Online admission controller: the per-hardware-thread bins of the
 /// offline [`crate::Partition`], kept alive between decisions.
-#[derive(Debug, Clone)]
+///
+/// See the [module docs](self) for the incremental-RTA machinery
+/// (plan/commit split, per-bin OD cache, full-RTA oracle mode).
+#[derive(Debug)]
 pub struct AdmissionController {
     bins: Vec<Vec<Entry>>,
     bin_util: Vec<f64>,
     heuristic: PartitionHeuristic,
     next_key: u64,
+    /// Monolithic oracle mode: recompute every non-empty bin on every
+    /// decision, never read or write the cache.
+    full_rta: bool,
+    /// Memoized per-bin analyzed ODs (bin-member order). `None` =
+    /// invalidated. Invariant: `Some(ods)` always equals what
+    /// `bin_rta(&bins[b], &[], None)` would return right now.
+    od_cache: Vec<Option<Vec<Span>>>,
+    /// Cache hits (atomic so `&self` planning across scoped threads can
+    /// count; `Relaxed` — the totals are deterministic, ordering is not
+    /// observed).
+    hits: AtomicU64,
+    /// Per-bin RMWP fixpoint computations.
+    misses: AtomicU64,
+}
+
+impl Clone for AdmissionController {
+    fn clone(&self) -> AdmissionController {
+        AdmissionController {
+            bins: self.bins.clone(),
+            bin_util: self.bin_util.clone(),
+            heuristic: self.heuristic,
+            next_key: self.next_key,
+            full_rta: self.full_rta,
+            od_cache: self.od_cache.clone(),
+            hits: AtomicU64::new(self.hits.load(Ordering::Relaxed)),
+            misses: AtomicU64::new(self.misses.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AdmissionController {
     /// Creates an empty controller for a machine with `hw_threads`
-    /// hardware threads, placing with `heuristic`.
+    /// hardware threads, placing with `heuristic`. Uses the incremental
+    /// per-bin RTA cache; see [`AdmissionController::with_mode`] for the
+    /// full-RTA oracle.
     ///
     /// # Panics
     ///
     /// Panics if `hw_threads` is zero.
     pub fn new(hw_threads: usize, heuristic: PartitionHeuristic) -> AdmissionController {
+        AdmissionController::with_mode(hw_threads, heuristic, false)
+    }
+
+    /// [`AdmissionController::new`] with an explicit analysis mode:
+    /// `full_rta = true` re-analyzes **every** non-empty bin on every
+    /// decision (the original monolithic cost profile — the differential
+    /// oracle and benchmark baseline), `false` uses the incremental
+    /// per-bin cache. Decisions are identical in both modes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw_threads` is zero.
+    pub fn with_mode(
+        hw_threads: usize,
+        heuristic: PartitionHeuristic,
+        full_rta: bool,
+    ) -> AdmissionController {
         assert!(hw_threads > 0, "need at least one hardware thread");
         AdmissionController {
             bins: vec![Vec::new(); hw_threads],
             bin_util: vec![0.0; hw_threads],
             heuristic,
             next_key: 0,
+            full_rta,
+            od_cache: vec![None; hw_threads],
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
@@ -173,6 +326,19 @@ impl AdmissionController {
     #[inline]
     pub fn hw_threads(&self) -> usize {
         self.bins.len()
+    }
+
+    /// The bin-packing heuristic placements use.
+    #[inline]
+    pub fn heuristic(&self) -> PartitionHeuristic {
+        self.heuristic
+    }
+
+    /// Whether the controller runs in the monolithic full-RTA mode (see
+    /// [`AdmissionController::with_mode`]).
+    #[inline]
+    pub fn is_full_rta(&self) -> bool {
+        self.full_rta
     }
 
     /// Number of currently resident tasks.
@@ -193,6 +359,14 @@ impl AdmissionController {
     #[inline]
     pub fn thread_utilization(&self, thread: HwThreadId) -> f64 {
         self.bin_util[thread.index()]
+    }
+
+    /// The response-time cache counters accumulated so far.
+    pub fn cache_stats(&self) -> AdmissionCacheStats {
+        AdmissionCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Tries to admit `tasks` as one atomic batch.
@@ -236,13 +410,38 @@ impl AdmissionController {
         floors: &[QosFloor],
         od_bounds: &[(TaskKey, Span)],
     ) -> Result<Admission, AdmissionError> {
+        let plan = self.plan_admit_bounded(tasks, floors, od_bounds)?;
+        Ok(self.commit_admission(tasks, floors, &plan))
+    }
+
+    /// Runs the placement search for `tasks` **without mutating the
+    /// controller**, returning the plan a subsequent
+    /// [`AdmissionController::commit_admission`] can apply. Parameters
+    /// are as in [`AdmissionController::try_admit_bounded`].
+    ///
+    /// Planning takes `&self`, so independent batches can be planned
+    /// concurrently; a plan stays valid as long as no commit touches any
+    /// of its [`AdmissionPlan::examined_bins`] (and the heuristic's
+    /// candidate order over the untouched bins is stable — see
+    /// `ShardedAdmission` in this crate for the full validity argument).
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionController::try_admit_bounded`].
+    pub fn plan_admit_bounded(
+        &self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        od_bounds: &[(TaskKey, Span)],
+    ) -> Result<AdmissionPlan, AdmissionError> {
         if tasks.is_empty() {
             return Err(AdmissionError::EmptySubmission);
         }
         let m = self.bins.len();
 
-        // Tentative state: committed only if every task places.
-        let mut bins = self.bins.clone();
+        // Batch-mates placed so far, per bin: the live bins are read-only
+        // and the overlay carries the tentative additions.
+        let mut overlay: Vec<Vec<Entry>> = vec![Vec::new(); m];
         let mut bin_util = self.bin_util.clone();
 
         let mut order: Vec<usize> = (0..tasks.len()).collect();
@@ -254,7 +453,10 @@ impl AdmissionController {
                 .then(a.cmp(&b))
         });
 
-        let mut placement = vec![HwThreadId(0); tasks.len()];
+        let mut placements = vec![0usize; tasks.len()];
+        let mut granted_ods = vec![Span::ZERO; tasks.len()];
+        let mut examined: Vec<usize> = Vec::new();
+        let mut examined_set = vec![false; m];
         for &i in &order {
             let spec = &tasks[i];
             let mut candidates: Vec<usize> = (0..m).collect();
@@ -282,30 +484,40 @@ impl AdmissionController {
             let floor = floors.get(i).copied().unwrap_or_default();
             let mut placed = false;
             for &bin in &candidates {
-                let Some(ods) = bin_schedulable(&bins[bin], Some((key, spec))) else {
+                if !examined_set[bin] {
+                    examined_set[bin] = true;
+                    examined.push(bin);
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let Some(ods) =
+                    bin_rta(&self.bins[bin], &overlay[bin], Some((key, spec)))
+                else {
                     continue;
                 };
                 // The placement must respect every resident's applicable
                 // OD bound: the caller's per-decision bound when given,
                 // the resident's contracted floor otherwise.
-                let respects = bins[bin].iter().zip(&ods).all(|(e, &od)| {
-                    od >= lookup(od_bounds, e.key).unwrap_or(e.min_od)
-                });
+                let respects = self.bins[bin]
+                    .iter()
+                    .chain(&overlay[bin])
+                    .zip(&ods)
+                    .all(|(e, &od)| od >= lookup(od_bounds, e.key).unwrap_or(e.min_od));
                 if !respects {
                     continue;
                 }
                 // The candidate's OD is last in bin order; anchor its
                 // floor there (re-anchored at commit to the batch-final
                 // OD, which later batch-mates may have shrunk — under the
-                // provisional, never-lower floor enforced above).
+                // provisional, never-lower floor enforced here).
                 let granted = ods.last().copied().unwrap_or(Span::ZERO);
-                bins[bin].push(Entry {
+                overlay[bin].push(Entry {
                     key,
                     spec: spec.clone(),
                     min_od: floor.floor_od(granted),
                 });
                 bin_util[bin] += spec.utilization();
-                placement[i] = HwThreadId(bin as u32);
+                placements[i] = bin;
+                granted_ods[i] = granted;
                 placed = true;
                 break;
             }
@@ -313,22 +525,66 @@ impl AdmissionController {
                 return Err(AdmissionError::Unschedulable { index: i });
             }
         }
+        Ok(AdmissionPlan {
+            base_key: self.next_key,
+            placements,
+            granted: granted_ods,
+            order,
+            examined,
+        })
+    }
 
-        // Commit and extract deltas: new ODs for the admitted tasks, OD
-        // updates for pre-existing residents on touched threads.
-        let old_ods = self.current_ods();
-        self.bins = bins;
-        self.bin_util = bin_util;
-        self.next_key += tasks.len() as u64;
+    /// Applies a plan from [`AdmissionController::plan_admit_bounded`]:
+    /// inserts the batch, mints the final keys, anchors floors at the
+    /// batch-final ODs, and returns the [`Admission`] with the OD deltas
+    /// for pre-existing residents of the touched threads.
+    ///
+    /// Keys are re-minted from the live counter, so a plan computed
+    /// before an unrelated commit is still appliable; `tasks` and
+    /// `floors` must be the slices the plan was computed from.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `plan` does not match `tasks`.
+    pub fn commit_admission(
+        &mut self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        plan: &AdmissionPlan,
+    ) -> Admission {
+        debug_assert_eq!(plan.placements.len(), tasks.len(), "plan/batch mismatch");
+        debug_assert!(self.next_key >= plan.base_key, "keys only grow");
+        let base = self.next_key;
+        let (old, new) = if self.full_rta {
+            let old = self.snapshot_all();
+            self.apply_plan(tasks, floors, plan, base);
+            let new = self.snapshot_all();
+            (old, new)
+        } else {
+            let mut touched: Vec<usize> = plan.placements.clone();
+            touched.sort_unstable();
+            touched.dedup();
+            let mut old = Vec::new();
+            for &b in &touched {
+                let ods = self.cached_bin_ods(b);
+                old.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
+            }
+            self.apply_plan(tasks, floors, plan, base);
+            let mut new = Vec::new();
+            for &b in &touched {
+                let ods = self.recompute_bin_ods(b);
+                new.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
+            }
+            (old, new)
+        };
 
-        let new_ods = self.current_ods();
         let admitted: Vec<AdmittedTask> = (0..tasks.len())
             .map(|i| {
-                let key = TaskKey(self.next_key - tasks.len() as u64 + i as u64);
+                let key = TaskKey(base + i as u64);
                 AdmittedTask {
                     key,
-                    hw_thread: placement[i],
-                    optional_deadline: lookup(&new_ods, key)
+                    hw_thread: HwThreadId(plan.placements[i] as u32),
+                    optional_deadline: lookup(&new, key)
                         .expect("admitted task has an analyzed OD"),
                 }
             })
@@ -338,39 +594,78 @@ impl AdmissionController {
         // the placement-time OD the provisional floor used).
         for (i, a) in admitted.iter().enumerate() {
             let floor = floors.get(i).copied().unwrap_or_default();
-            if let Some(e) = self
-                .bins
-                .iter_mut()
-                .flatten()
-                .find(|e| e.key == a.key)
-            {
+            if let Some(e) = self.bins.iter_mut().flatten().find(|e| e.key == a.key) {
                 e.min_od = floor.floor_od(a.optional_deadline);
             }
         }
-        let od_updates = od_deltas(&old_ods, &new_ods);
-        Ok(Admission {
+        let od_updates = od_deltas(&old, &new);
+        Admission {
             tasks: admitted,
             od_updates,
-        })
+        }
+    }
+
+    /// Inserts the planned batch in placement order under keys minted
+    /// from `base`, updating utilizations exactly as the monolithic path
+    /// did (one `+=` per placement, in placement order) and invalidating
+    /// the touched bins' OD caches.
+    fn apply_plan(
+        &mut self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        plan: &AdmissionPlan,
+        base: u64,
+    ) {
+        for &i in &plan.order {
+            let bin = plan.placements[i];
+            let floor = floors.get(i).copied().unwrap_or_default();
+            self.bins[bin].push(Entry {
+                key: TaskKey(base + i as u64),
+                spec: tasks[i].clone(),
+                min_od: floor.floor_od(plan.granted[i]),
+            });
+            self.bin_util[bin] += tasks[i].utilization();
+            self.od_cache[bin] = None;
+        }
+        self.next_key = base + tasks.len() as u64;
     }
 
     /// Evicts `keys` (unknown keys are ignored) and returns the optional
     /// deadlines that grew for the remaining residents of the vacated
     /// threads.
     pub fn evict(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
-        let old_ods = self.current_ods();
-        for bin in 0..self.bins.len() {
-            let before = self.bins[bin].len();
-            self.bins[bin].retain(|e| !keys.contains(&e.key));
-            if self.bins[bin].len() != before {
-                self.bin_util[bin] = self.bins[bin]
-                    .iter()
-                    .map(|e| e.spec.utilization())
-                    .sum();
+        if self.full_rta {
+            let old_ods = self.snapshot_all();
+            for bin in 0..self.bins.len() {
+                let before = self.bins[bin].len();
+                self.bins[bin].retain(|e| !keys.contains(&e.key));
+                if self.bins[bin].len() != before {
+                    self.bin_util[bin] =
+                        self.bins[bin].iter().map(|e| e.spec.utilization()).sum();
+                }
             }
+            let new_ods = self.snapshot_all();
+            return od_deltas(&old_ods, &new_ods);
         }
-        let new_ods = self.current_ods();
-        od_deltas(&old_ods, &new_ods)
+        let touched: Vec<usize> = (0..self.bins.len())
+            .filter(|&b| self.bins[b].iter().any(|e| keys.contains(&e.key)))
+            .collect();
+        let mut old = Vec::new();
+        for &b in &touched {
+            let ods = self.cached_bin_ods(b);
+            old.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
+        }
+        for &b in &touched {
+            self.bins[b].retain(|e| !keys.contains(&e.key));
+            self.bin_util[b] = self.bins[b].iter().map(|e| e.spec.utilization()).sum();
+            self.od_cache[b] = None;
+        }
+        let mut new = Vec::new();
+        for &b in &touched {
+            let ods = self.recompute_bin_ods(b);
+            new.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
+        }
+        od_deltas(&old, &new)
     }
 
     /// Whether `tasks` would be admitted on an otherwise *empty* machine
@@ -386,7 +681,25 @@ impl AdmissionController {
     /// The analysis-maximal optional deadline of every resident under the
     /// current population, as `(key, od)` pairs in bin/admission order.
     pub fn resident_ods(&self) -> Vec<(TaskKey, Span)> {
-        self.current_ods()
+        let mut out = Vec::with_capacity(self.resident_tasks());
+        for (b, bin) in self.bins.iter().enumerate() {
+            if bin.is_empty() {
+                continue;
+            }
+            let ods = match (&self.od_cache[b], self.full_rta) {
+                (Some(cached), false) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    cached.clone()
+                }
+                _ => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    bin_rta(bin, &[], None)
+                        .expect("resident bins were admitted incrementally")
+                }
+            };
+            out.extend(bin.iter().map(|e| e.key).zip(ods));
+        }
+        out
     }
 
     /// The contracted QoS floor (absolute minimum optional deadline) of
@@ -399,47 +712,80 @@ impl AdmissionController {
             .map(|e| e.min_od)
     }
 
-    /// Per-resident optional deadlines under the current population, as
-    /// `(key, od)` pairs in bin/admission order.
-    fn current_ods(&self) -> Vec<(TaskKey, Span)> {
+    /// Full `(key, od)` snapshot of every non-empty bin — the monolithic
+    /// cost profile (one fixpoint per non-empty bin, nothing cached).
+    fn snapshot_all(&self) -> Vec<(TaskKey, Span)> {
         let mut out = Vec::with_capacity(self.resident_tasks());
         for bin in self.bins.iter().filter(|b| !b.is_empty()) {
-            let ods = bin_schedulable(bin, None)
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let ods = bin_rta(bin, &[], None)
                 .expect("resident bins were admitted incrementally");
             out.extend(bin.iter().map(|e| e.key).zip(ods));
         }
         out
     }
+
+    /// Bin `b`'s analyzed ODs through the cache (read-through).
+    fn cached_bin_ods(&mut self, b: usize) -> Vec<Span> {
+        if let Some(ods) = &self.od_cache[b] {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return ods.clone();
+        }
+        self.recompute_bin_ods(b)
+    }
+
+    /// Recomputes and re-memoizes bin `b`'s analyzed ODs.
+    fn recompute_bin_ods(&mut self, b: usize) -> Vec<Span> {
+        let ods = if self.bins[b].is_empty() {
+            Vec::new()
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            bin_rta(&self.bins[b], &[], None)
+                .expect("resident bins were admitted incrementally")
+        };
+        self.od_cache[b] = Some(ods.clone());
+        ods
+    }
 }
 
-/// RMWP-analyzes `bin` (+ optional `candidate`) against the *deployed*
-/// SCHED_FIFO levels ([`Priority::for_period`]): strictly shorter-period
-/// buckets interfere from above, and tasks sharing a level charge each
-/// other both ways, because the kernel FIFO cannot order within a level
-/// under the arbitrary phasing online admission creates. Returns the
-/// optional deadlines in `bin` member order (candidate's OD last, if
-/// present), or `None` if unschedulable.
-fn bin_schedulable(
-    bin: &[Entry],
+/// RMWP-analyzes `residents ++ extra` (+ optional `candidate`) against
+/// the *deployed* SCHED_FIFO levels ([`Priority::for_period`]): strictly
+/// shorter-period buckets interfere from above, and tasks sharing a level
+/// charge each other both ways, because the kernel FIFO cannot order
+/// within a level under the arbitrary phasing online admission creates.
+/// Returns the optional deadlines in member order (residents, then
+/// extra, then the candidate last), or `None` if unschedulable.
+fn bin_rta(
+    residents: &[Entry],
+    extra: &[Entry],
     candidate: Option<(TaskKey, &TaskSpec)>,
 ) -> Option<Vec<Span>> {
-    let n = bin.len() + usize::from(candidate.is_some());
+    let r = residents.len();
+    let e = extra.len();
+    let n = r + e + usize::from(candidate.is_some());
+    if n == 0 {
+        return Some(Vec::new());
+    }
     // (period, key) sort: the candidate's key is larger than every
     // resident's, so ties put it last — matching its admission order once
     // committed.
     let mut idx: Vec<usize> = (0..n).collect();
     let spec_of = |i: usize| -> &TaskSpec {
-        if i < bin.len() {
-            &bin[i].spec
+        if i < r {
+            &residents[i].spec
+        } else if i < r + e {
+            &extra[i - r].spec
         } else {
-            candidate.expect("index beyond bin implies candidate").1
+            candidate.expect("index beyond members implies candidate").1
         }
     };
     let key_of = |i: usize| -> TaskKey {
-        if i < bin.len() {
-            bin[i].key
+        if i < r {
+            residents[i].key
+        } else if i < r + e {
+            extra[i - r].key
         } else {
-            candidate.expect("index beyond bin implies candidate").0
+            candidate.expect("index beyond members implies candidate").0
         }
     };
     idx.sort_by(|&a, &b| {
@@ -456,7 +802,6 @@ fn bin_schedulable(
     for (local, &orig) in idx.iter().enumerate() {
         ods[orig] = analysis.optional_deadline(TaskId(local as u32));
     }
-    ods.truncate(bin.len() + usize::from(candidate.is_some()));
     Some(ods)
 }
 
@@ -493,6 +838,22 @@ mod tests {
     /// Utilization 0.6 — at most one per thread.
     fn heavy(name: &str) -> TaskSpec {
         task(name, 100, 30, 30)
+    }
+
+    /// Every memoized bin OD must equal a fresh recomputation — the cache
+    /// coherence invariant behind bit-identical decisions.
+    fn assert_cache_coherent(ctl: &AdmissionController) {
+        for (b, bin) in ctl.bins.iter().enumerate() {
+            let Some(cached) = &ctl.od_cache[b] else {
+                continue;
+            };
+            let fresh = if bin.is_empty() {
+                Vec::new()
+            } else {
+                bin_rta(bin, &[], None).expect("resident bins are schedulable")
+            };
+            assert_eq!(cached, &fresh, "stale cache on bin {b}");
+        }
     }
 
     #[test]
@@ -637,5 +998,144 @@ mod tests {
         let batch: Vec<TaskSpec> = (0..5).map(|i| heavy(&format!("t{i}"))).collect();
         assert!(ctl.try_admit(&batch).is_err());
         assert!(ctl.try_admit(&batch[..4]).is_ok());
+    }
+
+    // ----- incremental-RTA machinery -------------------------------------
+
+    /// A varied little workload: batches of mixed periods/utilizations
+    /// with floors, interleaved with evictions. Deterministic.
+    fn churn_script(ctl: &mut AdmissionController) -> Vec<Vec<(TaskKey, Span)>> {
+        let mut snapshots = Vec::new();
+        let mut live: Vec<TaskKey> = Vec::new();
+        for step in 0u64..24 {
+            if step % 5 == 4 && !live.is_empty() {
+                // Evict the oldest two live keys.
+                let keys: Vec<TaskKey> = live.drain(..live.len().min(2)).collect();
+                ctl.evict(&keys);
+            } else {
+                let p = [40u64, 100, 250, 1000][(step % 4) as usize];
+                let m = 2 + (step % 7);
+                let batch = [
+                    task(&format!("a{step}"), p, m, 2),
+                    task(&format!("b{step}"), p * 2, m + 1, 3),
+                ];
+                let floors = [
+                    QosFloor::fraction(0.5),
+                    QosFloor::none(),
+                ];
+                if let Ok(a) = ctl.try_admit_bounded(&batch, &floors, &[]) {
+                    live.extend(a.tasks.iter().map(|t| t.key));
+                }
+            }
+            snapshots.push(ctl.resident_ods());
+        }
+        snapshots
+    }
+
+    #[test]
+    fn incremental_matches_full_rta_exactly() {
+        // The same deterministic churn through both modes: every
+        // decision, OD snapshot, utilization, and floor must agree
+        // bit-for-bit, for every heuristic.
+        for heuristic in [
+            PartitionHeuristic::FirstFitDecreasing,
+            PartitionHeuristic::BestFitDecreasing,
+            PartitionHeuristic::WorstFitDecreasing,
+        ] {
+            let mut inc = AdmissionController::with_mode(3, heuristic, false);
+            let mut full = AdmissionController::with_mode(3, heuristic, true);
+            let snaps_inc = churn_script(&mut inc);
+            let snaps_full = churn_script(&mut full);
+            assert_eq!(snaps_inc, snaps_full, "{heuristic:?}");
+            assert_eq!(inc.resident_tasks(), full.resident_tasks());
+            assert_eq!(inc.total_utilization().to_bits(),
+                full.total_utilization().to_bits(),
+                "utilization must be bit-identical (heuristic sorts compare it)");
+            assert_cache_coherent(&inc);
+        }
+    }
+
+    #[test]
+    fn cache_invalidates_on_admit_and_evict() {
+        let mut ctl = AdmissionController::new(2, PartitionHeuristic::FirstFitDecreasing);
+        let a = ctl.try_admit(&[task("lo", 1000, 100, 100)]).unwrap();
+        assert_cache_coherent(&ctl);
+        let before = ctl.cache_stats();
+        // A second read of the same population is served from cache.
+        let snap1 = ctl.resident_ods();
+        let snap2 = ctl.resident_ods();
+        assert_eq!(snap1, snap2);
+        let after = ctl.cache_stats();
+        assert!(after.hits > before.hits, "repeat reads hit the cache");
+        // Admitting a neighbour invalidates and recomputes the bin.
+        let b = ctl.try_admit(&[task("hi", 100, 10, 10)]).unwrap();
+        assert_cache_coherent(&ctl);
+        assert_eq!(
+            lookup(&ctl.resident_ods(), a.tasks[0].key),
+            Some(Span::from_millis(860)),
+            "shrunk OD visible after invalidation"
+        );
+        // Evicting recomputes again.
+        ctl.evict(&[b.tasks[0].key]);
+        assert_cache_coherent(&ctl);
+        assert_eq!(
+            lookup(&ctl.resident_ods(), a.tasks[0].key),
+            Some(Span::from_millis(900)),
+            "grown OD visible after eviction"
+        );
+        assert!(ctl.cache_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn full_rta_mode_never_hits_the_cache() {
+        let mut ctl = AdmissionController::with_mode(2, PartitionHeuristic::FirstFitDecreasing, true);
+        ctl.try_admit(&[task("a", 100, 5, 5)]).unwrap();
+        let _ = ctl.resident_ods();
+        let _ = ctl.resident_ods();
+        let s = ctl.cache_stats();
+        assert_eq!(s.hits, 0, "full mode recomputes every read");
+        assert!(s.misses > 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn plan_then_commit_equals_try_admit() {
+        // plan/commit through a *stale* base key must mint fresh keys and
+        // still agree with the one-shot path on placements and ODs.
+        let mut one_shot = AdmissionController::new(2, PartitionHeuristic::WorstFitDecreasing);
+        let mut split = AdmissionController::new(2, PartitionHeuristic::WorstFitDecreasing);
+        let batch = [task("x", 100, 10, 10), task("y", 250, 20, 10)];
+        let floors = [QosFloor::fraction(0.8), QosFloor::none()];
+
+        let a = one_shot.try_admit_bounded(&batch, &floors, &[]).unwrap();
+        let plan = split.plan_admit_bounded(&batch, &floors, &[]).unwrap();
+        assert!(!plan.examined_bins().is_empty());
+        assert!(plan
+            .placed_bins()
+            .iter()
+            .all(|b| plan.examined_bins().contains(b)));
+        let b = split.commit_admission(&batch, &floors, &plan);
+        assert_eq!(a, b);
+        assert_eq!(
+            one_shot.resident_ods(),
+            split.resident_ods(),
+            "identical controller state"
+        );
+        assert_cache_coherent(&split);
+    }
+
+    #[test]
+    fn stale_plan_commits_under_fresh_keys() {
+        // Plan before an unrelated commit; the re-minted keys must not
+        // collide and the decision must equal a freshly planned one.
+        let mut ctl = AdmissionController::new(2, PartitionHeuristic::WorstFitDecreasing);
+        let batch_a = [task("a", 100, 10, 10)];
+        let batch_b = [task("b", 100, 10, 10)];
+        let plan_b = ctl.plan_admit_bounded(&batch_b, &[], &[]).unwrap();
+        let a = ctl.try_admit(&batch_a).unwrap();
+        let b = ctl.commit_admission(&batch_b, &[], &plan_b);
+        assert_ne!(a.tasks[0].key, b.tasks[0].key, "keys stay unique");
+        assert_eq!(ctl.resident_tasks(), 2);
+        assert_cache_coherent(&ctl);
     }
 }

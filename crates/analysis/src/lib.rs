@@ -11,7 +11,8 @@
 //! * **partitioned task assignment** for P-RMWP ([`partition`]),
 //! * incremental **online admission control** over the same bins and the
 //!   same RMWP test ([`admission`]) — what the serving layer consults on
-//!   every tenant arrival/departure,
+//!   every tenant arrival/departure — and its **sharded** form for
+//!   tenant-scale parallel admission rounds ([`shard`]),
 //! * synthetic **task-set generators** ([`taskgen`]).
 //!
 //! The parallel-extended model analysis is identical to the extended-model
@@ -47,11 +48,14 @@ pub mod partition;
 pub mod practical;
 pub mod rmwp;
 pub mod rta;
+pub mod shard;
 pub mod taskgen;
 
 pub use admission::{
-    Admission, AdmissionController, AdmissionError, AdmittedTask, OdUpdate, TaskKey,
+    Admission, AdmissionCacheStats, AdmissionController, AdmissionError, AdmissionPlan,
+    AdmittedTask, OdUpdate, TaskKey,
 };
+pub use shard::{ShardPlan, ShardedAdmission};
 pub use partition::{Partition, PartitionError, PartitionHeuristic};
 pub use rmwp::{RmwpAnalysis, RmwpError};
 pub use rta::{response_time, RtaError};

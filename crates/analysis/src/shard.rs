@@ -1,0 +1,375 @@
+//! Sharded admission: the [`AdmissionController`] partitioned into
+//! disjoint CPU-set shards for tenant-scale serving.
+//!
+//! Online middleware that admits work at scale partitions its admission
+//! state so disjoint resources are analysed independently (cf. YASMIN's
+//! per-resource allocation, PAPERS.md). RT-Seed's P-RMWP test is per-CPU
+//! by construction, so the natural shard is a **contiguous block of
+//! hardware-thread bins**: a placement that stays inside one shard
+//! cannot perturb any other shard's response-time fixpoints.
+//!
+//! [`ShardedAdmission`] deliberately wraps **one** underlying
+//! [`AdmissionController`] rather than composing per-shard controllers:
+//!
+//! * a single key space — sharding can never mint duplicate
+//!   [`TaskKey`]s;
+//! * the placement search still ranks **all** bins with the global
+//!   heuristic, so decisions are bit-identical to the unsharded
+//!   controller by construction (the shard map is pure metadata);
+//! * **cross-shard fallback** is automatic: when a submission does not
+//!   fit in the shard its first-ranked candidate lives in, the search
+//!   simply continues into other shards, and the resulting
+//!   [`ShardPlan`] reports [`ShardPlan::is_cross_shard`].
+//!
+//! What sharding adds on top is *conflict metadata* for speculative
+//! parallelism: a [`ShardPlan`] carries bitmasks of the shards the
+//! placement search **examined** and **placed into**. Two plans whose
+//! examined-shard masks are disjoint ran their RMWP tests on disjoint
+//! bins, so the serving layer can plan batched admission rounds for
+//! disjoint shards concurrently (planning takes `&self`) and commit them
+//! sequentially — re-planning only the requests whose examined shards a
+//! prior commit touched. The commit order stays the deterministic FIFO
+//! order, so traces are byte-identical to the sequential path; see
+//! `rtseed::serve`'s parallel admission rounds.
+
+use rtseed_model::{HwThreadId, QosFloor, Span, TaskSpec};
+
+use crate::admission::{
+    Admission, AdmissionCacheStats, AdmissionController, AdmissionError, AdmissionPlan,
+    OdUpdate, TaskKey,
+};
+use crate::partition::PartitionHeuristic;
+
+/// Maximum number of shards — shard sets are `u64` bitmasks.
+pub const MAX_SHARDS: u32 = 64;
+
+/// A placement plan annotated with the shards it examined and placed
+/// into (see the [module docs](self) for how the serving layer uses the
+/// masks to parallelize admission rounds).
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    plan: AdmissionPlan,
+    examined_shards: u64,
+    placed_shards: u64,
+    primary_shard: u32,
+    cross_shard: bool,
+}
+
+impl ShardPlan {
+    /// The underlying bin-level plan.
+    pub fn plan(&self) -> &AdmissionPlan {
+        &self.plan
+    }
+
+    /// Bitmask of every shard the placement search ran an RMWP test in.
+    /// A commit touching only shards outside this mask cannot change
+    /// what this plan would decide.
+    pub fn examined_shards(&self) -> u64 {
+        self.examined_shards
+    }
+
+    /// Bitmask of the shards the batch actually landed in.
+    pub fn placed_shards(&self) -> u64 {
+        self.placed_shards
+    }
+
+    /// The shard-selection heuristic's pick: the shard of the first bin
+    /// the search examined, i.e. where the global bin-packing heuristic
+    /// ranked this batch first.
+    pub fn primary_shard(&self) -> u32 {
+        self.primary_shard
+    }
+
+    /// Whether any task fell back outside the primary shard.
+    pub fn is_cross_shard(&self) -> bool {
+        self.cross_shard
+    }
+}
+
+/// [`AdmissionController`] plus a static map of hardware-thread bins to
+/// disjoint shards. Mirrors the controller's API; see the
+/// [module docs](self) for why decisions are identical to the unsharded
+/// controller.
+#[derive(Debug, Clone)]
+pub struct ShardedAdmission {
+    ctl: AdmissionController,
+    /// Bin index → shard index (contiguous blocks of `ceil(m/shards)`).
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl ShardedAdmission {
+    /// Creates a sharded controller over `hw_threads` bins split into
+    /// `shards` contiguous blocks. `shards == 0` picks automatically:
+    /// one shard per 32 hardware threads, clamped to
+    /// `[1, min(MAX_SHARDS, hw_threads)]` — small machines stay
+    /// single-shard (no speculative overhead), big ones get enough
+    /// shards for round parallelism. `full_rta` selects the monolithic
+    /// oracle mode exactly as in [`AdmissionController::with_mode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hw_threads` is zero or `shards > MAX_SHARDS`.
+    pub fn new(
+        hw_threads: usize,
+        heuristic: PartitionHeuristic,
+        shards: u32,
+        full_rta: bool,
+    ) -> ShardedAdmission {
+        assert!(hw_threads > 0, "need at least one hardware thread");
+        assert!(shards <= MAX_SHARDS, "shard sets are u64 bitmasks");
+        let shards = if shards == 0 {
+            (hw_threads as u32).div_ceil(32).min(MAX_SHARDS).min(hw_threads as u32).max(1)
+        } else {
+            shards.min(hw_threads as u32)
+        };
+        let chunk = hw_threads.div_ceil(shards as usize);
+        let shard_of = (0..hw_threads).map(|b| (b / chunk) as u32).collect();
+        ShardedAdmission {
+            ctl: AdmissionController::with_mode(hw_threads, heuristic, full_rta),
+            shard_of,
+            shards,
+        }
+    }
+
+    /// Number of shards the bins are split into.
+    #[inline]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard containing hardware thread `bin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` is out of range.
+    #[inline]
+    pub fn shard_of(&self, bin: usize) -> u32 {
+        self.shard_of[bin]
+    }
+
+    /// Plans `tasks` without mutating state (see
+    /// [`AdmissionController::plan_admit_bounded`]) and annotates the
+    /// plan with its shard masks.
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionController::try_admit_bounded`].
+    pub fn plan(
+        &self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        od_bounds: &[(TaskKey, Span)],
+    ) -> Result<ShardPlan, AdmissionError> {
+        let plan = self.ctl.plan_admit_bounded(tasks, floors, od_bounds)?;
+        let mut examined_shards = 0u64;
+        for &b in plan.examined_bins() {
+            examined_shards |= 1 << self.shard_of[b];
+        }
+        let mut placed_shards = 0u64;
+        for &b in plan.placed_bins() {
+            placed_shards |= 1 << self.shard_of[b];
+        }
+        let primary_shard = plan
+            .examined_bins()
+            .first()
+            .map(|&b| self.shard_of[b])
+            .unwrap_or(0);
+        let cross_shard = placed_shards & !(1 << primary_shard) != 0;
+        Ok(ShardPlan {
+            plan,
+            examined_shards,
+            placed_shards,
+            primary_shard,
+            cross_shard,
+        })
+    }
+
+    /// Applies a plan from [`ShardedAdmission::plan`] (see
+    /// [`AdmissionController::commit_admission`]).
+    pub fn commit(
+        &mut self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        plan: &ShardPlan,
+    ) -> Admission {
+        self.ctl.commit_admission(tasks, floors, &plan.plan)
+    }
+
+    /// One-shot plan + commit (see [`AdmissionController::try_admit`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionController::try_admit`].
+    pub fn try_admit(&mut self, tasks: &[TaskSpec]) -> Result<Admission, AdmissionError> {
+        self.ctl.try_admit(tasks)
+    }
+
+    /// One-shot bounded plan + commit (see
+    /// [`AdmissionController::try_admit_bounded`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`AdmissionController::try_admit_bounded`].
+    pub fn try_admit_bounded(
+        &mut self,
+        tasks: &[TaskSpec],
+        floors: &[QosFloor],
+        od_bounds: &[(TaskKey, Span)],
+    ) -> Result<Admission, AdmissionError> {
+        self.ctl.try_admit_bounded(tasks, floors, od_bounds)
+    }
+
+    /// Evicts `keys` (see [`AdmissionController::evict`]).
+    pub fn evict(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
+        self.ctl.evict(keys)
+    }
+
+    /// See [`AdmissionController::fits_empty`].
+    pub fn fits_empty(&self, tasks: &[TaskSpec]) -> bool {
+        self.ctl.fits_empty(tasks)
+    }
+
+    /// See [`AdmissionController::resident_ods`].
+    pub fn resident_ods(&self) -> Vec<(TaskKey, Span)> {
+        self.ctl.resident_ods()
+    }
+
+    /// See [`AdmissionController::floor_of`].
+    pub fn floor_of(&self, key: TaskKey) -> Option<Span> {
+        self.ctl.floor_of(key)
+    }
+
+    /// See [`AdmissionController::resident_tasks`].
+    pub fn resident_tasks(&self) -> usize {
+        self.ctl.resident_tasks()
+    }
+
+    /// See [`AdmissionController::total_utilization`].
+    pub fn total_utilization(&self) -> f64 {
+        self.ctl.total_utilization()
+    }
+
+    /// See [`AdmissionController::thread_utilization`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn thread_utilization(&self, thread: HwThreadId) -> f64 {
+        self.ctl.thread_utilization(thread)
+    }
+
+    /// See [`AdmissionController::hw_threads`].
+    #[inline]
+    pub fn hw_threads(&self) -> usize {
+        self.ctl.hw_threads()
+    }
+
+    /// See [`AdmissionController::heuristic`].
+    #[inline]
+    pub fn heuristic(&self) -> PartitionHeuristic {
+        self.ctl.heuristic()
+    }
+
+    /// See [`AdmissionController::is_full_rta`].
+    #[inline]
+    pub fn is_full_rta(&self) -> bool {
+        self.ctl.is_full_rta()
+    }
+
+    /// See [`AdmissionController::cache_stats`].
+    pub fn cache_stats(&self) -> AdmissionCacheStats {
+        self.ctl.cache_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtseed_model::Span;
+
+    fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64) -> TaskSpec {
+        let mut b = TaskSpec::builder(name);
+        b.period(Span::from_millis(period_ms))
+            .mandatory(Span::from_millis(m_ms))
+            .windup(Span::from_millis(w_ms));
+        b.build().unwrap()
+    }
+
+    /// Utilization 0.6 — at most one per thread.
+    fn heavy(name: &str) -> TaskSpec {
+        task(name, 100, 30, 30)
+    }
+
+    #[test]
+    fn contiguous_shard_map() {
+        let s = ShardedAdmission::new(8, PartitionHeuristic::FirstFitDecreasing, 4, false);
+        assert_eq!(s.shards(), 4);
+        assert_eq!(
+            (0..8).map(|b| s.shard_of(b)).collect::<Vec<_>>(),
+            vec![0, 0, 1, 1, 2, 2, 3, 3]
+        );
+    }
+
+    #[test]
+    fn auto_shard_rule() {
+        // One shard per 32 threads, clamped to the machine.
+        for (hw, want) in [(1, 1), (8, 1), (32, 1), (33, 2), (64, 2), (228, 8), (1024, 32)] {
+            let s = ShardedAdmission::new(hw, PartitionHeuristic::WorstFitDecreasing, 0, false);
+            assert_eq!(s.shards(), want, "hw_threads = {hw}");
+        }
+        // Requested shards are clamped to the thread count.
+        let s = ShardedAdmission::new(2, PartitionHeuristic::WorstFitDecreasing, 8, false);
+        assert_eq!(s.shards(), 2);
+    }
+
+    #[test]
+    fn decisions_identical_to_unsharded() {
+        // Sharding is pure metadata: any shard count yields the same
+        // placements, ODs, and rejections as the plain controller.
+        let mut plain = AdmissionController::new(8, PartitionHeuristic::WorstFitDecreasing);
+        let mut sharded = ShardedAdmission::new(8, PartitionHeuristic::WorstFitDecreasing, 4, false);
+        for i in 0..12 {
+            let batch = [task(&format!("t{i}"), 100 - (i % 3) as u64 * 20, 10 + i as u64, 5)];
+            let a = plain.try_admit(&batch);
+            let b = sharded.try_admit(&batch);
+            assert_eq!(a, b, "submission {i}");
+        }
+        assert_eq!(plain.resident_ods(), sharded.resident_ods());
+    }
+
+    #[test]
+    fn plan_reports_shard_masks_and_fallback() {
+        // 4 threads, 2 shards; WFD fills emptiest-first so the first two
+        // heavies land in shard 0 (bins 0, 1).
+        let mut s = ShardedAdmission::new(4, PartitionHeuristic::FirstFitDecreasing, 2, false);
+        let p = s.plan(&[heavy("a")], &[], &[]).unwrap();
+        assert_eq!(p.primary_shard(), 0);
+        assert!(!p.is_cross_shard());
+        assert_eq!(p.placed_shards(), 0b01);
+        s.try_admit(&[heavy("a")]).unwrap();
+        s.try_admit(&[heavy("b")]).unwrap();
+        // Shard 0 is now full: FFD examines its bins first (fails), then
+        // falls into shard 1 — a cross-shard placement.
+        let p = s.plan(&[heavy("c")], &[], &[]).unwrap();
+        assert_eq!(p.primary_shard(), 0, "first-ranked candidate is still bin 0");
+        assert!(p.is_cross_shard());
+        assert_eq!(p.placed_shards(), 0b10);
+        assert_eq!(p.examined_shards(), 0b11, "search crossed both shards");
+        let a = s.commit(&[heavy("c")], &[], &p);
+        assert_eq!(a.tasks[0].hw_thread.index(), 2);
+    }
+
+    #[test]
+    fn disjoint_plans_examine_disjoint_shards() {
+        // With per-shard pressure, two independent light submissions on
+        // an empty machine both rank bin 0 first — but after committing
+        // one, the other's plan (WFD) goes to an empty bin. The masks
+        // expose exactly the overlap the serving layer must check.
+        let mut s = ShardedAdmission::new(4, PartitionHeuristic::WorstFitDecreasing, 4, false);
+        let p1 = s.plan(&[heavy("a")], &[], &[]).unwrap();
+        s.commit(&[heavy("a")], &[], &p1);
+        let p2 = s.plan(&[heavy("b")], &[], &[]).unwrap();
+        assert_eq!(p2.placed_shards() & p1.placed_shards(), 0, "WFD spreads");
+    }
+}

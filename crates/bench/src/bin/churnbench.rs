@@ -44,19 +44,32 @@
 //! }
 //! ```
 //!
+//! * **tenant-scale sweeps** — 1k/10k-tenant fill-plus-churn scripts
+//!   driven straight into the sharded admission controller, recording
+//!   sustained admission throughput, p50/p99 decision latency and the
+//!   incremental-RTA cache hit rate, with a monolithic full-RTA twin of
+//!   the 1k point so the JSON pins down the incremental speedup.
+//!
 //! Usage:
 //!
 //! ```text
-//! churnbench [--quick] [--out PATH] [--repeats N]
+//! churnbench [--quick] [--out PATH] [--check BASELINE] [--repeats N]
 //! ```
+//!
+//! * `--quick`     reduced sweep (fewer jobs/repeats, no 10k point) for CI;
+//! * `--check B`   compare throughput per point against baseline JSON `B`
+//!   and exit non-zero on a regression beyond the tolerance (30 % by
+//!   default, `CHURNBENCH_TOLERANCE=0.5` to widen) — and require the
+//!   1k-tenant incremental engine to beat its full-RTA twin by at least
+//!   `CHURNBENCH_MIN_SPEEDUP` (default 10×).
 
 use std::process::ExitCode;
 use std::time::Instant;
 
 use rtseed::policy::AssignmentPolicy;
-use rtseed::serve::SessionManager;
+use rtseed::serve::{AdmissionConfig, GracefulConfig, SessionManager};
 use rtseed::RunConfig;
-use rtseed_analysis::{AdmissionController, PartitionHeuristic};
+use rtseed_analysis::{AdmissionController, PartitionHeuristic, ShardedAdmission, TaskKey};
 use rtseed_model::{QosFloor, Span, TaskSpec, Time, Topology};
 use rtseed_sim::ChurnPlan;
 
@@ -139,6 +152,7 @@ struct ChurnPoint {
     jobs: u64,
     seed: u64,
     burst: bool,
+    admission: AdmissionConfig,
 }
 
 struct ChurnMeasured {
@@ -212,11 +226,15 @@ fn run_churn(p: &ChurnPoint) -> (u64, u64, u64, u64, u64, u64, f64) {
         seed: p.seed,
         ..RunConfig::default()
     };
-    let mgr = SessionManager::new(
+    let mgr = SessionManager::with_graceful(
         topo,
         PartitionHeuristic::WorstFitDecreasing,
         AssignmentPolicy::OneByOne,
         run,
+        GracefulConfig {
+            admission: p.admission,
+            ..GracefulConfig::default()
+        },
     );
     let plan = if p.burst {
         burst_plan(p.tenants)
@@ -270,7 +288,141 @@ fn measure_churn(point: ChurnPoint, repeats: usize) -> ChurnMeasured {
     }
 }
 
-fn render_json(mode: &str, adm: &[AdmissionMeasured], churn: &[ChurnMeasured]) -> String {
+/// The task set a *scale-sweep* tenant submits: one pipeline task at 2 %
+/// mandatory+wind-up utilization, so thousands of tenants fit one box.
+fn scale_tenant_tasks(i: usize) -> Vec<TaskSpec> {
+    vec![TaskSpec::builder(format!("s{i}"))
+        .period(Span::from_millis(100))
+        .mandatory(Span::from_millis(1))
+        .windup(Span::from_millis(1))
+        .optional_parts(1, Span::from_millis(10))
+        .build()
+        .expect("benchmark spec is valid")]
+}
+
+struct ScalePoint {
+    name: &'static str,
+    cores: u32,
+    smt: u32,
+    tenants: usize,
+    /// Shard count for the sharded controller (0 = auto rule).
+    shards: u32,
+    /// Monolithic full-RTA mode — the oracle/baseline twin.
+    full_rta: bool,
+    /// Whether the point runs under `--quick` (the 10k sweep does not).
+    quick: bool,
+}
+
+struct ScaleRun {
+    decisions: usize,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    wall_ms: f64,
+}
+
+struct ScaleMeasured {
+    point: ScalePoint,
+    decisions: usize,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    repeats: usize,
+    wall_ms: f64,
+    admissions_per_sec: f64,
+    wall_ms_min: f64,
+    admissions_per_sec_best: f64,
+    speedup_vs_full_rta: Option<f64>,
+}
+
+/// One scale run: fill the box with `tenants` single-task tenants, then
+/// sustain churn by evicting the oldest quarter one at a time and
+/// back-filling after each departure. Per-decision latency covers the
+/// admission decisions only; the wall clock (and thus the sustained
+/// throughput) also pays the evictions' OD restorations.
+fn run_scale(p: &ScalePoint) -> ScaleRun {
+    let topo = Topology::new(p.cores, p.smt).expect("non-degenerate");
+    let mut ctl = ShardedAdmission::new(
+        topo.hw_threads() as usize,
+        PartitionHeuristic::WorstFitDecreasing,
+        p.shards,
+        p.full_rta,
+    );
+    let churned = p.tenants / 4;
+    let mut lat_us: Vec<f64> = Vec::with_capacity(p.tenants + churned);
+    let mut keys: Vec<Vec<TaskKey>> = Vec::with_capacity(p.tenants);
+    let start = Instant::now();
+    for i in 0..p.tenants {
+        let tasks = scale_tenant_tasks(i);
+        let t0 = Instant::now();
+        let adm = ctl
+            .try_admit(&tasks)
+            .expect("scale sweep stays under capacity");
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        keys.push(adm.tasks.iter().map(|t| t.key).collect());
+    }
+    for (i, evicted) in keys.iter().take(churned).enumerate() {
+        ctl.evict(evicted);
+        let tasks = scale_tenant_tasks(p.tenants + i);
+        let t0 = Instant::now();
+        ctl.try_admit(&tasks)
+            .expect("the departure freed the capacity");
+        lat_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let stats = ctl.cache_stats();
+    ScaleRun {
+        decisions: lat_us.len(),
+        p50_us: lat_us[lat_us.len() / 2],
+        p99_us: lat_us[lat_us.len() * 99 / 100],
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+        wall_ms,
+    }
+}
+
+fn measure_scale(point: ScalePoint, repeats: usize) -> ScaleMeasured {
+    let warm = run_scale(&point); // warmup
+    let mut runs: Vec<ScaleRun> = (0..repeats)
+        .map(|_| {
+            let r = run_scale(&point);
+            assert_eq!(
+                (r.decisions, r.cache_hits, r.cache_misses),
+                (warm.decisions, warm.cache_hits, warm.cache_misses),
+                "non-deterministic scale sweep in {}",
+                point.name
+            );
+            r
+        })
+        .collect();
+    runs.sort_by(|a, b| a.wall_ms.partial_cmp(&b.wall_ms).expect("finite"));
+    let best = &runs[0];
+    let median = &runs[runs.len() / 2];
+    ScaleMeasured {
+        decisions: warm.decisions,
+        p50_us: median.p50_us,
+        p99_us: median.p99_us,
+        cache_hits: warm.cache_hits,
+        cache_misses: warm.cache_misses,
+        repeats,
+        wall_ms: median.wall_ms,
+        admissions_per_sec: warm.decisions as f64 / (median.wall_ms / 1e3),
+        wall_ms_min: best.wall_ms,
+        admissions_per_sec_best: warm.decisions as f64 / (best.wall_ms / 1e3),
+        speedup_vs_full_rta: None,
+        point,
+    }
+}
+
+fn render_json(
+    mode: &str,
+    adm: &[AdmissionMeasured],
+    churn: &[ChurnMeasured],
+    scale: &[ScaleMeasured],
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{{");
@@ -310,20 +462,139 @@ fn render_json(mode: &str, adm: &[AdmissionMeasured], churn: &[ChurnMeasured]) -
         );
         let _ = writeln!(out, "{}", if i + 1 < churn.len() { "," } else { "" });
     }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"scale\": [");
+    for (i, m) in scale.iter().enumerate() {
+        let p = &m.point;
+        let _ = write!(
+            out,
+            "    {{\"bench\": \"{}\", \"config\": {{\"cores\": {}, \"smt\": {}, \
+             \"tenants\": {}, \"shards\": {}, \"full_rta\": {}}}, \
+             \"decisions\": {}, \"repeats\": {}, \"wall_ms\": {:.3}, \
+             \"admissions_per_sec\": {:.1}, \"p50_us\": {:.3}, \"p99_us\": {:.3}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"cache_hit_rate\": {:.4}, \
+             \"wall_ms_min\": {:.3}, \"admissions_per_sec_best\": {:.1}",
+            p.name, p.cores, p.smt, p.tenants, p.shards, p.full_rta,
+            m.decisions, m.repeats, m.wall_ms,
+            m.admissions_per_sec, m.p50_us, m.p99_us,
+            m.cache_hits, m.cache_misses,
+            m.cache_hits as f64 / (m.cache_hits + m.cache_misses).max(1) as f64,
+            m.wall_ms_min, m.admissions_per_sec_best,
+        );
+        if let Some(s) = m.speedup_vs_full_rta {
+            let _ = write!(out, ", \"speedup_vs_full_rta\": {s:.1}");
+        }
+        let _ = write!(out, "}}");
+        let _ = writeln!(out, "{}", if i + 1 < scale.len() { "," } else { "" });
+    }
     let _ = writeln!(out, "  ]");
     out.push_str("}\n");
     out
 }
 
+/// Extracts the best throughput for `bench` from a baseline file in this
+/// harness's own schema (a purpose-built scanner, not a general JSON
+/// parser — the workspace is offline and the schema is ours).
+fn baseline_best(baseline: &str, bench: &str, key: &str) -> Option<f64> {
+    let anchor = format!("\"bench\": \"{bench}\"");
+    let at = baseline.find(&anchor)?;
+    let point = &baseline[at + anchor.len()..];
+    // Bound the scan at the next point's anchor so a missing field is not
+    // satisfied by a neighbour.
+    let point = &point[..point.find("\"bench\": ").unwrap_or(point.len())];
+    let vs = point.find(key)? + key.len();
+    let rest = &point[vs..];
+    let end = rest.find(|c: char| c != '.' && !c.is_ascii_digit())?;
+    rest[..end].parse().ok()
+}
+
+/// Regression gate: every point's best-of-repeats throughput must stay
+/// within tolerance of the committed baseline, and the 1k-tenant
+/// incremental engine must keep its order-of-magnitude lead over the
+/// full-RTA twin.
+fn check(
+    adm: &[AdmissionMeasured],
+    churn: &[ChurnMeasured],
+    scale: &[ScaleMeasured],
+    baseline_path: &str,
+) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let tolerance: f64 = std::env::var("CHURNBENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.30);
+    let min_speedup: f64 = std::env::var("CHURNBENCH_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10.0);
+    let mut failures = Vec::new();
+    // Best-of-repeats: robust to CI-host interference, which only ever
+    // slows runs down — a genuine regression slows even the best run.
+    let mut gate = |name: &str, best: f64, key: &str| {
+        let Some(base) = baseline_best(&baseline, name, key) else {
+            eprintln!("churnbench: no baseline for {name}, skipping");
+            return;
+        };
+        let floor = base * (1.0 - tolerance);
+        if best < floor {
+            failures.push(format!(
+                "{}: best {:.0} {} < {:.0} (baseline {:.0} − {:.0} %)",
+                name,
+                best,
+                key.trim_start_matches('"').trim_end_matches("\": "),
+                floor,
+                base,
+                tolerance * 100.0
+            ));
+        }
+    };
+    for m in adm {
+        gate(
+            m.point.name,
+            m.admissions_per_sec_best,
+            "\"admissions_per_sec_best\": ",
+        );
+    }
+    for m in churn {
+        gate(m.point.name, m.events_per_sec_best, "\"events_per_sec_best\": ");
+    }
+    for m in scale {
+        gate(
+            m.point.name,
+            m.admissions_per_sec_best,
+            "\"admissions_per_sec_best\": ",
+        );
+    }
+    for m in scale {
+        if let Some(s) = m.speedup_vs_full_rta {
+            if s < min_speedup {
+                failures.push(format!(
+                    "{}: incremental speedup {s:.1}× over full RTA is below the \
+                     required {min_speedup:.0}×",
+                    m.point.name
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
 fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path = String::from("BENCH_churnbench.json");
+    let mut baseline: Option<String> = None;
     let mut repeats: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--check" => baseline = Some(args.next().expect("--check needs a path")),
             "--repeats" => {
                 repeats = Some(
                     args.next()
@@ -367,6 +638,7 @@ fn main() -> ExitCode {
             jobs: j(40, 10),
             seed: 0,
             burst: false,
+            admission: AdmissionConfig::default(),
         },
         ChurnPoint {
             name: "churn_phi_57x4",
@@ -376,6 +648,7 @@ fn main() -> ExitCode {
             jobs: j(40, 10),
             seed: 0,
             burst: false,
+            admission: AdmissionConfig::default(),
         },
         ChurnPoint {
             name: "burst_quad_4x2",
@@ -385,6 +658,7 @@ fn main() -> ExitCode {
             jobs: j(40, 10),
             seed: 0,
             burst: true,
+            admission: AdmissionConfig::default(),
         },
         ChurnPoint {
             name: "burst_phi_57x4",
@@ -394,6 +668,24 @@ fn main() -> ExitCode {
             jobs: j(40, 10),
             seed: 0,
             burst: true,
+            admission: AdmissionConfig::default(),
+        },
+        // The same Phi burst decided by parallel admission rounds over
+        // eight shards — must reproduce the sequential decisions exactly
+        // (the differential suite proves it; this point tracks the cost).
+        ChurnPoint {
+            name: "burst_parallel_phi_57x4",
+            cores: 57,
+            smt: 4,
+            tenants: 64,
+            jobs: j(40, 10),
+            seed: 0,
+            burst: true,
+            admission: AdmissionConfig {
+                shards: 8,
+                parallel_rounds: true,
+                full_rta: false,
+            },
         },
     ];
     let mut churn = Vec::new();
@@ -410,8 +702,79 @@ fn main() -> ExitCode {
         churn.push(m);
     }
 
-    let json = render_json(mode, &adm, &churn);
+    let scale_points = vec![
+        ScalePoint {
+            name: "scale_1k_phi_57x4",
+            cores: 57,
+            smt: 4,
+            tenants: 1000,
+            shards: 0,
+            full_rta: false,
+            quick: true,
+        },
+        ScalePoint {
+            name: "scale_1k_phi_57x4_fullrta",
+            cores: 57,
+            smt: 4,
+            tenants: 1000,
+            shards: 1,
+            full_rta: true,
+            quick: true,
+        },
+        ScalePoint {
+            name: "scale_10k_256x4",
+            cores: 256,
+            smt: 4,
+            tenants: 10_000,
+            shards: 0,
+            full_rta: false,
+            quick: false,
+        },
+    ];
+    let mut scale = Vec::new();
+    for point in scale_points {
+        if quick && !point.quick {
+            continue;
+        }
+        let name = point.name;
+        let m = measure_scale(point, repeats);
+        println!(
+            "{name:>24}: {:>6} decisions, p50 {:>8.3} µs, p99 {:>8.3} µs, \
+             cache {}/{} hit/miss, median {:>9.3} ms = {:>9.0} adm/s, \
+             best {:>9.3} ms = {:>9.0} adm/s (n={repeats})",
+            m.decisions, m.p50_us, m.p99_us, m.cache_hits, m.cache_misses,
+            m.wall_ms, m.admissions_per_sec, m.wall_ms_min,
+            m.admissions_per_sec_best
+        );
+        scale.push(m);
+    }
+    // Pin the incremental speedup on the 1k point: its full-RTA twin ran
+    // the identical script through the monolithic analysis.
+    if let Some(full_best) = scale
+        .iter()
+        .find(|m| m.point.name == "scale_1k_phi_57x4_fullrta")
+        .map(|m| m.admissions_per_sec_best)
+    {
+        if let Some(inc) = scale
+            .iter_mut()
+            .find(|m| m.point.name == "scale_1k_phi_57x4")
+        {
+            let s = inc.admissions_per_sec_best / full_best;
+            inc.speedup_vs_full_rta = Some(s);
+            println!("       scale_1k speedup: {s:.1}× incremental over full RTA");
+        }
+    }
+
+    let json = render_json(mode, &adm, &churn, &scale);
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("churnbench: wrote {out_path}");
+
+    if let Some(baseline_path) = baseline {
+        if let Err(failures) = check(&adm, &churn, &scale, &baseline_path) {
+            eprintln!("churnbench: REGRESSION\n{failures}");
+            return ExitCode::FAILURE;
+        }
+        println!("churnbench: within tolerance of {baseline_path}");
+    }
     ExitCode::SUCCESS
 }

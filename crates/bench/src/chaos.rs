@@ -25,7 +25,7 @@
 //! [`ChaosRun::trace_jsonl`].
 
 use rtseed::obs::{export, TraceConfig, TraceEvent};
-use rtseed::serve::{GracefulConfig, HealthPolicy, SessionManager, ServeOutcome};
+use rtseed::serve::{AdmissionConfig, GracefulConfig, HealthPolicy, SessionManager, ServeOutcome};
 use rtseed::supervisor::SupervisorConfig;
 use rtseed::{AssignmentPolicy, RunConfig};
 use rtseed_analysis::PartitionHeuristic;
@@ -50,6 +50,19 @@ pub struct ChaosRun {
 /// quad-core topology with the supervisor armed and tenant health
 /// enforcement on.
 pub fn run_chaos(cfg: &ChaosConfig, seed: u64, jobs: u64) -> ChaosRun {
+    run_chaos_with_admission(cfg, seed, jobs, AdmissionConfig::default())
+}
+
+/// [`run_chaos`] with an explicit admission-engine configuration — the
+/// differential tests replay the *same* scenario under the incremental
+/// sharded engine and the monolithic full-RTA oracle and demand
+/// byte-identical traces.
+pub fn run_chaos_with_admission(
+    cfg: &ChaosConfig,
+    seed: u64,
+    jobs: u64,
+    admission: AdmissionConfig,
+) -> ChaosRun {
     let plan = chaos_plan(cfg, seed);
     let run = RunConfig {
         jobs,
@@ -65,6 +78,7 @@ pub fn run_chaos(cfg: &ChaosConfig, seed: u64, jobs: u64) -> ChaosRun {
             enabled: true,
             ..HealthPolicy::default()
         },
+        admission,
         ..GracefulConfig::default()
     };
     let mgr = SessionManager::with_graceful(

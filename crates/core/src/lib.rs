@@ -100,8 +100,8 @@ pub use policy::AssignmentPolicy;
 pub use priority::PriorityMap;
 pub use report::{FaultReport, OverheadReport};
 pub use serve::{
-    GracefulConfig, HealthPolicy, QueueConfig, Rejected, ServeCounters, ServeError, ServeOutcome,
-    SessionManager, TenantOutcome,
+    AdmissionConfig, GracefulConfig, HealthPolicy, QueueConfig, Rejected, ServeCounters,
+    ServeError, ServeOutcome, SessionManager, Submission, TenantOutcome,
 };
 pub use supervisor::{OverloadMode, OverloadSupervisor, SupervisorConfig};
 pub use termination::TerminationMode;

@@ -34,6 +34,7 @@ pub use crate::report::{FaultReport, OverheadReport};
 pub use crate::runtime::{
     NativeExecutor, OptionalControl, RuntimeError, RuntimeReport, TaskBody,
 };
+pub use crate::serve::{SessionManager, Submission};
 pub use crate::supervisor::{OverloadMode, SupervisorConfig};
 pub use crate::termination::TerminationMode;
 

@@ -5,7 +5,8 @@
 //! A serving middleware instead stays up while **tenants** come and go:
 //! each tenant submits a task set at runtime, the [`SessionManager`] runs
 //! the online RMWP admission test
-//! ([`AdmissionController`] — the
+//! ([`ShardedAdmission`] over
+//! [`rtseed_analysis::AdmissionController`] — the
 //! same response-time analysis and bin-packing heuristics as the offline
 //! partitioner), and either
 //!
@@ -49,7 +50,7 @@
 //! (each in its own submodule):
 //!
 //! * **Admission backpressure** ([`queue`]) — submissions can enter a
-//!   bounded queue ([`SessionManager::enqueue`]) instead of being
+//!   bounded queue ([`Submission::queued`]) instead of being
 //!   admission-tested on the spot; batched admission rounds retry
 //!   blocked requests with exponential backoff until a per-request
 //!   deadline, and distinguish *permanent* rejections (the set fits no
@@ -68,6 +69,23 @@
 //! no-ops) by default: a [`SessionManager::new`] session behaves
 //! exactly as before.
 //!
+//! ## Admission at tenant scale
+//!
+//! Admission state lives in a
+//! [`ShardedAdmission`] controller: the
+//! per-CPU response-time fixpoints are cached and re-analysed only for
+//! the CPUs a placement touches (decisions stay bit-identical to the
+//! monolithic full-RTA path — see [`AdmissionConfig::full_rta`] for the
+//! oracle mode), and the hardware threads are partitioned into disjoint
+//! shards. When [`AdmissionConfig::parallel_rounds`] is on, a batched
+//! admission round *plans* its queued requests concurrently across
+//! shards (scoped threads, immutable controller) and then *commits*
+//! them in FIFO order on the event loop thread, re-planning any request
+//! whose speculative plan examined a shard an earlier commit touched.
+//! Engine binding, tracing, and every counter stay on the
+//! replay-deterministic single-threaded path, so traces are
+//! byte-identical with parallelism on or off.
+//!
 //! ## Determinism
 //!
 //! A run is a pure function of the submissions (or the
@@ -78,7 +96,7 @@
 //! # Examples
 //!
 //! ```
-//! use rtseed::serve::SessionManager;
+//! use rtseed::serve::{SessionManager, Submission};
 //! use rtseed::{AssignmentPolicy, RunConfig};
 //! use rtseed_analysis::PartitionHeuristic;
 //! use rtseed_model::{Span, TaskSpec, Topology};
@@ -99,8 +117,8 @@
 //!     AssignmentPolicy::OneByOne,
 //!     run,
 //! );
-//! mgr.submit("alpha", &tenant_set("α"))?;
-//! mgr.submit("beta", &tenant_set("β"))?;
+//! mgr.submit(Submission::new("alpha", tenant_set("α")))?;
+//! mgr.submit(Submission::new("beta", tenant_set("β")))?;
 //! let out = mgr.run();
 //! assert_eq!(out.tenants.len(), 2);
 //! assert_eq!(out.outcome.qos.jobs(), 6);
@@ -110,10 +128,13 @@
 pub mod health;
 pub mod ladder;
 pub mod queue;
+pub mod submission;
 
 use std::fmt;
 
-use rtseed_analysis::{AdmissionController, AdmissionError, OdUpdate, PartitionHeuristic, TaskKey};
+use rtseed_analysis::{
+    AdmissionError, OdUpdate, PartitionHeuristic, ShardPlan, ShardedAdmission, TaskKey,
+};
 use rtseed_model::{
     HwThreadId, Priority, QosFloor, QosSummary, SessionId, Span, TaskId, TaskSpec, TenantHealth,
     TenantId, TenantState, Time, Topology,
@@ -127,6 +148,7 @@ use crate::policy::AssignmentPolicy;
 
 pub use health::HealthPolicy;
 pub use queue::{QueueConfig, Rejected};
+pub use submission::Submission;
 
 use health::HealthTracker;
 use ladder::{LadderEntry, PendingRestore};
@@ -134,13 +156,36 @@ use queue::{QueuedRequest, SubmitQueue};
 
 /// Why a serving-layer request failed. Every failure the serving layer
 /// can reach from user input is a typed variant here — none of them
-/// panic the middleware.
+/// panic the middleware, and callers match exactly **one** level (the
+/// admission-analysis failures are folded in as first-class variants
+/// rather than nested behind a wrapper).
+///
+/// # Retryable vs. permanent
+///
+/// [`ServeError::Unschedulable`] is the only *possibly retryable*
+/// failure: it reports the task set infeasible **against the current
+/// residents**, so a later departure may make the same submission
+/// admissible — which is exactly what a [`Submission::queued`] request
+/// does (retry with backoff while the set still
+/// fits an idle machine). Every other variant is **permanent** for the
+/// request that produced it: [`ServeError::EmptySubmission`] and
+/// [`ServeError::NoOptionalBand`] are malformed input,
+/// [`ServeError::QueueFull`] rejects the submission without creating a
+/// tenant (resubmit later is a *new* request), and
+/// [`ServeError::UnknownTenant`] / [`ServeError::NotResident`] describe
+/// departure targets, not admissions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ServeError {
     /// The online RMWP admission test rejected the task set (at every
-    /// ladder stage the tenant's floors allow).
-    Admission(AdmissionError),
+    /// ladder stage the tenant's floors allow): the `index`-th task fits
+    /// on no hardware thread against the current residents.
+    Unschedulable {
+        /// Index into the submitted task set.
+        index: usize,
+    },
+    /// The submission contained no tasks.
+    EmptySubmission,
     /// The bounded submit queue is at capacity; the submission was
     /// refused without creating a tenant record.
     QueueFull {
@@ -171,7 +216,13 @@ pub enum ServeError {
 impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServeError::Admission(e) => write!(f, "admission failed: {e}"),
+            ServeError::Unschedulable { index } => write!(
+                f,
+                "admission failed: submitted task #{index} is not RMWP-schedulable on any hardware thread"
+            ),
+            ServeError::EmptySubmission => {
+                write!(f, "admission failed: submission contains no tasks")
+            }
             ServeError::QueueFull { capacity } => {
                 write!(f, "submit queue full (capacity {capacity})")
             }
@@ -186,24 +237,44 @@ impl fmt::Display for ServeError {
     }
 }
 
-impl std::error::Error for ServeError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            ServeError::Admission(e) => Some(e),
-            _ => None,
+impl std::error::Error for ServeError {}
+
+impl From<AdmissionError> for ServeError {
+    fn from(e: AdmissionError) -> ServeError {
+        match e {
+            AdmissionError::Unschedulable { index } => ServeError::Unschedulable { index },
+            AdmissionError::EmptySubmission => ServeError::EmptySubmission,
+            // `AdmissionError` is non_exhaustive; any future analysis
+            // failure is still an admission rejection of the whole set.
+            _ => ServeError::Unschedulable { index: 0 },
         }
     }
 }
 
-impl From<AdmissionError> for ServeError {
-    fn from(e: AdmissionError) -> ServeError {
-        ServeError::Admission(e)
-    }
+/// How the admission controller is organized for scale (see the
+/// [module docs](self), "Admission at tenant scale"). The default is
+/// conservative: automatic sharding, sequential rounds, incremental
+/// RTA — decisions and traces are identical across every setting, only
+/// the cost profile changes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Number of disjoint CPU-set shards the hardware threads are
+    /// split into. `0` (the default) picks automatically — one shard
+    /// per 32 hardware threads.
+    pub shards: u32,
+    /// Plan batched admission rounds concurrently across shards
+    /// (commits stay sequential and deterministic). Off by default.
+    pub parallel_rounds: bool,
+    /// Run the monolithic full-RTA oracle (every decision re-analyzes
+    /// every non-empty CPU) instead of the incremental per-CPU cache.
+    /// Decisions are bit-identical either way; this is the
+    /// differential-testing and benchmarking baseline. Off by default.
+    pub full_rta: bool,
 }
 
 /// Configuration of the graceful-degradation machinery. The default is
 /// fully benign: an unbounded-feeling queue that is never used unless
-/// [`SessionManager::enqueue`] is called, no floors (the ladder
+/// a [`Submission::queued`] request arrives, no floors (the ladder
 /// converges to plain admission), immediate restores, and health
 /// enforcement off.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -219,6 +290,8 @@ pub struct GracefulConfig {
     pub restore_hysteresis: Span,
     /// Tenant health enforcement budgets (disabled by default).
     pub health: HealthPolicy,
+    /// Admission sharding/caching/parallelism (scale controls).
+    pub admission: AdmissionConfig,
 }
 
 impl Default for GracefulConfig {
@@ -228,6 +301,7 @@ impl Default for GracefulConfig {
             ladder_stages: 4,
             restore_hysteresis: Span::ZERO,
             health: HealthPolicy::default(),
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -309,6 +383,23 @@ struct Tenant {
     tasks: Vec<Binding>,
 }
 
+/// A validated-but-uncommitted admission: the shard-annotated placement
+/// plan plus the pre-validated priorities. Produced by
+/// [`SessionManager::plan_tenant`] (possibly on a worker thread),
+/// applied by [`SessionManager::commit_tenant`] on the event-loop
+/// thread.
+#[derive(Debug)]
+struct PlannedAdmission {
+    splan: ShardPlan,
+    /// Per task: (mandatory band priority, optional counterpart).
+    prios: Vec<(Priority, Priority)>,
+    /// An earlier ladder stage failed before the successful one: the
+    /// failed search's examined bins are unrecorded, so this plan may
+    /// only be reused speculatively when **no** prior commit in the
+    /// round touched the controller.
+    conservative: bool,
+}
+
 /// Counters of serving-layer decisions over a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeCounters {
@@ -341,6 +432,14 @@ pub struct ServeCounters {
     pub qos_sheds: u64,
     /// Shed optional deadlines restored after departures.
     pub qos_restores: u64,
+    /// Per-CPU response-time reads served from the incremental RTA
+    /// cache (see [`AdmissionConfig`]; always 0 in full-RTA mode).
+    pub rta_cache_hits: u64,
+    /// Per-CPU response-time fixpoint computations performed.
+    pub rta_cache_misses: u64,
+    /// Admissions whose placement fell outside the shard the heuristic
+    /// ranked first (cross-shard fallback).
+    pub cross_shard_admissions: u64,
 }
 
 /// Per-tenant results of a serving run.
@@ -431,7 +530,7 @@ pub struct SessionManager {
     cpus: Vec<Cpu>,
     eng: Engine,
     model: OverheadModel,
-    ctl: AdmissionController,
+    ctl: ShardedAdmission,
     gen_counter: u64,
     events_processed: u64,
     signal_scratch: Vec<Time>,
@@ -496,7 +595,12 @@ impl SessionManager {
         SessionManager {
             topology,
             policy,
-            ctl: AdmissionController::new(topology.hw_threads() as usize, heuristic),
+            ctl: ShardedAdmission::new(
+                topology.hw_threads() as usize,
+                heuristic,
+                graceful.admission.shards,
+                graceful.admission.full_rta,
+            ),
             run,
             now: Time::ZERO,
             events,
@@ -545,9 +649,14 @@ impl SessionManager {
             .map(|t| t.state)
     }
 
-    /// The decision counters so far.
+    /// The decision counters so far (including the admission
+    /// controller's live RTA cache hit/miss counts).
     pub fn counters(&self) -> ServeCounters {
-        self.counters
+        let mut c = self.counters;
+        let s = self.ctl.cache_stats();
+        c.rta_cache_hits = s.hits;
+        c.rta_cache_misses = s.misses;
+        c
     }
 
     /// Number of submissions waiting in the submit queue.
@@ -586,46 +695,55 @@ impl SessionManager {
             .collect()
     }
 
-    /// Submits a tenant task set for admission at the current instant.
+    /// Submits a [`Submission`] — the single entry point for every way
+    /// work enters the serving layer.
     ///
-    /// On admission the tenant's tasks release their first jobs
-    /// immediately; co-located residents' optional deadlines shrink per
-    /// the analysis (taking effect at their next release). On rejection
-    /// the running system is untouched — the tenant is recorded as
+    /// A plain `Submission::new(name, tasks)` is admission-tested
+    /// synchronously at the current instant: on admission the tenant's
+    /// tasks release their first jobs immediately and co-located
+    /// residents' optional deadlines shrink per the analysis (taking
+    /// effect at their next release); on rejection the running system
+    /// is untouched — the tenant is recorded as
     /// [`TenantState::Rejected`] and appears in the final
-    /// [`ServeOutcome::tenants`] with empty QoS.
+    /// [`ServeOutcome::tenants`] with empty QoS. A
+    /// [`Submission::floor`] declares the tenant's SLA floor for the
+    /// shedding ladder (see [`ladder`]).
+    ///
+    /// A [`Submission::queued`] request instead enters the bounded
+    /// submit queue and is decided in batched admission rounds during
+    /// the run: a *retryable* failure (blocked only by current
+    /// residents) backs off exponentially and retries until the queue
+    /// timeout (measured from now) expires or
+    /// [`QueueConfig::max_retries`] attempts are spent; a *permanent*
+    /// failure rejects immediately. The tenant stays
+    /// [`TenantState::Pending`] until a round decides it. See
+    /// [`queue`].
     ///
     /// # Errors
     ///
-    /// [`ServeError::Admission`] wrapping
-    /// [`AdmissionError::Unschedulable`] when some submitted task fits
-    /// on no hardware thread under the exact RMWP test (at any ladder
-    /// stage), or [`AdmissionError::EmptySubmission`] for an empty
-    /// slice.
-    pub fn submit(
-        &mut self,
-        name: impl Into<String>,
-        tasks: &[TaskSpec],
-    ) -> Result<TenantId, ServeError> {
-        self.submit_with_floor(name, tasks, QosFloor::none())
+    /// [`ServeError::Unschedulable`] when some submitted task fits on
+    /// no hardware thread under the exact RMWP test (at any ladder
+    /// stage), [`ServeError::EmptySubmission`] for an empty task set,
+    /// or — for queued submissions only — [`ServeError::QueueFull`]
+    /// when the queue is at capacity (no tenant record is created).
+    pub fn submit(&mut self, submission: Submission) -> Result<TenantId, ServeError> {
+        let Submission {
+            name,
+            tasks,
+            floor,
+            queued,
+        } = submission;
+        match queued {
+            Some(timeout) => self.submit_queued(name, tasks, floor, timeout),
+            None => self.submit_now(name, &tasks, floor),
+        }
     }
 
-    /// [`SessionManager::submit`] with a per-tenant SLA floor: the
-    /// shedding ladder may later shrink this tenant's optional
-    /// deadlines to admit newcomers, but never below `floor` of the
-    /// admission-time grant (see [`ladder`]).
-    ///
-    /// # Errors
-    ///
-    /// As [`SessionManager::submit`].
-    pub fn submit_with_floor(
-        &mut self,
-        name: impl Into<String>,
-        tasks: &[TaskSpec],
-        floor: QosFloor,
-    ) -> Result<TenantId, ServeError> {
-        let name = name.into();
-        self.counters.submissions += 1;
+    /// Mints the next tenant/session id pair and records the tenant in
+    /// state [`TenantState::Pending`]. The **only** place ids are
+    /// derived, so no admission path (sharded or not) can ever mint
+    /// duplicates.
+    fn mint_tenant(&mut self, name: String) -> TenantId {
         let tenant = TenantId(self.tenants.len() as u32);
         let session = SessionId(tenant.0 as u64);
         self.tenants.push(Tenant {
@@ -635,6 +753,19 @@ impl SessionManager {
             state: TenantState::Pending,
             tasks: Vec::new(),
         });
+        tenant
+    }
+
+    /// Synchronous admission path (plain submissions and churn
+    /// arrivals).
+    fn submit_now(
+        &mut self,
+        name: String,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+    ) -> Result<TenantId, ServeError> {
+        self.counters.submissions += 1;
+        let tenant = self.mint_tenant(name);
         match self.admit_tenant(tenant, tasks, floor) {
             Ok(()) => Ok(tenant),
             Err(e) => {
@@ -644,26 +775,12 @@ impl SessionManager {
         }
     }
 
-    /// Submits a tenant task set into the bounded submit queue instead
-    /// of admission-testing it synchronously. The request is decided in
-    /// batched admission rounds during the run: a *retryable* failure
-    /// (blocked only by current residents) backs off exponentially and
-    /// retries until `timeout` (measured from now) expires or
-    /// [`QueueConfig::max_retries`] attempts are spent; a *permanent*
-    /// failure (the set fits no thread even on an idle system) rejects
-    /// immediately. See [`queue`].
-    ///
-    /// Returns the tenant id; the tenant stays
-    /// [`TenantState::Pending`] until a round admits or rejects it.
-    ///
-    /// # Errors
-    ///
-    /// [`ServeError::QueueFull`] when the queue is at capacity — no
-    /// tenant record is created.
-    pub fn enqueue(
+    /// Queued admission path ([`Submission::queued`] and churn submit
+    /// events).
+    fn submit_queued(
         &mut self,
-        name: impl Into<String>,
-        tasks: &[TaskSpec],
+        name: String,
+        tasks: Vec<TaskSpec>,
         floor: QosFloor,
         timeout: Span,
     ) -> Result<TenantId, ServeError> {
@@ -673,21 +790,12 @@ impl SessionManager {
                 capacity: self.graceful.queue.capacity,
             });
         }
-        let name = name.into();
         self.counters.submissions += 1;
         self.counters.enqueued += 1;
-        let tenant = TenantId(self.tenants.len() as u32);
-        let session = SessionId(tenant.0 as u64);
-        self.tenants.push(Tenant {
-            id: tenant,
-            session,
-            name,
-            state: TenantState::Pending,
-            tasks: Vec::new(),
-        });
+        let tenant = self.mint_tenant(name);
         let req = QueuedRequest {
             tenant,
-            tasks: tasks.to_vec(),
+            tasks,
             floor,
             deadline: self.now.checked_add(timeout).unwrap_or(Time::MAX),
             attempts: 0,
@@ -697,6 +805,45 @@ impl SessionManager {
         self.eng.trace(self.now, TraceEvent::SubmissionQueued { tenant });
         self.events.push(self.now, Event::AdmissionRound);
         Ok(tenant)
+    }
+
+    /// Compatibility wrapper for the pre-[`Submission`] surface.
+    #[deprecated(since = "0.1.0", note = "use `submit(Submission::new(name, tasks))`")]
+    pub fn submit_tasks(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+    ) -> Result<TenantId, ServeError> {
+        self.submit(Submission::new(name, tasks))
+    }
+
+    /// Compatibility wrapper for the pre-[`Submission`] surface.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit(Submission::new(name, tasks).floor(floor))`"
+    )]
+    pub fn submit_with_floor(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+    ) -> Result<TenantId, ServeError> {
+        self.submit(Submission::new(name, tasks).floor(floor))
+    }
+
+    /// Compatibility wrapper for the pre-[`Submission`] surface.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `submit(Submission::new(name, tasks).floor(floor).queued(timeout))`"
+    )]
+    pub fn enqueue(
+        &mut self,
+        name: impl Into<String>,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+        timeout: Span,
+    ) -> Result<TenantId, ServeError> {
+        self.submit(Submission::new(name, tasks).floor(floor).queued(timeout))
     }
 
     /// Runs the staged-ladder admission for `tenant` and, on success,
@@ -709,6 +856,22 @@ impl SessionManager {
         tasks: &[TaskSpec],
         floor: QosFloor,
     ) -> Result<(), ServeError> {
+        let planned = Self::plan_tenant(&self.ctl, &self.bindings, &self.graceful, tasks, floor)?;
+        self.commit_tenant(tenant, tasks, floor, &planned);
+        Ok(())
+    }
+
+    /// The read-only half of admission: priority validation plus the
+    /// staged-ladder placement search, against an immutable controller.
+    /// An associated fn (no `&self`) so parallel admission rounds can
+    /// run it from scoped worker threads.
+    fn plan_tenant(
+        ctl: &ShardedAdmission,
+        bindings: &[Binding],
+        graceful: &GracefulConfig,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+    ) -> Result<PlannedAdmission, ServeError> {
         // Validate priorities up front so the commit below cannot hit a
         // panic path halfway through.
         let mut prios = Vec::with_capacity(tasks.len());
@@ -727,9 +890,8 @@ impl SessionManager {
         // shedding down to the floors. First feasible stage wins, so
         // admission sheds the least it can.
         let floors = vec![floor; tasks.len()];
-        let stages = self.graceful.ladder_stages.max(1);
-        let entries: Vec<LadderEntry> = self
-            .bindings
+        let stages = graceful.ladder_stages.max(1);
+        let entries: Vec<LadderEntry> = bindings
             .iter()
             .map(|b| LadderEntry {
                 key: b.key,
@@ -737,21 +899,48 @@ impl SessionManager {
                 floor: b.floor,
             })
             .collect();
-        let mut admission = None;
         let mut last_err = AdmissionError::EmptySubmission;
+        // A plan is `conservative` when an earlier ladder stage failed
+        // before this one succeeded: the failed search examined a bin
+        // set the plan does not record, so speculative reuse after a
+        // conflicting commit would be unsound (see on_admission_round).
+        let mut conservative = false;
         for stage in 0..=stages {
             let bounds = ladder::stage_bounds(&entries, stage, stages);
-            match self.ctl.try_admit_bounded(tasks, &floors, &bounds) {
-                Ok(a) => {
-                    admission = Some(a);
-                    break;
+            match ctl.plan(tasks, &floors, &bounds) {
+                Ok(splan) => {
+                    return Ok(PlannedAdmission {
+                        splan,
+                        prios,
+                        conservative,
+                    })
                 }
-                Err(e) => last_err = e,
+                Err(e) => {
+                    last_err = e;
+                    conservative = true;
+                }
             }
         }
-        let Some(admission) = admission else {
-            return Err(ServeError::Admission(last_err));
-        };
+        Err(last_err.into())
+    }
+
+    /// The mutating half of admission: commits a planned placement into
+    /// the controller and binds the tenant's tasks to the engine.
+    /// Always runs on the event-loop thread, so engine binding and
+    /// tracing stay replay-deterministic.
+    fn commit_tenant(
+        &mut self,
+        tenant: TenantId,
+        tasks: &[TaskSpec],
+        floor: QosFloor,
+        planned: &PlannedAdmission,
+    ) {
+        let floors = vec![floor; tasks.len()];
+        let admission = self.ctl.commit(tasks, &floors, &planned.splan);
+        let prios = &planned.prios;
+        if planned.splan.is_cross_shard() {
+            self.counters.cross_shard_admissions += 1;
+        }
         // Transient soundness: a resident whose OD shrinks keeps the old
         // (longer) OD until its next release, and that old bound was
         // analysed *without* the newcomer's interference. Defer the
@@ -777,7 +966,7 @@ impl SessionManager {
         );
         let mut bound = Vec::with_capacity(tasks.len());
         for ((spec, admitted), &(mand_prio, opt_prio)) in
-            tasks.iter().zip(&admission.tasks).zip(&prios)
+            tasks.iter().zip(&admission.tasks).zip(prios)
         {
             let np = spec.optional_count();
             let placements: Vec<usize> = self
@@ -835,7 +1024,6 @@ impl SessionManager {
         let t = &mut self.tenants[tenant.0 as usize];
         t.state = TenantState::Admitted;
         t.tasks = bound;
-        Ok(())
     }
 
     /// Records a failed submission: rejection counter, trace event,
@@ -982,16 +1170,69 @@ impl SessionManager {
     /// backoff gate has passed is admission-tested; failures are
     /// classified into permanent rejections, expiries, and backoff
     /// retries.
+    ///
+    /// With [`AdmissionConfig::parallel_rounds`] the requests are
+    /// *planned* concurrently up front (immutable controller, scoped
+    /// threads) and the speculative plans validated against the shards
+    /// earlier commits touched; commits themselves — and therefore all
+    /// engine binding, tracing, and counters — run sequentially in FIFO
+    /// order, so the outcome is identical to the sequential sweep.
     fn on_admission_round(&mut self) {
         let ready = self.queue.take_ready(self.now);
-        for mut req in ready {
+        if ready.is_empty() {
+            return;
+        }
+        let speculative = if self.graceful.admission.parallel_rounds && ready.len() > 1 {
+            Self::plan_round(&self.ctl, &self.bindings, &self.graceful, self.now, &ready)
+        } else {
+            let mut none: Vec<Option<Result<PlannedAdmission, ServeError>>> = Vec::new();
+            none.resize_with(ready.len(), || None);
+            none
+        };
+        // A speculative Ok-plan is reusable only while its examined
+        // shards are untouched by this round's earlier commits — and
+        // only under a heuristic whose candidate order over untouched
+        // bins is commit-stable. FFD ranks by index (stable); WFD ranks
+        // by ascending utilization, and commits only *grow* utilization,
+        // so the examined prefix keeps its order; BFD ranks descending,
+        // where a grown bin can jump ahead of unexamined ones — never
+        // reuse. A speculative rejection is reusable only when nothing
+        // committed at all: earlier QoS sheds lower the ladder bounds
+        // non-monotonically. Anything else replans sequentially, which
+        // by construction gives the exact sequential-sweep decision.
+        let bfd = self.ctl.heuristic() == PartitionHeuristic::BestFitDecreasing;
+        let mut touched: u64 = 0;
+        for (mut req, plan) in ready.into_iter().zip(speculative) {
             if req.deadline < self.now {
                 self.expire_request(&req);
                 continue;
             }
-            match self.admit_tenant(req.tenant, &req.tasks, req.floor) {
-                Ok(()) => {}
-                Err(ServeError::Admission(_)) if self.ctl.fits_empty(&req.tasks) => {
+            let decision = match plan {
+                Some(Ok(p))
+                    if touched == 0
+                        || (!bfd
+                            && !p.conservative
+                            && p.splan.examined_shards() & touched == 0) =>
+                {
+                    Ok(p)
+                }
+                Some(Err(e)) if touched == 0 => Err(e),
+                _ => Self::plan_tenant(
+                    &self.ctl,
+                    &self.bindings,
+                    &self.graceful,
+                    &req.tasks,
+                    req.floor,
+                ),
+            };
+            match decision {
+                Ok(p) => {
+                    touched |= p.splan.placed_shards();
+                    self.commit_tenant(req.tenant, &req.tasks, req.floor, &p);
+                }
+                Err(ServeError::Unschedulable { .. } | ServeError::EmptySubmission)
+                    if self.ctl.fits_empty(&req.tasks) =>
+                {
                     // Retryable: blocked only by the current residents.
                     req.attempts += 1;
                     let after = self.graceful.queue.backoff(req.attempts);
@@ -1020,6 +1261,75 @@ impl SessionManager {
                 }
             }
         }
+    }
+
+    /// Plans a round's ready requests concurrently on scoped worker
+    /// threads. Planning is read-only (`&ShardedAdmission`), workers
+    /// stripe the request list by index, and results return in request
+    /// order — no decision is taken here, so determinism is untouched.
+    /// Requests already past their deadline are skipped (the sweep
+    /// expires them without ever planning).
+    fn plan_round(
+        ctl: &ShardedAdmission,
+        bindings: &[Binding],
+        graceful: &GracefulConfig,
+        now: Time,
+        ready: &[QueuedRequest],
+    ) -> Vec<Option<Result<PlannedAdmission, ServeError>>> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(ready.len())
+            .max(1);
+        let mut plans: Vec<Option<Result<PlannedAdmission, ServeError>>> = Vec::new();
+        plans.resize_with(ready.len(), || None);
+        if workers == 1 {
+            for (i, req) in ready.iter().enumerate() {
+                if req.deadline >= now {
+                    plans[i] = Some(Self::plan_tenant(
+                        ctl,
+                        bindings,
+                        graceful,
+                        &req.tasks,
+                        req.floor,
+                    ));
+                }
+            }
+            return plans;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    s.spawn(move || {
+                        let mut mine = Vec::new();
+                        let mut i = w;
+                        while i < ready.len() {
+                            let req = &ready[i];
+                            if req.deadline >= now {
+                                mine.push((
+                                    i,
+                                    Self::plan_tenant(
+                                        ctl,
+                                        bindings,
+                                        graceful,
+                                        &req.tasks,
+                                        req.floor,
+                                    ),
+                                ));
+                            }
+                            i += workers;
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, p) in h.join().expect("admission planner thread panicked") {
+                    plans[i] = Some(p);
+                }
+            }
+        });
+        plans
     }
 
     /// Drops a queued request whose deadline or retry budget ran out.
@@ -1157,7 +1467,7 @@ impl SessionManager {
                     ChurnAction::Arrive { name, tasks } => {
                         // A rejection is a recorded outcome, not a run
                         // failure.
-                        let _ = self.submit(name, &tasks);
+                        let _ = self.submit_now(name, &tasks, QosFloor::none());
                     }
                     ChurnAction::Depart { name } => {
                         let _ = self.depart(&name);
@@ -1170,7 +1480,7 @@ impl SessionManager {
                     } => {
                         // A full queue sheds the submission; recorded in
                         // the counters, not a run failure.
-                        let _ = self.enqueue(name, &tasks, floor, timeout);
+                        let _ = self.submit_queued(name, tasks, floor, timeout);
                     }
                 }
                 continue;
@@ -1212,9 +1522,13 @@ impl SessionManager {
             now,
             events_processed,
             tenants,
-            counters,
+            mut counters,
+            ctl,
             ..
         } = self;
+        let stats = ctl.cache_stats();
+        counters.rta_cache_hits = stats.hits;
+        counters.rta_cache_misses = stats.misses;
         let out = eng.finish(now);
         let tenant_outcomes = tenants
             .into_iter()
@@ -1627,7 +1941,7 @@ mod tests {
     fn eight_tenants_served_concurrently_with_per_tenant_qos() {
         let mut mgr = manager(4);
         for i in 0..8 {
-            mgr.submit(format!("tenant{i}"), &light(&format!("τ{i}")))
+            mgr.submit(Submission::new(format!("tenant{i}"), light(&format!("τ{i}"))))
                 .unwrap();
         }
         assert_eq!(mgr.admitted_tenants(), 8);
@@ -1657,14 +1971,12 @@ mod tests {
     fn overload_is_rejected_by_admission_not_by_misses() {
         let mut mgr = manager(3);
         for i in 0..8 {
-            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+            mgr.submit(Submission::new(format!("t{i}"), heavy(&format!("h{i}"))))
+                .unwrap();
         }
         // The 9th heavy tenant fits on no thread: rejected up front.
-        let err = mgr.submit("straw", &heavy("h8")).unwrap_err();
-        assert!(matches!(
-            err,
-            ServeError::Admission(AdmissionError::Unschedulable { .. })
-        ));
+        let err = mgr.submit(Submission::new("straw", heavy("h8"))).unwrap_err();
+        assert!(matches!(err, ServeError::Unschedulable { .. }));
         assert_eq!(mgr.state_of("straw"), Some(TenantState::Rejected));
         assert_eq!(mgr.admitted_tenants(), 8);
         let out = mgr.run();
@@ -1686,12 +1998,13 @@ mod tests {
     fn departure_frees_capacity_for_the_next_tenant() {
         let mut mgr = manager(2);
         for i in 0..8 {
-            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+            mgr.submit(Submission::new(format!("t{i}"), heavy(&format!("h{i}"))))
+                .unwrap();
         }
-        assert!(mgr.submit("late", &heavy("h8")).is_err());
+        assert!(mgr.submit(Submission::new("late", heavy("h8"))).is_err());
         assert!(mgr.depart("t3").is_ok());
         assert_eq!(mgr.state_of("t3"), Some(TenantState::Departed));
-        assert!(mgr.submit("late", &heavy("h8")).is_ok());
+        assert!(mgr.submit(Submission::new("late", heavy("h8"))).is_ok());
         assert_eq!(mgr.admitted_tenants(), 8);
         let out = mgr.run();
         assert_eq!(out.counters.departures, 1);
@@ -1730,9 +2043,9 @@ mod tests {
                 ..Default::default()
             },
         );
-        mgr.submit("lo", &lo).unwrap();
+        mgr.submit(Submission::new("lo", lo)).unwrap();
         assert_eq!(mgr.counters().od_updates_applied, 0);
-        mgr.submit("hi", &hi).unwrap();
+        mgr.submit(Submission::new("hi", hi)).unwrap();
         assert_eq!(mgr.counters().od_updates_applied, 1, "lo's OD shrank");
         assert!(mgr.depart("hi").is_ok());
         assert_eq!(mgr.counters().od_updates_applied, 2, "lo's OD grew back");
@@ -1775,7 +2088,7 @@ mod tests {
     #[test]
     fn depart_reports_why_it_did_nothing() {
         let mut mgr = manager(2);
-        mgr.submit("t0", &light("a")).unwrap();
+        mgr.submit(Submission::new("t0", light("a"))).unwrap();
         assert_eq!(mgr.depart("nobody"), Err(ServeError::UnknownTenant));
         assert!(mgr.depart("t0").is_ok());
         assert_eq!(
@@ -1810,9 +2123,9 @@ mod tests {
     #[test]
     fn queued_burst_is_decided_in_one_round() {
         let mut mgr = graceful_manager(3, GracefulConfig::default());
-        mgr.enqueue("qa", &light("a"), QosFloor::none(), Span::from_secs(10))
+        mgr.submit(Submission::new("qa", light("a")).queued(Span::from_secs(10)))
             .unwrap();
-        mgr.enqueue("qb", &light("b"), QosFloor::none(), Span::from_secs(10))
+        mgr.submit(Submission::new("qb", light("b")).queued(Span::from_secs(10)))
             .unwrap();
         assert_eq!(mgr.queued(), 2);
         assert_eq!(mgr.state_of("qa"), Some(TenantState::Pending));
@@ -1839,10 +2152,10 @@ mod tests {
             ..GracefulConfig::default()
         };
         let mut mgr = graceful_manager(2, graceful);
-        mgr.enqueue("first", &light("a"), QosFloor::none(), Span::from_secs(1))
+        mgr.submit(Submission::new("first", light("a")).queued(Span::from_secs(1)))
             .unwrap();
         let err = mgr
-            .enqueue("second", &light("b"), QosFloor::none(), Span::from_secs(1))
+            .submit(Submission::new("second", light("b")).queued(Span::from_secs(1)))
             .unwrap_err();
         assert_eq!(err, ServeError::QueueFull { capacity: 1 });
         assert_eq!(mgr.counters().queue_rejected_full, 1);
@@ -1854,9 +2167,10 @@ mod tests {
     fn blocked_request_retries_and_admits_when_capacity_frees() {
         let mut mgr = graceful_manager(4, GracefulConfig::default());
         for i in 0..8 {
-            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+            mgr.submit(Submission::new(format!("t{i}"), heavy(&format!("h{i}"))))
+                .unwrap();
         }
-        mgr.enqueue("late", &heavy("h8"), QosFloor::none(), Span::from_secs(10))
+        mgr.submit(Submission::new("late", heavy("h8")).queued(Span::from_secs(10)))
             .unwrap();
         let plan = ChurnPlan::new().depart(Time::from_nanos(150_000_000), "t0");
         let out = mgr.run_with_churn(&plan);
@@ -1872,9 +2186,10 @@ mod tests {
     fn blocked_request_expires_at_its_deadline() {
         let mut mgr = graceful_manager(2, GracefulConfig::default());
         for i in 0..8 {
-            mgr.submit(format!("t{i}"), &heavy(&format!("h{i}"))).unwrap();
+            mgr.submit(Submission::new(format!("t{i}"), heavy(&format!("h{i}"))))
+                .unwrap();
         }
-        mgr.enqueue("doomed", &heavy("h8"), QosFloor::none(), Span::from_millis(120))
+        mgr.submit(Submission::new("doomed", heavy("h8")).queued(Span::from_millis(120)))
             .unwrap();
         let out = mgr.run();
         assert_eq!(out.counters.expired, 1);
@@ -1898,7 +2213,7 @@ mod tests {
             GracefulConfig::default(),
         );
         let set: Vec<TaskSpec> = heavy("h0").into_iter().chain(heavy("h1")).collect();
-        mgr.enqueue("hopeless", &set, QosFloor::none(), Span::from_secs(10))
+        mgr.submit(Submission::new("hopeless", set).queued(Span::from_secs(10)))
             .unwrap();
         let out = mgr.run();
         assert_eq!(out.counters.rejections, 1);
@@ -1948,10 +2263,10 @@ mod tests {
         // lo's OD down at 860 ms, below the floor — every ladder stage
         // fails and the newcomer is rejected, the resident untouched.
         let mut mgr = uni_manager(GracefulConfig::default());
-        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.99))
+        mgr.submit(Submission::new("lo", lo_set()).floor(QosFloor::fraction(0.99)))
             .unwrap();
-        let err = mgr.submit("hi", &hi_set()).unwrap_err();
-        assert!(matches!(err, ServeError::Admission(_)));
+        let err = mgr.submit(Submission::new("hi", hi_set())).unwrap_err();
+        assert!(matches!(err, ServeError::Unschedulable { .. }));
         assert_eq!(mgr.counters().qos_sheds, 0);
         assert_eq!(mgr.deployed_ods("lo"), vec![Span::from_millis(900)]);
     }
@@ -1961,9 +2276,9 @@ mod tests {
         // Floor at 50% (450 ms): the 860 ms placement is allowed; the
         // shed is applied, counted, and traced — and stays above floor.
         let mut mgr = uni_manager(GracefulConfig::default());
-        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.5))
+        mgr.submit(Submission::new("lo", lo_set()).floor(QosFloor::fraction(0.5)))
             .unwrap();
-        mgr.submit("hi", &hi_set()).unwrap();
+        mgr.submit(Submission::new("hi", hi_set())).unwrap();
         assert_eq!(mgr.counters().qos_sheds, 1);
         assert_eq!(mgr.deployed_ods("lo"), vec![Span::from_millis(860)]);
         let out = mgr.run();
@@ -1986,9 +2301,9 @@ mod tests {
             ..GracefulConfig::default()
         };
         let mut mgr = uni_manager(graceful);
-        mgr.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.5))
+        mgr.submit(Submission::new("lo", lo_set()).floor(QosFloor::fraction(0.5)))
             .unwrap();
-        mgr.submit("hi", &hi_set()).unwrap();
+        mgr.submit(Submission::new("hi", hi_set())).unwrap();
         assert_eq!(mgr.counters().od_updates_applied, 1, "shed applied");
         assert!(mgr.depart("hi").is_ok());
         // The growth is pending, not applied: lo still runs at 860 ms.
@@ -2039,8 +2354,8 @@ mod tests {
             },
             graceful,
         );
-        mgr.submit("rogue", &heavy("r")).unwrap();
-        mgr.submit("steady", &light("s")).unwrap();
+        mgr.submit(Submission::new("rogue", heavy("r"))).unwrap();
+        mgr.submit(Submission::new("steady", light("s"))).unwrap();
         let out = mgr.run();
         assert_eq!(out.counters.evictions, 1);
         assert_eq!(out.tenant("rogue").unwrap().state, TenantState::Evicted);
@@ -2096,5 +2411,117 @@ mod tests {
             .first_time(|e| matches!(e, TraceEvent::JobReleased { .. }))
             .unwrap();
         assert_eq!(first, Time::from_nanos(150_000_000));
+    }
+
+    /// The RTA cache counters are live telemetry, not decisions: blank
+    /// them before comparing runs whose analysis *cost* may differ.
+    fn sans_cache(mut c: ServeCounters) -> ServeCounters {
+        c.rta_cache_hits = 0;
+        c.rta_cache_misses = 0;
+        c
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_delegate_to_submit() {
+        let mut a = uni_manager(GracefulConfig::default());
+        a.submit_with_floor("lo", &lo_set(), QosFloor::fraction(0.5))
+            .unwrap();
+        a.submit_tasks("hi", &hi_set()).unwrap();
+        a.enqueue("q", &hi_set(), QosFloor::none(), Span::from_secs(1))
+            .unwrap();
+        let mut b = uni_manager(GracefulConfig::default());
+        b.submit(Submission::new("lo", lo_set()).floor(QosFloor::fraction(0.5)))
+            .unwrap();
+        b.submit(Submission::new("hi", hi_set())).unwrap();
+        b.submit(Submission::new("q", hi_set()).queued(Span::from_secs(1)))
+            .unwrap();
+        let x = a.run();
+        let y = b.run();
+        assert_eq!(x.outcome.trace, y.outcome.trace);
+        assert_eq!(x.counters, y.counters);
+    }
+
+    #[test]
+    fn parallel_rounds_produce_identical_runs() {
+        // A same-instant queued burst decided in one round: planning in
+        // parallel across 8 single-thread shards must yield the exact
+        // trace and decisions of the sequential sweep.
+        let run = |parallel: bool| {
+            let graceful = GracefulConfig {
+                admission: AdmissionConfig {
+                    shards: 8,
+                    parallel_rounds: parallel,
+                    ..AdmissionConfig::default()
+                },
+                ..GracefulConfig::default()
+            };
+            let mut mgr = graceful_manager(2, graceful);
+            for i in 0..6 {
+                mgr.submit(
+                    Submission::new(format!("q{i}"), light(&format!("l{i}")))
+                        .queued(Span::from_secs(5)),
+                )
+                .unwrap();
+            }
+            for i in 0..3 {
+                mgr.submit(
+                    Submission::new(format!("h{i}"), heavy(&format!("H{i}")))
+                        .queued(Span::from_secs(5)),
+                )
+                .unwrap();
+            }
+            mgr.run()
+        };
+        let seq = run(false);
+        let par = run(true);
+        assert_eq!(seq.outcome.trace, par.outcome.trace);
+        assert_eq!(seq.outcome.qos, par.outcome.qos);
+        // Speculative replans may re-run analyses the sequential sweep
+        // ran once — every *decision* counter must still agree.
+        assert_eq!(sans_cache(seq.counters), sans_cache(par.counters));
+        assert_eq!(seq.counters.admissions, 8, "one heavy tenant does not fit");
+    }
+
+    #[test]
+    fn full_rta_oracle_run_is_byte_identical() {
+        let plan = || {
+            ChurnPlan::new()
+                .arrive(Time::ZERO, "a", light("a"))
+                .arrive(Time::from_nanos(50_000_000), "b", heavy("b"))
+                .depart(Time::from_nanos(250_000_000), "a")
+                .arrive(Time::from_nanos(300_000_000), "c", light("c"))
+        };
+        let run = |full_rta: bool| {
+            let graceful = GracefulConfig {
+                admission: AdmissionConfig {
+                    full_rta,
+                    ..AdmissionConfig::default()
+                },
+                ..GracefulConfig::default()
+            };
+            graceful_manager(4, graceful).run_with_churn(&plan())
+        };
+        let inc = run(false);
+        let full = run(true);
+        assert_eq!(inc.outcome.trace, full.outcome.trace);
+        assert_eq!(inc.outcome.qos, full.outcome.qos);
+        assert_eq!(sans_cache(inc.counters), sans_cache(full.counters));
+        assert_eq!(full.counters.rta_cache_hits, 0, "the oracle never caches");
+    }
+
+    #[test]
+    fn rta_cache_counters_surface_in_serve_counters() {
+        let mut mgr = uni_manager(GracefulConfig::default());
+        mgr.submit(Submission::new("lo", lo_set())).unwrap();
+        mgr.submit(Submission::new("hi", hi_set())).unwrap();
+        let c = mgr.counters();
+        assert!(c.rta_cache_misses > 0);
+        assert!(
+            c.rta_cache_hits > 0,
+            "the second admission reads the first commit's cached bin ODs"
+        );
+        let out = mgr.run();
+        assert!(out.counters.rta_cache_misses >= c.rta_cache_misses);
     }
 }

@@ -1,0 +1,130 @@
+//! The unified submission request: one builder-validated type for every
+//! way work enters the serving layer.
+//!
+//! Historically the [`SessionManager`](super::SessionManager) grew three
+//! parallel entry points — `submit` (synchronous, no floor),
+//! `submit_with_floor`, and `enqueue` (queued with a timeout) — whose
+//! argument lists drifted apart as features landed. [`Submission`]
+//! collapses them into one request value:
+//!
+//! ```
+//! use rtseed::serve::Submission;
+//! use rtseed_model::{QosFloor, Span, TaskSpec};
+//!
+//! let tasks = vec![TaskSpec::builder("τ")
+//!     .period(Span::from_millis(100))
+//!     .mandatory(Span::from_millis(10))
+//!     .windup(Span::from_millis(10))
+//!     .build()?];
+//! // Synchronous admission, best-effort QoS:
+//! let plain = Submission::new("alpha", tasks.clone());
+//! // Queued admission with an SLA floor and a 2 s decision deadline:
+//! let queued = Submission::new("beta", tasks)
+//!     .floor(QosFloor::fraction(0.5))
+//!     .queued(Span::from_secs(2));
+//! assert!(plain.queue_timeout().is_none());
+//! assert_eq!(queued.queue_timeout(), Some(Span::from_secs(2)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! and [`SessionManager::submit`](super::SessionManager::submit) is the
+//! single entry point that consumes it.
+
+use rtseed_model::{QosFloor, Span, TaskSpec};
+
+/// One tenant submission request: the task set plus how it should be
+/// admitted. Built with [`Submission::new`] and the chainable
+/// [`Submission::floor`] / [`Submission::queued`] modifiers; consumed by
+/// [`SessionManager::submit`](super::SessionManager::submit).
+#[derive(Debug, Clone)]
+pub struct Submission {
+    pub(crate) name: String,
+    pub(crate) tasks: Vec<TaskSpec>,
+    pub(crate) floor: QosFloor,
+    pub(crate) queued: Option<Span>,
+}
+
+impl Submission {
+    /// A synchronous, best-effort submission of `tasks` under `name`:
+    /// admission-tested on the spot, no QoS floor (the shedding ladder
+    /// may later shrink the tenant's optional deadlines arbitrarily).
+    pub fn new(name: impl Into<String>, tasks: impl Into<Vec<TaskSpec>>) -> Submission {
+        Submission {
+            name: name.into(),
+            tasks: tasks.into(),
+            floor: QosFloor::none(),
+            queued: None,
+        }
+    }
+
+    /// Declares the tenant's SLA floor: the shedding ladder may shrink
+    /// this tenant's optional deadlines to admit newcomers, but never
+    /// below `floor` of the admission-time grant.
+    pub fn floor(mut self, floor: QosFloor) -> Submission {
+        self.floor = floor;
+        self
+    }
+
+    /// Routes the submission through the bounded submit queue instead of
+    /// synchronous admission: batched admission rounds retry retryable
+    /// failures with exponential backoff until `timeout` (measured from
+    /// the submit instant) expires.
+    pub fn queued(mut self, timeout: Span) -> Submission {
+        self.queued = Some(timeout);
+        self
+    }
+
+    /// The tenant name the submission will be recorded under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The submitted task set.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// The declared SLA floor ([`QosFloor::none`] unless
+    /// [`Submission::floor`] was called).
+    pub fn qos_floor(&self) -> QosFloor {
+        self.floor
+    }
+
+    /// The queue timeout, or `None` for synchronous admission.
+    pub fn queue_timeout(&self) -> Option<Span> {
+        self.queued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(name: &str) -> TaskSpec {
+        let mut b = TaskSpec::builder(name);
+        b.period(Span::from_millis(100))
+            .mandatory(Span::from_millis(10))
+            .windup(Span::from_millis(10));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_defaults_are_synchronous_best_effort() {
+        let s = Submission::new("t", vec![spec("a")]);
+        assert_eq!(s.name(), "t");
+        assert_eq!(s.tasks().len(), 1);
+        assert_eq!(s.qos_floor(), QosFloor::none());
+        assert_eq!(s.queue_timeout(), None);
+    }
+
+    #[test]
+    fn modifiers_chain_and_accept_slices() {
+        let tasks = [spec("a"), spec("b")];
+        let s = Submission::new("t", &tasks[..])
+            .floor(QosFloor::fraction(0.75))
+            .queued(Span::from_millis(250));
+        assert_eq!(s.tasks().len(), 2);
+        assert_eq!(s.qos_floor(), QosFloor::fraction(0.75));
+        assert_eq!(s.queue_timeout(), Some(Span::from_millis(250)));
+    }
+}

@@ -567,7 +567,7 @@ mod tests {
 
     #[test]
     fn desk_task_set_is_admissible_by_the_serving_layer() {
-        use rtseed::serve::SessionManager;
+        use rtseed::serve::{SessionManager, Submission};
         use rtseed::{AssignmentPolicy, RunConfig};
         use rtseed_analysis::PartitionHeuristic;
         use rtseed_model::Topology;
@@ -583,7 +583,8 @@ mod tests {
         );
         let desk = desk_task_set("desk", &["EURUSD", "GBPUSD"], 2, Span::from_millis(50))
             .unwrap();
-        mgr.submit("desk", &desk).expect("a light desk is admissible");
+        mgr.submit(Submission::new("desk", desk))
+            .expect("a light desk is admissible");
         let out = mgr.run();
         assert_eq!(out.tenant("desk").unwrap().qos.jobs(), 4);
     }

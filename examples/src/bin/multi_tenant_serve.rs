@@ -15,7 +15,7 @@
 //! artifacts.
 
 use rtseed::obs::{export, TraceConfig};
-use rtseed::serve::SessionManager;
+use rtseed::serve::{SessionManager, Submission};
 use rtseed::{AssignmentPolicy, RunConfig};
 use rtseed_analysis::PartitionHeuristic;
 use rtseed_model::{Span, TaskSpec, Time, Topology};
@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, pair) in symbols.iter().enumerate() {
         let name = format!("desk{i}");
         let tasks = desk_task_set(&name, pair, 3, cadence)?;
-        mgr.submit(&name, &tasks)?;
+        mgr.submit(Submission::new(&name, tasks))?;
     }
     println!(
         "Admitted {} desks ({} tasks), mandatory+wind-up utilization {:.3}",
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .windup(Span::from_millis(35))
         .optional_parts(3, Span::from_millis(10))
         .build()?];
-    match mgr.submit("greedy", &greedy) {
+    match mgr.submit(Submission::new("greedy", greedy)) {
         Ok(_) => unreachable!("a 95 % task must not be admitted next to residents"),
         Err(e) => println!("Desk 'greedy' rejected by admission: {e}"),
     }

@@ -4,10 +4,10 @@
 //! deterministic churn replay.
 
 use rtseed::obs::{export, TraceConfig};
-use rtseed::serve::SessionManager;
+use rtseed::serve::{SessionManager, Submission};
 use rtseed::{AssignmentPolicy, RunConfig};
 use rtseed_analysis::rmwp::RmwpAnalysis;
-use rtseed_analysis::{AdmissionError, PartitionHeuristic};
+use rtseed_analysis::PartitionHeuristic;
 use rtseed_model::{Span, TaskSet, TaskSpec, TenantState, Time, Topology};
 use rtseed_sim::ChurnPlan;
 use rtseed_trading::imprecise::desk_task_set;
@@ -51,7 +51,7 @@ fn rejection_happens_exactly_where_offline_rmwp_fails() {
             candidate.push(spec.clone());
             RmwpAnalysis::analyze(&TaskSet::new(candidate).unwrap())
         };
-        let online = mgr.submit(format!("tenant{k}"), std::slice::from_ref(&spec));
+        let online = mgr.submit(Submission::new(format!("tenant{k}"), std::slice::from_ref(&spec)));
         assert_eq!(
             online.is_ok(),
             offline.is_ok(),
@@ -79,20 +79,17 @@ fn rejection_happens_exactly_where_offline_rmwp_fails() {
 fn eviction_frees_utilization_for_readmission() {
     let mut mgr = uni_manager(2);
     for k in 0..2 {
-        mgr.submit(format!("tenant{k}"), &[brick(&format!("t{k}"))])
+        mgr.submit(Submission::new(format!("tenant{k}"), [brick(&format!("t{k}"))]))
             .unwrap();
     }
     let full = mgr.total_utilization();
-    let err = mgr.submit("third", &[brick("t2")]).unwrap_err();
-    assert!(matches!(
-        err,
-        rtseed::ServeError::Admission(AdmissionError::Unschedulable { .. })
-    ));
+    let err = mgr.submit(Submission::new("third", [brick("t2")])).unwrap_err();
+    assert!(matches!(err, rtseed::ServeError::Unschedulable { .. }));
     assert_eq!(mgr.state_of("third"), Some(TenantState::Rejected));
 
     assert!(mgr.depart("tenant1").is_ok());
     assert!(mgr.total_utilization() < full);
-    mgr.submit("third", &[brick("t2")])
+    mgr.submit(Submission::new("third", [brick("t2")]))
         .expect("eviction freed exactly one brick of utilization");
     assert_eq!(mgr.state_of("third"), Some(TenantState::Admitted));
     assert_eq!(mgr.admitted_tenants(), 2);
@@ -128,7 +125,7 @@ fn eight_trading_desks_one_process() {
             Span::from_millis(50),
         )
         .unwrap();
-        mgr.submit(format!("desk{i}"), &desk).unwrap();
+        mgr.submit(Submission::new(format!("desk{i}"), desk)).unwrap();
     }
     assert_eq!(mgr.admitted_tenants(), 8);
 
@@ -139,7 +136,7 @@ fn eight_trading_desks_one_process() {
         .windup(Span::from_millis(35))
         .build()
         .unwrap()];
-    assert!(mgr.submit("greedy", &greedy).is_err());
+    assert!(mgr.submit(Submission::new("greedy", greedy)).is_err());
 
     let out = mgr.run();
     assert_eq!(out.counters.admissions, 8);

@@ -1,0 +1,305 @@
+//! Differential tests for tenant-scale admission: the sharded,
+//! incremental admission engine must reach **bit-identical** decisions to
+//! the monolithic full-RTA oracle.
+//!
+//! Three layers of evidence:
+//!
+//! * **Controller-level proptest**: arbitrary admit/evict interleavings
+//!   with random task shapes and floors, replayed in lockstep through the
+//!   full-RTA controller, the incremental controller and the sharded
+//!   wrapper — every per-step decision, every resident optional deadline
+//!   and the exact utilization bits must agree.
+//! * **Serving-level proptest**: seeded chaos scenarios (churn × fault
+//!   storms × queued bursts × shedding ladder) replayed under the
+//!   incremental sharded engine (any shard count, parallel rounds on or
+//!   off) and under the full-RTA oracle — byte-identical JSONL traces and
+//!   identical per-tenant outcomes.
+//! * **Fixed scenarios** CI always runs: a shed → restore round trip with
+//!   SLA floors (exercising bounded plans and eviction invalidation), and
+//!   a fixed-seed sweep over engine configurations.
+
+use proptest::prelude::*;
+use rtseed::obs::{export, TraceConfig};
+use rtseed::serve::{AdmissionConfig, GracefulConfig, SessionManager};
+use rtseed::{AssignmentPolicy, RunConfig, ServeCounters};
+use rtseed_analysis::{AdmissionController, PartitionHeuristic, ShardedAdmission};
+use rtseed_bench::chaos::run_chaos_with_admission;
+use rtseed_model::{QosFloor, Span, TaskSpec, Time, Topology};
+use rtseed_sim::{ChaosConfig, ChurnPlan};
+
+/// Zero the analysis-cost telemetry that legitimately differs between
+/// engines (cache hit/miss counts, shard-placement bookkeeping). Every
+/// *decision* counter must still match exactly.
+fn sans_analysis(mut c: ServeCounters) -> ServeCounters {
+    c.rta_cache_hits = 0;
+    c.rta_cache_misses = 0;
+    c.cross_shard_admissions = 0;
+    c
+}
+
+fn task(name: &str, period_ms: u64, m_ms: u64, w_ms: u64) -> TaskSpec {
+    TaskSpec::builder(name)
+        .period(Span::from_millis(period_ms))
+        .mandatory(Span::from_millis(m_ms))
+        .windup(Span::from_millis(w_ms))
+        .optional_parts(1, Span::from_millis(5))
+        .build()
+        .expect("demands stay below the period")
+}
+
+const PERIODS_MS: [u64; 5] = [20, 25, 40, 50, 100];
+
+/// One step of a controller interleaving, decoded from proptest-chosen
+/// integers so the same script drives all three engines.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: u8,       // 0/1: admit 1/2 tasks; 2: evict oldest; 3: evict newest
+    period_idx: u8, // into PERIODS_MS
+    m_ms: u64,
+    w_ms: u64,
+    floored: bool,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary submit/evict interleavings: the incremental controller
+    /// and the sharded wrapper agree with the full-RTA oracle on every
+    /// admit/reject decision, every granted and shed optional deadline,
+    /// and the exact (bit-for-bit) utilization accumulator.
+    #[test]
+    fn controllers_agree_over_arbitrary_interleavings(
+        ops in prop::collection::vec(
+            (0u8..4, 0u8..5, 2u64..7, 1u64..5, any::<bool>()),
+            1..28,
+        ),
+        shards in prop_oneof![Just(1u32), Just(2u32), Just(4u32), Just(8u32)],
+    ) {
+        let heuristic = PartitionHeuristic::WorstFitDecreasing;
+        let mut full = AdmissionController::with_mode(8, heuristic, true);
+        let mut inc = AdmissionController::with_mode(8, heuristic, false);
+        let mut shd = ShardedAdmission::new(8, heuristic, shards, false);
+        let mut admitted: Vec<Vec<rtseed_analysis::TaskKey>> = Vec::new();
+
+        for (i, &(kind, period_idx, m_ms, w_ms, floored)) in ops.iter().enumerate() {
+            let op = Op { kind, period_idx, m_ms, w_ms, floored };
+            match op.kind {
+                0 | 1 => {
+                    let n = 1 + op.kind as usize;
+                    let tasks: Vec<TaskSpec> = (0..n)
+                        .map(|j| task(
+                            &format!("t{i}/{j}"),
+                            PERIODS_MS[op.period_idx as usize],
+                            op.m_ms,
+                            op.w_ms,
+                        ))
+                        .collect();
+                    let floors = if op.floored {
+                        vec![QosFloor::fraction(0.5); n]
+                    } else {
+                        Vec::new()
+                    };
+                    let a = full.try_admit_bounded(&tasks, &floors, &[]);
+                    let b = inc.try_admit_bounded(&tasks, &floors, &[]);
+                    let c = shd.try_admit_bounded(&tasks, &floors, &[]);
+                    prop_assert_eq!(a.is_ok(), b.is_ok(), "op {}: full vs incremental", i);
+                    prop_assert_eq!(a.is_ok(), c.is_ok(), "op {}: full vs sharded", i);
+                    if let (Ok(a), Ok(b), Ok(c)) = (a, b, c) {
+                        prop_assert_eq!(&a.tasks, &b.tasks, "op {}", i);
+                        prop_assert_eq!(&a.tasks, &c.tasks, "op {}", i);
+                        prop_assert_eq!(&a.od_updates, &b.od_updates, "op {}", i);
+                        prop_assert_eq!(&a.od_updates, &c.od_updates, "op {}", i);
+                        admitted.push(a.tasks.iter().map(|t| t.key).collect());
+                    }
+                }
+                2 | 3 => {
+                    if admitted.is_empty() {
+                        continue;
+                    }
+                    let idx = if op.kind == 2 { 0 } else { admitted.len() - 1 };
+                    let keys = admitted.remove(idx);
+                    let a = full.evict(&keys);
+                    let b = inc.evict(&keys);
+                    let c = shd.evict(&keys);
+                    prop_assert_eq!(&a, &b, "op {}: eviction updates diverge", i);
+                    prop_assert_eq!(&a, &c, "op {}: eviction updates diverge", i);
+                }
+                _ => unreachable!(),
+            }
+            let mut ra = full.resident_ods();
+            let mut rb = inc.resident_ods();
+            let mut rc = shd.resident_ods();
+            ra.sort();
+            rb.sort();
+            rc.sort();
+            prop_assert_eq!(&ra, &rb, "op {}: resident ODs diverge", i);
+            prop_assert_eq!(&ra, &rc, "op {}: resident ODs diverge", i);
+            prop_assert_eq!(
+                full.total_utilization().to_bits(),
+                inc.total_utilization().to_bits(),
+                "op {}: utilization bits diverge", i
+            );
+            prop_assert_eq!(
+                full.total_utilization().to_bits(),
+                shd.total_utilization().to_bits(),
+                "op {}: utilization bits diverge", i
+            );
+        }
+        // The oracle never caches; the incremental engines must have
+        // actually exercised the cache on any admitting script.
+        prop_assert_eq!(full.cache_stats().hits, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Full serving-layer scenarios: any chaos seed, any shard count,
+    /// parallel rounds on or off — the run is byte-identical to the
+    /// monolithic full-RTA oracle's.
+    #[test]
+    fn serving_runs_match_the_full_rta_oracle(
+        seed in 0u64..256,
+        shards in prop_oneof![Just(1u32), Just(2u32), Just(8u32)],
+        parallel in any::<bool>(),
+    ) {
+        let cfg = ChaosConfig::quick();
+        let oracle = run_chaos_with_admission(&cfg, seed, 8, AdmissionConfig {
+            shards: 1,
+            parallel_rounds: false,
+            full_rta: true,
+        });
+        let fast = run_chaos_with_admission(&cfg, seed, 8, AdmissionConfig {
+            shards,
+            parallel_rounds: parallel,
+            full_rta: false,
+        });
+        prop_assert_eq!(&oracle.trace_jsonl, &fast.trace_jsonl);
+        prop_assert_eq!(oracle.out.tenants.len(), fast.out.tenants.len());
+        for (a, b) in oracle.out.tenants.iter().zip(&fast.out.tenants) {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.state, b.state);
+            prop_assert_eq!(&a.qos, &b.qos);
+        }
+        prop_assert_eq!(
+            sans_analysis(oracle.out.counters),
+            sans_analysis(fast.out.counters)
+        );
+    }
+}
+
+/// The fixed engine configurations CI always exercises, decoupled from
+/// proptest's RNG: every (shards, parallel) point reproduces the oracle's
+/// trace bytes on the gate seeds.
+#[test]
+fn fixed_seeds_are_oracle_identical_for_every_engine_config() {
+    let cfg = ChaosConfig::quick();
+    for seed in 0..3 {
+        let oracle = run_chaos_with_admission(
+            &cfg,
+            seed,
+            8,
+            AdmissionConfig {
+                shards: 1,
+                parallel_rounds: false,
+                full_rta: true,
+            },
+        );
+        for &(shards, parallel) in &[(1u32, false), (4, false), (8, true)] {
+            let fast = run_chaos_with_admission(
+                &cfg,
+                seed,
+                8,
+                AdmissionConfig {
+                    shards,
+                    parallel_rounds: parallel,
+                    full_rta: false,
+                },
+            );
+            assert_eq!(
+                oracle.trace_jsonl, fast.trace_jsonl,
+                "seed {seed}, shards {shards}, parallel {parallel}: trace bytes diverge"
+            );
+            assert_eq!(
+                sans_analysis(oracle.out.counters),
+                sans_analysis(fast.out.counters),
+            );
+        }
+    }
+}
+
+/// A shed → restore round trip with SLA floors — the path that stresses
+/// cache invalidation hardest (bounded ladder plans, floor re-anchoring,
+/// eviction, hysteresis-deferred restores) — is byte-identical under the
+/// incremental sharded engine.
+#[test]
+fn shed_restore_round_trip_is_oracle_identical() {
+    let plan = || {
+        let mut plan = ChurnPlan::new().submit(
+            Time::ZERO,
+            "survivor",
+            vec![task("s/0", 50, 5, 3)],
+            QosFloor::fraction(0.6),
+            Span::from_millis(200),
+        );
+        for k in 0..6 {
+            plan = plan.submit(
+                Time::from_nanos(10_000_000),
+                format!("i{k}"),
+                vec![
+                    task(&format!("i{k}/0"), 40, 6, 4),
+                    task(&format!("i{k}/1"), 50, 6, 4),
+                ],
+                QosFloor::none(),
+                Span::from_millis(200),
+            );
+        }
+        for k in 0..6 {
+            plan = plan.depart(Time::from_nanos(300_000_000), format!("i{k}"));
+        }
+        plan
+    };
+    let run = |admission: AdmissionConfig| {
+        let run = RunConfig {
+            jobs: 12,
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        };
+        let graceful = GracefulConfig {
+            restore_hysteresis: Span::from_millis(50),
+            admission,
+            ..GracefulConfig::default()
+        };
+        SessionManager::with_graceful(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            run,
+            graceful,
+        )
+        .run_with_churn(&plan())
+    };
+    let oracle = run(AdmissionConfig {
+        shards: 1,
+        parallel_rounds: false,
+        full_rta: true,
+    });
+    let fast = run(AdmissionConfig {
+        shards: 8,
+        parallel_rounds: true,
+        full_rta: false,
+    });
+    assert_eq!(
+        export::jsonl(&oracle.outcome.trace),
+        export::jsonl(&fast.outcome.trace)
+    );
+    assert_eq!(oracle.outcome.qos, fast.outcome.qos);
+    assert_eq!(
+        sans_analysis(oracle.counters),
+        sans_analysis(fast.counters)
+    );
+    // The scenario actually shed and restored somebody, and the fast
+    // engine actually reused cached bin analyses along the way.
+    assert!(oracle.counters.qos_sheds > 0, "scenario never exercised the ladder");
+    assert!(fast.counters.rta_cache_hits > 0, "cache never hit");
+}
