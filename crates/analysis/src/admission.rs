@@ -241,6 +241,52 @@ impl AdmissionPlan {
     }
 }
 
+/// A validated batched-eviction plan, produced read-only by
+/// [`AdmissionController::plan_evict`] (or assembled from per-bin
+/// [`AdmissionController::plan_evict_bin`] results computed on worker
+/// threads) and applied by [`AdmissionController::commit_evict`].
+///
+/// Eviction planning is **per-bin independent**: removing a set of keys
+/// only changes the response-time fixpoints of the bins that actually
+/// hosted one of them, and each touched bin's survivor analysis reads
+/// nothing outside the bin. A depart-storm can therefore fan the touched
+/// bins out across scoped threads — the serving layer's parallel
+/// admission-round machinery reuses exactly this split — and the
+/// sequential commit assembles results in ascending bin order, so the
+/// [`OdUpdate`]s are identical to the single-threaded eviction.
+///
+/// A plan is only valid against the controller state it was computed
+/// from: any intervening admit or evict invalidates it (enforced by
+/// debug assertions at commit).
+#[derive(Debug, Clone)]
+pub struct EvictPlan {
+    /// Per touched bin, ascending: the bin index and its survivors'
+    /// recomputed optional deadlines (survivor order = bin order after
+    /// the keys are removed).
+    bins: Vec<(usize, Vec<Span>)>,
+}
+
+impl EvictPlan {
+    /// Assembles a plan from per-bin results (any order); `parts` must
+    /// hold exactly one entry per touched bin, as returned by
+    /// [`AdmissionController::plan_evict_bin`] for the bins
+    /// [`AdmissionController::evict_touched_bins`] reported.
+    pub fn assemble(mut parts: Vec<(usize, Vec<Span>)>) -> EvictPlan {
+        parts.sort_unstable_by_key(|(b, _)| *b);
+        EvictPlan { bins: parts }
+    }
+
+    /// The touched bins, ascending.
+    pub fn touched_bins(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bins.iter().map(|(b, _)| *b)
+    }
+
+    /// Whether no bin is touched (evicting unknown keys only).
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+}
+
 /// Online admission controller: the per-hardware-thread bins of the
 /// offline [`crate::Partition`], kept alive between decisions.
 ///
@@ -633,37 +679,97 @@ impl AdmissionController {
     /// Evicts `keys` (unknown keys are ignored) and returns the optional
     /// deadlines that grew for the remaining residents of the vacated
     /// threads.
+    ///
+    /// Implemented as [`AdmissionController::plan_evict`] followed by
+    /// [`AdmissionController::commit_evict`]; callers who want to plan a
+    /// depart-storm's touched bins concurrently use the split directly.
     pub fn evict(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
-        if self.full_rta {
-            let old_ods = self.snapshot_all();
-            for bin in 0..self.bins.len() {
-                let before = self.bins[bin].len();
-                self.bins[bin].retain(|e| !keys.contains(&e.key));
-                if self.bins[bin].len() != before {
-                    self.bin_util[bin] =
-                        self.bins[bin].iter().map(|e| e.spec.utilization()).sum();
+        let plan = self.plan_evict(keys);
+        self.commit_evict(keys, &plan)
+    }
+
+    /// The bins an eviction of `keys` must re-analyze: every bin hosting
+    /// one of the keys — plus, in full-RTA oracle mode, every non-empty
+    /// bin (the monolithic cost profile recomputes everything).
+    /// Ascending.
+    pub fn evict_touched_bins(&self, keys: &[TaskKey]) -> Vec<usize> {
+        (0..self.bins.len())
+            .filter(|&b| {
+                if self.full_rta {
+                    !self.bins[b].is_empty()
+                } else {
+                    self.bins[b].iter().any(|e| keys.contains(&e.key))
                 }
-            }
-            let new_ods = self.snapshot_all();
-            return od_deltas(&old_ods, &new_ods);
-        }
-        let touched: Vec<usize> = (0..self.bins.len())
-            .filter(|&b| self.bins[b].iter().any(|e| keys.contains(&e.key)))
+            })
+            .collect()
+    }
+
+    /// Recomputes one touched bin's survivor optional deadlines without
+    /// mutating the controller: the RMWP fixpoint over the bin's
+    /// population minus `keys`. Read-only (`&self`), so a batch's
+    /// touched bins can be planned concurrently on scoped threads.
+    pub fn plan_evict_bin(&self, bin: usize, keys: &[TaskKey]) -> (usize, Vec<Span>) {
+        let survivors: Vec<Entry> = self.bins[bin]
+            .iter()
+            .filter(|e| !keys.contains(&e.key))
+            .cloned()
             .collect();
+        let ods = if survivors.is_empty() {
+            Vec::new()
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            bin_rta(&survivors, &[], None)
+                .expect("resident bins were admitted incrementally")
+        };
+        (bin, ods)
+    }
+
+    /// Plans the eviction of `keys` sequentially:
+    /// [`AdmissionController::plan_evict_bin`] over every touched bin.
+    pub fn plan_evict(&self, keys: &[TaskKey]) -> EvictPlan {
+        EvictPlan::assemble(
+            self.evict_touched_bins(keys)
+                .into_iter()
+                .map(|b| self.plan_evict_bin(b, keys))
+                .collect(),
+        )
+    }
+
+    /// Applies a planned eviction: removes `keys`, installs the plan's
+    /// survivor ODs (memoizing them in incremental mode), and returns
+    /// the deltas against the pre-eviction ODs of the touched bins.
+    ///
+    /// `plan` must have been computed from the current controller state
+    /// with the same `keys` (debug-asserted).
+    pub fn commit_evict(&mut self, keys: &[TaskKey], plan: &EvictPlan) -> Vec<OdUpdate> {
+        debug_assert_eq!(
+            plan.touched_bins().collect::<Vec<_>>(),
+            self.evict_touched_bins(keys),
+            "eviction plan is stale"
+        );
         let mut old = Vec::new();
-        for &b in &touched {
-            let ods = self.cached_bin_ods(b);
+        for &(b, _) in &plan.bins {
+            let ods = if self.full_rta {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                bin_rta(&self.bins[b], &[], None)
+                    .expect("resident bins were admitted incrementally")
+            } else {
+                self.cached_bin_ods(b)
+            };
             old.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
         }
-        for &b in &touched {
-            self.bins[b].retain(|e| !keys.contains(&e.key));
-            self.bin_util[b] = self.bins[b].iter().map(|e| e.spec.utilization()).sum();
-            self.od_cache[b] = None;
-        }
         let mut new = Vec::new();
-        for &b in &touched {
-            let ods = self.recompute_bin_ods(b);
-            new.extend(self.bins[b].iter().map(|e| e.key).zip(ods));
+        for (b, ods) in &plan.bins {
+            let before = self.bins[*b].len();
+            self.bins[*b].retain(|e| !keys.contains(&e.key));
+            if self.bins[*b].len() != before {
+                self.bin_util[*b] = self.bins[*b].iter().map(|e| e.spec.utilization()).sum();
+            }
+            debug_assert_eq!(self.bins[*b].len(), ods.len(), "eviction plan is stale");
+            if !self.full_rta {
+                self.od_cache[*b] = Some(ods.clone());
+            }
+            new.extend(self.bins[*b].iter().map(|e| e.key).zip(ods.iter().copied()));
         }
         od_deltas(&old, &new)
     }

@@ -53,7 +53,7 @@ pub mod taskgen;
 
 pub use admission::{
     Admission, AdmissionCacheStats, AdmissionController, AdmissionError, AdmissionPlan,
-    AdmittedTask, OdUpdate, TaskKey,
+    AdmittedTask, EvictPlan, OdUpdate, TaskKey,
 };
 pub use shard::{ShardPlan, ShardedAdmission};
 pub use partition::{Partition, PartitionError, PartitionHeuristic};

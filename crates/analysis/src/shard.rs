@@ -36,7 +36,7 @@ use rtseed_model::{HwThreadId, QosFloor, Span, TaskSpec};
 
 use crate::admission::{
     Admission, AdmissionCacheStats, AdmissionController, AdmissionError, AdmissionPlan,
-    OdUpdate, TaskKey,
+    EvictPlan, OdUpdate, TaskKey,
 };
 use crate::partition::PartitionHeuristic;
 
@@ -223,6 +223,32 @@ impl ShardedAdmission {
     /// Evicts `keys` (see [`AdmissionController::evict`]).
     pub fn evict(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
         self.ctl.evict(keys)
+    }
+
+    /// The bins a batched eviction must re-analyze (see
+    /// [`AdmissionController::evict_touched_bins`]). The serving layer
+    /// stripes these across scoped planning threads.
+    pub fn evict_touched_bins(&self, keys: &[TaskKey]) -> Vec<usize> {
+        self.ctl.evict_touched_bins(keys)
+    }
+
+    /// Plans one touched bin of a batched eviction; read-only, so
+    /// disjoint bins can be planned concurrently (see
+    /// [`AdmissionController::plan_evict_bin`]).
+    pub fn plan_evict_bin(&self, bin: usize, keys: &[TaskKey]) -> (usize, Vec<Span>) {
+        self.ctl.plan_evict_bin(bin, keys)
+    }
+
+    /// Plans the whole eviction sequentially (see
+    /// [`AdmissionController::plan_evict`]).
+    pub fn plan_evict(&self, keys: &[TaskKey]) -> EvictPlan {
+        self.ctl.plan_evict(keys)
+    }
+
+    /// Commits a planned eviction (see
+    /// [`AdmissionController::commit_evict`]).
+    pub fn commit_evict(&mut self, keys: &[TaskKey], plan: &EvictPlan) -> Vec<OdUpdate> {
+        self.ctl.commit_evict(keys, plan)
     }
 
     /// See [`AdmissionController::fits_empty`].

@@ -17,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod mcbench;
 
 use rtseed::config::SystemConfig;
 use rtseed::exec_sim::SimExecutor;

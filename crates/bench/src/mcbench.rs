@@ -1,0 +1,674 @@
+//! `mcbench` — parallel Monte-Carlo experiment engine.
+//!
+//! The paper's evaluation is a handful of hand-picked topology × task-set
+//! points; the statistical extension (ROADMAP item 3) sweeps thousands of
+//! seeded `(topology × task-set × fault-plan × policy)` simulations across
+//! a worker pool and aggregates schedulability-heatmap grids
+//! (utilisation × np × policy, per-cell success rate and QoS
+//! percentiles). The same harness hosts the semi-partitioned /
+//! semi-federated admissible-utilisation ablations (PAPERS.md).
+//!
+//! # Determinism contract
+//!
+//! The sweep is **byte-identical on 1 or N workers**:
+//!
+//! * every run's seeds are *pure* in `(sweep seed, run id)` — a
+//!   [splitmix64](https://prng.di.unimi.it/splitmix64.c) mix, never
+//!   worker-local generator state;
+//! * workers pull run ids from an atomic counter (dynamic load balance)
+//!   but results are keyed by run id and merged **order-independently**,
+//!   then emitted canonically sorted;
+//! * every summary field is integer-valued (nanoseconds, parts-per-million,
+//!   counts), so no float formatting can diverge;
+//! * each worker owns one [`ExecutorScratch`] reused across its whole run
+//!   queue — `run_with_scratch` is bit-identical to a fresh executor (the
+//!   scratch-reuse proptest in `tests/tests/mcbench.rs` is the license
+//!   for this).
+//!
+//! [`canonical_json`] over the merged result is therefore the
+//! determinism witness: `workers = 1` and `workers = N` produce the same
+//! bytes, which the `mcbench` binary and the differential suite both
+//! enforce.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rtseed::config::SystemConfig;
+use rtseed::exec_sim::{ExecutorScratch, SimExecutor};
+use rtseed::executor::RunConfig;
+use rtseed::policy::AssignmentPolicy;
+use rtseed::serve::AdmissionConfig;
+use rtseed_analysis::taskgen::{generate, TaskGenConfig};
+use rtseed_model::{Span, Topology};
+use rtseed_sim::{ChaosConfig, FaultPlan, FaultTarget, RandomOverruns};
+
+use crate::chaos::{check_invariants, run_chaos_with_admission};
+
+/// One level of the sweep's fault dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLevel {
+    /// Healthy machine: no fault plan.
+    None,
+    /// Seeded random WCET overruns on the mandatory parts, supervisor
+    /// armed.
+    Overruns,
+}
+
+impl FaultLevel {
+    fn label(self) -> &'static str {
+        match self {
+            FaultLevel::None => "none",
+            FaultLevel::Overruns => "overruns",
+        }
+    }
+}
+
+/// The sweep grid: the cross product of the axes times
+/// [`runs_per_cell`](SweepConfig::runs_per_cell) seeded repetitions,
+/// plus [`chaos_cells`](SweepConfig::chaos_cells) full serving-layer
+/// chaos scenarios embedded as extra cells.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Root seed; every run seed is pure in `(seed, run id)`.
+    pub seed: u64,
+    /// Topology for every simulation cell (cores, smt).
+    pub cores: u32,
+    /// SMT width.
+    pub smt: u32,
+    /// Task-set sizes are fixed; the utilisation axis sweeps the total
+    /// task-set utilisation across the whole topology.
+    pub tasks: usize,
+    /// Utilisation axis (total task-set utilisation).
+    pub utils: Vec<f64>,
+    /// np axis: upper bound on optional parts per task.
+    pub nps: Vec<usize>,
+    /// Policy axis.
+    pub policies: Vec<AssignmentPolicy>,
+    /// Fault-plan axis.
+    pub faults: Vec<FaultLevel>,
+    /// Seeded repetitions per cell.
+    pub runs_per_cell: usize,
+    /// Jobs per task per run.
+    pub jobs: u64,
+    /// Serving-layer chaos scenarios appended as extra cells.
+    pub chaos_cells: usize,
+}
+
+impl SweepConfig {
+    /// The full heatmap grid (hundreds of runs).
+    pub fn full(seed: u64) -> SweepConfig {
+        SweepConfig {
+            seed,
+            cores: 4,
+            smt: 2,
+            tasks: 8,
+            utils: vec![2.0, 3.2, 4.8, 6.4],
+            nps: vec![2, 4, 8],
+            policies: vec![AssignmentPolicy::OneByOne, AssignmentPolicy::AllByAll],
+            faults: vec![FaultLevel::None, FaultLevel::Overruns],
+            runs_per_cell: 8,
+            jobs: 100,
+            chaos_cells: 4,
+        }
+    }
+
+    /// A reduced grid for CI smoke runs and the differential suite.
+    pub fn quick(seed: u64) -> SweepConfig {
+        SweepConfig {
+            seed,
+            cores: 4,
+            smt: 2,
+            tasks: 6,
+            utils: vec![2.0, 4.8],
+            nps: vec![2, 4],
+            policies: vec![AssignmentPolicy::OneByOne],
+            faults: vec![FaultLevel::None, FaultLevel::Overruns],
+            runs_per_cell: 2,
+            jobs: 10,
+            chaos_cells: 1,
+        }
+    }
+
+    /// Number of simulation runs (excluding chaos cells).
+    pub fn sim_runs(&self) -> usize {
+        self.utils.len()
+            * self.nps.len()
+            * self.policies.len()
+            * self.faults.len()
+            * self.runs_per_cell
+    }
+
+    /// Total runs including chaos cells.
+    pub fn total_runs(&self) -> usize {
+        self.sim_runs() + self.chaos_cells
+    }
+}
+
+/// splitmix64: the canonical 64-bit seed mixer. Pure, so run seeds
+/// depend only on `(sweep seed, run id)` — never on worker scheduling.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a 64 over a byte string — the trace-byte witness carried by
+/// chaos cells (the full JSONL would bloat the canonical output).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One expanded unit of work.
+#[derive(Debug, Clone)]
+enum RunSpec {
+    Sim {
+        util_idx: usize,
+        np_idx: usize,
+        policy_idx: usize,
+        fault_idx: usize,
+    },
+    Chaos {
+        chaos_idx: usize,
+    },
+}
+
+/// Per-run summary — the streamed record of the sweep's stable JSON
+/// schema. Every field is integer-valued so canonical emission is
+/// byte-stable across hosts and worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Linear run id (position in the expanded grid).
+    pub run_id: usize,
+    /// `"sim"` or `"chaos"`.
+    pub kind: &'static str,
+    /// Cell label, e.g. `u3.2_np4_one-by-one_overruns` or `chaos0`.
+    pub cell: String,
+    /// The run's own seed (pure in the sweep seed and `run_id`).
+    pub seed: u64,
+    /// Whether the task set passed partitioning + priority assignment.
+    pub schedulable: bool,
+    /// Simulation events processed (0 for unschedulable runs).
+    pub events: u64,
+    /// Jobs executed.
+    pub jobs: u64,
+    /// Mandatory deadline misses.
+    pub deadline_misses: u64,
+    /// Mean achieved QoS in parts-per-million of requested.
+    pub qos_mean_ppm: u64,
+    /// Response-time p50 bucket bound, nanoseconds.
+    pub response_p50_ns: u64,
+    /// Response-time p99 bucket bound, nanoseconds.
+    pub response_p99_ns: u64,
+    /// Largest response time, nanoseconds.
+    pub response_max_ns: u64,
+    /// Chaos cells: FNV-1a 64 of the JSONL trace (0 for sim runs).
+    pub trace_hash: u64,
+    /// Chaos cells: graceful-degradation invariant violations.
+    pub violations: u64,
+}
+
+/// One aggregated heatmap cell: success rate and QoS percentiles over
+/// the cell's seeded repetitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSummary {
+    /// Cell label (same naming as [`RunSummary::cell`]).
+    pub cell: String,
+    /// Utilisation level in parts-per-million (axis value × 10⁶).
+    pub util_ppm: u64,
+    /// np axis value.
+    pub np: usize,
+    /// Policy label.
+    pub policy: String,
+    /// Fault level label.
+    pub fault: &'static str,
+    /// Repetitions aggregated.
+    pub runs: usize,
+    /// Runs that were schedulable (admitted by partition + priority
+    /// assignment).
+    pub schedulable: usize,
+    /// Runs that were schedulable *and* missed no mandatory deadline.
+    pub success: usize,
+    /// Median of the per-run mean QoS (ppm) across schedulable runs.
+    pub qos_p50_ppm: u64,
+    /// 90th percentile of per-run mean QoS (ppm); 0 when no run was
+    /// schedulable.
+    pub qos_p90_ppm: u64,
+}
+
+/// The merged, canonically ordered sweep result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepResult {
+    /// Per-run summaries sorted by `run_id`.
+    pub runs: Vec<RunSummary>,
+    /// Heatmap cells in grid order (util-major, then np, policy, fault).
+    pub cells: Vec<CellSummary>,
+    /// Total simulation events across all runs.
+    pub total_events: u64,
+}
+
+/// Per-worker execution statistics (timing side; *not* part of the
+/// canonical result).
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Runs this worker executed.
+    pub runs: usize,
+    /// Events this worker processed.
+    pub events: u64,
+    /// Busy wall-clock, milliseconds.
+    pub busy_ms: f64,
+}
+
+/// A timed sweep execution: the canonical [`SweepResult`] plus the
+/// measurement side.
+#[derive(Debug, Clone)]
+pub struct SweepRun {
+    /// The canonical result (identical for any worker count).
+    pub result: SweepResult,
+    /// Worker count used.
+    pub workers: usize,
+    /// End-to-end wall-clock, milliseconds.
+    pub wall_ms: f64,
+    /// Per-worker stats, in worker order.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+fn expand(cfg: &SweepConfig) -> Vec<RunSpec> {
+    let mut specs = Vec::with_capacity(cfg.total_runs());
+    for util_idx in 0..cfg.utils.len() {
+        for np_idx in 0..cfg.nps.len() {
+            for policy_idx in 0..cfg.policies.len() {
+                for fault_idx in 0..cfg.faults.len() {
+                    for _rep in 0..cfg.runs_per_cell {
+                        specs.push(RunSpec::Sim {
+                            util_idx,
+                            np_idx,
+                            policy_idx,
+                            fault_idx,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    for chaos_idx in 0..cfg.chaos_cells {
+        specs.push(RunSpec::Chaos { chaos_idx });
+    }
+    specs
+}
+
+fn policy_label(policy: AssignmentPolicy) -> String {
+    format!("{policy}")
+}
+
+fn cell_label(cfg: &SweepConfig, util_idx: usize, np_idx: usize, policy_idx: usize, fault_idx: usize) -> String {
+    format!(
+        "u{:.1}_np{}_{}_{}",
+        cfg.utils[util_idx],
+        cfg.nps[np_idx],
+        policy_label(cfg.policies[policy_idx]),
+        cfg.faults[fault_idx].label()
+    )
+}
+
+/// Executes one run of the sweep. Public so the differential suite can
+/// replay individual cells against the pooled path; `scratch` is the
+/// worker's reusable arena.
+pub fn execute_run(
+    cfg: &SweepConfig,
+    run_id: usize,
+    scratch: &mut ExecutorScratch,
+) -> RunSummary {
+    let specs = expand(cfg);
+    execute_spec(cfg, run_id, &specs[run_id], scratch)
+}
+
+fn execute_spec(
+    cfg: &SweepConfig,
+    run_id: usize,
+    spec: &RunSpec,
+    scratch: &mut ExecutorScratch,
+) -> RunSummary {
+    let seed = splitmix64(cfg.seed ^ splitmix64(run_id as u64));
+    match *spec {
+        RunSpec::Sim {
+            util_idx,
+            np_idx,
+            policy_idx,
+            fault_idx,
+        } => {
+            let cell = cell_label(cfg, util_idx, np_idx, policy_idx, fault_idx);
+            let set = generate(
+                &TaskGenConfig {
+                    tasks: cfg.tasks,
+                    total_utilization: cfg.utils[util_idx],
+                    period_min: Span::from_millis(10),
+                    period_max: Span::from_millis(500),
+                    optional_parts: (0, cfg.nps[np_idx]),
+                    ..TaskGenConfig::default()
+                },
+                seed,
+            );
+            let topo = Topology::new(cfg.cores, cfg.smt).expect("non-degenerate sweep topology");
+            let Ok(sys) = SystemConfig::build(set, topo, cfg.policies[policy_idx]) else {
+                // Not schedulable at this utilisation: a heatmap data
+                // point, not an error.
+                return RunSummary {
+                    run_id,
+                    kind: "sim",
+                    cell,
+                    seed,
+                    schedulable: false,
+                    events: 0,
+                    jobs: 0,
+                    deadline_misses: 0,
+                    qos_mean_ppm: 0,
+                    response_p50_ns: 0,
+                    response_p99_ns: 0,
+                    response_max_ns: 0,
+                    trace_hash: 0,
+                    violations: 0,
+                };
+            };
+            let fault_plan = match cfg.faults[fault_idx] {
+                FaultLevel::None => FaultPlan::none(),
+                FaultLevel::Overruns => {
+                    FaultPlan::new(splitmix64(seed)).with_random_overruns(RandomOverruns {
+                        probability: 0.05,
+                        min_factor: 1.2,
+                        max_factor: 2.0,
+                        target: FaultTarget::Mandatory,
+                    })
+                }
+            };
+            let supervisor = match cfg.faults[fault_idx] {
+                FaultLevel::None => rtseed::supervisor::SupervisorConfig::default(),
+                FaultLevel::Overruns => rtseed::supervisor::SupervisorConfig::armed(),
+            };
+            let run = RunConfig {
+                jobs: cfg.jobs,
+                seed,
+                fault_plan,
+                supervisor,
+                ..RunConfig::default()
+            };
+            let out = SimExecutor::new(sys, run).run_with_scratch(scratch);
+            let resp = out.metrics.response_time();
+            RunSummary {
+                run_id,
+                kind: "sim",
+                cell,
+                seed,
+                schedulable: true,
+                events: out.events_processed,
+                jobs: out.qos.jobs(),
+                deadline_misses: out.qos.deadline_misses(),
+                qos_mean_ppm: out.metrics.qos_level().mean(),
+                response_p50_ns: resp.quantile_bound(0.5),
+                response_p99_ns: resp.quantile_bound(0.99),
+                response_max_ns: resp.max(),
+                trace_hash: 0,
+                violations: 0,
+            }
+        }
+        RunSpec::Chaos { chaos_idx } => {
+            let chaos = run_chaos_with_admission(
+                &ChaosConfig::quick(),
+                seed,
+                8,
+                AdmissionConfig::default(),
+            );
+            let violations = check_invariants(&chaos).len() as u64;
+            let resp = chaos.out.outcome.metrics.response_time();
+            RunSummary {
+                run_id,
+                kind: "chaos",
+                cell: format!("chaos{chaos_idx}"),
+                seed,
+                schedulable: true,
+                events: chaos.out.outcome.events_processed,
+                jobs: chaos.out.outcome.qos.jobs(),
+                deadline_misses: chaos.out.outcome.qos.deadline_misses(),
+                qos_mean_ppm: chaos.out.outcome.metrics.qos_level().mean(),
+                response_p50_ns: resp.quantile_bound(0.5),
+                response_p99_ns: resp.quantile_bound(0.99),
+                response_max_ns: resp.max(),
+                trace_hash: fnv1a64(chaos.trace_jsonl.as_bytes()),
+                violations,
+            }
+        }
+    }
+}
+
+fn aggregate(cfg: &SweepConfig, runs: &[RunSummary]) -> Vec<CellSummary> {
+    let mut cells = Vec::new();
+    let mut run_iter = runs.iter();
+    for util_idx in 0..cfg.utils.len() {
+        for np_idx in 0..cfg.nps.len() {
+            for policy_idx in 0..cfg.policies.len() {
+                for fault_idx in 0..cfg.faults.len() {
+                    let reps: Vec<&RunSummary> =
+                        run_iter.by_ref().take(cfg.runs_per_cell).collect();
+                    let schedulable = reps.iter().filter(|r| r.schedulable).count();
+                    let success = reps
+                        .iter()
+                        .filter(|r| r.schedulable && r.deadline_misses == 0)
+                        .count();
+                    let mut qos: Vec<u64> = reps
+                        .iter()
+                        .filter(|r| r.schedulable)
+                        .map(|r| r.qos_mean_ppm)
+                        .collect();
+                    qos.sort_unstable();
+                    let pct = |p: f64| -> u64 {
+                        if qos.is_empty() {
+                            return 0;
+                        }
+                        let rank = ((qos.len() as f64) * p).ceil().max(1.0) as usize;
+                        qos[rank.min(qos.len()) - 1]
+                    };
+                    cells.push(CellSummary {
+                        cell: cell_label(cfg, util_idx, np_idx, policy_idx, fault_idx),
+                        util_ppm: (cfg.utils[util_idx] * 1e6).round() as u64,
+                        np: cfg.nps[np_idx],
+                        policy: policy_label(cfg.policies[policy_idx]),
+                        fault: cfg.faults[fault_idx].label(),
+                        runs: reps.len(),
+                        schedulable,
+                        success,
+                        qos_p50_ppm: pct(0.5),
+                        qos_p90_ppm: pct(0.9),
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Runs the whole sweep on `workers` worker threads. Work distribution
+/// is dynamic (atomic run-id counter) but results are merged by run id,
+/// so the returned [`SweepResult`] is identical for any worker count.
+pub fn run_sweep(cfg: &SweepConfig, workers: usize) -> SweepRun {
+    let specs = expand(cfg);
+    let workers = workers.clamp(1, specs.len().max(1));
+    let start = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut merged: Vec<Option<RunSummary>> = vec![None; specs.len()];
+    let mut per_worker = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let specs = &specs;
+        let next = &next;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(move || {
+                    // One scratch per worker, reused across its whole
+                    // run queue; never shared across threads.
+                    let mut scratch = ExecutorScratch::new();
+                    let mut mine: Vec<(usize, RunSummary)> = Vec::new();
+                    let busy = Instant::now();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        mine.push((i, execute_spec(cfg, i, &specs[i], &mut scratch)));
+                    }
+                    let busy_ms = busy.elapsed().as_secs_f64() * 1e3;
+                    (mine, busy_ms)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (mine, busy_ms) = h.join().expect("mcbench worker panicked");
+            let stats = WorkerStats {
+                runs: mine.len(),
+                events: mine.iter().map(|(_, r)| r.events).sum(),
+                busy_ms,
+            };
+            for (i, r) in mine {
+                merged[i] = Some(r);
+            }
+            per_worker.push(stats);
+        }
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let runs: Vec<RunSummary> = merged
+        .into_iter()
+        .map(|r| r.expect("every run id executed exactly once"))
+        .collect();
+    let total_events = runs.iter().map(|r| r.events).sum();
+    let cells = aggregate(cfg, &runs);
+    SweepRun {
+        result: SweepResult {
+            runs,
+            cells,
+            total_events,
+        },
+        workers,
+        wall_ms,
+        per_worker,
+    }
+}
+
+/// Renders the canonical sweep JSON: per-run summaries plus heatmap
+/// cells, all integer fields, sorted by run id / grid order. This is
+/// the byte-identity witness — it contains **no timing** and no worker
+/// information.
+pub fn canonical_json(cfg: &SweepConfig, result: &SweepResult) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"bench\": \"mcbench\",");
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"total_events\": {},", result.total_events);
+    let _ = writeln!(out, "  \"runs\": [");
+    for (i, r) in result.runs.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"run_id\": {}, \"kind\": \"{}\", \"cell\": \"{}\", \"seed\": {}, \
+             \"schedulable\": {}, \"events\": {}, \"jobs\": {}, \"deadline_misses\": {}, \
+             \"qos_mean_ppm\": {}, \"response_p50_ns\": {}, \"response_p99_ns\": {}, \
+             \"response_max_ns\": {}, \"trace_hash\": {}, \"violations\": {}}}",
+            r.run_id,
+            r.kind,
+            r.cell,
+            r.seed,
+            r.schedulable,
+            r.events,
+            r.jobs,
+            r.deadline_misses,
+            r.qos_mean_ppm,
+            r.response_p50_ns,
+            r.response_p99_ns,
+            r.response_max_ns,
+            r.trace_hash,
+            r.violations,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < result.runs.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in result.cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"cell\": \"{}\", \"util_ppm\": {}, \"np\": {}, \"policy\": \"{}\", \
+             \"fault\": \"{}\", \"runs\": {}, \"schedulable\": {}, \"success\": {}, \
+             \"qos_p50_ppm\": {}, \"qos_p90_ppm\": {}}}",
+            c.cell,
+            c.util_ppm,
+            c.np,
+            c.policy,
+            c.fault,
+            c.runs,
+            c.schedulable,
+            c.success,
+            c.qos_p50_ppm,
+            c.qos_p90_ppm,
+        );
+        let _ = writeln!(out, "{}", if i + 1 < result.cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_worker_equals_two_workers_bytewise() {
+        let cfg = SweepConfig {
+            chaos_cells: 0,
+            runs_per_cell: 1,
+            jobs: 4,
+            ..SweepConfig::quick(7)
+        };
+        let a = run_sweep(&cfg, 1);
+        let b = run_sweep(&cfg, 2);
+        assert_eq!(a.result, b.result);
+        assert_eq!(
+            canonical_json(&cfg, &a.result),
+            canonical_json(&cfg, &b.result)
+        );
+    }
+
+    #[test]
+    fn heatmap_cells_cover_the_grid_in_order() {
+        let cfg = SweepConfig {
+            chaos_cells: 0,
+            runs_per_cell: 1,
+            jobs: 2,
+            ..SweepConfig::quick(3)
+        };
+        let run = run_sweep(&cfg, 1);
+        assert_eq!(
+            run.result.cells.len(),
+            cfg.utils.len() * cfg.nps.len() * cfg.policies.len() * cfg.faults.len()
+        );
+        assert_eq!(run.result.cells[0].cell, "u2.0_np2_one-by-one_none");
+        for c in &run.result.cells {
+            assert!(c.success <= c.schedulable && c.schedulable <= c.runs);
+        }
+    }
+
+    #[test]
+    fn run_seeds_are_pure_in_the_sweep_seed() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        let cfg = SweepConfig::quick(9);
+        let mut s1 = ExecutorScratch::new();
+        let mut s2 = ExecutorScratch::new();
+        let a = execute_run(&cfg, 0, &mut s1);
+        let b = execute_run(&cfg, 0, &mut s2);
+        assert_eq!(a, b);
+    }
+}

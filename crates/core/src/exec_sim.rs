@@ -73,6 +73,40 @@ struct Cpu {
     stalled: u32,
 }
 
+/// Reusable per-worker buffers for [`SimExecutor`] runs.
+///
+/// A worker that executes many simulations back to back (the `mcbench`
+/// Monte-Carlo pool, property tests over seed domains) pays the big
+/// allocations — the event-queue slab and one 99-level ready queue per
+/// hardware thread — once, not per run: [`SimExecutor::run_with_scratch`]
+/// borrows the buffers for the duration of a run and returns them cleared
+/// but with their capacity intact.
+///
+/// Reuse is **observationally free**: a run through a reused scratch
+/// produces bit-identical outcomes to a fresh executor. The event queue's
+/// internal FIFO sequence counter keeps running across
+/// [`EventQueue::clear`], but event ordering depends only on *relative*
+/// sequence numbers, and the ready queues and signal buffer reset to
+/// empty. The scratch-reuse property test in `tests/tests/mcbench.rs`
+/// locks this down over random run sequences.
+///
+/// `ExecutorScratch` is intentionally **not** shareable across threads —
+/// each worker owns one.
+#[derive(Debug, Default)]
+pub struct ExecutorScratch {
+    events: EventQueue<Event>,
+    cpus: Vec<Cpu>,
+    signal_scratch: Vec<Time>,
+}
+
+impl ExecutorScratch {
+    /// An empty scratch; buffers grow on first use and are kept across
+    /// runs.
+    pub fn new() -> ExecutorScratch {
+        ExecutorScratch::default()
+    }
+}
+
 /// The simulation executor.
 #[derive(Debug)]
 pub struct SimExecutor {
@@ -93,14 +127,63 @@ impl SimExecutor {
 
     /// Runs the simulation to completion and returns the measurements.
     pub fn run(&self) -> Outcome {
-        let mut sim = SimState::new(&self.config, &self.run_cfg);
+        self.run_with_scratch(&mut ExecutorScratch::new())
+    }
+
+    /// [`SimExecutor::run`] through reusable worker-owned buffers: the
+    /// event queue, per-CPU ready queues, and the Δb signal buffer are
+    /// borrowed from `scratch` instead of freshly allocated, and returned
+    /// (cleared, capacity kept) when the run completes. The outcome is
+    /// bit-identical to [`SimExecutor::run`] — see [`ExecutorScratch`].
+    pub fn run_with_scratch(&self, scratch: &mut ExecutorScratch) -> Outcome {
+        let topology = *self.config.topology();
+        // Recycle the buffers: the event queue keeps its slab (and its
+        // running FIFO sequence counter — only relative order matters),
+        // the ready queues keep their per-level capacity, and the CPU
+        // vector is resized to exactly this topology so out-of-range
+        // fault-plan stalls are filtered identically to a fresh run.
+        scratch.events.clear();
+        scratch
+            .cpus
+            .resize_with(topology.hw_threads() as usize, Cpu::default);
+        for cpu in &mut scratch.cpus {
+            cpu.queue.clear();
+            cpu.running = None;
+            cpu.stalled = 0;
+        }
+        scratch.signal_scratch.clear();
+
+        let run = &self.run_cfg;
+        let mut eng = Engine::new(&self.config, run);
+        if run.jobs > 0 {
+            // One decision event per task records where the assignment
+            // policy placed its optional parts (paper Fig. 8).
+            eng.trace_policy_decisions(&self.config);
+        }
+        let mut sim = SimState {
+            run,
+            now: Time::ZERO,
+            events: std::mem::take(&mut scratch.events),
+            cpus: std::mem::take(&mut scratch.cpus),
+            eng,
+            model: OverheadModel::new(run.calibration, topology, run.load, run.seed),
+            gen_counter: 0,
+            events_processed: 0,
+            signal_scratch: std::mem::take(&mut scratch.signal_scratch),
+        };
         sim.run();
         let SimState {
             eng,
             now,
             events_processed,
+            events,
+            cpus,
+            signal_scratch,
             ..
         } = sim;
+        scratch.events = events;
+        scratch.cpus = cpus;
+        scratch.signal_scratch = signal_scratch;
         let out = eng.finish(now);
         Outcome {
             overheads: out.overheads,
@@ -144,28 +227,6 @@ struct SimState<'a> {
 }
 
 impl<'a> SimState<'a> {
-    fn new(cfg: &'a SystemConfig, run: &'a RunConfig) -> SimState<'a> {
-        let topology = *cfg.topology();
-        let cpus = (0..topology.hw_threads()).map(|_| Cpu::default()).collect();
-        let mut eng = Engine::new(cfg, run);
-        if run.jobs > 0 {
-            // One decision event per task records where the assignment
-            // policy placed its optional parts (paper Fig. 8).
-            eng.trace_policy_decisions(cfg);
-        }
-        SimState {
-            run,
-            now: Time::ZERO,
-            events: EventQueue::new(),
-            cpus,
-            eng,
-            model: OverheadModel::new(run.calibration, topology, run.load, run.seed),
-            gen_counter: 0,
-            events_processed: 0,
-            signal_scratch: Vec::new(),
-        }
-    }
-
     fn run(&mut self) {
         if self.run.jobs == 0 {
             return;

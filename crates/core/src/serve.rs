@@ -133,7 +133,8 @@ pub mod submission;
 use std::fmt;
 
 use rtseed_analysis::{
-    AdmissionError, OdUpdate, PartitionHeuristic, ShardPlan, ShardedAdmission, TaskKey,
+    AdmissionError, EvictPlan, OdUpdate, PartitionHeuristic, ShardPlan, ShardedAdmission,
+    TaskKey,
 };
 use rtseed_model::{
     HwThreadId, Priority, QosFloor, QosSummary, SessionId, Span, TaskId, TaskSpec, TenantHealth,
@@ -1069,38 +1070,135 @@ impl SessionManager {
         Err(ServeError::NotResident { state })
     }
 
+    /// Departs every named tenant in one batch: claims are resolved
+    /// sequentially with [`SessionManager::depart`]'s semantics (most
+    /// recent admitted tenant per name, duplicate names peel back one
+    /// claim at a time, non-resident names trace
+    /// [`TraceEvent::TenantDepartIgnored`]), but the admission-state
+    /// eviction commits **once** for the whole batch — a depart-heavy
+    /// storm re-runs each touched bin's RMWP fixpoint a single time
+    /// instead of once per departing tenant, and the touched bins are
+    /// planned concurrently (the eviction-side mirror of the parallel
+    /// admission rounds).
+    pub fn depart_batch(&mut self, names: &[String]) -> usize {
+        let mut claimed: Vec<usize> = Vec::new();
+        for name in names {
+            let found = (0..self.tenants.len()).rev().find(|&pos| {
+                let t = &self.tenants[pos];
+                t.name == *name && t.state == TenantState::Admitted && !claimed.contains(&pos)
+            });
+            match found {
+                Some(pos) => claimed.push(pos),
+                None => {
+                    if let Some(pos) = self.tenants.iter().rposition(|t| t.name == *name) {
+                        let tenant = self.tenants[pos].id;
+                        self.eng
+                            .trace(self.now, TraceEvent::TenantDepartIgnored { tenant });
+                    }
+                }
+            }
+        }
+        if !claimed.is_empty() {
+            self.remove_tenants(&claimed, TenantState::Departed);
+            self.counters.departures += claimed.len() as u64;
+        }
+        claimed.len()
+    }
+
     /// Unbinds a tenant's tasks (aborting in-flight jobs), frees its
     /// admission slots, applies the survivors' OD growth (through the
     /// restore hysteresis), and wakes the submit queue.
     fn remove_tenant(&mut self, pos: usize, state: TenantState) {
-        let bound = self.tenants[pos].tasks.clone();
-        let tenant = self.tenants[pos].id;
-        for b in &bound {
-            if self.eng.job_in_flight(b.engine_idx) {
-                // Withdrawn, not missed: the tenant is leaving, so the
-                // partial job is cancelled without charging a miss.
-                self.abort_job_with(b.engine_idx, true);
+        self.remove_tenants(&[pos], state);
+    }
+
+    /// Batched [`SessionManager::remove_tenant`]: unbinds every listed
+    /// tenant, then frees all their admission slots with **one** planned
+    /// eviction so each touched bin's survivor fixpoint runs once for
+    /// the whole batch, then applies the net OD growth once. Traces one
+    /// departure/eviction event per tenant (in `positions` order) and
+    /// wakes the submit queue once.
+    fn remove_tenants(&mut self, positions: &[usize], state: TenantState) {
+        let mut keys: Vec<TaskKey> = Vec::new();
+        for &pos in positions {
+            let bound = self.tenants[pos].tasks.clone();
+            for b in &bound {
+                if self.eng.job_in_flight(b.engine_idx) {
+                    // Withdrawn, not missed: the tenant is leaving, so
+                    // the partial job is cancelled without charging a
+                    // miss.
+                    self.abort_job_with(b.engine_idx, true);
+                }
+                self.eng.remove_task(b.engine_idx);
             }
-            self.eng.remove_task(b.engine_idx);
+            keys.extend(bound.iter().map(|b| b.key));
         }
-        let keys: Vec<TaskKey> = bound.iter().map(|b| b.key).collect();
-        let updates = self.ctl.evict(&keys);
+        let updates = self.evict_keys(&keys);
         self.bindings.retain(|b| !keys.contains(&b.key));
         self.pending_restores.retain(|p| !keys.contains(&p.key));
         self.apply_od_updates(&updates);
-        let ev = if state == TenantState::Evicted {
-            TraceEvent::TenantEvicted { tenant }
-        } else {
-            TraceEvent::TenantDeparted { tenant }
-        };
-        self.eng.trace(self.now, ev);
-        self.tenants[pos].state = state;
+        for &pos in positions {
+            let tenant = self.tenants[pos].id;
+            let ev = if state == TenantState::Evicted {
+                TraceEvent::TenantEvicted { tenant }
+            } else {
+                TraceEvent::TenantDeparted { tenant }
+            };
+            self.eng.trace(self.now, ev);
+            self.tenants[pos].state = state;
+        }
         // Freed capacity is new information for queued requests: lift
         // their backoff gates and sweep immediately.
         if !self.queue.is_empty() {
             self.queue.wake(self.now);
             self.events.push(self.now, Event::AdmissionRound);
         }
+    }
+
+    /// Evicts `keys` from the admission controller, planning the touched
+    /// bins' survivor fixpoints concurrently when parallel rounds are
+    /// enabled — the eviction-side mirror of the batched admission
+    /// planner ([`SessionManager::plan_round`]). Planning is read-only
+    /// (`&ShardedAdmission`), the commit is a single sequential step, so
+    /// the resulting OD updates are bit-identical to the sequential
+    /// plan-then-commit path regardless of worker count.
+    fn evict_keys(&mut self, keys: &[TaskKey]) -> Vec<OdUpdate> {
+        let plan = {
+            let ctl = &self.ctl;
+            let bins = ctl.evict_touched_bins(keys);
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(bins.len())
+                .max(1);
+            if !self.graceful.admission.parallel_rounds || workers == 1 {
+                ctl.plan_evict(keys)
+            } else {
+                let parts = std::thread::scope(|s| {
+                    let bins = &bins;
+                    let handles: Vec<_> = (0..workers)
+                        .map(|w| {
+                            s.spawn(move || {
+                                let mut mine = Vec::new();
+                                let mut i = w;
+                                while i < bins.len() {
+                                    mine.push(ctl.plan_evict_bin(bins[i], keys));
+                                    i += workers;
+                                }
+                                mine
+                            })
+                        })
+                        .collect();
+                    let mut parts = Vec::new();
+                    for h in handles {
+                        parts.extend(h.join().expect("eviction planner thread panicked"));
+                    }
+                    parts
+                });
+                EvictPlan::assemble(parts)
+            }
+        };
+        self.ctl.commit_evict(keys, &plan)
     }
 
     /// Applies analysis OD updates to the running engine through the
@@ -1470,7 +1568,23 @@ impl SessionManager {
                         let _ = self.submit_now(name, &tasks, QosFloor::none());
                     }
                     ChurnAction::Depart { name } => {
-                        let _ = self.depart(&name);
+                        // A depart-heavy storm scripts many departures
+                        // at one instant; coalesce the consecutive run
+                        // into one batched eviction so each touched
+                        // bin's fixpoint re-runs once, not per tenant.
+                        let mut names = vec![name];
+                        while let Some(next) = plan.events().get(next_churn) {
+                            if next.at != ev.at {
+                                break;
+                            }
+                            let ChurnAction::Depart { name } = &next.action else {
+                                break;
+                            };
+                            names.push(name.clone());
+                            next_churn += 1;
+                            self.counters.churn_events += 1;
+                        }
+                        self.depart_batch(&names);
                     }
                     ChurnAction::Submit {
                         name,

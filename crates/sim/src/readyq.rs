@@ -137,6 +137,25 @@ impl<T> FifoReadyQueue<T> {
         self.len == 0
     }
 
+    /// Empties every priority level, keeping each level's allocated
+    /// capacity. Used by per-worker executor scratch to recycle a ready
+    /// queue between runs: after `clear` the queue is observationally
+    /// identical to a fresh one (empty bitmap, zero length), but repeated
+    /// runs on the same queue allocate nothing.
+    pub fn clear(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let mut bitmap = self.bitmap;
+        while bitmap != 0 {
+            let slot = 127 - bitmap.leading_zeros() as usize;
+            self.levels[slot].clear();
+            bitmap &= !(1 << slot);
+        }
+        self.bitmap = 0;
+        self.len = 0;
+    }
+
     /// Number of values queued at exactly `prio`.
     pub fn len_at(&self, prio: Priority) -> usize {
         self.levels[Self::slot(prio)].len()
@@ -302,6 +321,27 @@ mod tests {
         assert_eq!(q.peek_highest_priority(), Some(p(99)));
         assert_eq!(q.dequeue_highest(), Some((p(99), 'z')));
         assert_eq!(q.dequeue_highest(), Some((p(1), 'a')));
+    }
+
+    #[test]
+    fn clear_resets_to_fresh_state() {
+        let mut q = FifoReadyQueue::new();
+        q.enqueue(p(1), 'a');
+        q.enqueue(p(50), 'b');
+        q.enqueue(p(99), 'c');
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_highest_priority(), None);
+        assert_eq!(q.dequeue_highest(), None);
+        // A cleared queue behaves exactly like a fresh one.
+        q.enqueue(p(10), 'x');
+        q.enqueue(p(10), 'y');
+        assert_eq!(q.dequeue_highest(), Some((p(10), 'x')));
+        assert_eq!(q.dequeue_highest(), Some((p(10), 'y')));
+        // Clearing an empty queue is a no-op.
+        q.clear();
+        assert!(q.is_empty());
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Differential determinism suite for the Monte-Carlo experiment engine
+//! (`rtseed_bench::mcbench`).
+//!
+//! Four families of evidence, mirroring DESIGN.md's determinism
+//! argument:
+//!
+//! * **Worker differential** (proptest): an arbitrary small sweep run on
+//!   1 worker and on N workers produces identical per-run summaries and
+//!   byte-identical canonical JSON.
+//! * **Scratch reuse** (proptest): one `ExecutorScratch` driven through a
+//!   random sequence of runs produces exactly the summaries that fresh
+//!   executors produce — no state bleeds between runs, which is the
+//!   license for the per-worker arena.
+//! * **Chaos × pool** (proptest): any chaos scenario embedded as a sweep
+//!   cell replays byte-identically inside the worker pool — the pooled
+//!   extension of chaosbench's double-replay gate.
+//! * **Golden anchor**: a fixed-seed quick sweep's canonical JSON is
+//!   pinned under `tests/golden/` and diffed byte-for-byte. Regenerate
+//!   deliberately with `RTSEED_REGEN_GOLDEN=1`.
+
+use proptest::prelude::*;
+use rtseed::exec_sim::ExecutorScratch;
+use rtseed::policy::AssignmentPolicy;
+use rtseed_bench::chaos::run_chaos;
+use rtseed_bench::mcbench::{
+    canonical_json, execute_run, fnv1a64, run_sweep, FaultLevel, SweepConfig,
+};
+use rtseed_sim::ChaosConfig;
+
+/// A small sweep grid decoded from proptest-chosen knobs.
+fn small_config(seed: u64, utils: u8, nps: u8, faulty: bool, reps: usize, chaos: usize) -> SweepConfig {
+    SweepConfig {
+        seed,
+        cores: 4,
+        smt: 2,
+        tasks: 4,
+        utils: [2.0, 4.0, 5.6][..utils as usize].to_vec(),
+        nps: [2, 4][..nps as usize].to_vec(),
+        policies: vec![AssignmentPolicy::OneByOne],
+        faults: if faulty {
+            vec![FaultLevel::None, FaultLevel::Overruns]
+        } else {
+            vec![FaultLevel::None]
+        },
+        runs_per_cell: reps,
+        jobs: 4,
+        chaos_cells: chaos,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// 1 worker vs N workers: identical per-run summaries, identical
+    /// heatmap cells, byte-identical canonical JSON.
+    #[test]
+    fn one_worker_and_n_workers_agree_bytewise(
+        seed in 0u64..1024,
+        utils in 1u8..4,
+        nps in 1u8..3,
+        faulty in any::<bool>(),
+        reps in 1usize..3,
+        workers in 2usize..6,
+    ) {
+        // The chaos-cell count rides on the seed to stay within the
+        // strategy-tuple arity.
+        let chaos = (seed % 2) as usize;
+        let cfg = small_config(seed, utils, nps, faulty, reps, chaos);
+        let a = run_sweep(&cfg, 1);
+        let b = run_sweep(&cfg, workers);
+        prop_assert_eq!(&a.result.runs, &b.result.runs, "per-run summaries diverge");
+        prop_assert_eq!(&a.result.cells, &b.result.cells, "heatmap cells diverge");
+        prop_assert_eq!(
+            canonical_json(&cfg, &a.result),
+            canonical_json(&cfg, &b.result),
+            "canonical bytes diverge"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Scratch reuse: one `ExecutorScratch` carried through a random run
+    /// sequence produces exactly what fresh executors produce. This is
+    /// the test that makes the per-worker arena safe.
+    #[test]
+    fn reused_scratch_never_bleeds_state(
+        seed in 0u64..1024,
+        sequence in prop::collection::vec(0usize..12, 2..8),
+    ) {
+        let cfg = small_config(seed, 3, 2, true, 1, 1);
+        let total = cfg.total_runs();
+        let mut reused = ExecutorScratch::new();
+        for &pick in &sequence {
+            let run_id = pick % total;
+            let with_reuse = execute_run(&cfg, run_id, &mut reused);
+            let fresh = execute_run(&cfg, run_id, &mut ExecutorScratch::new());
+            prop_assert_eq!(with_reuse, fresh, "run {} differs under scratch reuse", run_id);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Chaos × pool: a chaos scenario embedded as a sweep cell carries
+    /// the same trace-byte hash as a direct standalone replay, and the
+    /// pooled sweep reproduces it for any worker count.
+    #[test]
+    fn chaos_cells_replay_byte_identically_in_the_pool(
+        seed in 0u64..256,
+        workers in 2usize..5,
+    ) {
+        let cfg = small_config(seed, 1, 1, false, 1, 2);
+        let a = run_sweep(&cfg, 1);
+        let b = run_sweep(&cfg, workers);
+        let chaos_runs: Vec<_> = a.result.runs.iter().filter(|r| r.kind == "chaos").collect();
+        prop_assert_eq!(chaos_runs.len(), 2);
+        for r in &chaos_runs {
+            // The pooled hash equals a standalone replay of the same
+            // scenario seed — the pool adds nothing and loses nothing.
+            let direct = run_chaos(&ChaosConfig::quick(), r.seed, 8);
+            prop_assert_eq!(
+                r.trace_hash,
+                fnv1a64(direct.trace_jsonl.as_bytes()),
+                "pooled chaos cell diverges from standalone replay"
+            );
+            prop_assert_eq!(r.violations, 0, "chaos cell violated invariants");
+        }
+        prop_assert_eq!(&a.result.runs, &b.result.runs);
+    }
+}
+
+/// Fixed-seed anchor: the canonical JSON of a quick sweep is pinned
+/// byte-for-byte under `tests/golden/`. A diff means the sweep schema,
+/// the seed derivation, the simulator, or the serving layer changed
+/// behaviour — regenerate deliberately with `RTSEED_REGEN_GOLDEN=1`.
+#[test]
+fn golden_anchor_quick_sweep_canonical_json() {
+    let cfg = SweepConfig::quick(0);
+    let run = run_sweep(&cfg, 2);
+    let canon = canonical_json(&cfg, &run.result);
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/golden/mcbench_quick_seed0.json"
+    );
+    if std::env::var_os("RTSEED_REGEN_GOLDEN").is_some() {
+        std::fs::write(path, &canon).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing; regenerate with RTSEED_REGEN_GOLDEN=1");
+    assert_eq!(
+        canon, golden,
+        "canonical sweep bytes diverge from the golden anchor"
+    );
+}

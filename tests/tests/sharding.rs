@@ -303,3 +303,165 @@ fn shed_restore_round_trip_is_oracle_identical() {
     assert!(oracle.counters.qos_sheds > 0, "scenario never exercised the ladder");
     assert!(fast.counters.rta_cache_hits > 0, "cache never hit");
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Batched evictions (the depart-storm path): planning every touched
+    /// bin independently — in *any* assembly order, as the parallel
+    /// planner does — and committing once must match both the one-shot
+    /// `evict` and the full-RTA oracle, bin for bin and bit for bit.
+    #[test]
+    fn eviction_storms_plan_commit_like_the_oracle(
+        tenants in prop::collection::vec((0u8..5, 2u64..7, 1u64..5), 3..10),
+        evict_mask in prop::collection::vec(any::<bool>(), 10),
+        reverse_assembly in any::<bool>(),
+    ) {
+        let heuristic = PartitionHeuristic::WorstFitDecreasing;
+        let mut full = AdmissionController::with_mode(8, heuristic, true);
+        let mut inc = AdmissionController::with_mode(8, heuristic, false);
+        let mut shd = ShardedAdmission::new(8, heuristic, 4, false);
+        let mut keys_full = Vec::new();
+        let mut keys_inc = Vec::new();
+        let mut keys_shd = Vec::new();
+        for (i, &(p_idx, m_ms, w_ms)) in tenants.iter().enumerate() {
+            let tasks = vec![
+                task(&format!("t{i}/0"), PERIODS_MS[p_idx as usize], m_ms, w_ms),
+                task(&format!("t{i}/1"), PERIODS_MS[(p_idx as usize + 2) % 5], m_ms, w_ms),
+            ];
+            let (Ok(a), Ok(b), Ok(c)) = (
+                full.try_admit(&tasks),
+                inc.try_admit(&tasks),
+                shd.try_admit(&tasks),
+            ) else {
+                continue;
+            };
+            keys_full.push(a.tasks.iter().map(|t| t.key).collect::<Vec<_>>());
+            keys_inc.push(b.tasks.iter().map(|t| t.key).collect::<Vec<_>>());
+            keys_shd.push(c.tasks.iter().map(|t| t.key).collect::<Vec<_>>());
+        }
+        // The storm: evict every masked tenant's keys in ONE batch.
+        let storm = |all: &[Vec<rtseed_analysis::TaskKey>]| -> Vec<rtseed_analysis::TaskKey> {
+            all.iter()
+                .enumerate()
+                .filter(|(i, _)| evict_mask[*i % evict_mask.len()])
+                .flat_map(|(_, ks)| ks.iter().copied())
+                .collect()
+        };
+        let (sf, si, ss) = (storm(&keys_full), storm(&keys_inc), storm(&keys_shd));
+        // Oracle: the monolithic full-RTA controller's one-shot evict.
+        let oracle_updates = full.evict(&sf);
+        // Incremental: plan each touched bin independently, assemble in
+        // an arbitrary order (parallel workers finish in any order),
+        // commit once.
+        let mut parts: Vec<(usize, Vec<Span>)> = inc
+            .evict_touched_bins(&si)
+            .into_iter()
+            .map(|b| inc.plan_evict_bin(b, &si))
+            .collect();
+        if reverse_assembly {
+            parts.reverse();
+        }
+        let plan = rtseed_analysis::EvictPlan::assemble(parts);
+        let inc_updates = inc.commit_evict(&si, &plan);
+        // Sharded wrapper: the sequential plan + commit split.
+        let shd_plan = shd.plan_evict(&ss);
+        let shd_updates = shd.commit_evict(&ss, &shd_plan);
+        prop_assert_eq!(&oracle_updates, &inc_updates, "batched eviction diverges from oracle");
+        prop_assert_eq!(&oracle_updates, &shd_updates, "sharded batched eviction diverges");
+        let mut ra = full.resident_ods();
+        let mut rb = inc.resident_ods();
+        let mut rc = shd.resident_ods();
+        ra.sort();
+        rb.sort();
+        rc.sort();
+        prop_assert_eq!(&ra, &rb, "post-storm resident ODs diverge");
+        prop_assert_eq!(&ra, &rc, "post-storm resident ODs diverge");
+        prop_assert_eq!(
+            full.total_utilization().to_bits(),
+            inc.total_utilization().to_bits(),
+            "post-storm utilization bits diverge"
+        );
+        prop_assert_eq!(
+            full.total_utilization().to_bits(),
+            shd.total_utilization().to_bits(),
+            "post-storm utilization bits diverge"
+        );
+    }
+}
+
+/// A depart-heavy storm at the serving layer: many tenants leave at the
+/// same scripted instant, so the churn loop coalesces them into one
+/// batched eviction (planned in parallel). The run must stay
+/// byte-identical to the full-RTA oracle's, and every departure must
+/// land.
+#[test]
+fn depart_storm_is_batched_and_oracle_identical() {
+    let storm = 8usize;
+    let plan = || {
+        let mut plan = ChurnPlan::new();
+        for k in 0..storm {
+            plan = plan.submit(
+                Time::ZERO,
+                format!("s{k}"),
+                vec![
+                    task(&format!("s{k}/0"), 40, 4, 2),
+                    task(&format!("s{k}/1"), 50, 4, 2),
+                ],
+                QosFloor::none(),
+                Span::from_millis(200),
+            );
+        }
+        // One survivor that should see its QoS restored by the storm.
+        plan = plan.submit(
+            Time::ZERO,
+            "survivor",
+            vec![task("sv/0", 100, 5, 3)],
+            QosFloor::none(),
+            Span::from_millis(200),
+        );
+        for k in 0..storm {
+            plan = plan.depart(Time::from_nanos(200_000_000), format!("s{k}"));
+        }
+        plan
+    };
+    let run = |admission: AdmissionConfig| {
+        let run = RunConfig {
+            jobs: 10,
+            trace: TraceConfig::enabled(),
+            ..RunConfig::default()
+        };
+        let graceful = GracefulConfig {
+            admission,
+            ..GracefulConfig::default()
+        };
+        SessionManager::with_graceful(
+            Topology::quad_core_smt2(),
+            PartitionHeuristic::WorstFitDecreasing,
+            AssignmentPolicy::OneByOne,
+            run,
+            graceful,
+        )
+        .run_with_churn(&plan())
+    };
+    let oracle = run(AdmissionConfig {
+        shards: 1,
+        parallel_rounds: false,
+        full_rta: true,
+    });
+    let fast = run(AdmissionConfig {
+        shards: 8,
+        parallel_rounds: true,
+        full_rta: false,
+    });
+    assert_eq!(
+        export::jsonl(&oracle.outcome.trace),
+        export::jsonl(&fast.outcome.trace),
+        "depart storm diverges from the oracle"
+    );
+    assert_eq!(sans_analysis(oracle.counters), sans_analysis(fast.counters));
+    assert_eq!(
+        oracle.counters.departures, storm as u64,
+        "every storm departure must land"
+    );
+}
